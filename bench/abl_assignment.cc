@@ -1,0 +1,61 @@
+// Ablation: bucket-at-a-time vs partition-at-a-time work assignment in
+// later partitioning passes (Section III-A's design discussion). The
+// paper chooses bucket-at-a-time because, although it "fares worse for
+// uniform distributions" (device-memory metadata traffic), whole-chain
+// assignment collapses under skew when "the longest running CUDA block
+// defines the total execution time".
+
+#include "bench/common.h"
+#include "bench/runner.h"
+#include "data/generator.h"
+#include "data/oracle.h"
+
+namespace gjoin {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto ctx = bench::BenchContext::Create(
+      argc, argv, "abl_assignment",
+      "bucket-at-a-time vs partition-at-a-time under skew",
+      /*default_divisor=*/64);
+  sim::Device device(ctx.spec());
+  const size_t n = ctx.Scale(32 * bench::kM);
+
+  double result[2][2];  // [assignment][workload] -> seconds
+  for (int w = 0; w < 2; ++w) {
+    const double zipf = w == 0 ? 0.0 : 1.0;
+    const auto r = data::MakeZipf(n, n, zipf, 231, 239);
+    const auto s = data::MakeZipf(n, n, zipf, 232, 239);
+    const auto oracle = data::JoinOracle(r, s);
+    for (int a = 0; a < 2; ++a) {
+      gpujoin::PartitionedJoinConfig cfg = bench::ScaledJoinConfig(ctx);
+      // Keep enough pass-2 parents (32) that whole-chain assignment can
+      // spread over the SMs on uniform data, as with the paper's 256.
+      cfg.partition.pass_bits = {5, 4};
+      cfg.partition.assignment =
+          a == 0 ? gpujoin::WorkAssignment::kBucketAtATime
+                 : gpujoin::WorkAssignment::kPartitionAtATime;
+      const auto stats = bench::MustPartitionedJoin(&device, r, s, cfg, oracle);
+      result[a][w] = stats.partition_s;
+      ctx.Emit(std::string(a == 0 ? "bucket-at-a-time" : "partition-at-a-time") +
+                   (w == 0 ? " uniform" : " zipf1"),
+               0, 2.0 * static_cast<double>(n) / stats.partition_s);
+    }
+  }
+
+  ctx.Check("partition-at-a-time is competitive or better on uniform data",
+            result[1][0] < result[0][0] * 1.15);
+  ctx.Check("bucket-at-a-time wins under heavy skew (load balance)",
+            result[0][1] < result[1][1]);
+  // The deterioration is relative: whole-chain assignment loses ground
+  // under skew while bucket-at-a-time stays flat.
+  ctx.Check("whole-chain assignment deteriorates under skew, bucket stays flat",
+            (result[1][1] / result[1][0]) >
+                1.08 * (result[0][1] / result[0][0]));
+  return ctx.Finish();
+}
+
+}  // namespace
+}  // namespace gjoin
+
+int main(int argc, char** argv) { return gjoin::Run(argc, argv); }

@@ -1,0 +1,99 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/bits.h"
+
+namespace gjoin::bench {
+
+BenchContext BenchContext::Create(int argc, char** argv, const char* figure,
+                                  const char* title,
+                                  int64_t default_divisor) {
+  BenchContext ctx;
+  ctx.figure_ = figure;
+  auto flags = util::Flags::Parse(argc, argv);
+  flags.status().CheckOK();
+  ctx.flags_ = std::move(flags).ValueOrDie();
+
+  int64_t divisor = ctx.flags_.GetInt("divisor", default_divisor);
+  const char* full = std::getenv("GJOIN_FULL_SCALE");
+  if (full != nullptr && std::string(full) == "1") divisor = 1;
+  if (divisor < 1) divisor = 1;
+  divisor = static_cast<int64_t>(
+      util::NextPowerOfTwo(static_cast<uint64_t>(divisor)));
+  ctx.divisor_ = divisor;
+  ctx.log2_divisor_ = util::Log2Floor(static_cast<uint64_t>(divisor));
+
+  // Scale the memory hierarchy and fixed overheads (see header).
+  hw::HardwareSpec spec;
+  const double inv = 1.0 / static_cast<double>(divisor);
+  spec.gpu.device_memory_bytes = static_cast<size_t>(
+      static_cast<double>(spec.gpu.device_memory_bytes) * inv);
+  spec.gpu.l2_bytes = static_cast<size_t>(
+      static_cast<double>(spec.gpu.l2_bytes) * inv);
+  spec.gpu.random_bw_knee_bytes = static_cast<size_t>(
+      static_cast<double>(spec.gpu.random_bw_knee_bytes) * inv);
+  spec.gpu.kernel_launch_us *= inv;
+  spec.pcie.latency_us *= inv;
+  spec.cpu.llc_bytes = static_cast<size_t>(
+      static_cast<double>(spec.cpu.llc_bytes) * inv);
+  spec.cpu.l2_bytes_per_core = static_cast<size_t>(
+      static_cast<double>(spec.cpu.l2_bytes_per_core) * inv);
+  spec.cpu.fixed_join_overhead_s *= inv;
+  ctx.spec_ = spec;
+
+  std::printf("# %s: %s\n", figure, title);
+  std::printf("# divisor=%lld (x axis labeled at paper-nominal sizes)\n",
+              static_cast<long long>(divisor));
+  std::printf("# columns: figure,series,x,value\n");
+  return ctx;
+}
+
+std::vector<int> BenchContext::ScalePassBits(std::vector<int> nominal) const {
+  // Remove bits from the *first* pass: its fanout controls the
+  // block-private partial-bucket footprint of pass 1, which — unlike the
+  // data — does not shrink with the divisor.
+  int remove = log2_divisor_;
+  for (auto it = nominal.begin(); it != nominal.end() && remove > 0; ++it) {
+    const int take = std::min(remove, *it);
+    *it -= take;
+    remove -= take;
+  }
+  std::vector<int> out;
+  for (int b : nominal) {
+    if (b > 0) out.push_back(b);
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+void BenchContext::Emit(const std::string& series, double x_nominal,
+                        double value) {
+  std::printf("%s,%s,%.6g,%.6g\n", figure_.c_str(), series.c_str(), x_nominal,
+              value);
+  std::fflush(stdout);
+}
+
+void BenchContext::EmitError(const std::string& series, double x_nominal,
+                             const std::string& why) {
+  std::printf("%s,%s,%.6g,ERROR(%s)\n", figure_.c_str(), series.c_str(),
+              x_nominal, why.c_str());
+  std::fflush(stdout);
+}
+
+void BenchContext::Check(const std::string& what, bool ok) {
+  ++checks_total_;
+  if (!ok) ++checks_failed_;
+  std::printf("CHECK %s: %s\n", what.c_str(), ok ? "PASS" : "FAIL");
+  std::fflush(stdout);
+}
+
+int BenchContext::Finish() {
+  std::printf("# %s: %d/%d shape checks passed\n", figure_.c_str(),
+              checks_total_ - checks_failed_, checks_total_);
+  if (checks_failed_ > 0 && flags_.GetBool("strict", false)) return 1;
+  return 0;
+}
+
+}  // namespace gjoin::bench

@@ -1,0 +1,76 @@
+// Figure 6: building the per-partition hash table in shared vs device
+// memory, 1M-128M tuples per side, 2^15 partitions over two passes.
+// Paper config: 4096 elements of shared memory per block, 512 threads,
+// 2048 hash-table buckets, payload aggregation.
+
+#include <map>
+
+#include "bench/common.h"
+#include "bench/runner.h"
+#include "data/generator.h"
+
+namespace gjoin {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto ctx = bench::BenchContext::Create(
+      argc, argv, "fig06", "hash table in shared vs device memory",
+      /*default_divisor=*/8);
+  sim::Device device(ctx.spec());
+
+  struct Point {
+    double total;
+    double co;
+  };
+  std::map<std::pair<std::string, uint64_t>, Point> results;
+
+  for (uint64_t nominal : {1 * bench::kM, 2 * bench::kM, 4 * bench::kM,
+                           8 * bench::kM, 16 * bench::kM, 32 * bench::kM,
+                           64 * bench::kM, 128 * bench::kM}) {
+    const size_t n = ctx.Scale(nominal);
+    const auto r = data::MakeUniqueUniform(n, 61);
+    const auto s = data::MakeUniqueUniform(n, 62);
+    const auto oracle = data::JoinOracle(r, s);
+    for (auto algo : {gpujoin::ProbeAlgorithm::kSharedHash,
+                      gpujoin::ProbeAlgorithm::kDeviceHash}) {
+      gpujoin::PartitionedJoinConfig cfg = bench::ScaledJoinConfig(ctx);
+      cfg.join.algo = algo;
+      cfg.join.threads_per_block = 512;
+      cfg.join.shared_elems = 4096;
+      cfg.join.hash_slots = 2048;
+      const auto stats =
+          bench::MustPartitionedJoin(&device, r, s, cfg, oracle);
+      const std::string name = algo == gpujoin::ProbeAlgorithm::kSharedHash
+                                   ? "Shared mem"
+                                   : "Device mem";
+      const double total = bench::Tput(n, n, stats.seconds);
+      const double co = bench::Tput(n, n, stats.join_s);
+      const double x = static_cast<double>(nominal) / bench::kM;
+      ctx.Emit(name + " - total", x, total);
+      ctx.Emit(name + " - join co-partitions", x, co);
+      results[{name, nominal}] = {total, co};
+    }
+  }
+
+  auto shared = [&](uint64_t m) { return results.at({"Shared mem", m}); };
+  auto dev = [&](uint64_t m) { return results.at({"Device mem", m}); };
+  ctx.Check("shared-memory probing is faster at every size",
+            [&] {
+              for (uint64_t m : {1, 2, 4, 8, 16, 32, 64, 128}) {
+                if (shared(m * bench::kM).co <= dev(m * bench::kM).co) {
+                  return false;
+                }
+              }
+              return true;
+            }());
+  ctx.Check("shared co-partition throughput rises with size",
+            shared(128 * bench::kM).co > shared(1 * bench::kM).co);
+  ctx.Check("shared-memory total >= 1.3x device total at 128M",
+            shared(128 * bench::kM).total > 1.3 * dev(128 * bench::kM).total);
+  return ctx.Finish();
+}
+
+}  // namespace
+}  // namespace gjoin
+
+int main(int argc, char** argv) { return gjoin::Run(argc, argv); }

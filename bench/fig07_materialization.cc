@@ -1,0 +1,58 @@
+// Figure 7: partitioned hash join with payload aggregation vs full
+// result materialization in GPU memory, equally-sized inputs 1M-128M.
+
+#include <map>
+
+#include "bench/common.h"
+#include "bench/runner.h"
+#include "data/generator.h"
+
+namespace gjoin {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto ctx = bench::BenchContext::Create(
+      argc, argv, "fig07", "partitioned join: aggregation vs materialization",
+      /*default_divisor=*/16);
+  sim::Device device(ctx.spec());
+
+  std::map<std::pair<bool, uint64_t>, double> tput;
+  for (uint64_t nominal : {1 * bench::kM, 2 * bench::kM, 4 * bench::kM,
+                           8 * bench::kM, 16 * bench::kM, 32 * bench::kM,
+                           64 * bench::kM, 128 * bench::kM}) {
+    const size_t n = ctx.Scale(nominal);
+    const auto r = data::MakeUniqueUniform(n, 71);
+    const auto s = data::MakeUniqueUniform(n, 72);
+    const auto oracle = data::JoinOracle(r, s);
+    for (bool materialize : {false, true}) {
+      gpujoin::PartitionedJoinConfig cfg = bench::ScaledJoinConfig(ctx);
+      cfg.join.output = materialize ? gpujoin::OutputMode::kMaterialize
+                                    : gpujoin::OutputMode::kAggregate;
+      const auto stats =
+          bench::MustPartitionedJoin(&device, r, s, cfg, oracle);
+      const double x = static_cast<double>(nominal) / bench::kM;
+      const double t = bench::Tput(n, n, stats.seconds);
+      ctx.Emit(materialize ? "Materialization" : "Aggregation", x, t);
+      tput[{materialize, nominal}] = t;
+    }
+  }
+
+  ctx.Check("materialization traces aggregation within 40% at every size",
+            [&] {
+              for (uint64_t m : {1, 2, 4, 8, 16, 32, 64, 128}) {
+                const double a = tput.at({false, m * bench::kM});
+                const double b = tput.at({true, m * bench::kM});
+                if (b < 0.6 * a || b > a * 1.001) return false;
+              }
+              return true;
+            }());
+  ctx.Check("throughput grows with input size (partitioning amortizes)",
+            tput.at({false, 128 * bench::kM}) >
+                1.8 * tput.at({false, 1 * bench::kM}));
+  return ctx.Finish();
+}
+
+}  // namespace
+}  // namespace gjoin
+
+int main(int argc, char** argv) { return gjoin::Run(argc, argv); }

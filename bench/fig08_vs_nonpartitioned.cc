@@ -1,0 +1,124 @@
+// Figure 8: GPU partitioned join vs non-partitioned GPU joins (chaining
+// and perfect hash) vs the CPU baselines (PRO, NPO), for build-to-probe
+// ratios 1:1, 1:2 and 1:4, build sizes 1M-128M.
+//
+// For each build size the probe side keeps the same distinct-value set,
+// so larger ratios increase the number of matches (Section V-B).
+
+#include <map>
+
+#include "bench/common.h"
+#include "bench/runner.h"
+#include "cpu/cpu_joins.h"
+#include "data/generator.h"
+
+namespace gjoin {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto ctx = bench::BenchContext::Create(
+      argc, argv, "fig08",
+      "partitioned vs non-partitioned GPU joins vs CPU joins",
+      /*default_divisor=*/32);
+  sim::Device device(ctx.spec());
+  const hw::CpuCostModel cpu_model(ctx.spec().cpu);
+
+  std::map<std::pair<std::string, uint64_t>, double> tput;  // key: series,1:1 size
+  const std::vector<uint64_t> sizes = {1 * bench::kM,  2 * bench::kM,
+                                       4 * bench::kM,  8 * bench::kM,
+                                       16 * bench::kM, 32 * bench::kM,
+                                       64 * bench::kM, 128 * bench::kM};
+
+  for (int ratio : {1, 2, 4}) {
+    const std::string suffix = " 1:" + std::to_string(ratio);
+    for (uint64_t nominal : sizes) {
+      const size_t n = ctx.Scale(nominal);
+      const size_t probe_n = n * static_cast<size_t>(ratio);
+      const auto r = data::MakeUniqueUniform(n, 81);
+      const auto s = data::MakeUniformProbe(probe_n, n, 82);
+      const auto oracle = data::JoinOracle(r, s);
+      const double x = static_cast<double>(nominal) / bench::kM;
+
+      // GPU partitioned.
+      {
+        gpujoin::PartitionedJoinConfig cfg = bench::ScaledJoinConfig(ctx);
+        const auto stats =
+            bench::MustPartitionedJoin(&device, r, s, cfg, oracle);
+        const double t = bench::Tput(n, probe_n, stats.seconds);
+        ctx.Emit("GPU Partitioned" + suffix, x, t);
+        if (ratio == 1) tput[{"part", nominal}] = t;
+      }
+      // GPU non-partitioned (chaining).
+      {
+        gpujoin::NonPartitionedJoinConfig cfg;
+        const auto stats =
+            bench::MustNonPartitionedJoin(&device, r, s, cfg, oracle);
+        const double t = bench::Tput(n, probe_n, stats.seconds);
+        ctx.Emit("GPU Non-partitioned" + suffix, x, t);
+        if (ratio == 1) tput[{"nonpart", nominal}] = t;
+      }
+      // GPU non-partitioned, perfect hash (best case).
+      {
+        gpujoin::NonPartitionedJoinConfig cfg;
+        cfg.variant = gpujoin::NonPartitionedVariant::kPerfectHash;
+        const auto stats =
+            bench::MustNonPartitionedJoin(&device, r, s, cfg, oracle);
+        const double t = bench::Tput(n, probe_n, stats.seconds);
+        ctx.Emit("GPU Non-partitioned w/ perfect hash" + suffix, x, t);
+        if (ratio == 1) tput[{"perfect", nominal}] = t;
+      }
+      // CPU PRO.
+      {
+        cpu::CpuJoinConfig cfg;
+        cfg.radix_bits = 14;  // unscaled: partition-to-cache ratio then matches
+        auto stats = cpu::ProJoin(r, s, cfg, cpu_model);
+        stats.status().CheckOK();
+        const double t = bench::Tput(n, probe_n, stats->seconds);
+        ctx.Emit("CPU PRO" + suffix, x, t);
+        if (ratio == 1) tput[{"pro", nominal}] = t;
+      }
+      // CPU NPO.
+      {
+        cpu::CpuJoinConfig cfg;
+        auto stats = cpu::NpoJoin(r, s, cfg, cpu_model);
+        stats.status().CheckOK();
+        const double t = bench::Tput(n, probe_n, stats->seconds);
+        ctx.Emit("CPU NPO" + suffix, x, t);
+        if (ratio == 1) tput[{"npo", nominal}] = t;
+      }
+    }
+  }
+
+  auto at = [&](const char* series, uint64_t m) {
+    return tput.at({series, m * bench::kM});
+  };
+  ctx.Check("non-partitioned wins on small inputs (1M)",
+            at("nonpart", 1) > at("part", 1));
+  ctx.Check("partitioned overtakes chaining beyond ~8M",
+            at("part", 16) > at("nonpart", 16) &&
+                at("part", 128) > at("nonpart", 128));
+  ctx.Check("partitioned overtakes even the perfect-hash best case at 128M",
+            at("part", 128) > at("perfect", 128));
+  ctx.Check("non-partitioned throughput deteriorates with size",
+            at("nonpart", 128) < 0.75 * at("nonpart", 1));
+  ctx.Check("partitioned GPU join reaches ~4 billion tuples/s at 128M",
+            at("part", 128) > 2.5e9 && at("part", 128) < 6e9);
+  ctx.Check("GPU joins beat their CPU counterparts at every size",
+            [&] {
+              for (uint64_t m : {1, 2, 4, 8, 16, 32, 64, 128}) {
+                if (at("part", m) <= at("pro", m)) return false;
+                if (at("nonpart", m) <= at("npo", m)) return false;
+              }
+              return true;
+            }());
+  ctx.Check("CPU PRO also beats the non-partitioned GPU join at 128M",
+            at("pro", 128) > 0 && at("nonpart", 128) < 4 * at("pro", 128));
+  ctx.Check("GPU partitioned ~4x CPU PRO at the sweet spot",
+            at("part", 128) > 2.5 * at("pro", 128));
+  return ctx.Finish();
+}
+
+}  // namespace
+}  // namespace gjoin
+
+int main(int argc, char** argv) { return gjoin::Run(argc, argv); }

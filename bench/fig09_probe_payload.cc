@@ -1,0 +1,70 @@
+// Figure 9: effect of the probe-side payload width (16-128 bytes) on
+// partitioned vs non-partitioned GPU joins, 32M x 32M tuples, late
+// materialization with aggregation.
+//
+// The partitioned join reorders tuples, so its payload gathers are
+// random; the non-partitioned join probes in input order, so its
+// probe-side gathers stay sequential — which is why it overtakes the
+// partitioned join for wide probe payloads.
+
+#include <map>
+
+#include "bench/common.h"
+#include "bench/runner.h"
+#include "data/generator.h"
+
+namespace gjoin {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto ctx = bench::BenchContext::Create(
+      argc, argv, "fig09", "probe-side payload width sweep",
+      /*default_divisor=*/16);
+  sim::Device device(ctx.spec());
+
+  const size_t n = ctx.Scale(32 * bench::kM);
+  const auto r = data::MakeUniqueUniform(n, 91);
+  const auto s = data::MakeUniformProbe(n, n, 92);
+  const auto oracle = data::JoinOracle(r, s);
+  constexpr int kBuildPayload = 16;  // fixed build side
+
+  std::map<std::pair<bool, int>, double> tput;
+  for (int payload : {16, 32, 48, 64, 80, 96, 112, 128}) {
+    {
+      gpujoin::PartitionedJoinConfig cfg = bench::ScaledJoinConfig(ctx);
+      cfg.join.probe_extra_payload_bytes = payload - 4;
+      cfg.join.build_extra_payload_bytes = kBuildPayload - 4;
+      const auto stats =
+          bench::MustPartitionedJoin(&device, r, s, cfg, oracle);
+      const double t = bench::Tput(n, n, stats.seconds);
+      ctx.Emit("GPU Partitioned", payload, t);
+      tput[{true, payload}] = t;
+    }
+    {
+      gpujoin::NonPartitionedJoinConfig cfg;
+      cfg.probe_extra_payload_bytes = payload - 4;
+      cfg.build_extra_payload_bytes = kBuildPayload - 4;
+      const auto stats =
+          bench::MustNonPartitionedJoin(&device, r, s, cfg, oracle);
+      const double t = bench::Tput(n, n, stats.seconds);
+      ctx.Emit("GPU Non-Partitioned", payload, t);
+      tput[{false, payload}] = t;
+    }
+  }
+
+  ctx.Check("partitioned wins at narrow probe payloads (16B)",
+            tput.at({true, 16}) > tput.at({false, 16}));
+  ctx.Check("non-partitioned overtakes for wide probe payloads (128B)",
+            tput.at({false, 128}) > tput.at({true, 128}));
+  ctx.Check("partitioned throughput decays with probe payload width",
+            tput.at({true, 128}) < 0.6 * tput.at({true, 16}));
+  ctx.Check("non-partitioned decays more slowly (sequential gathers)",
+            tput.at({false, 128}) / tput.at({false, 16}) >
+                tput.at({true, 128}) / tput.at({true, 16}));
+  return ctx.Finish();
+}
+
+}  // namespace
+}  // namespace gjoin
+
+int main(int argc, char** argv) { return gjoin::Run(argc, argv); }

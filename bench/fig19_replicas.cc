@@ -1,0 +1,89 @@
+// Figure 19: uniform duplicates — both inputs drawn uniformly over a
+// domain sized for 1-4 replicas per value on average, for GPU-resident
+// (32M) and CPU-resident (512M, co-processing) datasets, with
+// aggregation and materialization.
+
+#include <map>
+
+#include "bench/common.h"
+#include "bench/runner.h"
+#include "data/generator.h"
+#include "data/oracle.h"
+#include "outofgpu/coprocess.h"
+
+namespace gjoin {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto ctx = bench::BenchContext::Create(
+      argc, argv, "fig19", "uniform replicas, in- and out-of-GPU",
+      /*default_divisor=*/256);
+  sim::Device device(ctx.spec());
+
+  std::map<std::pair<std::string, int>, double> tput;
+  for (int replicas : {1, 2, 3, 4}) {
+    // GPU-resident case.
+    {
+      const size_t n = ctx.Scale(32 * bench::kM);
+      const auto r = data::MakeReplicated(n, replicas, 191);
+      const auto s = data::MakeReplicated(n, replicas, 192);
+      const auto oracle = data::JoinOracle(r, s);
+      for (bool materialize : {false, true}) {
+        gpujoin::PartitionedJoinConfig cfg = bench::ScaledJoinConfig(ctx);
+        if (materialize) {
+          cfg.join.output = gpujoin::OutputMode::kMaterialize;
+          cfg.out_capacity = n;
+        }
+        const auto stats =
+            bench::MustPartitionedJoin(&device, r, s, cfg, oracle);
+        const std::string series =
+            std::string("GPU resident") + (materialize ? " - mat" : " - agg");
+        const double t = bench::Tput(n, n, stats.seconds);
+        ctx.Emit(series, replicas, t);
+        tput[{series, replicas}] = t;
+      }
+    }
+    // CPU-resident case (co-processing).
+    {
+      const size_t n = ctx.Scale(512 * bench::kM);
+      const auto r = data::MakeReplicated(n, replicas, 193);
+      const auto s = data::MakeReplicated(n, replicas, 194);
+      const auto oracle = data::JoinOracle(r, s);
+      for (bool materialize : {false, true}) {
+        outofgpu::CoProcessConfig cfg;
+        cfg.join = bench::ScaledJoinConfig(ctx);
+        cfg.chunk_tuples = std::max<size_t>(ctx.Scale(4 * bench::kM), 4096);
+        cfg.materialize_to_host = materialize;
+        auto stats = outofgpu::CoProcessJoin(&device, r, s, cfg);
+        stats.status().CheckOK();
+        if (stats->matches != oracle.matches) {
+          std::fprintf(stderr, "fig19: result mismatch\n");
+          return 1;
+        }
+        const std::string series =
+            std::string("CPU resident") + (materialize ? " - mat" : " - agg");
+        const double t = bench::Tput(n, n, stats->seconds);
+        ctx.Emit(series, replicas, t);
+        tput[{series, replicas}] = t;
+      }
+    }
+  }
+
+  ctx.Check("GPU-resident throughput declines gracefully with replicas",
+            tput.at({"GPU resident - agg", 4}) >
+                    0.35 * tput.at({"GPU resident - agg", 1}) &&
+                tput.at({"GPU resident - agg", 4}) <
+                    tput.at({"GPU resident - agg", 1}));
+  ctx.Check("out-of-GPU throughput stays transfer-bound under replicas",
+            tput.at({"CPU resident - agg", 4}) >
+                0.6 * tput.at({"CPU resident - agg", 1}));
+  ctx.Check("GPU-resident remains faster than CPU-resident",
+            tput.at({"GPU resident - agg", 4}) >
+                tput.at({"CPU resident - agg", 4}));
+  return ctx.Finish();
+}
+
+}  // namespace
+}  // namespace gjoin
+
+int main(int argc, char** argv) { return gjoin::Run(argc, argv); }

@@ -1,0 +1,75 @@
+// Figure 20: input size (256M-2048M) x identical skew (uniform / zipf
+// 0.25 / zipf 0.5) for the co-processing strategy, aggregation and
+// materialization. Up to zipf 0.5 there is no penalty vs uniform; for
+// the biggest materialized datasets the growing output volume starts to
+// bite.
+
+#include <map>
+
+#include "bench/common.h"
+#include "bench/runner.h"
+#include "data/generator.h"
+#include "data/oracle.h"
+#include "outofgpu/coprocess.h"
+
+namespace gjoin {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto ctx = bench::BenchContext::Create(
+      argc, argv, "fig20", "input size vs identical skew (co-processing)",
+      /*default_divisor=*/512);
+  sim::Device device(ctx.spec());
+
+  std::map<std::pair<std::string, uint64_t>, double> tput;
+  for (double zipf : {0.0, 0.25, 0.5}) {
+    const std::string zname =
+        zipf == 0.0 ? "Uniform" : "zipf " + std::to_string(zipf).substr(0, 4);
+    for (uint64_t nominal : {256 * bench::kM, 512 * bench::kM,
+                             1024 * bench::kM, 2048 * bench::kM}) {
+      const size_t n = ctx.Scale(nominal);
+      const auto r = data::MakeZipf(n, n, zipf, 201, 209);
+      const auto s = data::MakeZipf(n, n, zipf, 202, 209);
+      const auto oracle = data::JoinOracle(r, s);
+      const double x = static_cast<double>(nominal) / bench::kM;
+      for (bool materialize : {false, true}) {
+        outofgpu::CoProcessConfig cfg;
+        cfg.join = bench::ScaledJoinConfig(ctx);
+        cfg.chunk_tuples = std::max<size_t>(ctx.Scale(4 * bench::kM), 4096);
+        cfg.materialize_to_host = materialize;
+        auto stats = outofgpu::CoProcessJoin(&device, r, s, cfg);
+        stats.status().CheckOK();
+        if (stats->matches != oracle.matches) {
+          std::fprintf(stderr, "fig20: result mismatch\n");
+          return 1;
+        }
+        const std::string series = zname + (materialize ? " - mat" : " - agg");
+        const double t = bench::Tput(n, n, stats->seconds);
+        ctx.Emit(series, x, t);
+        tput[{series, nominal}] = t;
+      }
+    }
+  }
+
+  ctx.Check("no aggregation penalty up to zipf 0.5",
+            [&] {
+              for (uint64_t m : {256, 512, 1024, 2048}) {
+                const double u = tput.at({"Uniform - agg", m * bench::kM});
+                const double z = tput.at({"zipf 0.50 - agg", m * bench::kM});
+                if (z < 0.8 * u) return false;
+              }
+              return true;
+            }());
+  ctx.Check("uniform data unaffected by materialization",
+            tput.at({"Uniform - mat", 1024 * bench::kM}) >
+                0.75 * tput.at({"Uniform - agg", 1024 * bench::kM}));
+  ctx.Check("materialized skewed output costs more at larger datasets",
+            tput.at({"zipf 0.50 - mat", 2048 * bench::kM}) <=
+                tput.at({"zipf 0.50 - agg", 2048 * bench::kM}) * 1.0001);
+  return ctx.Finish();
+}
+
+}  // namespace
+}  // namespace gjoin
+
+int main(int argc, char** argv) { return gjoin::Run(argc, argv); }

@@ -1,0 +1,64 @@
+// Figure 21: alternative data-transfer mechanisms for an in-GPU-sized
+// join (32M x 32M): resident data vs UVA for progressively more of the
+// algorithm vs Unified Memory.
+
+#include <map>
+
+#include "bench/common.h"
+#include "bench/runner.h"
+#include "data/generator.h"
+#include "data/oracle.h"
+#include "outofgpu/transfer_mech.h"
+
+namespace gjoin {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto ctx = bench::BenchContext::Create(
+      argc, argv, "fig21", "UVA / Unified Memory vs explicit transfers",
+      /*default_divisor=*/64);
+  sim::Device device(ctx.spec());
+
+  const size_t n = ctx.Scale(32 * bench::kM);
+  const auto r = data::MakeUniqueUniform(n, 211);
+  const auto s = data::MakeUniformProbe(n, n, 212);
+  const auto oracle = data::JoinOracle(r, s);
+
+  std::map<outofgpu::TransferMechanism, double> tput;
+  for (auto mech : {outofgpu::TransferMechanism::kGpuResident,
+                    outofgpu::TransferMechanism::kUvaPartition,
+                    outofgpu::TransferMechanism::kUvaJoin,
+                    outofgpu::TransferMechanism::kUvaLoad,
+                    outofgpu::TransferMechanism::kUnifiedMemory}) {
+    outofgpu::MechanismJoinConfig cfg;
+    cfg.join = bench::ScaledJoinConfig(ctx);
+    cfg.mechanism = mech;
+    auto stats = outofgpu::MechanismJoin(&device, r, s, cfg);
+    stats.status().CheckOK();
+    if (stats->matches != oracle.matches) {
+      std::fprintf(stderr, "fig21: result mismatch\n");
+      return 1;
+    }
+    tput[mech] = bench::Tput(n, n, stats->seconds);
+    ctx.Emit(outofgpu::TransferMechanismName(mech), 0, tput[mech]);
+  }
+
+  using M = outofgpu::TransferMechanism;
+  ctx.Check("resident data is fastest", [&] {
+    for (auto [m, t] : tput) {
+      if (m != M::kGpuResident && t >= tput[M::kGpuResident]) return false;
+    }
+    return true;
+  }());
+  ctx.Check("each additional UVA stage costs throughput",
+            tput[M::kUvaLoad] > tput[M::kUvaPartition] &&
+                tput[M::kUvaPartition] > tput[M::kUvaJoin]);
+  ctx.Check("Unified Memory is no better than UVA loading",
+            tput[M::kUnifiedMemory] < tput[M::kUvaLoad]);
+  return ctx.Finish();
+}
+
+}  // namespace
+}  // namespace gjoin
+
+int main(int argc, char** argv) { return gjoin::Run(argc, argv); }

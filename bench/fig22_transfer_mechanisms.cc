@@ -1,0 +1,72 @@
+// Figure 22: data-transfer mechanisms for an out-of-GPU join (512M x
+// 512M): Unified Memory vs UVA (which decide placement and movement
+// themselves) vs our co-processing strategy (which manages both
+// explicitly).
+
+#include "bench/common.h"
+#include "bench/runner.h"
+#include "data/generator.h"
+#include "data/oracle.h"
+#include "outofgpu/coprocess.h"
+#include "outofgpu/transfer_mech.h"
+
+namespace gjoin {
+namespace {
+
+int Run(int argc, char** argv) {
+  auto ctx = bench::BenchContext::Create(
+      argc, argv, "fig22", "transfer mechanisms for out-of-GPU joins",
+      /*default_divisor=*/256);
+  sim::Device device(ctx.spec());
+
+  const size_t n = ctx.Scale(512 * bench::kM);
+  const auto r = data::MakeUniqueUniform(n, 221);
+  const auto s = data::MakeUniformProbe(n, n, 222);
+  const auto oracle = data::JoinOracle(r, s);
+
+  double um = 0, uva = 0, coproc = 0;
+  {
+    outofgpu::MechanismJoinConfig cfg;
+    cfg.join = bench::ScaledJoinConfig(ctx);
+    cfg.mechanism = outofgpu::TransferMechanism::kUnifiedMemory;
+    auto stats = outofgpu::MechanismJoin(&device, r, s, cfg);
+    stats.status().CheckOK();
+    um = bench::Tput(n, n, stats->seconds);
+    ctx.Emit("UM", 0, um);
+  }
+  {
+    outofgpu::MechanismJoinConfig cfg;
+    cfg.join = bench::ScaledJoinConfig(ctx);
+    cfg.mechanism = outofgpu::TransferMechanism::kUvaJoin;
+    auto stats = outofgpu::MechanismJoin(&device, r, s, cfg);
+    stats.status().CheckOK();
+    uva = bench::Tput(n, n, stats->seconds);
+    ctx.Emit("UVA", 0, uva);
+  }
+  {
+    outofgpu::CoProcessConfig cfg;
+    cfg.join = bench::ScaledJoinConfig(ctx);
+    cfg.chunk_tuples = std::max<size_t>(ctx.Scale(4 * bench::kM), 4096);
+    auto stats = outofgpu::CoProcessJoin(&device, r, s, cfg);
+    stats.status().CheckOK();
+    if (stats->matches != oracle.matches) {
+      std::fprintf(stderr, "fig22: result mismatch\n");
+      return 1;
+    }
+    coproc = bench::Tput(n, n, stats->seconds);
+    ctx.Emit("Co-processing", 0, coproc);
+  }
+
+  ctx.Check("co-processing dominates both managed mechanisms",
+            coproc > 2 * uva && coproc > 2 * um);
+  ctx.Check("UM is the worst mechanism for out-of-GPU joins (thrashing)",
+            um < uva);
+  ctx.Check("co-processing reaches ~1.2 Btps while UM/UVA stay far below",
+            coproc > 0.9e9 && uva < 0.6e9);
+  return ctx.Finish();
+}
+
+}  // namespace
+}  // namespace gjoin
+
+int main(int argc, char** argv) { return gjoin::Run(argc, argv); }

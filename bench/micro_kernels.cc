@@ -1,0 +1,122 @@
+// Google-benchmark micro-benchmarks of the simulator substrate itself:
+// wall-clock cost of functionally executing the core kernels and
+// generators. These measure the *reproduction's* speed (how fast the
+// functional simulation chews through tuples on the host), not modeled
+// GPU time — useful when deciding bench divisors or optimizing the
+// simulator.
+//
+//   ./micro_kernels [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/cpu_joins.h"
+#include "data/generator.h"
+#include "data/oracle.h"
+#include "gpujoin/nonpartitioned.h"
+#include "gpujoin/partitioned_join.h"
+
+namespace {
+
+using namespace gjoin;
+
+void BM_ZipfGeneration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto rel = data::MakeZipf(n, n, 0.75, seed++);
+    benchmark::DoNotOptimize(rel.keys.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ZipfGeneration)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RadixPartitionFunctional(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  const auto rel = data::MakeUniqueUniform(n, 2);
+  gpujoin::RadixPartitionConfig cfg;
+  cfg.pass_bits = {6, 5};
+  for (auto _ : state) {
+    auto dev = std::move(gpujoin::DeviceRelation::Upload(&device, rel))
+                   .ValueOrDie();
+    auto parted =
+        std::move(gpujoin::RadixPartition(&device, dev, cfg)).ValueOrDie();
+    benchmark::DoNotOptimize(parted.tuples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RadixPartitionFunctional)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_PartitionedJoinFunctional(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  const auto r = data::MakeUniqueUniform(n, 3);
+  const auto s = data::MakeUniformProbe(n, n, 4);
+  gpujoin::PartitionedJoinConfig cfg;
+  cfg.partition.pass_bits = {6, 5};
+  for (auto _ : state) {
+    auto stats =
+        std::move(gpujoin::PartitionedJoinFromHost(&device, r, s, cfg))
+            .ValueOrDie();
+    benchmark::DoNotOptimize(stats.matches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PartitionedJoinFunctional)->Arg(1 << 18)->Arg(1 << 20);
+
+void BM_NonPartitionedJoinFunctional(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  const auto r = data::MakeUniqueUniform(n, 5);
+  const auto s = data::MakeUniformProbe(n, n, 6);
+  for (auto _ : state) {
+    auto rd = std::move(gpujoin::DeviceRelation::Upload(&device, r))
+                  .ValueOrDie();
+    auto sd = std::move(gpujoin::DeviceRelation::Upload(&device, s))
+                  .ValueOrDie();
+    auto stats = std::move(gpujoin::NonPartitionedJoin(
+                               &device, rd, sd,
+                               gpujoin::NonPartitionedJoinConfig{}))
+                     .ValueOrDie();
+    benchmark::DoNotOptimize(stats.matches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NonPartitionedJoinFunctional)->Arg(1 << 18)->Arg(1 << 20);
+
+void BM_JoinOracle(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto r = data::MakeUniqueUniform(n, 7);
+  const auto s = data::MakeUniformProbe(n, n, 8);
+  for (auto _ : state) {
+    auto oracle = data::JoinOracle(r, s);
+    benchmark::DoNotOptimize(oracle.matches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_JoinOracle)->Arg(1 << 18);
+
+void BM_CpuProJoinFunctional(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto r = data::MakeUniqueUniform(n, 9);
+  const auto s = data::MakeUniformProbe(n, n, 10);
+  const hw::CpuCostModel model{hw::CpuSpec{}};
+  for (auto _ : state) {
+    auto stats =
+        std::move(cpu::ProJoin(r, s, cpu::CpuJoinConfig{}, model))
+            .ValueOrDie();
+    benchmark::DoNotOptimize(stats.matches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CpuProJoinFunctional)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+#include "bench/runner.h"
+
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gjoin::bench {
+
+namespace {
+
+void VerifyOrDie(const gpujoin::JoinStats& stats,
+                 const std::optional<data::OracleResult>& oracle,
+                 const char* what) {
+  if (!oracle.has_value()) return;
+  if (stats.matches != oracle->matches ||
+      stats.payload_sum != oracle->payload_sum) {
+    std::fprintf(stderr,
+                 "bench: %s result mismatch (matches %llu vs oracle %llu)\n",
+                 what, static_cast<unsigned long long>(stats.matches),
+                 static_cast<unsigned long long>(oracle->matches));
+    std::abort();
+  }
+}
+
+}  // namespace
+
+gpujoin::PartitionedJoinConfig ScaledJoinConfig(const BenchContext& ctx) {
+  gpujoin::PartitionedJoinConfig cfg;
+  // Fanout shrinks with the data so per-partition sizes — and with them
+  // the shared-memory structures, bucket geometry and atomic-operation
+  // granularity — stay at paper scale.
+  cfg.partition.pass_bits = ctx.ScalePassBits({8, 7});
+  return cfg;
+}
+
+gpujoin::JoinStats MustPartitionedJoin(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe, const gpujoin::PartitionedJoinConfig& config,
+    const std::optional<data::OracleResult>& oracle) {
+  auto stats = gpujoin::PartitionedJoinFromHost(device, build, probe, config);
+  stats.status().CheckOK();
+  VerifyOrDie(*stats, oracle, "partitioned join");
+  return std::move(stats).ValueOrDie();
+}
+
+gpujoin::JoinStats MustNonPartitionedJoin(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe,
+    const gpujoin::NonPartitionedJoinConfig& config,
+    const std::optional<data::OracleResult>& oracle) {
+  auto r_dev =
+      std::move(gpujoin::DeviceRelation::Upload(device, build)).ValueOrDie();
+  auto s_dev =
+      std::move(gpujoin::DeviceRelation::Upload(device, probe)).ValueOrDie();
+  auto stats = gpujoin::NonPartitionedJoin(device, r_dev, s_dev, config);
+  stats.status().CheckOK();
+  VerifyOrDie(*stats, oracle, "non-partitioned join");
+  return std::move(stats).ValueOrDie();
+}
+
+}  // namespace gjoin::bench

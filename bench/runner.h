@@ -1,0 +1,46 @@
+// Thin wrappers used by the figure benches: upload + run + verify a join
+// engine, aborting on configuration errors (a bench with a broken config
+// must fail loudly, not emit numbers).
+
+#ifndef GJOIN_BENCH_RUNNER_H_
+#define GJOIN_BENCH_RUNNER_H_
+
+#include <optional>
+
+#include "data/oracle.h"
+#include "data/relation.h"
+#include "gpujoin/nonpartitioned.h"
+#include "gpujoin/partitioned_join.h"
+#include "sim/device.h"
+
+namespace gjoin::bench {
+
+class BenchContext;
+
+/// Throughput in tuples/second over both inputs (the paper's metric).
+inline double Tput(uint64_t build, uint64_t probe, double seconds) {
+  return static_cast<double>(build + probe) / seconds;
+}
+
+/// Uploads both relations and runs the in-GPU partitioned join; verifies
+/// the result against `oracle` when provided. Aborts on any error.
+gpujoin::JoinStats MustPartitionedJoin(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe, const gpujoin::PartitionedJoinConfig& config,
+    const std::optional<data::OracleResult>& oracle = std::nullopt);
+
+/// The paper's default join configuration (nominally 2 passes to 2^15
+/// partitions, 4096-element / 2048-slot blocks) with the fanout scaled
+/// by the bench divisor so per-partition sizes stay at paper values.
+gpujoin::PartitionedJoinConfig ScaledJoinConfig(const BenchContext& ctx);
+
+/// Same for the non-partitioned baselines.
+gpujoin::JoinStats MustNonPartitionedJoin(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe,
+    const gpujoin::NonPartitionedJoinConfig& config,
+    const std::optional<data::OracleResult>& oracle = std::nullopt);
+
+}  // namespace gjoin::bench
+
+#endif  // GJOIN_BENCH_RUNNER_H_

@@ -1,0 +1,92 @@
+// gjoin — the public API of the library.
+//
+// One call, gjoin::Join, joins two host-resident relations using the
+// hardware-conscious GPU join family of the paper, selecting the
+// execution strategy by data placement exactly as Sections III/IV
+// prescribe:
+//
+//   kInGpu          — both relations (plus partitioning structures) fit
+//                     in device memory: transfer once, run the in-GPU
+//                     partitioned radix join.
+//   kStreamingProbe — only the build side fits: partition it on the GPU
+//                     and stream the probe side through double-buffered
+//                     async transfers (Section IV-A).
+//   kCoProcessing   — neither side fits: CPU pre-partitioning + working
+//                     sets + pipelined transfers and joins (IV-B).
+//
+// Quickstart:
+//
+//   sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+//   auto r = data::MakeUniqueUniform(64 << 20, /*seed=*/1);
+//   auto s = data::MakeUniformProbe(256 << 20, 64 << 20, /*seed=*/2);
+//   auto out = gjoin::Join(&device, r, s, gjoin::JoinConfig());
+//   // out->stats.matches, out->stats.Throughput(...), out->strategy
+
+#ifndef GJOIN_API_GJOIN_H_
+#define GJOIN_API_GJOIN_H_
+
+#include <string>
+
+#include "data/relation.h"
+#include "gpujoin/partitioned_join.h"
+#include "outofgpu/coprocess.h"
+#include "outofgpu/streaming_probe.h"
+#include "sim/device.h"
+#include "util/status.h"
+
+namespace gjoin::api {
+
+/// \brief Execution strategies (Sections III and IV).
+enum class Strategy {
+  kAuto,            ///< Choose from data sizes vs device memory.
+  kInGpu,           ///< Section III: fully GPU-resident.
+  kStreamingProbe,  ///< Section IV-A: build resident, probe streamed.
+  kCoProcessing,    ///< Section IV-B: CPU-GPU co-processing.
+};
+
+/// Human-readable strategy name.
+const char* StrategyName(Strategy strategy);
+
+/// \brief Top-level join configuration.
+struct JoinConfig {
+  Strategy strategy = Strategy::kAuto;
+
+  /// Materialize result pairs (to host memory for the out-of-GPU
+  /// strategies); false computes an aggregate over the payloads.
+  bool materialize = false;
+
+  /// CPU threads for the co-processing partitioning phase.
+  int cpu_threads = 16;
+
+  /// GPU partitioning layout (paper default: 2 passes to 2^15).
+  std::vector<int> pass_bits = {8, 7};
+
+  /// Probe algorithm for joining co-partitions.
+  gjoin::gpujoin::ProbeAlgorithm probe_algorithm =
+      gjoin::gpujoin::ProbeAlgorithm::kSharedHash;
+};
+
+/// \brief Join outcome: verified result stats plus the chosen strategy.
+struct JoinOutcome {
+  gjoin::gpujoin::JoinStats stats;
+  Strategy strategy = Strategy::kInGpu;
+};
+
+/// Picks the strategy kAuto would use for the given input sizes on the
+/// given device (exposed for planning, EXPLAIN output and tests).
+Strategy ChooseStrategy(const sim::Device& device, uint64_t build_bytes,
+                        uint64_t probe_bytes);
+
+/// Describes, in one line, what ChooseStrategy decided and why.
+std::string Explain(const sim::Device& device, uint64_t build_bytes,
+                    uint64_t probe_bytes);
+
+/// Joins `build` and `probe` (host-resident) on the simulated device.
+util::Result<JoinOutcome> Join(sim::Device* device,
+                               const data::Relation& build,
+                               const data::Relation& probe,
+                               const JoinConfig& config);
+
+}  // namespace gjoin::api
+
+#endif  // GJOIN_API_GJOIN_H_

@@ -1,0 +1,60 @@
+// Host-side radix partitioning for the co-processing strategy
+// (Section IV-B).
+//
+// "Each of the two inputs is split into chunks and each chunk is
+//  assigned to a local-to-data thread which partitions it and produces a
+//  list of buckets per partition. After an input relation is consumed,
+//  the lists from different threads corresponding to the same partition
+//  are concatenated."
+//
+// The functional implementation performs exactly that (chunk -> per-
+// chunk partition lists -> concatenation); timing comes from
+// hw::CpuCostModel::PartitionOutputGbps (software-managed buffers with
+// non-temporal stores), optionally derated by NUMA arbitration.
+
+#ifndef GJOIN_CPU_CPU_PARTITION_H_
+#define GJOIN_CPU_CPU_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/relation.h"
+#include "hw/cpu_cost.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace gjoin::cpu {
+
+/// \brief A host relation split into radix partitions.
+struct HostPartitions {
+  std::vector<data::Relation> parts;  ///< One relation per partition.
+  int radix_bits = 0;
+  uint64_t tuples = 0;
+  double seconds = 0;  ///< Modeled partitioning time for the whole input.
+
+  /// Bytes of partition p's join columns.
+  uint64_t PartitionBytes(uint32_t p) const { return parts[p].bytes(); }
+};
+
+/// \brief Configuration for the host partitioner.
+struct CpuPartitionConfig {
+  int radix_bits = 4;   ///< Paper: "a 16-way partitioning on the CPU".
+  int threads = 16;     ///< Paper: 16 partitioning threads.
+  size_t chunk_tuples = 1 << 20;  ///< Chunk granularity for threads.
+};
+
+/// Partitions `rel` on the low `radix_bits` key bits.
+util::Result<HostPartitions> CpuRadixPartition(const data::Relation& rel,
+                                               const CpuPartitionConfig& config,
+                                               const hw::CpuCostModel& model,
+                                               util::ThreadPool* pool = nullptr);
+
+/// Modeled seconds for the partitioner to *produce* `bytes` of output at
+/// the configured thread count (used by the pipeline scheduler for
+/// per-chunk stages).
+double CpuPartitionSeconds(uint64_t bytes, int threads,
+                           const hw::CpuCostModel& model);
+
+}  // namespace gjoin::cpu
+
+#endif  // GJOIN_CPU_CPU_PARTITION_H_

@@ -1,0 +1,64 @@
+#include "data/generator.h"
+
+#include "util/rng.h"
+
+namespace gjoin::data {
+
+Relation MakeUniqueUniform(size_t n, uint64_t seed) {
+  Relation rel;
+  rel.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rel.Append(static_cast<uint32_t>(i + 1), static_cast<uint32_t>(i));
+  }
+  util::Rng rng(seed);
+  // Shuffle keys only; payload i remains the row id of position i.
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = rng.Uniform(i);
+    std::swap(rel.keys[i - 1], rel.keys[j]);
+  }
+  return rel;
+}
+
+Relation MakeUniformProbe(size_t n, size_t distinct, uint64_t seed) {
+  Relation rel;
+  rel.Reserve(n);
+  util::Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.Uniform(distinct) + 1);
+    rel.Append(key, static_cast<uint32_t>(i));
+  }
+  return rel;
+}
+
+Relation MakeZipf(size_t n, size_t distinct, double skew, uint64_t seed,
+                  uint64_t perm_seed) {
+  Relation rel;
+  rel.Reserve(n);
+  util::ZipfGenerator zipf(distinct, skew, seed);
+  // Map ranks to keys through a mixing permutation so that the popular
+  // values are spread over the key domain (and thus over partitions) the
+  // way hashing real skewed data would — otherwise all heavy hitters
+  // would collide into partition 0. A shared perm_seed aligns the
+  // popular values of two relations (identical skew).
+  if (perm_seed == 0) perm_seed = seed ^ 0xabcdef12345ULL;
+  util::Rng rng(perm_seed);
+  std::vector<uint32_t> rank_to_key(distinct);
+  for (size_t i = 0; i < distinct; ++i) {
+    rank_to_key[i] = static_cast<uint32_t>(i + 1);
+  }
+  util::Shuffle(&rank_to_key, &rng);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t rank = zipf.Next() - 1;
+    rel.Append(rank_to_key[rank], static_cast<uint32_t>(i));
+  }
+  return rel;
+}
+
+Relation MakeReplicated(size_t n, double avg_replicas, uint64_t seed) {
+  if (avg_replicas < 1.0) avg_replicas = 1.0;
+  const size_t distinct =
+      static_cast<size_t>(static_cast<double>(n) / avg_replicas);
+  return MakeUniformProbe(n, distinct == 0 ? 1 : distinct, seed);
+}
+
+}  // namespace gjoin::data

@@ -1,0 +1,47 @@
+// Workload generators for the paper's evaluation (Section V).
+//
+// All generators are deterministic in their seed. Key spaces start at 1
+// (key 0 is reserved as the empty slot marker of the perfect-hash
+// baseline).
+
+#ifndef GJOIN_DATA_GENERATOR_H_
+#define GJOIN_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/relation.h"
+
+namespace gjoin::data {
+
+/// Unique uniform keys: a random permutation of [1, n]. This is the
+/// paper's default build-side workload — unique keys over a contiguous
+/// range (which is what makes the perfect-hash baseline of Fig. 8
+/// applicable).
+Relation MakeUniqueUniform(size_t n, uint64_t seed);
+
+/// Probe side that hits the same distinct value set [1, distinct] with
+/// `n` tuples drawn uniformly. Used for the 1:2 / 1:4 build-to-probe
+/// ratios, where "for each build-side table size, we keep the same set of
+/// distinct values in the probe-side" (Fig. 8).
+Relation MakeUniformProbe(size_t n, size_t distinct, uint64_t seed);
+
+/// Zipf-distributed foreign keys over [1, distinct] with skew `s`
+/// (s = 0 is uniform). Drives Figures 17, 18 and 20.
+///
+/// Ranks are mapped to keys through a permutation derived from
+/// `perm_seed`, spreading heavy hitters over the key domain (and thus
+/// over radix partitions). Two relations generated with the same
+/// perm_seed but different `seed`s are "identically skewed with the same
+/// popular values" — the paper's worst case; different perm_seeds give
+/// independently skewed relations. perm_seed = 0 derives it from `seed`.
+Relation MakeZipf(size_t n, size_t distinct, double skew, uint64_t seed,
+                  uint64_t perm_seed = 0);
+
+/// Uniform distribution with duplicates: n tuples over n / avg_replicas
+/// distinct values, so every key appears `avg_replicas` times on average
+/// (Fig. 19).
+Relation MakeReplicated(size_t n, double avg_replicas, uint64_t seed);
+
+}  // namespace gjoin::data
+
+#endif  // GJOIN_DATA_GENERATOR_H_

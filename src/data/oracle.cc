@@ -1,0 +1,34 @@
+#include "data/oracle.h"
+
+#include <unordered_map>
+
+namespace gjoin::data {
+
+OracleResult JoinOracle(const Relation& build, const Relation& probe) {
+  // Aggregate build payloads per key: (count, payload sum) suffices to
+  // fold all matches for a probe tuple without materializing pairs.
+  struct PerKey {
+    uint64_t count = 0;
+    uint64_t payload_sum = 0;
+  };
+  std::unordered_map<uint32_t, PerKey> table;
+  table.reserve(build.size());
+  for (size_t i = 0; i < build.size(); ++i) {
+    PerKey& entry = table[build.keys[i]];
+    entry.count += 1;
+    entry.payload_sum += build.payloads[i];
+  }
+
+  OracleResult result;
+  for (size_t i = 0; i < probe.size(); ++i) {
+    auto it = table.find(probe.keys[i]);
+    if (it == table.end()) continue;
+    result.matches += it->second.count;
+    result.payload_sum +=
+        it->second.payload_sum +
+        it->second.count * static_cast<uint64_t>(probe.payloads[i]);
+  }
+  return result;
+}
+
+}  // namespace gjoin::data

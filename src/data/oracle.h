@@ -1,0 +1,33 @@
+// Reference join implementation used to verify every engine in the
+// repository.
+//
+// The oracle computes, with a straightforward hash map, the two
+// quantities all engines report: the number of matching (r, s) pairs and
+// a checksum aggregate over the matched payloads. Benchmarks verify
+// engine output against the oracle before reporting modeled throughput,
+// so a broken kernel can never produce a "result".
+
+#ifndef GJOIN_DATA_ORACLE_H_
+#define GJOIN_DATA_ORACLE_H_
+
+#include <cstdint>
+
+#include "data/relation.h"
+
+namespace gjoin::data {
+
+/// \brief Ground-truth join outcome.
+struct OracleResult {
+  uint64_t matches = 0;       ///< |R join S| (number of result pairs).
+  uint64_t payload_sum = 0;   ///< sum over matches of (r.payload +
+                              ///< s.payload), mod 2^64 — an order-
+                              ///< independent checksum.
+};
+
+/// Computes the ground truth for an equi-join of `build` and `probe` on
+/// their key columns.
+OracleResult JoinOracle(const Relation& build, const Relation& probe);
+
+}  // namespace gjoin::data
+
+#endif  // GJOIN_DATA_ORACLE_H_

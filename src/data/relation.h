@@ -1,0 +1,62 @@
+// Columnar relation representation shared by every join implementation.
+//
+// The paper's workload (Section V-A) mimics the standard CPU-join
+// evaluation setup [3-5]: narrow tables of <4-byte key, 4-byte payload>
+// stored column-wise. The payload column carries row identifiers; the
+// payload *width* experiments (Figs. 9/10) model wider, late-materialized
+// attributes via `logical_payload_bytes`, which the cost models consume
+// while the physical representation keeps 4-byte row ids (exactly how
+// late materialization works: the join moves ids, the gather moves
+// attribute bytes).
+
+#ifndef GJOIN_DATA_RELATION_H_
+#define GJOIN_DATA_RELATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gjoin::data {
+
+/// \brief A narrow columnar table: keys plus row-id payloads.
+struct Relation {
+  std::vector<uint32_t> keys;
+  std::vector<uint32_t> payloads;
+
+  /// Width of the logical payload carried per tuple (>= 4). Values above
+  /// 4 model late-materialized attribute gathers (Figs. 9/10).
+  int logical_payload_bytes = 4;
+
+  /// Host NUMA socket where the columns reside (0 = near the GPU).
+  int numa_socket = 0;
+
+  /// Number of tuples.
+  size_t size() const { return keys.size(); }
+  /// True iff the relation has no tuples.
+  bool empty() const { return keys.empty(); }
+
+  /// Physical bytes per tuple as stored and moved by the join (4-byte key
+  /// + 4-byte row id).
+  static constexpr int kTupleBytes = 8;
+
+  /// Total physical bytes of the relation.
+  uint64_t bytes() const {
+    return static_cast<uint64_t>(size()) * kTupleBytes;
+  }
+
+  /// Reserves storage for `n` tuples.
+  void Reserve(size_t n) {
+    keys.reserve(n);
+    payloads.reserve(n);
+  }
+
+  /// Appends one tuple.
+  void Append(uint32_t key, uint32_t payload) {
+    keys.push_back(key);
+    payloads.push_back(payload);
+  }
+};
+
+}  // namespace gjoin::data
+
+#endif  // GJOIN_DATA_RELATION_H_

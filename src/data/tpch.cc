@@ -1,0 +1,48 @@
+#include "data/tpch.h"
+
+#include "util/rng.h"
+
+namespace gjoin::data {
+
+TpchWorkload MakeTpch(double scale_factor, uint64_t seed) {
+  TpchWorkload w;
+  const size_t n_customer =
+      static_cast<size_t>(150000.0 * scale_factor);
+  const size_t n_orders = static_cast<size_t>(1500000.0 * scale_factor);
+
+  util::Rng rng(seed);
+
+  w.customer.Reserve(n_customer);
+  for (size_t i = 0; i < n_customer; ++i) {
+    w.customer.Append(static_cast<uint32_t>(i + 1), static_cast<uint32_t>(i));
+  }
+
+  // orders: unique but *sparse* orderkeys, as in TPC-H proper (only one
+  // key in every group of four is used, so max(orderkey) = 4x|orders|).
+  // The sparse domain is what trips DBMS-X's internal integer limits at
+  // scale factor 100 (Fig. 14's reported error).
+  w.orders.Reserve(n_orders);
+  std::vector<uint32_t> order_custkey(n_orders);
+  for (size_t i = 0; i < n_orders; ++i) {
+    w.orders.Append(static_cast<uint32_t>(4 * i + 1),
+                    static_cast<uint32_t>(i));
+    order_custkey[i] = static_cast<uint32_t>(rng.Uniform(n_customer) + 1);
+  }
+
+  // lineitem: 1-7 lines per order (TPC-H's distribution averages ~4).
+  const size_t estimated = n_orders * 4;
+  w.lineitem_orderkey.Reserve(estimated);
+  w.lineitem_custkey.Reserve(estimated);
+  uint32_t row = 0;
+  for (size_t o = 0; o < n_orders; ++o) {
+    const uint64_t lines = rng.Uniform(7) + 1;
+    for (uint64_t l = 0; l < lines; ++l) {
+      w.lineitem_orderkey.Append(static_cast<uint32_t>(4 * o + 1), row);
+      w.lineitem_custkey.Append(order_custkey[o], row);
+      ++row;
+    }
+  }
+  return w;
+}
+
+}  // namespace gjoin::data

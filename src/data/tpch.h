@@ -1,0 +1,39 @@
+// Synthetic TPC-H-shaped join workload (Figure 14).
+//
+// The paper joins the lineitem table with customer and with orders at
+// scale factors 10 and 100. Only the join-relevant columns matter for
+// those experiments, so this generator produces key/FK columns with
+// TPC-H's cardinalities and FK fan-outs:
+//   customer:  150,000 x SF tuples, unique custkey
+//   orders:  1,500,000 x SF tuples, unique orderkey, custkey FK
+//   lineitem: ~6,000,000 x SF tuples, orderkey FK (1-7 lines per order),
+//             plus a denormalized custkey column (its order's customer)
+//             for the lineitem-customer join.
+// This substitutes for dbgen-produced data; the substitution is recorded
+// in DESIGN.md §1.
+
+#ifndef GJOIN_DATA_TPCH_H_
+#define GJOIN_DATA_TPCH_H_
+
+#include <cstdint>
+
+#include "data/relation.h"
+
+namespace gjoin::data {
+
+/// \brief The TPC-H-shaped tables used by Figure 14.
+struct TpchWorkload {
+  Relation customer;           ///< keys = custkey.
+  Relation orders;             ///< keys = orderkey.
+  Relation lineitem_orderkey;  ///< lineitem with keys = orderkey FK.
+  Relation lineitem_custkey;   ///< lineitem with keys = custkey FK.
+};
+
+/// Generates the workload at `scale_factor` (10 and 100 in the paper).
+/// Lineitem row counts are randomized per order (1-7) around TPC-H's
+/// average of ~4 lines per order.
+TpchWorkload MakeTpch(double scale_factor, uint64_t seed);
+
+}  // namespace gjoin::data
+
+#endif  // GJOIN_DATA_TPCH_H_

@@ -1,0 +1,77 @@
+#include "gpujoin/bucket_chains.h"
+
+namespace gjoin::gpujoin {
+
+util::Result<BucketChains> BucketChains::Allocate(
+    sim::DeviceMemory* memory, uint32_t num_partitions,
+    std::shared_ptr<BucketPool> pool) {
+  if (num_partitions == 0) {
+    return util::Status::Invalid("BucketChains: zero partitions");
+  }
+  if (pool == nullptr) {
+    return util::Status::Invalid("BucketChains: null pool");
+  }
+  BucketChains chains;
+  chains.num_partitions_ = num_partitions;
+  chains.pool_ = std::move(pool);
+  GJOIN_ASSIGN_OR_RETURN(chains.heads_,
+                         memory->Allocate<int32_t>(num_partitions));
+  for (uint32_t p = 0; p < num_partitions; ++p) chains.heads_[p] = kNull;
+  chains.publish_mu_ = std::make_unique<std::mutex>();
+  return chains;
+}
+
+util::Result<BucketChains> BucketChains::Allocate(sim::DeviceMemory* memory,
+                                                  uint32_t num_partitions,
+                                                  uint32_t num_buckets,
+                                                  uint32_t bucket_capacity) {
+  GJOIN_ASSIGN_OR_RETURN(std::shared_ptr<BucketPool> pool,
+                         BucketPool::Allocate(memory, num_buckets,
+                                              bucket_capacity));
+  return Allocate(memory, num_partitions, std::move(pool));
+}
+
+void BucketChains::PublishSegment(uint32_t partition, int32_t first,
+                                  int32_t last) {
+  std::lock_guard<std::mutex> lock(*publish_mu_);
+  const int32_t old_head = heads_[partition];
+  heads_[partition] = first;
+  pool_->next()[last] = old_head;
+}
+
+std::vector<int32_t> BucketChains::PartitionBuckets(uint32_t partition) const {
+  std::vector<int32_t> buckets;
+  for (int32_t b = heads_[partition]; b != kNull; b = pool_->next()[b]) {
+    buckets.push_back(b);
+  }
+  return buckets;
+}
+
+uint64_t BucketChains::PartitionSize(uint32_t partition) const {
+  uint64_t total = 0;
+  for (int32_t b = heads_[partition]; b != kNull; b = pool_->next()[b]) {
+    total += pool_->fill()[b];
+  }
+  return total;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> BucketChains::GatherPartition(
+    uint32_t partition) const {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  const uint32_t cap = pool_->bucket_capacity();
+  for (int32_t b = heads_[partition]; b != kNull; b = pool_->next()[b]) {
+    const size_t base = static_cast<size_t>(b) * cap;
+    for (uint32_t i = 0; i < pool_->fill()[b]; ++i) {
+      out.emplace_back(pool_->keys()[base + i], pool_->payloads()[base + i]);
+    }
+  }
+  return out;
+}
+
+uint64_t BucketChains::TotalElements() const {
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < num_partitions_; ++p) total += PartitionSize(p);
+  return total;
+}
+
+}  // namespace gjoin::gpujoin

@@ -1,0 +1,50 @@
+#include "gpujoin/bucket_pool.h"
+
+namespace gjoin::gpujoin {
+
+util::Result<std::shared_ptr<BucketPool>> BucketPool::Allocate(
+    sim::DeviceMemory* memory, uint32_t num_buckets,
+    uint32_t bucket_capacity) {
+  if (num_buckets == 0 || bucket_capacity == 0) {
+    return util::Status::Invalid("BucketPool: zero-sized geometry");
+  }
+  auto pool = std::shared_ptr<BucketPool>(new BucketPool());
+  pool->num_buckets_ = num_buckets;
+  pool->bucket_capacity_ = bucket_capacity;
+  const size_t slots =
+      static_cast<size_t>(num_buckets) * static_cast<size_t>(bucket_capacity);
+  GJOIN_ASSIGN_OR_RETURN(pool->keys_, memory->Allocate<uint32_t>(slots));
+  GJOIN_ASSIGN_OR_RETURN(pool->payloads_, memory->Allocate<uint32_t>(slots));
+  GJOIN_ASSIGN_OR_RETURN(pool->next_, memory->Allocate<int32_t>(num_buckets));
+  GJOIN_ASSIGN_OR_RETURN(pool->fill_, memory->Allocate<uint32_t>(num_buckets));
+  pool->free_list_.reserve(num_buckets);
+  // LIFO free list; popping from the back reuses recently-freed (hot)
+  // buckets first.
+  for (uint32_t b = 0; b < num_buckets; ++b) {
+    pool->next_[b] = kNull;
+    pool->free_list_.push_back(static_cast<int32_t>(num_buckets - 1 - b));
+  }
+  return pool;
+}
+
+int32_t BucketPool::AllocateBucket() {
+  std::lock_guard<std::mutex> lock(free_mu_);
+  if (free_list_.empty()) return kNull;
+  const int32_t b = free_list_.back();
+  free_list_.pop_back();
+  fill_[b] = 0;
+  next_[b] = kNull;
+  return b;
+}
+
+void BucketPool::FreeBucket(int32_t bucket) {
+  std::lock_guard<std::mutex> lock(free_mu_);
+  free_list_.push_back(bucket);
+}
+
+uint32_t BucketPool::free_buckets() const {
+  std::lock_guard<std::mutex> lock(free_mu_);
+  return static_cast<uint32_t>(free_list_.size());
+}
+
+}  // namespace gjoin::gpujoin

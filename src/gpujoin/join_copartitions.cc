@@ -1,0 +1,474 @@
+#include "gpujoin/join_copartitions.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "sim/warp.h"
+#include "util/bits.h"
+
+namespace gjoin::gpujoin {
+
+namespace {
+
+using util::CeilDiv;
+
+/// Empty-slot sentinel of the 16-bit-offset hash table ("the limited size
+/// of shared memory allows us to trim the offsets to 16 bits").
+constexpr uint16_t kEmpty16 = 0xFFFF;
+
+/// One unit of probe work: R partition `p` joined against S buckets
+/// [s_from, s_from + s_count) of the flattened per-partition bucket list.
+struct WorkItem {
+  uint32_t p;
+  uint32_t s_from;
+  uint32_t s_count;
+};
+
+/// Per-block shared-memory layout for the join kernels.
+struct JoinSharedArea {
+  uint32_t* rkeys = nullptr;
+  uint32_t* rpays = nullptr;
+  uint16_t* heads = nullptr;     // hash variants only
+  uint16_t* next = nullptr;      // hash variants only
+  uint64_t* out_stage = nullptr;  // materialization only
+  uint32_t out_fill = 0;
+
+  bool Alloc(sim::Block* block, const CoPartitionJoinConfig& cfg,
+             bool need_table, bool need_out) {
+    auto& shared = block->shared();
+    rkeys = shared.Alloc<uint32_t>(cfg.shared_elems);
+    rpays = shared.Alloc<uint32_t>(cfg.shared_elems);
+    if (rkeys == nullptr || rpays == nullptr) return false;
+    if (need_table) {
+      heads = shared.Alloc<uint16_t>(cfg.hash_slots);
+      next = shared.Alloc<uint16_t>(cfg.shared_elems);
+      if (heads == nullptr || next == nullptr) return false;
+    }
+    if (need_out) {
+      out_stage = shared.Alloc<uint64_t>(cfg.out_stage_pairs);
+      if (out_stage == nullptr) return false;
+    }
+    return true;
+  }
+};
+
+/// Accumulates a block's results and flushes them to the global counters
+/// (and the output ring when materializing).
+struct BlockJoinState {
+  uint64_t matches = 0;
+  uint64_t checksum = 0;
+
+  void Match(sim::Block* block, const CoPartitionJoinConfig& cfg,
+             JoinSharedArea* area, OutputRing* ring, uint32_t rpay,
+             uint32_t spay) {
+    ++matches;
+    checksum += static_cast<uint64_t>(rpay) + spay;
+    if (cfg.output == OutputMode::kMaterialize) {
+      if (!cfg.buffered_output) {
+        // Ablation: direct per-thread write — one global-offset atomic
+        // and one uncoalesced transaction per result pair.
+        ring->Write(ring->Claim(1), rpay, spay);
+        block->ChargeDeviceAtomic(1);
+        block->ChargeRandomAccess(1, 8ull * ring->capacity());
+        return;
+      }
+      // Warp-buffered write: claim a slot in the shared buffer.
+      area->out_stage[area->out_fill++] =
+          (static_cast<uint64_t>(rpay) << 32) | spay;
+      block->ChargeShared(8);
+      block->ChargeSharedAtomic(1);
+      if (area->out_fill == cfg.out_stage_pairs) {
+        FlushOut(block, area, ring);
+      }
+    }
+  }
+
+  void FlushOut(sim::Block* block, JoinSharedArea* area, OutputRing* ring) {
+    if (area->out_fill == 0) return;
+    const uint64_t base = ring->Claim(area->out_fill);
+    block->ChargeDeviceAtomic(1);  // global offset
+    for (uint32_t i = 0; i < area->out_fill; ++i) {
+      const uint64_t pair = area->out_stage[i];
+      ring->Write(base + i, static_cast<uint32_t>(pair >> 32),
+                  static_cast<uint32_t>(pair));
+    }
+    block->ChargeShared(8ull * area->out_fill);
+    block->ChargeCoalescedWrite(8ull * area->out_fill);
+    area->out_fill = 0;
+  }
+};
+
+/// Charges the late-materialization attribute gathers for `matches`
+/// matches (Figs. 9/10): inside the partitioned join both sides were
+/// reordered, so wide-payload gathers are uncoalesced.
+void ChargeGathers(sim::Block* block, const CoPartitionJoinConfig& cfg,
+                   uint64_t matches, uint64_t build_tuples,
+                   uint64_t probe_tuples) {
+  if (matches == 0) return;
+  // Late-materialized attributes live in separate columns; a gather from
+  // partition-reordered tuples touches each 32B column chunk with its own
+  // transaction and has no row-buffer locality (factor 2).
+  if (cfg.build_extra_payload_bytes > 0) {
+    const uint64_t tx = 2 * CeilDiv(cfg.build_extra_payload_bytes, 32);
+    block->ChargeRandomAccess(
+        matches * tx,
+        build_tuples * static_cast<uint64_t>(cfg.build_extra_payload_bytes));
+  }
+  if (cfg.probe_extra_payload_bytes > 0) {
+    const uint64_t tx = 2 * CeilDiv(cfg.probe_extra_payload_bytes, 32);
+    block->ChargeRandomAccess(
+        matches * tx,
+        probe_tuples * static_cast<uint64_t>(cfg.probe_extra_payload_bytes));
+  }
+}
+
+}  // namespace
+
+util::Result<CoPartitionJoinResult> JoinCoPartitions(
+    sim::Device* device, const PartitionedRelation& build,
+    const PartitionedRelation& probe, const CoPartitionJoinConfig& config,
+    OutputRing* out) {
+  if (build.radix_bits != probe.radix_bits ||
+      build.base_shift != probe.base_shift) {
+    return util::Status::Invalid("co-partition join: radix layout mismatch");
+  }
+  if (!util::IsPowerOfTwo(config.hash_slots)) {
+    return util::Status::Invalid("hash_slots must be a power of two");
+  }
+  if (config.shared_elems >= kEmpty16) {
+    return util::Status::Invalid(
+        "shared_elems must fit 16-bit offsets (< 65535)");
+  }
+  if (config.output == OutputMode::kMaterialize && out == nullptr) {
+    return util::Status::Invalid("materialization requires an OutputRing");
+  }
+  const bool need_table = config.algo != ProbeAlgorithm::kNestedLoop;
+  const bool need_out = config.output == OutputMode::kMaterialize;
+  {
+    // Validate the shared-memory budget up front (launch-time failure on
+    // real hardware).
+    size_t bytes = 8ull * config.shared_elems + 4 * 16;
+    if (need_table && config.algo == ProbeAlgorithm::kSharedHash) {
+      bytes += 2ull * config.hash_slots + 2ull * config.shared_elems;
+    }
+    if (need_out) bytes += 8ull * config.out_stage_pairs;
+    if (bytes > device->spec().gpu.shared_mem_per_block) {
+      return util::Status::Invalid(
+          "join config needs " + std::to_string(bytes) +
+          "B shared memory, exceeding the per-block limit");
+    }
+  }
+
+  const uint32_t num_partitions = build.chains.num_partitions();
+  const int radix_bits = build.radix_bits;
+  const int base_shift = build.base_shift;
+  const int key_bits = config.key_bits > 0 ? config.key_bits : 32;
+
+  // Host-side work-list construction (mirrors the driver-side setup a
+  // CUDA implementation performs between kernels): flatten each
+  // partition's S chain and slice long chains for load balance.
+  std::vector<int32_t> s_buckets_flat;
+  std::vector<WorkItem> items;
+  std::vector<uint64_t> r_sizes(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    r_sizes[p] = build.chains.PartitionSize(p);
+    const uint32_t begin = static_cast<uint32_t>(s_buckets_flat.size());
+    for (int32_t b = probe.chains.heads()[p]; b != BucketChains::kNull;
+         b = probe.chains.next()[b]) {
+      s_buckets_flat.push_back(b);
+    }
+    const uint32_t count = static_cast<uint32_t>(s_buckets_flat.size()) - begin;
+    if (count == 0 || r_sizes[p] == 0) continue;
+    for (uint32_t from = 0; from < count;
+         from += config.max_probe_buckets_per_item) {
+      items.push_back(
+          {p, begin + from,
+           std::min(config.max_probe_buckets_per_item, count - from)});
+    }
+  }
+
+  const int num_blocks =
+      config.num_blocks != 0
+          ? config.num_blocks
+          : device->spec().gpu.num_sms * device->spec().gpu.blocks_per_sm;
+
+  std::atomic<uint64_t> g_matches{0};
+  std::atomic<uint64_t> g_checksum{0};
+
+  const uint32_t r_cap = build.chains.bucket_capacity();
+  const uint32_t s_cap = probe.chains.bucket_capacity();
+
+  sim::LaunchConfig launch;
+  launch.name = need_table ? "join_copartitions_hash" : "join_copartitions_nl";
+  launch.num_blocks = num_blocks;
+  launch.threads_per_block = config.threads_per_block;
+  launch.shared_mem_bytes = device->spec().gpu.shared_mem_per_block;
+
+  GJOIN_ASSIGN_OR_RETURN(
+      sim::LaunchResult result,
+      device->Launch(launch, [&](sim::Block& block) {
+        JoinSharedArea area;
+        const bool shared_table = config.algo == ProbeAlgorithm::kSharedHash;
+        if (!area.Alloc(&block, config, shared_table, need_out)) return;
+        BlockJoinState state;
+
+        // Device-memory table scratch (kDeviceHash); reused across items.
+        std::vector<int32_t> dev_heads;
+        std::vector<int32_t> dev_next;
+
+        for (size_t w = static_cast<size_t>(block.block_id());
+             w < items.size(); w += static_cast<size_t>(num_blocks)) {
+          const WorkItem& item = items[w];
+          block.ChargeCoalescedRead(12);  // work-list entry
+          // Dispatch/drain overhead per work item: partial warps at the
+          // partition tail, metadata setup, probe-phase ramp-down. This
+          // is why co-partition throughput *rises* with partition size
+          // until the block's resources are saturated (Figs. 5/6:
+          // "we utilize the streaming multiprocessor's resources ... to
+          // a greater extent").
+          block.ChargeCycles(512);
+          const uint64_t r_total = r_sizes[item.p];
+          const uint64_t probe_ws =
+              8ull * (r_total + config.hash_slots) *
+              static_cast<uint64_t>(num_blocks);
+
+          // The R side is processed in shared-memory-sized chunks; one
+          // chunk for partitions that fit (the normal case), several for
+          // oversized (skewed) partitions -> hash-based block NL.
+          const uint32_t chunk_elems =
+              config.algo == ProbeAlgorithm::kDeviceHash
+                  ? std::max<uint32_t>(static_cast<uint32_t>(std::min<uint64_t>(
+                                           r_total, UINT32_MAX)),
+                                       1)
+                  : config.shared_elems;
+
+          // Walk the R chain once per chunk pass.
+          std::vector<int32_t> r_buckets;
+          for (int32_t b = build.chains.heads()[item.p];
+               b != BucketChains::kNull; b = build.chains.next()[b]) {
+            r_buckets.push_back(b);
+          }
+
+          uint64_t r_done = 0;
+          while (r_done < r_total) {
+            const uint32_t r_count = static_cast<uint32_t>(
+                std::min<uint64_t>(chunk_elems, r_total - r_done));
+
+            // ---- Load R chunk ----
+            if (config.algo == ProbeAlgorithm::kDeviceHash) {
+              // Copy to contiguous device scratch.
+              block.ChargeCoalescedRead(8ull * r_count);
+              block.ChargeCoalescedWrite(8ull * r_count);
+            } else {
+              // Load into shared memory.
+              block.ChargeCoalescedRead(8ull * r_count);
+              block.ChargeShared(8ull * r_count);
+            }
+            // Functional gather of the chunk [r_done, r_done + r_count).
+            std::vector<uint32_t> dev_rkeys, dev_rpays;  // kDeviceHash only
+            uint32_t* rkeys = area.rkeys;
+            uint32_t* rpays = area.rpays;
+            if (config.algo == ProbeAlgorithm::kDeviceHash) {
+              dev_rkeys.resize(r_count);
+              dev_rpays.resize(r_count);
+              rkeys = dev_rkeys.data();
+              rpays = dev_rpays.data();
+            }
+            {
+              uint64_t skip = r_done;
+              uint32_t filled = 0;
+              for (int32_t b : r_buckets) {
+                const uint32_t fill = build.chains.fill()[b];
+                block.ChargeRandomAccess(1, 8ull * r_total);  // chain hop
+                if (skip >= fill) {
+                  skip -= fill;
+                  continue;
+                }
+                const size_t base = static_cast<size_t>(b) * r_cap;
+                const uint32_t take = std::min<uint32_t>(
+                    fill - static_cast<uint32_t>(skip), r_count - filled);
+                std::copy_n(build.chains.keys() + base + skip, take,
+                            rkeys + filled);
+                std::copy_n(build.chains.payloads() + base + skip, take,
+                            rpays + filled);
+                filled += take;
+                skip = 0;
+                if (filled == r_count) break;
+              }
+            }
+
+            // ---- Build ----
+            if (config.algo == ProbeAlgorithm::kSharedHash) {
+              std::fill_n(area.heads, config.hash_slots, kEmpty16);
+              block.ChargeShared(2ull * config.hash_slots);
+              block.ChargeCycles(config.hash_slots / 32 + 1);
+              for (uint32_t i = 0; i < r_count; ++i) {
+                const uint32_t slot = util::HashTableSlot(
+                    rkeys[i], radix_bits, config.hash_slots);
+                // Listing 2: wait-free front insertion via atomicExch.
+                area.next[i] = area.heads[slot];
+                area.heads[slot] = static_cast<uint16_t>(i);
+              }
+              block.ChargeSharedAtomic(r_count);
+              block.ChargeShared(6ull * r_count);
+              block.ChargeCycles(r_count * 4 / 32 + 1);
+            } else if (config.algo == ProbeAlgorithm::kDeviceHash) {
+              dev_heads.assign(config.hash_slots, -1);
+              dev_next.assign(r_count, -1);
+              block.ChargeCoalescedWrite(4ull * config.hash_slots);
+              for (uint32_t i = 0; i < r_count; ++i) {
+                const uint32_t slot = util::HashTableSlot(
+                    rkeys[i], radix_bits, config.hash_slots);
+                dev_next[i] = dev_heads[slot];
+                dev_heads[slot] = static_cast<int32_t>(i);
+              }
+              block.ChargeDeviceAtomic(r_count);            // atomicExch
+              block.ChargeRandomAccess(r_count, probe_ws);  // next write
+              block.ChargeCycles(r_count * 4 / 32 + 1);
+            }
+
+            // ---- Probe the item's S bucket slice ----
+            for (uint32_t sb = 0; sb < item.s_count; ++sb) {
+              const int32_t b = s_buckets_flat[item.s_from + sb];
+              const uint32_t s_fill = probe.chains.fill()[b];
+              const size_t s_base = static_cast<size_t>(b) * s_cap;
+              block.ChargeRandomAccess(1, 8ull * probe.tuples);  // chain hop
+              block.ChargeCoalescedRead(8ull * s_fill);
+              block.ChargeCycles(s_fill * 3 / 32 + 1);
+
+              const uint64_t matches_before = state.matches;
+
+              if (config.algo == ProbeAlgorithm::kNestedLoop) {
+                // Listing 1: warp-cooperative ballot matching.
+                for (uint32_t s0 = 0; s0 < s_fill; s0 += 32) {
+                  const uint32_t s_lanes = std::min<uint32_t>(32, s_fill - s0);
+                  sim::LaneArray<uint32_t> svals{};
+                  for (uint32_t l = 0; l < s_lanes; ++l) {
+                    svals[l] = probe.chains.keys()[s_base + s0 + l];
+                  }
+                  for (uint32_t r0 = 0; r0 < r_count; r0 += 32) {
+                    const uint32_t r_lanes =
+                        std::min<uint32_t>(32, r_count - r0);
+                    sim::LaneArray<uint32_t> rvals{};
+                    for (uint32_t l = 0; l < r_lanes; ++l) {
+                      rvals[l] = rkeys[r0 + l];
+                    }
+                    sim::LaneArray<uint32_t> mask;
+                    mask.fill(~0u);
+                    if (config.nl_use_ballot) {
+                      block.ChargeShared(4ull * 32);  // one r per lane
+                      // Ballot over every key bit not fixed by the
+                      // partitioning layout [base_shift,
+                      // base_shift+radix).
+                      for (int bit = 0; bit < key_bits; ++bit) {
+                        if (bit >= base_shift &&
+                            bit < base_shift + radix_bits) {
+                          continue;
+                        }
+                        sim::LaneArray<uint32_t> pred;
+                        for (int l = 0; l < 32; ++l) {
+                          pred[l] = (rvals[l] >> bit) & 1u;
+                        }
+                        const uint32_t vote = sim::Ballot(block, pred);
+                        for (int l = 0; l < 32; ++l) {
+                          mask[l] &= ((svals[l] >> bit) & 1u) ? vote : ~vote;
+                        }
+                        block.ChargeCycles(2);
+                      }
+                    } else {
+                      // Conventional pairwise comparison: each lane reads
+                      // all 32 r values from shared memory and compares
+                      // them itself (32x the shared traffic, one compare
+                      // instruction per pair).
+                      for (int l = 0; l < 32; ++l) {
+                        uint32_t m = 0;
+                        for (uint32_t j = 0; j < r_lanes; ++j) {
+                          if (rvals[j] == svals[l]) m |= (1u << j);
+                        }
+                        mask[l] = m;
+                      }
+                      block.ChargeShared(4ull * 32 * 32);
+                      block.ChargeCycles(32);
+                    }
+                    for (uint32_t l = 0; l < s_lanes; ++l) {
+                      uint32_t m = mask[l];
+                      while (m != 0) {
+                        const int j = std::countr_zero(m);
+                        m &= m - 1;
+                        if (static_cast<uint32_t>(j) < r_lanes) {
+                          state.Match(&block, config, &area, out,
+                                      rpays[r0 + j],
+                                      probe.chains.payloads()[s_base + s0 + l]);
+                        }
+                      }
+                    }
+                  }
+                }
+              } else {
+                // Hash probe (shared or device table).
+                uint64_t steps = 0;
+                for (uint32_t i = 0; i < s_fill; ++i) {
+                  const uint32_t skey = probe.chains.keys()[s_base + i];
+                  const uint32_t slot = util::HashTableSlot(
+                      skey, radix_bits, config.hash_slots);
+                  if (config.algo == ProbeAlgorithm::kSharedHash) {
+                    uint16_t e = area.heads[slot];
+                    while (e != kEmpty16) {
+                      ++steps;
+                      if (rkeys[e] == skey) {
+                        state.Match(&block, config, &area, out, rpays[e],
+                                    probe.chains.payloads()[s_base + i]);
+                      }
+                      e = area.next[e];
+                    }
+                  } else {
+                    int32_t e = dev_heads[slot];
+                    while (e >= 0) {
+                      ++steps;
+                      if (rkeys[e] == skey) {
+                        state.Match(&block, config, &area, out, rpays[e],
+                                    probe.chains.payloads()[s_base + i]);
+                      }
+                      e = dev_next[e];
+                    }
+                  }
+                }
+                if (config.algo == ProbeAlgorithm::kSharedHash) {
+                  // Slot read (2B) per probe + (key, next) per chain step.
+                  block.ChargeShared(2ull * s_fill + 6ull * steps);
+                  block.ChargeCycles((s_fill * 2 + steps * 3) / 32 + 1);
+                } else {
+                  // Head + per-step key + next transactions, plus a
+                  // payload access per match (the paper's "three to four
+                  // random memory accesses").
+                  block.ChargeRandomAccess(s_fill + 2 * steps, probe_ws);
+                  block.ChargeCycles((s_fill * 2 + steps * 3) / 32 + 1);
+                }
+              }
+
+              ChargeGathers(&block, config, state.matches - matches_before,
+                            build.tuples, probe.tuples);
+            }
+            r_done += r_count;
+          }
+        }
+
+        if (need_out) state.FlushOut(&block, &area, out);
+        // Aggregation epilogue: threads pre-reduce within their warp
+        // (shuffle tree), then one device atomic per warp folds into the
+        // global aggregate.
+        block.ChargeCycles(5);  // log2(32) shuffle-reduce steps
+        block.ChargeDeviceAtomic(static_cast<uint64_t>(block.num_warps()));
+        g_matches.fetch_add(state.matches, std::memory_order_relaxed);
+        g_checksum.fetch_add(state.checksum, std::memory_order_relaxed);
+      }));
+
+  CoPartitionJoinResult join_result;
+  join_result.matches = g_matches.load();
+  join_result.payload_sum = g_checksum.load();
+  join_result.seconds = result.seconds;
+  return join_result;
+}
+
+}  // namespace gjoin::gpujoin

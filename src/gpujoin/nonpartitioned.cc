@@ -1,0 +1,226 @@
+#include "gpujoin/nonpartitioned.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace gjoin::gpujoin {
+
+namespace {
+
+using util::CeilDiv;
+
+/// Work split helper: [begin, end) range of block `b` out of `nb`.
+std::pair<size_t, size_t> BlockRange(size_t n, int b, int nb) {
+  const size_t chunk = CeilDiv(n, static_cast<size_t>(nb));
+  const size_t begin = static_cast<size_t>(b) * chunk;
+  return {std::min(begin, n), std::min(begin + chunk, n)};
+}
+
+}  // namespace
+
+util::Result<JoinStats> NonPartitionedJoin(
+    sim::Device* device, const DeviceRelation& build,
+    const DeviceRelation& probe, const NonPartitionedJoinConfig& config) {
+  const size_t n = build.size;
+  const int num_blocks =
+      config.num_blocks != 0
+          ? config.num_blocks
+          : device->spec().gpu.num_sms * device->spec().gpu.blocks_per_sm;
+
+  OutputRing ring;
+  OutputRing* out = nullptr;
+  if (config.output == OutputMode::kMaterialize) {
+    const size_t capacity =
+        config.out_capacity != 0 ? config.out_capacity
+                                 : std::max<size_t>(probe.size, 1);
+    GJOIN_ASSIGN_OR_RETURN(ring,
+                           OutputRing::Allocate(&device->memory(), capacity));
+    out = &ring;
+  }
+
+  JoinStats stats;
+  std::atomic<uint64_t> g_matches{0};
+  std::atomic<uint64_t> g_checksum{0};
+
+  if (config.variant == NonPartitionedVariant::kPerfectHash) {
+    // ---- Perfect hash: dense payload array indexed by key ----
+    uint32_t max_key = 0;
+    for (size_t i = 0; i < n; ++i) max_key = std::max(max_key, build.keys[i]);
+    GJOIN_ASSIGN_OR_RETURN(
+        sim::DeviceBuffer<uint32_t> dense,
+        device->memory().Allocate<uint32_t>(static_cast<size_t>(max_key) + 1));
+    const uint64_t table_bytes = (static_cast<uint64_t>(max_key) + 1) * 4;
+
+    std::atomic<bool> duplicate{false};
+    sim::LaunchConfig build_launch{"nonpartitioned_build_perfect", num_blocks,
+                                   config.threads_per_block, 1024};
+    GJOIN_ASSIGN_OR_RETURN(
+        sim::LaunchResult build_result,
+        device->Launch(build_launch, [&](sim::Block& block) {
+          auto [begin, end] = BlockRange(n, block.block_id(), num_blocks);
+          if (begin >= end) return;
+          block.ChargeCoalescedRead(8ull * (end - begin));
+          block.ChargeRandomAccess(end - begin, table_bytes);
+          block.ChargeCycles((end - begin) * 3 / 32 + 1);
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t key = build.keys[i];
+            if (dense[key] != 0) duplicate.store(true);
+            dense[key] = build.payloads[i] + 1;  // 0 marks empty
+          }
+        }));
+    if (duplicate.load()) {
+      return util::Status::ExecutionError(
+          "perfect-hash join requires unique build keys");
+    }
+
+    sim::LaunchConfig probe_launch{"nonpartitioned_probe_perfect", num_blocks,
+                                   config.threads_per_block,
+                                   out != nullptr ? size_t{8192} : size_t{1024}};
+    GJOIN_ASSIGN_OR_RETURN(
+        sim::LaunchResult probe_result,
+        device->Launch(probe_launch, [&](sim::Block& block) {
+          auto [begin, end] = BlockRange(probe.size, block.block_id(),
+                                         num_blocks);
+          if (begin >= end) return;
+          uint64_t matches = 0, checksum = 0;
+          block.ChargeCoalescedRead(8ull * (end - begin));
+          // One random access per probe: the best case.
+          block.ChargeRandomAccess(end - begin, table_bytes);
+          block.ChargeCycles((end - begin) * 3 / 32 + 1);
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t key = probe.keys[i];
+            if (key <= max_key && dense[key] != 0) {
+              const uint32_t rpay = dense[key] - 1;
+              ++matches;
+              checksum += static_cast<uint64_t>(rpay) + probe.payloads[i];
+              if (out != nullptr) out->Write(out->Claim(1), rpay,
+                                             probe.payloads[i]);
+            }
+          }
+          if (out != nullptr && matches > 0) {
+            // Warp-buffered writes: shared staging + flush traffic.
+            block.ChargeShared(16ull * matches);
+            block.ChargeSharedAtomic(matches);
+            block.ChargeCoalescedWrite(8ull * matches);
+            block.ChargeDeviceAtomic(matches / 256 + 1);
+          }
+          if (config.build_extra_payload_bytes > 0 && matches > 0) {
+            // Build side is hash-reordered: column-chunk random gathers.
+            block.ChargeRandomAccess(
+                matches * 2 * CeilDiv(config.build_extra_payload_bytes, 32),
+                n * static_cast<uint64_t>(config.build_extra_payload_bytes));
+          }
+          if (config.probe_extra_payload_bytes > 0 && matches > 0) {
+            // Probe side stays in input order: sequential gather.
+            block.ChargeCoalescedRead(
+                matches *
+                static_cast<uint64_t>(config.probe_extra_payload_bytes));
+          }
+          block.ChargeDeviceAtomic(
+              static_cast<uint64_t>(block.num_threads() / 32));
+          g_matches.fetch_add(matches, std::memory_order_relaxed);
+          g_checksum.fetch_add(checksum, std::memory_order_relaxed);
+        }));
+    stats.join_s = build_result.seconds + probe_result.seconds;
+  } else {
+    // ---- Chaining: global table with offset-linked chains ----
+    const size_t slots = util::NextPowerOfTwo(
+        std::max<size_t>(n * config.slots_per_tuple, 64));
+    GJOIN_ASSIGN_OR_RETURN(sim::DeviceBuffer<int32_t> heads,
+                           device->memory().Allocate<int32_t>(slots));
+    GJOIN_ASSIGN_OR_RETURN(sim::DeviceBuffer<int32_t> next,
+                           device->memory().Allocate<int32_t>(n));
+    for (size_t s = 0; s < slots; ++s) heads[s] = -1;
+    const uint64_t table_bytes = slots * 4 + n * 12;  // heads + next + keys
+
+    std::mutex table_mu;  // models per-slot atomicity of atomicExch
+    sim::LaunchConfig build_launch{"nonpartitioned_build_chain", num_blocks,
+                                   config.threads_per_block, 1024};
+    GJOIN_ASSIGN_OR_RETURN(
+        sim::LaunchResult build_result,
+        device->Launch(build_launch, [&](sim::Block& block) {
+          auto [begin, end] = BlockRange(n, block.block_id(), num_blocks);
+          if (begin >= end) return;
+          block.ChargeCoalescedRead(8ull * (end - begin));
+          block.ChargeDeviceAtomic(end - begin);          // atomicExch
+          block.ChargeRandomAccess(end - begin, table_bytes);  // node write
+          block.ChargeCycles((end - begin) * 4 / 32 + 1);
+          std::lock_guard<std::mutex> lock(table_mu);
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t slot =
+                util::Mix32(build.keys[i]) & (slots - 1);
+            next[i] = heads[slot];
+            heads[slot] = static_cast<int32_t>(i);
+          }
+        }));
+
+    sim::LaunchConfig probe_launch{"nonpartitioned_probe_chain", num_blocks,
+                                   config.threads_per_block,
+                                   out != nullptr ? size_t{8192} : size_t{1024}};
+    GJOIN_ASSIGN_OR_RETURN(
+        sim::LaunchResult probe_result,
+        device->Launch(probe_launch, [&](sim::Block& block) {
+          auto [begin, end] = BlockRange(probe.size, block.block_id(),
+                                         num_blocks);
+          if (begin >= end) return;
+          uint64_t matches = 0, checksum = 0, steps = 0;
+          block.ChargeCoalescedRead(8ull * (end - begin));
+          for (size_t i = begin; i < end; ++i) {
+            const uint32_t skey = probe.keys[i];
+            const uint32_t slot = util::Mix32(skey) & (slots - 1);
+            for (int32_t e = heads[slot]; e >= 0; e = next[e]) {
+              ++steps;
+              if (build.keys[e] == skey) {
+                ++matches;
+                checksum += static_cast<uint64_t>(build.payloads[e]) +
+                            probe.payloads[i];
+                if (out != nullptr) {
+                  out->Write(out->Claim(1), build.payloads[e],
+                             probe.payloads[i]);
+                }
+              }
+            }
+          }
+          // "Three to four random memory accesses" per probe: one for the
+          // table head, one per chain node (key, next pointer and payload
+          // are stored interleaved, so one transaction covers a node),
+          // plus the payload access on a match.
+          block.ChargeRandomAccess((end - begin) + steps + matches,
+                                   table_bytes);
+          block.ChargeCycles(((end - begin) * 2 + steps * 3) / 32 + 1);
+          if (out != nullptr && matches > 0) {
+            block.ChargeShared(16ull * matches);
+            block.ChargeSharedAtomic(matches);
+            block.ChargeCoalescedWrite(8ull * matches);
+            block.ChargeDeviceAtomic(matches / 256 + 1);
+          }
+          if (config.build_extra_payload_bytes > 0 && matches > 0) {
+            // Build side is hash-reordered: column-chunk random gathers.
+            block.ChargeRandomAccess(
+                matches * 2 * CeilDiv(config.build_extra_payload_bytes, 32),
+                n * static_cast<uint64_t>(config.build_extra_payload_bytes));
+          }
+          if (config.probe_extra_payload_bytes > 0 && matches > 0) {
+            block.ChargeCoalescedRead(
+                matches *
+                static_cast<uint64_t>(config.probe_extra_payload_bytes));
+          }
+          block.ChargeDeviceAtomic(
+              static_cast<uint64_t>(block.num_threads() / 32));
+          g_matches.fetch_add(matches, std::memory_order_relaxed);
+          g_checksum.fetch_add(checksum, std::memory_order_relaxed);
+        }));
+    stats.join_s = build_result.seconds + probe_result.seconds;
+  }
+
+  stats.matches = g_matches.load();
+  stats.payload_sum = g_checksum.load();
+  stats.seconds = stats.join_s;
+  return stats;
+}
+
+}  // namespace gjoin::gpujoin

@@ -1,0 +1,53 @@
+// Non-partitioned GPU hash joins: the baselines of Figure 8.
+//
+// kChaining builds one global hash table in device memory ("a chain of
+// elements connected with offset pointers"); probing costs "three to
+// four random memory accesses: one for the hash table itself, one for
+// the key, one for checking that there is no successor in the chain and
+// for the case of a match, an access to the payload".
+//
+// kPerfectHash is the paper's best-case scenario: with unique keys over
+// a contiguous range, payloads are stored in a dense array indexed by
+// key, so a probe is exactly one random access.
+
+#ifndef GJOIN_GPUJOIN_NONPARTITIONED_H_
+#define GJOIN_GPUJOIN_NONPARTITIONED_H_
+
+#include "gpujoin/output_ring.h"
+#include "gpujoin/types.h"
+#include "sim/device.h"
+#include "util/status.h"
+
+namespace gjoin::gpujoin {
+
+/// \brief Hash-table variant of the non-partitioned join.
+enum class NonPartitionedVariant {
+  kChaining,     ///< Global chained table; the realistic baseline.
+  kPerfectHash,  ///< Dense payload array; best case (requires unique,
+                 ///< contiguous build keys — returns ExecutionError on
+                 ///< duplicate keys outside the dense domain).
+};
+
+/// \brief Configuration of the non-partitioned join.
+struct NonPartitionedJoinConfig {
+  NonPartitionedVariant variant = NonPartitionedVariant::kChaining;
+  OutputMode output = OutputMode::kAggregate;
+  int threads_per_block = 1024;
+  int num_blocks = 0;        ///< 0 = one block per SM slot.
+  uint32_t slots_per_tuple = 2;  ///< Table slots = next_pow2(n * this).
+  size_t out_capacity = 0;   ///< Materialization ring; 0 = |S|.
+  /// Late-materialization payload widths (Figs. 9/10). The probe side
+  /// stays in input order here, so its gather is sequential — the reason
+  /// non-partitioned joins win for wide probe payloads (Fig. 9).
+  int build_extra_payload_bytes = 0;
+  int probe_extra_payload_bytes = 0;
+};
+
+/// Runs the non-partitioned hash join over device-resident relations.
+util::Result<JoinStats> NonPartitionedJoin(
+    sim::Device* device, const DeviceRelation& build,
+    const DeviceRelation& probe, const NonPartitionedJoinConfig& config);
+
+}  // namespace gjoin::gpujoin
+
+#endif  // GJOIN_GPUJOIN_NONPARTITIONED_H_

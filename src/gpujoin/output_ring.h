@@ -1,0 +1,75 @@
+// Device-memory result buffer for materialized join output.
+//
+// Result pairs are packed as (r.payload << 32 | s.payload) and written
+// through the warp-buffered path of Section III-C. The ring wraps when
+// the buffer fills — the paper's Figure 17 methodology ("we do not flush
+// the results back to the CPU when they overflow the GPU memory ... but
+// overwrite them in order to isolate the in-GPU performance"); the
+// out-of-GPU strategies instead drain it over PCIe between wraps.
+
+#ifndef GJOIN_GPUJOIN_OUTPUT_RING_H_
+#define GJOIN_GPUJOIN_OUTPUT_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "sim/device_memory.h"
+#include "util/status.h"
+
+namespace gjoin::gpujoin {
+
+/// \brief Ring buffer of packed result pairs in device memory.
+class OutputRing {
+ public:
+  /// Allocates a ring of `capacity` pairs (8 bytes each).
+  static util::Result<OutputRing> Allocate(sim::DeviceMemory* memory,
+                                           size_t capacity) {
+    if (capacity == 0) return util::Status::Invalid("OutputRing: capacity 0");
+    OutputRing ring;
+    GJOIN_ASSIGN_OR_RETURN(ring.pairs_, memory->Allocate<uint64_t>(capacity));
+    ring.cursor_ = std::make_unique<std::atomic<uint64_t>>(0);
+    return ring;
+  }
+
+  OutputRing() = default;
+  OutputRing(OutputRing&&) = default;
+  OutputRing& operator=(OutputRing&&) = default;
+
+  /// Claims space for `count` pairs; returns the starting logical offset
+  /// (callers write at offset % capacity). Models the global atomicAdd.
+  uint64_t Claim(uint64_t count) {
+    return cursor_->fetch_add(count, std::memory_order_relaxed);
+  }
+
+  /// Writes one pair at logical offset `pos` (wraps internally).
+  void Write(uint64_t pos, uint32_t r_payload, uint32_t s_payload) {
+    pairs_[pos % pairs_.size()] =
+        (static_cast<uint64_t>(r_payload) << 32) | s_payload;
+  }
+
+  /// Pairs written so far (may exceed capacity; excess wrapped).
+  uint64_t total_written() const {
+    return cursor_->load(std::memory_order_relaxed);
+  }
+
+  /// True iff the ring has wrapped (results were overwritten).
+  bool wrapped() const { return total_written() > pairs_.size(); }
+
+  /// Ring capacity in pairs.
+  size_t capacity() const { return pairs_.size(); }
+
+  /// Raw pair at ring position i (for verification while un-wrapped).
+  uint64_t pair(size_t i) const { return pairs_[i]; }
+
+  /// Resets the cursor (between pipeline chunks).
+  void ResetCursor() { cursor_->store(0, std::memory_order_relaxed); }
+
+ private:
+  sim::DeviceBuffer<uint64_t> pairs_;
+  std::unique_ptr<std::atomic<uint64_t>> cursor_;
+};
+
+}  // namespace gjoin::gpujoin
+
+#endif  // GJOIN_GPUJOIN_OUTPUT_RING_H_

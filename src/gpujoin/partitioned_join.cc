@@ -1,0 +1,145 @@
+#include "gpujoin/partitioned_join.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace gjoin::gpujoin {
+
+namespace {
+
+/// Shared implementation; when `consume` is set, each input's columns
+/// are released right after that relation is partitioned.
+util::Result<JoinStats> PartitionedJoinImpl(sim::Device* device,
+                                            const DeviceRelation& build,
+                                            const DeviceRelation& probe,
+                                            DeviceRelation* owned_build,
+                                            DeviceRelation* owned_probe,
+                                            const PartitionedJoinConfig& config) {
+  PartitionedJoinConfig cfg = config;
+  const size_t probe_size = probe.size;
+  if (cfg.join.key_bits == 0) {
+    // Keys are positive and bounded by the relation sizes in the paper's
+    // workloads; derive the significant bit count for the ballot loop.
+    uint32_t max_key = 1;
+    for (size_t i = 0; i < build.size; ++i) {
+      max_key = std::max(max_key, build.keys[i]);
+    }
+    cfg.join.key_bits = util::Log2Floor(max_key) + 1;
+  }
+
+  PartitionedRelation r_parted, s_parted;
+  if (owned_build != nullptr) {
+    GJOIN_ASSIGN_OR_RETURN(
+        r_parted,
+        RadixPartitionConsuming(device, std::move(*owned_build),
+                                cfg.partition));
+  } else {
+    GJOIN_ASSIGN_OR_RETURN(r_parted,
+                           RadixPartition(device, build, cfg.partition));
+  }
+  if (owned_probe != nullptr) {
+    GJOIN_ASSIGN_OR_RETURN(
+        s_parted,
+        RadixPartitionConsuming(device, std::move(*owned_probe),
+                                cfg.partition));
+  } else {
+    GJOIN_ASSIGN_OR_RETURN(s_parted,
+                           RadixPartition(device, probe, cfg.partition));
+  }
+
+  OutputRing ring;
+  OutputRing* ring_ptr = nullptr;
+  if (cfg.join.output == OutputMode::kMaterialize) {
+    const size_t capacity =
+        cfg.out_capacity != 0 ? cfg.out_capacity
+                              : std::max<size_t>(probe_size, 1);
+    GJOIN_ASSIGN_OR_RETURN(ring,
+                           OutputRing::Allocate(&device->memory(), capacity));
+    ring_ptr = &ring;
+  }
+
+  GJOIN_ASSIGN_OR_RETURN(
+      CoPartitionJoinResult join_result,
+      JoinCoPartitions(device, r_parted, s_parted, cfg.join, ring_ptr));
+
+  JoinStats stats;
+  stats.matches = join_result.matches;
+  stats.payload_sum = join_result.payload_sum;
+  stats.partition_s = r_parted.seconds + s_parted.seconds;
+  stats.join_s = join_result.seconds;
+  stats.seconds = stats.partition_s + stats.join_s;
+  return stats;
+}
+
+}  // namespace
+
+util::Result<JoinStats> PartitionedJoin(sim::Device* device,
+                                        const DeviceRelation& build,
+                                        const DeviceRelation& probe,
+                                        const PartitionedJoinConfig& config) {
+  return PartitionedJoinImpl(device, build, probe, nullptr, nullptr, config);
+}
+
+util::Result<JoinStats> PartitionedJoinConsuming(
+    sim::Device* device, DeviceRelation build, DeviceRelation probe,
+    const PartitionedJoinConfig& config) {
+  return PartitionedJoinImpl(device, build, probe, &build, &probe, config);
+}
+
+util::Result<JoinStats> PartitionedJoinFromHost(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe, const PartitionedJoinConfig& config,
+    int probe_segments) {
+  PartitionedJoinConfig cfg = config;
+  if (cfg.join.key_bits == 0) {
+    uint32_t max_key = 1;
+    for (uint32_t k : build.keys) max_key = std::max(max_key, k);
+    cfg.join.key_bits = util::Log2Floor(max_key) + 1;
+  }
+
+  GJOIN_ASSIGN_OR_RETURN(DeviceRelation r_dev,
+                         DeviceRelation::Upload(device, build));
+  GJOIN_ASSIGN_OR_RETURN(
+      PartitionedRelation r_parted,
+      RadixPartitionConsuming(device, std::move(r_dev), cfg.partition));
+
+  if (probe_segments <= 0) {
+    // Size segments so one raw segment plus the partitioned probe side
+    // (chains plus pool slack, ~2x the data) fits the remaining device
+    // memory.
+    const uint64_t budget = device->memory().available();
+    const uint64_t need = probe.bytes() * 2;
+    const uint64_t seg_budget = budget > need ? budget - need : budget / 8;
+    probe_segments = static_cast<int>(std::min<uint64_t>(
+        16, util::CeilDiv(probe.bytes(), std::max<uint64_t>(seg_budget, 1))));
+    if (probe_segments < 1) probe_segments = 1;
+  }
+  GJOIN_ASSIGN_OR_RETURN(
+      PartitionedRelation s_parted,
+      RadixPartitionSegmented(device, probe, cfg.partition, probe_segments));
+
+  OutputRing ring;
+  OutputRing* ring_ptr = nullptr;
+  if (cfg.join.output == OutputMode::kMaterialize) {
+    const size_t capacity = cfg.out_capacity != 0
+                                ? cfg.out_capacity
+                                : std::max<size_t>(probe.size(), 1);
+    GJOIN_ASSIGN_OR_RETURN(ring,
+                           OutputRing::Allocate(&device->memory(), capacity));
+    ring_ptr = &ring;
+  }
+  GJOIN_ASSIGN_OR_RETURN(
+      CoPartitionJoinResult join_result,
+      JoinCoPartitions(device, r_parted, s_parted, cfg.join, ring_ptr));
+
+  JoinStats stats;
+  stats.matches = join_result.matches;
+  stats.payload_sum = join_result.payload_sum;
+  stats.partition_s = r_parted.seconds + s_parted.seconds;
+  stats.join_s = join_result.seconds;
+  stats.seconds = stats.partition_s + stats.join_s;
+  return stats;
+}
+
+}  // namespace gjoin::gpujoin

@@ -1,0 +1,55 @@
+// The in-GPU partitioned hash join: the paper's core contribution for
+// GPU-resident data (Section III). Orchestrates radix partitioning of
+// both relations followed by the co-partition join pass.
+
+#ifndef GJOIN_GPUJOIN_PARTITIONED_JOIN_H_
+#define GJOIN_GPUJOIN_PARTITIONED_JOIN_H_
+
+#include "data/relation.h"
+#include "gpujoin/join_copartitions.h"
+#include "gpujoin/radix_partition.h"
+#include "gpujoin/types.h"
+#include "sim/device.h"
+#include "util/status.h"
+
+namespace gjoin::gpujoin {
+
+/// \brief Full configuration of the in-GPU partitioned join.
+struct PartitionedJoinConfig {
+  RadixPartitionConfig partition;     ///< Default: 2 passes to 2^15.
+  CoPartitionJoinConfig join;         ///< Default: shared-memory hash join.
+
+  /// Materialized-output ring capacity in pairs; 0 sizes it to the probe
+  /// cardinality (the natural 1:1 result size).
+  size_t out_capacity = 0;
+};
+
+/// Runs the partitioned join over two device-resident relations and
+/// returns verified counts plus modeled per-phase timing. The config's
+/// join.key_bits is auto-derived from the key domain when 0.
+util::Result<JoinStats> PartitionedJoin(sim::Device* device,
+                                        const DeviceRelation& build,
+                                        const DeviceRelation& probe,
+                                        const PartitionedJoinConfig& config);
+
+/// Like PartitionedJoin but takes ownership of the inputs and frees each
+/// relation's raw columns as soon as its partitioned form exists — the
+/// standard device-memory discipline of real implementations, and what
+/// lets the larger build:probe ratios of Fig. 8 fit in device memory.
+util::Result<JoinStats> PartitionedJoinConsuming(
+    sim::Device* device, DeviceRelation build, DeviceRelation probe,
+    const PartitionedJoinConfig& config);
+
+/// Highest-level in-GPU entry point: uploads from host relations,
+/// partitioning the probe side in segments (0 = auto-size so everything
+/// fits device memory) so large build:probe ratios remain feasible.
+/// Upload *timing* is not charged (in-GPU experiments assume resident
+/// data; out-of-GPU strategies time transfers explicitly).
+util::Result<JoinStats> PartitionedJoinFromHost(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe, const PartitionedJoinConfig& config,
+    int probe_segments = 0);
+
+}  // namespace gjoin::gpujoin
+
+#endif  // GJOIN_GPUJOIN_PARTITIONED_JOIN_H_

@@ -1,0 +1,641 @@
+#include "gpujoin/radix_partition.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/bits.h"
+
+namespace gjoin::gpujoin {
+
+namespace {
+
+using util::CeilDiv;
+
+/// Cycle cost charged per partitioned element: ~12 warp-instructions per
+/// 32 elements of bookkeeping plus the element's share of the block's
+/// memory pipeline (a block sustains roughly 5 bytes/cycle of the
+/// device bandwidth, so 8 bytes cost ~1.6 cycles). Charging the memory
+/// share per block is what lets a single overloaded block bound the
+/// kernel — "the longest running CUDA block defines the total execution
+/// time" (Section III-A).
+constexpr double kCyclesPerElement = 12.0 / 32.0 + 1.6;
+
+/// Per-block partitioning state for block-private chains (pass 1 and
+/// partition-at-a-time later passes): current bucket, fill, staging, and
+/// the segment endpoints published at the end. All of it lives in the
+/// block's shared memory.
+struct BlockLocalChains {
+  uint32_t fanout = 0;
+  uint32_t stage_elems = 0;
+  // Shared-memory arrays (allocated from the block's scratchpad).
+  int32_t* cur_bucket = nullptr;
+  uint32_t* cur_fill = nullptr;
+  uint32_t* stage_fill = nullptr;
+  uint32_t* stage_keys = nullptr;
+  uint32_t* stage_pays = nullptr;
+  int32_t* seg_first = nullptr;
+  int32_t* seg_last = nullptr;
+
+  /// Reserves shared memory once per block; false when the fanout does
+  /// not fit (the paper's "fanout of at most a few thousand partitions"
+  /// limit). Call ResetMeta() before first use.
+  bool Alloc(sim::Block* block, uint32_t fanout_in, uint32_t stage_in) {
+    fanout = fanout_in;
+    stage_elems = stage_in;
+    auto& shared = block->shared();
+    cur_bucket = shared.Alloc<int32_t>(fanout);
+    cur_fill = shared.Alloc<uint32_t>(fanout);
+    stage_fill = shared.Alloc<uint32_t>(fanout);
+    seg_first = shared.Alloc<int32_t>(fanout);
+    seg_last = shared.Alloc<int32_t>(fanout);
+    stage_keys = shared.Alloc<uint32_t>(fanout * stage_elems);
+    stage_pays = shared.Alloc<uint32_t>(fanout * stage_elems);
+    return cur_bucket != nullptr && cur_fill != nullptr &&
+           stage_fill != nullptr && seg_first != nullptr &&
+           seg_last != nullptr && stage_keys != nullptr &&
+           stage_pays != nullptr;
+  }
+
+  /// (Re-)initializes the metadata for a fresh producer scope. Charged as
+  /// the penalty the paper attributes to switching partitions ("spends
+  /// more time initializing internal data structures").
+  void ResetMeta(sim::Block* block) {
+    for (uint32_t p = 0; p < fanout; ++p) {
+      cur_bucket[p] = BucketChains::kNull;
+      seg_first[p] = BucketChains::kNull;
+      seg_last[p] = BucketChains::kNull;
+      stage_fill[p] = 0;
+      cur_fill[p] = 0;
+    }
+    block->ChargeCycles(static_cast<uint64_t>(fanout) * 2 / 32 + 1);
+    block->ChargeShared(static_cast<uint64_t>(fanout) * 20);
+  }
+
+  /// Moves `count` staged tuples of local partition `lp` into the block's
+  /// current bucket chain for that partition.
+  void FlushStage(sim::Block* block, BucketChains* out, uint32_t lp,
+                  uint32_t count) {
+    const uint32_t cap = out->bucket_capacity();
+    uint32_t done = 0;
+    while (done < count) {
+      if (cur_bucket[lp] == BucketChains::kNull || cur_fill[lp] == cap) {
+        const int32_t nb = out->AllocateBucket();
+        block->ChargeDeviceAtomic(1);  // pool cursor
+        if (nb == BucketChains::kNull) {
+          // Pool exhausted: an internal sizing bug; make it loud.
+          std::fprintf(stderr, "gjoin: bucket pool exhausted\n");
+          std::abort();
+        }
+        if (cur_bucket[lp] == BucketChains::kNull) {
+          seg_first[lp] = nb;
+        } else {
+          // Record the old bucket's final fill and link the new one after
+          // it ("linked after the previous bucket").
+          out->fill()[cur_bucket[lp]] = cur_fill[lp];
+          out->next()[cur_bucket[lp]] = nb;
+        }
+        cur_bucket[lp] = nb;
+        seg_last[lp] = nb;
+        cur_fill[lp] = 0;
+      }
+      const uint32_t room = cap - cur_fill[lp];
+      const uint32_t batch = std::min(room, count - done);
+      const size_t dst =
+          static_cast<size_t>(cur_bucket[lp]) * cap + cur_fill[lp];
+      const size_t src = static_cast<size_t>(lp) * stage_elems + done;
+      std::copy_n(stage_keys + src, batch, out->keys() + dst);
+      std::copy_n(stage_pays + src, batch, out->payloads() + dst);
+      cur_fill[lp] += batch;
+      done += batch;
+      // Staged tuples are re-read from shared memory and written to the
+      // bucket as a coalesced-as-possible burst (scatter class).
+      block->ChargeShared(8ull * batch);
+      block->ChargeScatterWrite(8ull * batch);
+    }
+    stage_fill[lp] = 0;
+  }
+
+  /// Appends one tuple to the stage of local partition lp, flushing when
+  /// the stage fills.
+  void Push(sim::Block* block, BucketChains* out, uint32_t lp, uint32_t key,
+            uint32_t payload) {
+    const size_t slot = static_cast<size_t>(lp) * stage_elems + stage_fill[lp];
+    stage_keys[slot] = key;
+    stage_pays[slot] = payload;
+    block->ChargeShared(8);
+    block->ChargeSharedAtomic(1);  // stage-slot claim within the warp
+    if (++stage_fill[lp] == stage_elems) {
+      FlushStage(block, out, lp, stage_elems);
+    }
+  }
+
+  /// Flushes all stages and publishes every non-empty segment onto the
+  /// global partition lists. Local partition lp publishes as global
+  /// partition gp_base + lp.
+  void Finish(sim::Block* block, BucketChains* out, uint32_t gp_base) {
+    for (uint32_t lp = 0; lp < fanout; ++lp) {
+      if (stage_fill[lp] > 0) FlushStage(block, out, lp, stage_fill[lp]);
+      if (cur_bucket[lp] != BucketChains::kNull) {
+        out->fill()[cur_bucket[lp]] = cur_fill[lp];
+        out->PublishSegment(gp_base + lp, seg_first[lp], seg_last[lp]);
+        block->ChargeDeviceAtomic(1);  // head exchange
+      }
+    }
+  }
+};
+
+/// Shared-memory bytes needed by BlockLocalChains for a given fanout.
+size_t BlockLocalSharedBytes(uint32_t fanout, uint32_t stage_elems) {
+  // 5 metadata arrays of 4 bytes + two staging arrays, plus alignment
+  // slack for the 7 allocations.
+  return static_cast<size_t>(fanout) * (5 * 4 + stage_elems * 8) + 7 * 16;
+}
+
+/// Device-memory-resident per-child-partition chain metadata, shared by
+/// all producing blocks (the bucket-at-a-time mode of later passes:
+/// several blocks feed the same children concurrently, so their current-
+/// bucket state cannot live in block-local shared memory — the paper's
+/// "accessing data in the GPU memory" cost). Appends are serialized per
+/// child with a lock modeling the device-atomic claim protocol.
+class GlobalChains {
+ public:
+  explicit GlobalChains(BucketChains* out)
+      : out_(out),
+        cur_(out->num_partitions(), BucketChains::kNull),
+        locks_(std::make_unique<std::mutex[]>(out->num_partitions())) {}
+
+  /// Appends `count` staged tuples to child partition `child`.
+  void Append(sim::Block* block, uint32_t child, const uint32_t* keys,
+              const uint32_t* pays, uint32_t count) {
+    const uint32_t cap = out_->bucket_capacity();
+    std::lock_guard<std::mutex> lock(locks_[child]);
+    // Metadata claim: one device atomic plus one uncoalesced metadata
+    // transaction per flush.
+    block->ChargeDeviceAtomic(1);
+    block->ChargeRandomAccess(1, 16ull * out_->num_partitions());
+    uint32_t done = 0;
+    while (done < count) {
+      int32_t b = cur_[child];
+      if (b == BucketChains::kNull || out_->fill()[b] == cap) {
+        const int32_t nb = out_->AllocateBucket();
+        block->ChargeDeviceAtomic(1);
+        if (nb == BucketChains::kNull) {
+          std::fprintf(stderr, "gjoin: bucket pool exhausted\n");
+          std::abort();
+        }
+        // Prepend to the child's list; chain order is irrelevant.
+        out_->next()[nb] = out_->heads()[child];
+        out_->heads()[child] = nb;
+        cur_[child] = nb;
+        b = nb;
+      }
+      const uint32_t room = cap - out_->fill()[b];
+      const uint32_t batch = std::min(room, count - done);
+      const size_t dst = static_cast<size_t>(b) * cap + out_->fill()[b];
+      std::copy_n(keys + done, batch, out_->keys() + dst);
+      std::copy_n(pays + done, batch, out_->payloads() + dst);
+      out_->fill()[b] += batch;
+      done += batch;
+      block->ChargeShared(8ull * batch);      // re-read of the stage
+      block->ChargeScatterWrite(8ull * batch);
+    }
+  }
+
+ private:
+  BucketChains* out_;
+  std::vector<int32_t> cur_;
+  std::unique_ptr<std::mutex[]> locks_;
+};
+
+/// Block-local staging only (no chain metadata) for producers that feed
+/// GlobalChains.
+struct StageOnly {
+  uint32_t fanout = 0;
+  uint32_t stage_elems = 0;
+  uint32_t* stage_fill = nullptr;
+  uint32_t* stage_keys = nullptr;
+  uint32_t* stage_pays = nullptr;
+
+  bool Alloc(sim::Block* block, uint32_t fanout_in, uint32_t stage_in) {
+    fanout = fanout_in;
+    stage_elems = stage_in;
+    auto& shared = block->shared();
+    stage_fill = shared.Alloc<uint32_t>(fanout);
+    stage_keys = shared.Alloc<uint32_t>(fanout * stage_elems);
+    stage_pays = shared.Alloc<uint32_t>(fanout * stage_elems);
+    return stage_fill != nullptr && stage_keys != nullptr &&
+           stage_pays != nullptr;
+  }
+
+  void Push(sim::Block* block, GlobalChains* out, uint32_t gp_base,
+            uint32_t sub, uint32_t key, uint32_t payload) {
+    const size_t slot =
+        static_cast<size_t>(sub) * stage_elems + stage_fill[sub];
+    stage_keys[slot] = key;
+    stage_pays[slot] = payload;
+    block->ChargeShared(8);
+    block->ChargeSharedAtomic(1);
+    if (++stage_fill[sub] == stage_elems) {
+      out->Append(block, gp_base + sub,
+                  stage_keys + static_cast<size_t>(sub) * stage_elems,
+                  stage_pays + static_cast<size_t>(sub) * stage_elems,
+                  stage_elems);
+      stage_fill[sub] = 0;
+    }
+  }
+
+  /// Flushes all non-empty stages to children of gp_base (call before a
+  /// parent switch and at block end).
+  void FlushAll(sim::Block* block, GlobalChains* out, uint32_t gp_base) {
+    for (uint32_t sub = 0; sub < fanout; ++sub) {
+      if (stage_fill[sub] > 0) {
+        out->Append(block, gp_base + sub,
+                    stage_keys + static_cast<size_t>(sub) * stage_elems,
+                    stage_pays + static_cast<size_t>(sub) * stage_elems,
+                    stage_fill[sub]);
+        stage_fill[sub] = 0;
+      }
+    }
+    block->ChargeCycles(fanout / 32 + 1);
+  }
+};
+
+}  // namespace
+
+uint32_t AutoBucketCapacity(uint64_t tuples, uint32_t partitions) {
+  if (partitions == 0) return 1024;
+  const uint64_t per_partition = CeilDiv(2 * std::max<uint64_t>(tuples, 1),
+                                         partitions);
+  const uint64_t clamped = std::clamp<uint64_t>(per_partition, 128, 1024);
+  return static_cast<uint32_t>(util::NextPowerOfTwo(clamped));
+}
+
+util::Result<PartitionedRelation> RadixPartitionFirstPass(
+    sim::Device* device, const DeviceRelation& input, int shift, int bits,
+    const RadixPartitionConfig& config, PartitionedRelation* append_to) {
+  if (bits <= 0 || bits > 12) {
+    return util::Status::Invalid("first pass bits out of range: " +
+                                 std::to_string(bits));
+  }
+  const uint32_t fanout = 1u << bits;
+  const size_t smem_needed =
+      BlockLocalSharedBytes(fanout, config.stage_elems);
+  if (smem_needed > device->spec().gpu.shared_mem_per_block) {
+    return util::Status::Invalid(
+        "partitioning fanout 2^" + std::to_string(bits) +
+        " needs " + std::to_string(smem_needed) +
+        "B shared memory, exceeding the per-block limit");
+  }
+
+  const uint32_t capacity =
+      config.bucket_capacity != 0
+          ? config.bucket_capacity
+          : AutoBucketCapacity(input.size, config.num_partitions());
+  const int num_blocks =
+      config.num_blocks != 0
+          ? config.num_blocks
+          : device->spec().gpu.num_sms * device->spec().gpu.blocks_per_sm;
+
+  PartitionedRelation out;
+  if (append_to != nullptr) {
+    // Segmented partitioning: publish into the caller's existing chains
+    // (their pool must have headroom for this segment).
+    if (append_to->radix_bits != bits || append_to->base_shift != shift) {
+      return util::Status::Invalid("append: radix layout mismatch");
+    }
+    out = std::move(*append_to);
+  } else {
+    const uint32_t pool_buckets =
+        static_cast<uint32_t>(CeilDiv(input.size, capacity)) +
+        static_cast<uint32_t>(num_blocks) * fanout + fanout;
+    GJOIN_ASSIGN_OR_RETURN(
+        BucketChains chains,
+        BucketChains::Allocate(&device->memory(), fanout, pool_buckets,
+                               capacity));
+    out.chains = std::move(chains);
+    out.radix_bits = bits;
+    out.base_shift = shift;
+  }
+  BucketChains& chains = out.chains;
+
+  const size_t n = input.size;
+  const size_t chunk = num_blocks > 0 ? CeilDiv(n, num_blocks) : n;
+  const uint32_t* keys = input.keys.data();
+  const uint32_t* pays = input.payloads.data();
+
+  sim::LaunchConfig launch;
+  launch.name = "radix_partition_pass1";
+  launch.num_blocks = num_blocks;
+  launch.threads_per_block = config.threads_per_block;
+  launch.shared_mem_bytes = device->spec().gpu.shared_mem_per_block;
+
+  GJOIN_ASSIGN_OR_RETURN(
+      sim::LaunchResult result,
+      device->Launch(launch, [&](sim::Block& block) {
+        const size_t begin = static_cast<size_t>(block.block_id()) * chunk;
+        const size_t end = std::min(n, begin + chunk);
+        if (begin >= end) return;
+        BlockLocalChains local;
+        if (!local.Alloc(&block, fanout, config.stage_elems)) return;
+        local.ResetMeta(&block);
+        block.ChargeCoalescedRead(8ull * (end - begin));
+        block.ChargeCycles(static_cast<uint64_t>(
+            static_cast<double>(end - begin) * kCyclesPerElement));
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t p = util::RadixOf(keys[i], shift, bits);
+          local.Push(&block, &chains, p, keys[i], pays[i]);
+        }
+        local.Finish(&block, &chains, /*gp_base=*/0);
+      }));
+
+  out.tuples += n;
+  out.seconds += result.seconds;
+  if (out.pass_seconds.empty()) {
+    out.pass_seconds = {result.seconds};
+  } else {
+    out.pass_seconds[0] += result.seconds;
+  }
+  return out;
+}
+
+util::Result<PartitionedRelation> RadixPartitionNextPass(
+    sim::Device* device, const PartitionedRelation& prev, int shift, int bits,
+    const RadixPartitionConfig& config) {
+  if (bits <= 0 || bits > 12) {
+    return util::Status::Invalid("pass bits out of range: " +
+                                 std::to_string(bits));
+  }
+  const uint32_t subfanout = 1u << bits;
+  const size_t smem_needed =
+      BlockLocalSharedBytes(subfanout, config.stage_elems);
+  if (smem_needed > device->spec().gpu.shared_mem_per_block) {
+    return util::Status::Invalid("sub-partitioning fanout too large");
+  }
+
+  const BucketChains& in = prev.chains;
+  const uint32_t parents = in.num_partitions();
+  const uint32_t children = parents << bits;
+  const uint32_t capacity = in.bucket_capacity();
+  const int num_blocks =
+      config.num_blocks != 0
+          ? config.num_blocks
+          : device->spec().gpu.num_sms * device->spec().gpu.blocks_per_sm;
+  // Output chains share the input's pool: consumed input buckets are
+  // recycled into output buckets, keeping the footprint near the data
+  // size. The pool must still have headroom for one partial bucket per
+  // child plus in-flight buckets; RadixPartition sizes it accordingly.
+  GJOIN_ASSIGN_OR_RETURN(
+      BucketChains chains,
+      BucketChains::Allocate(&device->memory(), children, in.pool()));
+
+  // Build per-block work lists. Bucket-at-a-time deals individual buckets
+  // round-robin (skew-robust); partition-at-a-time deals whole parent
+  // chains (block becomes the sole producer of its children). In both
+  // modes a block's items are grouped by parent so metadata is
+  // initialized once per parent visit.
+  struct WorkItem {
+    uint32_t parent;
+    int32_t bucket;  // kNull in partition-at-a-time mode (whole chain)
+  };
+  std::vector<std::vector<WorkItem>> block_items(
+      static_cast<size_t>(num_blocks));
+  if (config.assignment == WorkAssignment::kBucketAtATime) {
+    size_t rr = 0;
+    for (uint32_t p = 0; p < parents; ++p) {
+      for (int32_t b = in.heads()[p]; b != BucketChains::kNull;
+           b = in.next()[b]) {
+        block_items[rr % num_blocks].push_back({p, b});
+        ++rr;
+      }
+    }
+    for (auto& items : block_items) {
+      std::stable_sort(items.begin(), items.end(),
+                       [](const WorkItem& a, const WorkItem& b) {
+                         return a.parent < b.parent;
+                       });
+    }
+  } else {
+    for (uint32_t p = 0; p < parents; ++p) {
+      if (in.heads()[p] != BucketChains::kNull) {
+        block_items[p % num_blocks].push_back({p, BucketChains::kNull});
+      }
+    }
+  }
+
+  sim::LaunchConfig launch;
+  launch.name = "radix_partition_pass2";
+  launch.num_blocks = num_blocks;
+  launch.threads_per_block = config.threads_per_block;
+  launch.shared_mem_bytes = device->spec().gpu.shared_mem_per_block;
+
+  GlobalChains global(&chains);
+  const bool bucket_mode =
+      config.assignment == WorkAssignment::kBucketAtATime;
+
+  GJOIN_ASSIGN_OR_RETURN(
+      sim::LaunchResult result,
+      device->Launch(launch, [&](sim::Block& block) {
+        const auto& items = block_items[static_cast<size_t>(block.block_id())];
+        if (items.empty()) return;
+
+        auto charge_bucket_scan = [&](uint32_t count) {
+          // Chain hop + coalesced scan of the bucket's tuples.
+          block.ChargeRandomAccess(1, 8ull * prev.tuples);
+          block.ChargeCoalescedRead(8ull * count);
+          block.ChargeCycles(static_cast<uint64_t>(
+              static_cast<double>(count) * kCyclesPerElement));
+        };
+
+        if (bucket_mode) {
+          // Bucket-at-a-time: blocks share the children, so chain
+          // metadata lives in device memory (GlobalChains); only the
+          // staging buffers are block-local.
+          StageOnly stage;
+          if (!stage.Alloc(&block, subfanout, config.stage_elems)) return;
+          for (uint32_t s = 0; s < subfanout; ++s) stage.stage_fill[s] = 0;
+          uint32_t current_parent = UINT32_MAX;
+          for (const WorkItem& item : items) {
+            if (item.parent != current_parent) {
+              if (current_parent != UINT32_MAX) {
+                stage.FlushAll(&block, &global, current_parent << bits);
+              }
+              current_parent = item.parent;
+            }
+            const size_t base = static_cast<size_t>(item.bucket) * capacity;
+            const uint32_t count = in.fill()[item.bucket];
+            charge_bucket_scan(count);
+            for (uint32_t i = 0; i < count; ++i) {
+              const uint32_t key = in.keys()[base + i];
+              const uint32_t sub = util::RadixOf(key, shift, bits);
+              stage.Push(&block, &global, current_parent << bits, sub, key,
+                         in.payloads()[base + i]);
+            }
+            // The input bucket is fully consumed: recycle it.
+            const_cast<BucketChains&>(in).FreeBucket(item.bucket);
+            block.ChargeDeviceAtomic(1);
+          }
+          if (current_parent != UINT32_MAX) {
+            stage.FlushAll(&block, &global, current_parent << bits);
+          }
+        } else {
+          // Partition-at-a-time: the block is the sole producer of its
+          // parents' children, so metadata stays in fast shared memory;
+          // the price is load imbalance under skew (max_block_cycles).
+          BlockLocalChains local;
+          if (!local.Alloc(&block, subfanout, config.stage_elems)) return;
+          for (const WorkItem& item : items) {
+            local.ResetMeta(&block);
+            int32_t b = in.heads()[item.parent];
+            while (b != BucketChains::kNull) {
+              const int32_t next_b = in.next()[b];  // before recycling b
+              const size_t base = static_cast<size_t>(b) * capacity;
+              const uint32_t count = in.fill()[b];
+              charge_bucket_scan(count);
+              for (uint32_t i = 0; i < count; ++i) {
+                const uint32_t key = in.keys()[base + i];
+                const uint32_t sub = util::RadixOf(key, shift, bits);
+                local.Push(&block, &chains, sub, key,
+                           in.payloads()[base + i]);
+              }
+              const_cast<BucketChains&>(in).FreeBucket(b);
+              block.ChargeDeviceAtomic(1);
+              b = next_b;
+            }
+            local.Finish(&block, &chains, item.parent << bits);
+          }
+        }
+      }));
+
+  PartitionedRelation out;
+  out.chains = std::move(chains);
+  out.radix_bits = prev.radix_bits + bits;
+  out.base_shift = prev.base_shift;
+  out.tuples = prev.tuples;
+  out.seconds = prev.seconds + result.seconds;
+  out.pass_seconds = prev.pass_seconds;
+  out.pass_seconds.push_back(result.seconds);
+  return out;
+}
+
+namespace {
+
+/// Shared driver: `host_input` + `segments` selects the segmented path;
+/// otherwise `device_input` is used (freed after pass 1 when `consume`).
+util::Result<PartitionedRelation> RadixPartitionImpl(
+    sim::Device* device, const DeviceRelation* device_input,
+    DeviceRelation* consume, const data::Relation* host_input, int segments,
+    const RadixPartitionConfig& config) {
+  if (config.pass_bits.empty()) {
+    return util::Status::Invalid("RadixPartition: no passes configured");
+  }
+  const uint64_t n =
+      host_input != nullptr ? host_input->size() : device_input->size;
+  RadixPartitionConfig cfg = config;
+  const int num_blocks =
+      cfg.num_blocks != 0
+          ? cfg.num_blocks
+          : device->spec().gpu.num_sms * device->spec().gpu.blocks_per_sm;
+  const uint32_t fanout1 = 1u << cfg.pass_bits[0];
+  if (cfg.bucket_capacity == 0) {
+    cfg.bucket_capacity = AutoBucketCapacity(n, config.num_partitions());
+    // Cap by expected per-producer output: pass 1 creates at least one
+    // bucket per (block, partition) pair, and the final pass at least one
+    // per partition, so over-large buckets on small inputs waste pool
+    // storage without improving coalescing.
+    const uint64_t per_producer = std::max<uint64_t>(
+        32, util::NextPowerOfTwo(
+                std::max<uint64_t>(1, n / (static_cast<uint64_t>(num_blocks) *
+                                           fanout1))));
+    const uint64_t per_final = std::max<uint64_t>(
+        32, util::NextPowerOfTwo(std::max<uint64_t>(
+                1, 2 * n / config.num_partitions())));
+    cfg.bucket_capacity = static_cast<uint32_t>(std::min<uint64_t>(
+        cfg.bucket_capacity, std::min(per_producer, per_final)));
+  }
+
+  // One pool for all passes: data buckets + block-private partials of
+  // pass 1 (each segment's producers publish their own partials, bounded
+  // by blocks x fanout per segment) + one partial per final child +
+  // slack for in-flight recycling.
+  const uint64_t seg_count =
+      host_input != nullptr ? std::max<uint64_t>(1, segments) : 1;
+  const uint64_t per_seg = CeilDiv(n, seg_count);
+  const uint64_t producer_slack =
+      std::min<uint64_t>(static_cast<uint64_t>(num_blocks) * fanout1,
+                         per_seg) *
+      seg_count;
+  const uint32_t pool_buckets = static_cast<uint32_t>(
+      CeilDiv(n, cfg.bucket_capacity) + producer_slack +
+      cfg.num_partitions() + 128);
+  GJOIN_ASSIGN_OR_RETURN(
+      std::shared_ptr<BucketPool> pool,
+      BucketPool::Allocate(&device->memory(), pool_buckets,
+                           cfg.bucket_capacity));
+  GJOIN_ASSIGN_OR_RETURN(
+      BucketChains chains,
+      BucketChains::Allocate(&device->memory(), fanout1, std::move(pool)));
+
+  PartitionedRelation rel;
+  rel.chains = std::move(chains);
+  rel.radix_bits = cfg.pass_bits[0];
+  rel.base_shift = cfg.base_shift;
+
+  if (host_input != nullptr) {
+    const size_t seg_tuples = CeilDiv(n, std::max(segments, 1));
+    for (size_t begin = 0; begin < n; begin += seg_tuples) {
+      const size_t end = std::min<size_t>(n, begin + seg_tuples);
+      data::Relation segment;
+      segment.keys.assign(host_input->keys.begin() + begin,
+                          host_input->keys.begin() + end);
+      segment.payloads.assign(host_input->payloads.begin() + begin,
+                              host_input->payloads.begin() + end);
+      GJOIN_ASSIGN_OR_RETURN(DeviceRelation seg_dev,
+                             DeviceRelation::Upload(device, segment));
+      GJOIN_ASSIGN_OR_RETURN(
+          rel, RadixPartitionFirstPass(device, seg_dev, cfg.base_shift,
+                                       cfg.pass_bits[0], cfg, &rel));
+      // seg_dev freed at scope exit: only one segment is ever resident.
+    }
+  } else {
+    GJOIN_ASSIGN_OR_RETURN(
+        rel, RadixPartitionFirstPass(device, *device_input, cfg.base_shift,
+                                     cfg.pass_bits[0], cfg, &rel));
+    if (consume != nullptr) {
+      consume->keys.Reset();
+      consume->payloads.Reset();
+    }
+  }
+
+  int shift = cfg.base_shift + cfg.pass_bits[0];
+  for (size_t pass = 1; pass < cfg.pass_bits.size(); ++pass) {
+    GJOIN_ASSIGN_OR_RETURN(
+        PartitionedRelation next,
+        RadixPartitionNextPass(device, rel, shift, cfg.pass_bits[pass], cfg));
+    rel = std::move(next);
+    shift += cfg.pass_bits[pass];
+  }
+  return rel;
+}
+
+}  // namespace
+
+util::Result<PartitionedRelation> RadixPartition(
+    sim::Device* device, const DeviceRelation& input,
+    const RadixPartitionConfig& config) {
+  return RadixPartitionImpl(device, &input, nullptr, nullptr, 0, config);
+}
+
+util::Result<PartitionedRelation> RadixPartitionConsuming(
+    sim::Device* device, DeviceRelation input,
+    const RadixPartitionConfig& config) {
+  return RadixPartitionImpl(device, &input, &input, nullptr, 0, config);
+}
+
+util::Result<PartitionedRelation> RadixPartitionSegmented(
+    sim::Device* device, const data::Relation& input,
+    const RadixPartitionConfig& config, int segments) {
+  return RadixPartitionImpl(device, nullptr, nullptr, &input, segments,
+                            config);
+}
+
+}  // namespace gjoin::gpujoin

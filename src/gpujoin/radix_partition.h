@@ -1,0 +1,131 @@
+// Multi-pass GPU radix partitioning with bucket chains (Section III-A).
+//
+// Pass 1 scans the contiguous input relation; each thread block stages
+// tuples per partition in shared memory (the "shuffle space"), flushes
+// staged runs into its current bucket with coalesced bursts, draws fresh
+// buckets from the pool with a device atomic when one fills up, and
+// finally publishes its chain segments wait-free onto the global
+// per-partition lists.
+//
+// Later passes redistribute the previous pass's buckets to blocks either
+// one bucket at a time (the paper's choice: skew-robust, but pays
+// metadata re-initialization when consecutive buckets belong to
+// different parent partitions) or one partition chain at a time (better
+// for uniform data, collapses under skew because "the longest running
+// CUDA block defines the total execution time"). Both assignments are
+// implemented; WorkAssignment selects them, and bench/abl_assignment
+// measures the trade-off.
+
+#ifndef GJOIN_GPUJOIN_RADIX_PARTITION_H_
+#define GJOIN_GPUJOIN_RADIX_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpujoin/bucket_chains.h"
+#include "gpujoin/types.h"
+#include "sim/device.h"
+#include "util/status.h"
+
+namespace gjoin::gpujoin {
+
+/// \brief How later passes hand the previous pass's output to blocks.
+enum class WorkAssignment {
+  kBucketAtATime,     ///< Paper's default: round-robin over buckets.
+  kPartitionAtATime,  ///< Round-robin over whole partition chains.
+};
+
+/// \brief Configuration of the multi-pass partitioner.
+struct RadixPartitionConfig {
+  /// Radix bits consumed by each pass, lowest bits first. The paper's
+  /// in-GPU experiments use {8, 7}: two passes to 2^15 partitions.
+  std::vector<int> pass_bits = {8, 7};
+
+  /// Key bit where the first pass starts. Non-zero when the relations
+  /// were already partitioned on lower bits by the host (the
+  /// co-processing strategy's CPU pre-partitioning, Section IV-B).
+  int base_shift = 0;
+
+  /// Tuples per bucket; 0 = auto-size (power of two, scaled to the
+  /// expected final partition size, within [kMinBucketCapacity, 1024]).
+  uint32_t bucket_capacity = 0;
+
+  /// Threads per partitioning block (paper: 1024).
+  int threads_per_block = 1024;
+
+  /// Grid size; 0 = one block per SM slot (num_sms * blocks_per_sm).
+  int num_blocks = 0;
+
+  /// Work distribution for passes after the first.
+  WorkAssignment assignment = WorkAssignment::kBucketAtATime;
+
+  /// Shared-memory staging slots per partition ("shuffle space").
+  uint32_t stage_elems = 16;
+
+  /// Total radix bits across all passes.
+  int total_bits() const {
+    int total = 0;
+    for (int b : pass_bits) total += b;
+    return total;
+  }
+  /// Final partition count.
+  uint32_t num_partitions() const { return 1u << total_bits(); }
+};
+
+/// \brief A fully partitioned relation: final-pass chains + provenance.
+struct PartitionedRelation {
+  BucketChains chains;
+  int radix_bits = 0;       ///< log2(number of partitions).
+  int base_shift = 0;       ///< First key bit the partitioning consumed.
+  uint64_t tuples = 0;      ///< Total elements across partitions.
+  double seconds = 0;       ///< Modeled time summed over all passes.
+  std::vector<double> pass_seconds;  ///< Modeled time per pass.
+};
+
+/// Runs all configured passes over `input` and returns the final
+/// partitioned form. Partitioning is on `total_bits()` of the key above
+/// base_shift, pass i consuming its bits above the bits of passes < i.
+/// All passes share one bucket pool; later passes recycle consumed
+/// buckets, so the footprint stays near the data size.
+util::Result<PartitionedRelation> RadixPartition(
+    sim::Device* device, const DeviceRelation& input,
+    const RadixPartitionConfig& config);
+
+/// Like RadixPartition but takes ownership of the input and frees its
+/// raw columns as soon as the first pass has consumed them.
+util::Result<PartitionedRelation> RadixPartitionConsuming(
+    sim::Device* device, DeviceRelation input,
+    const RadixPartitionConfig& config);
+
+/// Partitions a host-resident relation by uploading and consuming it in
+/// `segments` pieces (each segment's device columns are freed after the
+/// first pass reads them). Peak device footprint is one segment plus the
+/// partitioned form — how implementations fit large probe sides next to
+/// an already-partitioned build side. Transfer timing is the caller's
+/// concern (as with DeviceRelation::Upload).
+util::Result<PartitionedRelation> RadixPartitionSegmented(
+    sim::Device* device, const data::Relation& input,
+    const RadixPartitionConfig& config, int segments);
+
+/// Single pass over a contiguous input (pass 1). `shift`/`bits` select
+/// the radix field. When `append_to` is non-null, tuples are published
+/// into its existing chains (same layout, shared pool) instead of fresh
+/// ones, and the updated relation is returned.
+util::Result<PartitionedRelation> RadixPartitionFirstPass(
+    sim::Device* device, const DeviceRelation& input, int shift, int bits,
+    const RadixPartitionConfig& config,
+    PartitionedRelation* append_to = nullptr);
+
+/// Single sub-partitioning pass over previous-pass chains: each parent
+/// partition p fans out to children [p * 2^bits, (p+1) * 2^bits).
+util::Result<PartitionedRelation> RadixPartitionNextPass(
+    sim::Device* device, const PartitionedRelation& prev, int shift, int bits,
+    const RadixPartitionConfig& config);
+
+/// Auto-sizes bucket capacity for `tuples` spread over `partitions`
+/// (exposed for tests).
+uint32_t AutoBucketCapacity(uint64_t tuples, uint32_t partitions);
+
+}  // namespace gjoin::gpujoin
+
+#endif  // GJOIN_GPUJOIN_RADIX_PARTITION_H_

@@ -1,0 +1,21 @@
+#include "gpujoin/types.h"
+
+#include <algorithm>
+
+namespace gjoin::gpujoin {
+
+util::Result<DeviceRelation> DeviceRelation::Upload(
+    sim::Device* device, const data::Relation& rel) {
+  DeviceRelation out;
+  out.size = rel.size();
+  out.logical_payload_bytes = rel.logical_payload_bytes;
+  GJOIN_ASSIGN_OR_RETURN(out.keys,
+                         device->memory().Allocate<uint32_t>(rel.size()));
+  GJOIN_ASSIGN_OR_RETURN(out.payloads,
+                         device->memory().Allocate<uint32_t>(rel.size()));
+  std::copy(rel.keys.begin(), rel.keys.end(), out.keys.data());
+  std::copy(rel.payloads.begin(), rel.payloads.end(), out.payloads.data());
+  return out;
+}
+
+}  // namespace gjoin::gpujoin

@@ -1,0 +1,99 @@
+#include "hw/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gjoin::hw {
+
+namespace {
+constexpr double kGiga = 1e9;
+}  // namespace
+
+std::string KernelStats::ToString() const {
+  std::ostringstream os;
+  os << "KernelStats{coalesced_r=" << coalesced_read_bytes
+     << " coalesced_w=" << coalesced_write_bytes
+     << " scatter_w=" << scatter_write_bytes
+     << " random_tx=" << random_transactions
+     << " random_ws=" << random_working_set_bytes
+     << " shared=" << shared_bytes << " atomics_sh=" << shared_atomics
+     << " atomics_dev=" << device_atomics << " cycles=" << total_cycles
+     << " max_block_cycles=" << max_block_cycles << " blocks=" << num_blocks
+     << "}";
+  return os.str();
+}
+
+double CostModel::StreamSeconds(uint64_t bytes) const {
+  return static_cast<double>(bytes) /
+         (gpu_.device_bw_gbps * gpu_.stream_efficiency * kGiga);
+}
+
+double CostModel::RandomBandwidthGbps(uint64_t working_set_bytes) const {
+  if (working_set_bytes == 0) return gpu_.l2_bw_gbps;
+  const double hit =
+      std::min(1.0, static_cast<double>(gpu_.l2_bytes) /
+                        static_cast<double>(working_set_bytes));
+  // DRAM random bandwidth decays with footprint past the knee (TLB reach
+  // and row-buffer locality fade), bottoming out at the floor.
+  double dram = gpu_.random_dram_bw_gbps;
+  if (working_set_bytes > gpu_.random_bw_knee_bytes) {
+    dram *= std::pow(static_cast<double>(gpu_.random_bw_knee_bytes) /
+                         static_cast<double>(working_set_bytes),
+                     gpu_.random_bw_decay);
+    dram = std::max(dram, gpu_.random_bw_floor_gbps);
+  }
+  return hit * gpu_.l2_bw_gbps + (1.0 - hit) * dram;
+}
+
+KernelCost CostModel::KernelTime(const KernelStats& stats) const {
+  KernelCost cost;
+
+  // Streaming (coalesced) traffic runs at a fixed fraction of peak.
+  cost.coalesced_s =
+      static_cast<double>(stats.coalesced_read_bytes +
+                          stats.coalesced_write_bytes) /
+      (gpu_.device_bw_gbps * gpu_.stream_efficiency * kGiga);
+
+  // Partition-scatter writes: bucket flushes hit many distinct memory
+  // regions with partially filled transactions plus metadata updates.
+  cost.scatter_s = static_cast<double>(stats.scatter_write_bytes) /
+                   (gpu_.device_bw_gbps * gpu_.partition_write_efficiency *
+                    kGiga);
+
+  // Random transactions are expanded to the transaction granularity and
+  // charged against the hit-rate-dependent random bandwidth.
+  const uint64_t random_bytes =
+      stats.random_transactions * gpu_.random_transaction_bytes;
+  cost.random_s = static_cast<double>(random_bytes) /
+                  (RandomBandwidthGbps(stats.random_working_set_bytes) * kGiga);
+
+  cost.shared_s =
+      static_cast<double>(stats.shared_bytes) / (gpu_.shared_bw_gbps * kGiga);
+
+  cost.atomics_s =
+      static_cast<double>(stats.shared_atomics) /
+          (gpu_.shared_atomic_gops * kGiga) +
+      static_cast<double>(stats.device_atomics) /
+          (gpu_.device_atomic_gops * kGiga);
+
+  // Compute makespan: blocks are spread over SMs (blocks_per_sm resident
+  // at a time); a single over-long block bounds the kernel, reproducing
+  // the paper's load-imbalance discussion.
+  const double concurrency = static_cast<double>(gpu_.num_sms) *
+                             static_cast<double>(gpu_.blocks_per_sm);
+  const double balanced_cycles =
+      static_cast<double>(stats.total_cycles) / std::max(1.0, concurrency);
+  const double makespan_cycles = std::max(
+      balanced_cycles, static_cast<double>(stats.max_block_cycles));
+  cost.compute_s = makespan_cycles / (gpu_.clock_ghz * kGiga);
+
+  cost.launch_s = gpu_.kernel_launch_us * 1e-6;
+
+  const double memory_s = cost.coalesced_s + cost.scatter_s + cost.random_s +
+                          cost.shared_s + cost.atomics_s;
+  cost.total_s = std::max(memory_s, cost.compute_s) + cost.launch_s;
+  return cost;
+}
+
+}  // namespace gjoin::hw

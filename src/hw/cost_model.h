@@ -1,0 +1,60 @@
+// Analytic GPU cost model: KernelStats -> modeled seconds.
+//
+// The model charges each traffic class against the bandwidth that class
+// can sustain on the configured GpuSpec, models L2 hits for random
+// accesses, and takes the max of the memory pipeline and the compute
+// makespan (memory and ALU work overlap on a GPU). See DESIGN.md §1 for
+// why an analytic model is the right substitution for real GTX 1080
+// timing in this reproduction.
+
+#ifndef GJOIN_HW_COST_MODEL_H_
+#define GJOIN_HW_COST_MODEL_H_
+
+#include "hw/kernel_stats.h"
+#include "hw/spec.h"
+
+namespace gjoin::hw {
+
+/// \brief Per-component breakdown of one kernel's modeled time, for
+/// inspection by tests and the EXPLAIN output.
+struct KernelCost {
+  double coalesced_s = 0;   ///< Streaming traffic time.
+  double scatter_s = 0;     ///< Partition-scatter write time.
+  double random_s = 0;      ///< Uncoalesced transaction time.
+  double shared_s = 0;      ///< Shared-memory pipeline time.
+  double atomics_s = 0;     ///< Atomic-operation serialization time.
+  double compute_s = 0;     ///< SM makespan.
+  double launch_s = 0;      ///< Fixed launch overhead.
+  double total_s = 0;       ///< max(memory, compute) + launch.
+};
+
+/// \brief Converts observed kernel behaviour into modeled time.
+class CostModel {
+ public:
+  explicit CostModel(const GpuSpec& gpu) : gpu_(gpu) {}
+
+  /// Models one kernel launch.
+  KernelCost KernelTime(const KernelStats& stats) const;
+
+  /// Convenience: total seconds only.
+  double KernelSeconds(const KernelStats& stats) const {
+    return KernelTime(stats).total_s;
+  }
+
+  /// Modeled seconds to move `bytes` over the device-memory bus as a pure
+  /// coalesced stream (upper-bound kernels like memset/copy).
+  double StreamSeconds(uint64_t bytes) const;
+
+  /// Effective bandwidth (GB/s) of random transactions given a working
+  /// set: interpolates between L2 and DRAM-random according to hit rate.
+  double RandomBandwidthGbps(uint64_t working_set_bytes) const;
+
+  const GpuSpec& gpu() const { return gpu_; }
+
+ private:
+  GpuSpec gpu_;
+};
+
+}  // namespace gjoin::hw
+
+#endif  // GJOIN_HW_COST_MODEL_H_

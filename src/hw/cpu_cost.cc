@@ -1,0 +1,129 @@
+#include "hw/cpu_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gjoin::hw {
+
+namespace {
+// Calibration constants (see DESIGN.md §1: shape targets, not absolute
+// nanoseconds). Each is commented with the figure it anchors.
+constexpr double kPartitionOutputPerThreadGbps = 2.5;  // Fig 13: 16 threads
+                                                       // produce ~40 GB/s.
+constexpr double kPartitionTrafficPerOutput = 2.2;  // read + write + spill.
+constexpr double kStreamEfficiency = 0.80;          // share of socket peak.
+constexpr double kPartitionPassEfficiency = 0.40;   // Fig 12: PRO level.
+constexpr double kRandomBwUtilization = 0.50;       // random vs stream DRAM.
+constexpr double kJoinCyclesPerTuple = 5.5;         // in-cache build+probe.
+}  // namespace
+
+double CpuCostModel::StreamBwGbps(int threads) const {
+  threads = std::max(1, threads);
+  // NUMA-aware code spreads threads (and their data) over both sockets,
+  // so two or more threads can draw on both memory controllers.
+  const int sockets_used = std::min(cpu_.sockets, threads);
+  const double cap = static_cast<double>(sockets_used) *
+                     cpu_.socket_mem_bw_gbps * kStreamEfficiency;
+  return std::min(static_cast<double>(threads) *
+                      cpu_.per_thread_stream_bw_gbps,
+                  cap);
+}
+
+double CpuCostModel::PartitionOutputGbps(int threads) const {
+  threads = std::max(1, threads);
+  // SMT threads beyond the physical cores add little for this workload.
+  const int effective =
+      std::min(threads, cpu_.sockets * cpu_.cores_per_socket + threads / 4);
+  const double thread_rate =
+      static_cast<double>(effective) * kPartitionOutputPerThreadGbps;
+  // The traffic behind each output byte (read input + write output + spill
+  // of software buffers) must fit in the machine's streaming bandwidth.
+  const double bw_cap = StreamBwGbps(threads) / kPartitionTrafficPerOutput;
+  return std::min(thread_rate, bw_cap);
+}
+
+double CpuCostModel::PartitionTrafficDemandGbps(int threads) const {
+  // Demand counts every thread: SMT threads beyond the physical cores
+  // add little useful output but still issue memory requests, which is
+  // what saturates the socket at high thread counts (Fig. 13's drop).
+  return static_cast<double>(std::max(1, threads)) *
+         kPartitionOutputPerThreadGbps * kPartitionTrafficPerOutput;
+}
+
+double CpuCostModel::PartitionPassSeconds(uint64_t bytes, int threads) const {
+  // One pass reads and writes every byte; efficiency accounts for the
+  // histogram pass and TLB pressure of high fanouts.
+  const double traffic = 2.0 * static_cast<double>(bytes);
+  return traffic / (StreamBwGbps(threads) * kPartitionPassEfficiency * 1e9);
+}
+
+double CpuCostModel::RandomLineRate(int threads,
+                                    uint64_t working_set_bytes) const {
+  threads = std::max(1, threads);
+  // Latency-bound rate: each thread sustains `mlp` outstanding misses.
+  const double latency_rate = static_cast<double>(threads) *
+                              static_cast<double>(cpu_.mlp) /
+                              (cpu_.random_access_ns * 1e-9);
+  // Bandwidth-bound rate: random traffic achieves a fraction of streaming.
+  const double bw_rate = StreamBwGbps(threads) * kRandomBwUtilization * 1e9 /
+                         static_cast<double>(cpu_.cache_line_bytes);
+  const double dram_rate = std::min(latency_rate, bw_rate);
+  if (working_set_bytes == 0) return dram_rate;
+  // LLC hits are ~4x cheaper than DRAM accesses.
+  const double total_llc = static_cast<double>(cpu_.sockets) *
+                           static_cast<double>(cpu_.llc_bytes);
+  const double hit =
+      std::min(1.0, total_llc / static_cast<double>(working_set_bytes));
+  return dram_rate / (1.0 - 0.75 * hit);
+}
+
+CpuJoinCost CpuCostModel::Npo(uint64_t build_tuples, uint64_t probe_tuples,
+                              int threads, int tuple_bytes) const {
+  CpuJoinCost cost;
+  const uint64_t table_bytes =
+      build_tuples * (static_cast<uint64_t>(tuple_bytes) + 8);  // + buckets
+  // Build: ~1.5 random lines per insert (bucket head + chain store).
+  const double build_lines = 1.5 * static_cast<double>(build_tuples);
+  // Probe: ~2 random lines per lookup (bucket + tuple payload).
+  const double probe_lines = 2.0 * static_cast<double>(probe_tuples);
+  const double rate = RandomLineRate(threads, table_bytes);
+  cost.build_s = build_lines / rate;
+  cost.probe_s = probe_lines / rate;
+  cost.fixed_s = cpu_.fixed_join_overhead_s;
+  cost.total_s = cost.build_s + cost.probe_s + cost.fixed_s;
+  return cost;
+}
+
+CpuJoinCost CpuCostModel::Pro(uint64_t build_tuples, uint64_t probe_tuples,
+                              int threads, int tuple_bytes,
+                              int radix_bits) const {
+  CpuJoinCost cost;
+  const uint64_t total_bytes =
+      (build_tuples + probe_tuples) * static_cast<uint64_t>(tuple_bytes);
+  // Two partitioning passes over both relations.
+  cost.partition_s = 2.0 * PartitionPassSeconds(total_bytes, threads);
+  // Join phase: cache-resident per-partition build+probe, compute bound
+  // while a partition fits in L2 — the "cache consciousness" effect.
+  const double tuples = static_cast<double>(build_tuples + probe_tuples);
+  const int physical = std::min(threads, cpu_.sockets * cpu_.cores_per_socket *
+                                             cpu_.smt_per_core);
+  double join_s = tuples * kJoinCyclesPerTuple /
+                  (cpu_.clock_ghz * 1e9 * static_cast<double>(physical));
+  // When partitions outgrow L2 the cache optimization fades and the join
+  // phase pays DRAM traffic again (paper: "the effect of cache
+  // optimizations diminish", Section V-D).
+  const double partition_tuples =
+      static_cast<double>(build_tuples) / std::pow(2.0, radix_bits);
+  const double partition_bytes = partition_tuples * tuple_bytes;
+  if (partition_bytes > static_cast<double>(cpu_.l2_bytes_per_core)) {
+    const double spill = tuples * static_cast<double>(tuple_bytes);
+    join_s += spill / (StreamBwGbps(threads) * kRandomBwUtilization * 1e9);
+  }
+  cost.build_s = join_s * (static_cast<double>(build_tuples) / tuples);
+  cost.probe_s = join_s * (static_cast<double>(probe_tuples) / tuples);
+  cost.fixed_s = cpu_.fixed_join_overhead_s;
+  cost.total_s = cost.partition_s + join_s + cost.fixed_s;
+  return cost;
+}
+
+}  // namespace gjoin::hw

@@ -1,0 +1,71 @@
+// Analytic cost model for the CPU-side algorithms: the state-of-the-art
+// CPU baselines (NPO / PRO from Balkesen et al. [3]) and the CPU radix
+// partitioning phase of the co-processing strategy.
+//
+// Like the GPU cost model, this converts *observed work* into modeled
+// seconds on the paper's dual E5-2650L v3 testbed; the algorithms
+// themselves execute functionally (src/cpu) so results are verified.
+
+#ifndef GJOIN_HW_CPU_COST_H_
+#define GJOIN_HW_CPU_COST_H_
+
+#include <cstdint>
+
+#include "hw/spec.h"
+
+namespace gjoin::hw {
+
+/// \brief Breakdown of a modeled CPU join.
+struct CpuJoinCost {
+  double partition_s = 0;  ///< Radix partitioning passes (PRO only).
+  double build_s = 0;      ///< Hash-table build.
+  double probe_s = 0;      ///< Probe phase.
+  double fixed_s = 0;      ///< Thread spawn, barriers, histogram merges.
+  double total_s = 0;
+};
+
+/// \brief Times CPU-side work from workload parameters.
+class CpuCostModel {
+ public:
+  explicit CpuCostModel(const CpuSpec& cpu) : cpu_(cpu) {}
+
+  /// Aggregate achievable streaming bandwidth of `threads` threads (GB/s),
+  /// capped by the sockets they can occupy.
+  double StreamBwGbps(int threads) const;
+
+  /// Radix-partition *output* production rate (GB/s of partitioned tuples
+  /// written) for `threads` threads using software-managed buffers with
+  /// non-temporal stores. Paper Section V-C: ~40 GB/s at 16 threads.
+  double PartitionOutputGbps(int threads) const;
+
+  /// Seconds for one radix partitioning pass over `bytes` of tuple data.
+  double PartitionPassSeconds(uint64_t bytes, int threads) const;
+
+  /// Memory-traffic *demand* (GB/s) the partitioning threads place on the
+  /// memory system, before any bandwidth cap — threads beyond the
+  /// saturation point still issue requests and contend (the >26-thread
+  /// regime of Fig. 13).
+  double PartitionTrafficDemandGbps(int threads) const;
+
+  /// Full NPO (non-partitioned hash join): shared chained hash table,
+  /// random-access bound. Sizes are in tuples of `tuple_bytes` each.
+  CpuJoinCost Npo(uint64_t build_tuples, uint64_t probe_tuples, int threads,
+                  int tuple_bytes = 8) const;
+
+  /// Full PRO (2-pass parallel radix join with `radix_bits` total fanout).
+  CpuJoinCost Pro(uint64_t build_tuples, uint64_t probe_tuples, int threads,
+                  int tuple_bytes = 8, int radix_bits = 14) const;
+
+  const CpuSpec& cpu() const { return cpu_; }
+
+ private:
+  /// Random cache-line access rate (lines/s) for `threads` threads against
+  /// a structure of `working_set_bytes` (LLC hits modeled).
+  double RandomLineRate(int threads, uint64_t working_set_bytes) const;
+
+  CpuSpec cpu_;
+};
+
+}  // namespace gjoin::hw
+
+#endif  // GJOIN_HW_CPU_COST_H_

@@ -1,0 +1,80 @@
+// Execution statistics collected by functionally-executed GPU kernels.
+//
+// Kernels in src/gpujoin run for real (they compute actual join results)
+// against the simulated device in src/sim. While running, they charge
+// their memory traffic, atomic operations and compute cycles to a
+// KernelStats record. The CostModel (cost_model.h) converts a KernelStats
+// into modeled execution time on the configured HardwareSpec. Separating
+// "what the kernel did" from "how long that takes" keeps the timing model
+// testable in isolation and lets ablation benches re-time identical
+// executions under different hardware assumptions.
+
+#ifndef GJOIN_HW_KERNEL_STATS_H_
+#define GJOIN_HW_KERNEL_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gjoin::hw {
+
+/// \brief Traffic and compute counters for one kernel launch (or one
+/// thread block, before merging).
+struct KernelStats {
+  // --- Device memory ---
+  uint64_t coalesced_read_bytes = 0;    ///< Streaming, fully-coalesced reads.
+  uint64_t coalesced_write_bytes = 0;   ///< Streaming writes.
+  uint64_t scatter_write_bytes = 0;     ///< Partition-scatter writes: bursty,
+                                        ///< partially-coalesced bucket flushes.
+  uint64_t random_transactions = 0;     ///< Uncoalesced accesses, one memory
+                                        ///< transaction each.
+  uint64_t random_working_set_bytes = 0;  ///< Footprint of the random
+                                        ///< accesses, for L2 hit modeling.
+
+  // --- Shared memory & synchronization ---
+  uint64_t shared_bytes = 0;            ///< Shared-memory bytes accessed.
+  uint64_t shared_atomics = 0;          ///< Atomic ops on shared memory.
+  uint64_t device_atomics = 0;          ///< Atomic ops on device memory.
+
+  // --- Compute ---
+  uint64_t total_cycles = 0;            ///< Sum of per-block SM cycles.
+  uint64_t max_block_cycles = 0;        ///< Longest single block; bounds the
+                                        ///< kernel under load imbalance
+                                        ///< ("the longest running CUDA block
+                                        ///< defines the total execution
+                                        ///< time", paper Section III-A).
+  uint64_t num_blocks = 0;              ///< Blocks launched.
+
+  /// Accumulates another record (e.g., a block's counters into the
+  /// launch-wide record). max_block_cycles takes the max, everything else
+  /// sums.
+  void Merge(const KernelStats& other) {
+    coalesced_read_bytes += other.coalesced_read_bytes;
+    coalesced_write_bytes += other.coalesced_write_bytes;
+    scatter_write_bytes += other.scatter_write_bytes;
+    random_transactions += other.random_transactions;
+    random_working_set_bytes =
+        std::max(random_working_set_bytes, other.random_working_set_bytes);
+    shared_bytes += other.shared_bytes;
+    shared_atomics += other.shared_atomics;
+    device_atomics += other.device_atomics;
+    total_cycles += other.total_cycles;
+    max_block_cycles = std::max(max_block_cycles, other.max_block_cycles);
+    num_blocks += other.num_blocks;
+  }
+
+  /// Total device-memory bytes moved (all classes, transactions expanded
+  /// at 32B granularity).
+  uint64_t TotalDeviceBytes() const {
+    return coalesced_read_bytes + coalesced_write_bytes + scatter_write_bytes +
+           random_transactions * 32;
+  }
+
+  /// Debug rendering.
+  std::string ToString() const;
+};
+
+}  // namespace gjoin::hw
+
+#endif  // GJOIN_HW_KERNEL_STATS_H_

@@ -1,0 +1,62 @@
+// NUMA memory-system arbitration model for the co-processing pipeline.
+//
+// Section IV-B of the paper: on a two-socket machine the GPU hangs off one
+// socket ("near"). PCIe DMA reads, the CPU partitioning threads, staging
+// copies and cache-coherency traffic all share that socket's memory
+// bandwidth; when the demand exceeds it, transfer throughput collapses
+// along with CPU throughput. The paper works around this by (a) staging
+// far-socket data into near-socket pinned buffers with CPU threads, and
+// (b) capping the number of partitioning threads. This model reproduces
+// both effects (Figures 13 and 16).
+
+#ifndef GJOIN_HW_NUMA_H_
+#define GJOIN_HW_NUMA_H_
+
+#include "hw/spec.h"
+
+namespace gjoin::hw {
+
+/// \brief Bandwidth demands placed on the near socket (GB/s).
+struct NumaLoad {
+  double dma_gbps = 0;        ///< PCIe DMA reads of pinned near memory.
+  double partition_gbps = 0;  ///< CPU partitioning traffic on near socket.
+  double staging_gbps = 0;    ///< far->near staging copy traffic landing on
+                              ///< the near socket (write side).
+};
+
+/// \brief Granted rates after arbitration.
+struct NumaGrant {
+  double dma_scale = 1.0;  ///< Fraction of nominal PCIe bandwidth granted.
+  double cpu_scale = 1.0;  ///< Fraction of nominal CPU throughput granted.
+};
+
+/// \brief Models the two-socket memory system.
+class NumaModel {
+ public:
+  explicit NumaModel(const CpuSpec& cpu) : cpu_(cpu) {}
+
+  /// Arbitrates the near socket. Under overload, both DMA and CPU work
+  /// degrade; DMA retains priority (it is the pipeline's critical path and
+  /// the paper sizes thread counts to protect it), so its penalty is a
+  /// fraction of the overload rather than strict proportional sharing.
+  NumaGrant Arbitrate(const NumaLoad& load) const;
+
+  /// Effective DMA bandwidth scale for reading directly from the far
+  /// socket over QPI while `cpu_active` indicates whether CPU partitioning
+  /// traffic is concurrently crossing the link (coherency + data). This is
+  /// the "Direct copy" configuration of Figure 16.
+  double FarSocketDmaScale(double nominal_dma_gbps, bool cpu_active) const;
+
+  /// Streaming throughput (GB/s) of `threads` CPU threads performing the
+  /// staging memcpy (read far + write near), capped by QPI and socket BW.
+  double StagingCopyGbps(int threads) const;
+
+  const CpuSpec& cpu() const { return cpu_; }
+
+ private:
+  CpuSpec cpu_;
+};
+
+}  // namespace gjoin::hw
+
+#endif  // GJOIN_HW_NUMA_H_

@@ -1,0 +1,60 @@
+// PCIe transfer-time model: explicit DMA copies plus the two fallback
+// access mechanisms the paper evaluates in Figs. 21/22 (UVA zero-copy and
+// Unified Memory page migration).
+
+#ifndef GJOIN_HW_PCIE_H_
+#define GJOIN_HW_PCIE_H_
+
+#include <cstdint>
+
+#include "hw/spec.h"
+
+namespace gjoin::hw {
+
+/// \brief Times PCIe data movement under the three mechanisms.
+class PcieModel {
+ public:
+  explicit PcieModel(const PcieSpec& spec) : spec_(spec) {}
+
+  /// Seconds for one asynchronous DMA copy of `bytes` from pinned memory.
+  /// `bandwidth_scale` (0,1] derates the link, e.g. under NUMA contention.
+  double DmaSeconds(uint64_t bytes, double bandwidth_scale = 1.0) const {
+    return spec_.latency_us * 1e-6 +
+           static_cast<double>(bytes) /
+               (spec_.bw_gbps * bandwidth_scale * 1e9);
+  }
+
+  /// Seconds for device-side code to read `bytes` sequentially over UVA
+  /// (zero-copy): near-DMA throughput but no overlap with compute.
+  double UvaStreamSeconds(uint64_t bytes) const {
+    return static_cast<double>(bytes) / (spec_.uva_stream_bw_gbps * 1e9);
+  }
+
+  /// Seconds for `accesses` random device-side accesses over UVA; each
+  /// access moves one bus transaction regardless of its size.
+  double UvaRandomSeconds(uint64_t accesses) const {
+    const uint64_t bytes = accesses * spec_.uva_transaction_bytes;
+    return static_cast<double>(bytes) / (spec_.uva_random_bw_gbps * 1e9);
+  }
+
+  /// Seconds for Unified Memory to page in `touched_bytes` of data that is
+  /// currently host-resident. `retouch_factor` >= 1 multiplies the traffic
+  /// when the access pattern revisits evicted pages (poor locality), the
+  /// paper's reason UM is unfit for partitioning (Section IV).
+  double UmMigrationSeconds(uint64_t touched_bytes,
+                            double retouch_factor = 1.0) const {
+    const double bytes = static_cast<double>(touched_bytes) * retouch_factor;
+    const double pages = bytes / static_cast<double>(spec_.um_page_bytes);
+    return pages * spec_.um_fault_us * 1e-6 +
+           bytes / (spec_.um_migration_bw_gbps * 1e9);
+  }
+
+  const PcieSpec& spec() const { return spec_; }
+
+ private:
+  PcieSpec spec_;
+};
+
+}  // namespace gjoin::hw
+
+#endif  // GJOIN_HW_PCIE_H_

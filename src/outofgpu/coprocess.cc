@@ -1,0 +1,228 @@
+#include "outofgpu/coprocess.h"
+
+#include <algorithm>
+
+#include "hw/numa.h"
+#include "hw/pcie.h"
+#include "sim/timeline.h"
+#include "util/bits.h"
+
+namespace gjoin::outofgpu {
+
+using gjoin::gpujoin::JoinStats;
+using gjoin::gpujoin::OutputMode;
+
+namespace {
+
+/// Concatenates a subset of host partitions into one relation.
+data::Relation ConcatParts(const cpu::HostPartitions& parts,
+                           const std::vector<uint32_t>& which) {
+  data::Relation out;
+  size_t total = 0;
+  for (uint32_t p : which) total += parts.parts[p].size();
+  out.Reserve(total);
+  for (uint32_t p : which) {
+    const data::Relation& part = parts.parts[p];
+    out.keys.insert(out.keys.end(), part.keys.begin(), part.keys.end());
+    out.payloads.insert(out.payloads.end(), part.payloads.begin(),
+                        part.payloads.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<JoinStats> CoProcessJoin(sim::Device* device,
+                                      const data::Relation& build,
+                                      const data::Relation& probe,
+                                      const CoProcessConfig& config) {
+  const hw::HardwareSpec& spec = device->spec();
+  const hw::CpuCostModel cpu_model(spec.cpu);
+  const hw::NumaModel numa(spec.cpu);
+  const hw::PcieModel pcie(spec.pcie);
+
+  // ---- 1. Host partitioning (functional) ----
+  GJOIN_ASSIGN_OR_RETURN(
+      cpu::HostPartitions r_parts,
+      cpu::CpuRadixPartition(build, config.cpu, cpu_model));
+  GJOIN_ASSIGN_OR_RETURN(
+      cpu::HostPartitions s_parts,
+      cpu::CpuRadixPartition(probe, config.cpu, cpu_model));
+
+  // ---- 2. NUMA arbitration for the two pipeline phases ----
+  const double nominal_dma = spec.pcie.bw_gbps;
+  const double part_output = cpu_model.PartitionOutputGbps(config.cpu.threads);
+  // Partitioning traffic landing on the near socket (roughly half the
+  // threads are near-socket-local).
+  hw::NumaLoad phase_a_load;
+  phase_a_load.dma_gbps = nominal_dma;
+  // ~80% of a near-socket thread's partitioning traffic lands on its own
+  // socket (local reads + pinned-buffer writes for the working set).
+  phase_a_load.partition_gbps =
+      cpu_model.PartitionTrafficDemandGbps(config.cpu.threads) *
+      (1.0 - config.far_socket_fraction) * 0.8;
+  const hw::NumaGrant grant_a = numa.Arbitrate(phase_a_load);
+
+  hw::NumaLoad phase_b_load;
+  phase_b_load.dma_gbps = nominal_dma;
+  phase_b_load.staging_gbps =
+      config.staging ? nominal_dma * config.far_socket_fraction : 0.0;
+  const hw::NumaGrant grant_b = numa.Arbitrate(phase_b_load);
+
+  // Effective transfer-rate scales. Without staging, the far-socket
+  // share of the data crosses the congested QPI directly.
+  const double far_scale_direct = numa.FarSocketDmaScale(
+      nominal_dma, /*cpu_active=*/true);
+  auto h2d_seconds = [&](uint64_t bytes, bool first_set) {
+    const double near_scale = first_set ? grant_a.dma_scale
+                                        : grant_b.dma_scale;
+    if (config.staging) {
+      // All DMA reads hit near-socket pinned buffers.
+      return pcie.DmaSeconds(bytes, near_scale);
+    }
+    const double far_bytes =
+        static_cast<double>(bytes) * config.far_socket_fraction;
+    const double near_bytes = static_cast<double>(bytes) - far_bytes;
+    return pcie.DmaSeconds(static_cast<uint64_t>(near_bytes), near_scale) +
+           pcie.DmaSeconds(static_cast<uint64_t>(far_bytes),
+                           far_scale_direct);
+  };
+
+  // CPU-side rates.
+  const double cpu_part_gbps = part_output * grant_a.cpu_scale;
+  const double staging_gbps = numa.StagingCopyGbps(config.cpu.threads);
+
+  // ---- 3. Working sets from the build side's partition sizes ----
+  WorkingSetConfig packing = config.packing;
+  if (packing.budget_bytes == 0) {
+    packing.budget_bytes = static_cast<uint64_t>(
+        static_cast<double>(spec.gpu.device_memory_bytes) * 0.45);
+  }
+  std::vector<uint64_t> part_bytes(r_parts.parts.size());
+  for (size_t p = 0; p < r_parts.parts.size(); ++p) {
+    part_bytes[p] = r_parts.parts[p].bytes();
+  }
+  GJOIN_ASSIGN_OR_RETURN(std::vector<WorkingSet> sets,
+                         PackWorkingSets(part_bytes, packing));
+
+  // ---- 4. Per-working-set functional join + pipeline timing ----
+  // Functional execution batches each working set on a scratch device
+  // with relaxed capacity (see header); planning used the real budget.
+  hw::HardwareSpec scratch_spec = spec;
+  scratch_spec.gpu.device_memory_bytes = SIZE_MAX / 4;
+  sim::Device scratch(scratch_spec);
+
+  gjoin::gpujoin::PartitionedJoinConfig join_cfg = config.join;
+  join_cfg.partition.base_shift = config.cpu.radix_bits;
+  join_cfg.join.output = config.materialize_to_host
+                             ? OutputMode::kMaterialize
+                             : OutputMode::kAggregate;
+  if (join_cfg.join.key_bits == 0) {
+    uint32_t max_key = 1;
+    for (uint32_t k : build.keys) max_key = std::max(max_key, k);
+    join_cfg.join.key_bits = util::Log2Floor(max_key) + 1;
+  }
+
+  JoinStats stats;
+  sim::Timeline timeline;
+  std::vector<sim::OpId> gpu_ops;
+  sim::OpId last_cpu_op = -1;
+
+  const uint64_t chunk_bytes =
+      static_cast<uint64_t>(config.chunk_tuples) * data::Relation::kTupleBytes;
+  const uint64_t total_input_bytes = build.bytes() + probe.bytes();
+
+  for (size_t ws_idx = 0; ws_idx < sets.size(); ++ws_idx) {
+    const WorkingSet& ws = sets[ws_idx];
+    const bool first_set = ws_idx == 0;
+
+    data::Relation r_ws = ConcatParts(r_parts, ws.partitions);
+    data::Relation s_ws = ConcatParts(s_parts, ws.partitions);
+    if (r_ws.empty() || s_ws.empty()) continue;
+
+    GJOIN_ASSIGN_OR_RETURN(
+        gjoin::gpujoin::DeviceRelation r_dev,
+        gjoin::gpujoin::DeviceRelation::Upload(&scratch, r_ws));
+    GJOIN_ASSIGN_OR_RETURN(
+        gjoin::gpujoin::DeviceRelation s_dev,
+        gjoin::gpujoin::DeviceRelation::Upload(&scratch, s_ws));
+    GJOIN_ASSIGN_OR_RETURN(
+        JoinStats ws_join,
+        gjoin::gpujoin::PartitionedJoin(&scratch, r_dev, s_dev, join_cfg));
+    stats.matches += ws_join.matches;
+    stats.payload_sum += ws_join.payload_sum;
+
+    // Oversized singleton sets: the R side exceeds the budget, so S is
+    // re-streamed once per budget-sized R slice (GPU sub-partitioning,
+    // Section IV-B) — the skew penalty of Fig. 18.
+    const uint64_t restreams =
+        std::max<uint64_t>(1, util::CeilDiv(ws.bytes, packing.budget_bytes));
+    const uint64_t ws_transfer_bytes =
+        r_ws.bytes() + s_ws.bytes() * restreams;
+    const uint64_t ws_out_bytes =
+        config.materialize_to_host ? ws_join.matches * 8 : 0;
+
+    // Chunked pipeline ops. During the first working set the CPU stage
+    // is the chunk partitioning of the *entire* input; afterwards it is
+    // the staging copy of this set's transfer bytes.
+    const uint64_t cpu_phase_bytes =
+        first_set ? total_input_bytes
+                  : (config.staging
+                         ? static_cast<uint64_t>(
+                               static_cast<double>(ws_transfer_bytes) *
+                               config.far_socket_fraction)
+                         : 0);
+    const double cpu_rate = first_set ? cpu_part_gbps : staging_gbps;
+
+    const uint64_t num_chunks = std::max<uint64_t>(
+        1, util::CeilDiv(ws_transfer_bytes, chunk_bytes));
+    const double gpu_chunk_s =
+        ws_join.seconds / static_cast<double>(num_chunks);
+    const double h2d_chunk_s =
+        h2d_seconds(ws_transfer_bytes, first_set) /
+        static_cast<double>(num_chunks);
+    const double cpu_chunk_s =
+        cpu_phase_bytes == 0
+            ? 0.0
+            : static_cast<double>(cpu_phase_bytes) /
+                  (cpu_rate * 1e9) / static_cast<double>(num_chunks);
+    const double d2h_chunk_s =
+        ws_out_bytes == 0 ? 0.0
+                          : pcie.DmaSeconds(ws_out_bytes) /
+                                static_cast<double>(num_chunks);
+
+    for (uint64_t c = 0; c < num_chunks; ++c) {
+      std::vector<sim::OpId> h2d_deps;
+      if (cpu_chunk_s > 0) {
+        std::vector<sim::OpId> cpu_deps;
+        if (last_cpu_op >= 0) cpu_deps.push_back(last_cpu_op);
+        last_cpu_op = timeline.Add(sim::Engine::kCpu, cpu_chunk_s, cpu_deps,
+                                   first_set ? "cpu:partition" : "cpu:stage");
+        h2d_deps.push_back(last_cpu_op);
+      }
+      if (gpu_ops.size() >= 2) {
+        h2d_deps.push_back(gpu_ops[gpu_ops.size() - 2]);  // buffer free
+      }
+      const sim::OpId h2d = timeline.Add(sim::Engine::kCopyH2D, h2d_chunk_s,
+                                         h2d_deps, "h2d:ws");
+      const sim::OpId gpu = timeline.Add(sim::Engine::kComputeGpu,
+                                         gpu_chunk_s, {h2d}, "gpu:join");
+      gpu_ops.push_back(gpu);
+      if (d2h_chunk_s > 0) {
+        timeline.Add(sim::Engine::kCopyD2H, d2h_chunk_s, {gpu},
+                     "d2h:results");
+      }
+    }
+    stats.join_s += ws_join.join_s;
+    stats.partition_s += ws_join.partition_s;
+  }
+
+  GJOIN_ASSIGN_OR_RETURN(sim::Schedule schedule, timeline.Run());
+  stats.seconds = schedule.makespan_s;
+  stats.transfer_s = schedule.busy_s[static_cast<int>(sim::Engine::kCopyH2D)] +
+                     schedule.busy_s[static_cast<int>(sim::Engine::kCopyD2H)];
+  stats.cpu_s = schedule.busy_s[static_cast<int>(sim::Engine::kCpu)];
+  return stats;
+}
+
+}  // namespace gjoin::outofgpu

@@ -1,0 +1,123 @@
+#include "outofgpu/streaming_probe.h"
+
+#include <algorithm>
+
+#include "gpujoin/join_copartitions.h"
+#include "gpujoin/output_ring.h"
+#include "hw/pcie.h"
+#include "sim/timeline.h"
+#include "util/bits.h"
+
+namespace gjoin::outofgpu {
+
+using gpujoin::JoinStats;
+using gpujoin::OutputMode;
+using gpujoin::PartitionedRelation;
+
+util::Result<JoinStats> StreamingProbeJoin(sim::Device* device,
+                                           const data::Relation& build,
+                                           const data::Relation& probe,
+                                           const StreamingProbeConfig& config) {
+  if (build.empty()) {
+    JoinStats empty;
+    return empty;
+  }
+  const hw::PcieModel pcie(device->spec().pcie);
+
+  gjoin::gpujoin::PartitionedJoinConfig cfg = config.join;
+  if (cfg.join.key_bits == 0) {
+    uint32_t max_key = 1;
+    for (uint32_t k : build.keys) max_key = std::max(max_key, k);
+    cfg.join.key_bits = util::Log2Floor(max_key) + 1;
+  }
+  cfg.join.output = config.materialize_to_host ? OutputMode::kMaterialize
+                                               : OutputMode::kAggregate;
+
+  // ---- Build side: one transfer + resident partitioning ----
+  GJOIN_ASSIGN_OR_RETURN(gpujoin::DeviceRelation r_dev,
+                         gpujoin::DeviceRelation::Upload(device, build));
+  const double r_h2d_s = pcie.DmaSeconds(r_dev.bytes());
+  GJOIN_ASSIGN_OR_RETURN(PartitionedRelation r_parted,
+                         gjoin::gpujoin::RadixPartition(device, r_dev,
+                                                        cfg.partition));
+  // The raw build columns are no longer needed on-device.
+  r_dev.keys.Reset();
+  r_dev.payloads.Reset();
+
+  const size_t chunk_tuples = config.chunk_tuples != 0
+                                  ? config.chunk_tuples
+                                  : std::max<size_t>(build.size() / 2, 1);
+  const size_t num_chunks =
+      probe.empty() ? 0 : util::CeilDiv(probe.size(), chunk_tuples);
+
+  JoinStats stats;
+  sim::Timeline timeline;
+  const sim::OpId r_copy =
+      timeline.Add(sim::Engine::kCopyH2D, r_h2d_s, {}, "h2d:R");
+  const sim::OpId r_part = timeline.Add(sim::Engine::kComputeGpu,
+                                        r_parted.seconds, {r_copy}, "part:R");
+
+  // Double-buffered chunk pipeline: transfer i waits for the join that
+  // last used buffer (i % 2); joins serialize on the compute engine.
+  std::vector<sim::OpId> joins;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * chunk_tuples;
+    const size_t end = std::min(probe.size(), begin + chunk_tuples);
+
+    data::Relation chunk;
+    chunk.keys.assign(probe.keys.begin() + begin, probe.keys.begin() + end);
+    chunk.payloads.assign(probe.payloads.begin() + begin,
+                          probe.payloads.begin() + end);
+    chunk.logical_payload_bytes = probe.logical_payload_bytes;
+
+    // Functional execution of the chunk: upload, partition, join.
+    GJOIN_ASSIGN_OR_RETURN(gpujoin::DeviceRelation s_dev,
+                           gpujoin::DeviceRelation::Upload(device, chunk));
+    GJOIN_ASSIGN_OR_RETURN(
+        PartitionedRelation s_parted,
+        gjoin::gpujoin::RadixPartition(device, s_dev, cfg.partition));
+
+    gjoin::gpujoin::OutputRing ring;
+    gjoin::gpujoin::OutputRing* ring_ptr = nullptr;
+    if (config.materialize_to_host) {
+      GJOIN_ASSIGN_OR_RETURN(
+          ring, gjoin::gpujoin::OutputRing::Allocate(&device->memory(),
+                                                     chunk.size() + 1));
+      ring_ptr = &ring;
+    }
+    GJOIN_ASSIGN_OR_RETURN(
+        gjoin::gpujoin::CoPartitionJoinResult chunk_join,
+        gjoin::gpujoin::JoinCoPartitions(device, r_parted, s_parted, cfg.join,
+                                         ring_ptr));
+    stats.matches += chunk_join.matches;
+    stats.payload_sum += chunk_join.payload_sum;
+
+    // Pipeline ops for this chunk.
+    std::vector<sim::OpId> copy_deps;
+    if (joins.size() >= 2) copy_deps.push_back(joins[joins.size() - 2]);
+    const sim::OpId h2d = timeline.Add(
+        sim::Engine::kCopyH2D, pcie.DmaSeconds(chunk.bytes()), copy_deps,
+        "h2d:chunk");
+    const double gpu_s = s_parted.seconds + chunk_join.seconds;
+    std::vector<sim::OpId> join_deps = {h2d, r_part};
+    const sim::OpId join_op =
+        timeline.Add(sim::Engine::kComputeGpu, gpu_s, join_deps, "join:chunk");
+    joins.push_back(join_op);
+    if (config.materialize_to_host) {
+      timeline.Add(sim::Engine::kCopyD2H,
+                   pcie.DmaSeconds(chunk_join.matches * 8), {join_op},
+                   "d2h:results");
+    }
+    stats.partition_s += s_parted.seconds;
+    stats.join_s += chunk_join.seconds;
+  }
+
+  GJOIN_ASSIGN_OR_RETURN(sim::Schedule schedule, timeline.Run());
+  stats.seconds = schedule.makespan_s;
+  stats.transfer_s = schedule.busy_s[static_cast<int>(sim::Engine::kCopyH2D)] +
+                     schedule.busy_s[static_cast<int>(sim::Engine::kCopyD2H)];
+  stats.partition_s += r_parted.seconds;
+  return stats;
+}
+
+}  // namespace gjoin::outofgpu

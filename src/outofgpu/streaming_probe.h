@@ -1,0 +1,49 @@
+// Out-of-GPU execution strategy 1: streaming the probe side
+// (Section IV-A, Figure 11).
+//
+// The build relation fits in GPU memory: it is transferred once and
+// partitioned in place. The probe relation is split into chunks ("half
+// the size of the build table" by default, as in the paper's
+// experiments); each chunk is DMA-transferred into one of two device
+// buffers while the previous chunk is partitioned and joined against the
+// resident build partitions — the double-buffered pipeline of Figure 2.
+// With materialization, results flow back on the second DMA engine
+// (Figure 4). Total time is the Timeline makespan: when transfers are
+// the bottleneck, it approaches transfer-time + last-chunk-join, giving
+// near-PCIe-bandwidth join throughput.
+
+#ifndef GJOIN_OUTOFGPU_STREAMING_PROBE_H_
+#define GJOIN_OUTOFGPU_STREAMING_PROBE_H_
+
+#include "data/relation.h"
+#include "gpujoin/partitioned_join.h"
+#include "sim/device.h"
+#include "util/status.h"
+
+namespace gjoin::outofgpu {
+
+/// \brief Configuration of the streaming-probe strategy.
+struct StreamingProbeConfig {
+  /// GPU-side partitioning/join parameters.
+  gpujoin::PartitionedJoinConfig join;
+
+  /// Probe chunk size in tuples; 0 = half the build cardinality (the
+  /// paper's setting).
+  size_t chunk_tuples = 0;
+
+  /// Materialize results and transfer them to the host (the
+  /// "Materialization" series of Fig. 11); false aggregates on-GPU.
+  bool materialize_to_host = false;
+};
+
+/// Runs the streaming-probe join: `build` must fit in device memory,
+/// `probe` streams from the host. Returns verified counts and modeled
+/// pipeline timing (seconds = makespan; transfer_s / join_s = engine
+/// busy times).
+util::Result<gpujoin::JoinStats> StreamingProbeJoin(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe, const StreamingProbeConfig& config);
+
+}  // namespace gjoin::outofgpu
+
+#endif  // GJOIN_OUTOFGPU_STREAMING_PROBE_H_

@@ -1,0 +1,138 @@
+#include "outofgpu/working_set.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gjoin::outofgpu {
+
+namespace {
+
+/// Exact 0/1 knapsack by branch-and-bound over items sorted by size
+/// (descending): maximize total bytes <= budget. Item counts here are
+/// small (the paper uses 16-way CPU partitioning), so this is fast; for
+/// pathological fanouts the bound still prunes aggressively.
+void Knapsack(const std::vector<std::pair<uint64_t, uint32_t>>& items,
+              size_t i, uint64_t current, uint64_t budget,
+              uint64_t remaining_total, std::vector<bool>* chosen,
+              uint64_t* best, std::vector<bool>* best_set) {
+  if (current > budget) return;
+  if (current + remaining_total <= *best) return;  // bound: cannot improve
+  if (i == items.size()) {
+    if (current > *best) {
+      *best = current;
+      *best_set = *chosen;
+    }
+    return;
+  }
+  const uint64_t size = items[i].first;
+  // Take.
+  if (current + size <= budget) {
+    (*chosen)[i] = true;
+    Knapsack(items, i + 1, current + size, budget, remaining_total - size,
+             chosen, best, best_set);
+    (*chosen)[i] = false;
+  }
+  // Skip.
+  Knapsack(items, i + 1, current, budget, remaining_total - size, chosen,
+           best, best_set);
+}
+
+}  // namespace
+
+util::Result<std::vector<WorkingSet>> PackWorkingSets(
+    const std::vector<uint64_t>& partition_bytes,
+    const WorkingSetConfig& config) {
+  if (config.budget_bytes == 0) {
+    return util::Status::Invalid("working-set budget must be positive");
+  }
+  const uint64_t oversize = config.oversize_threshold != 0
+                                ? config.oversize_threshold
+                                : config.budget_bytes / 2;
+
+  std::vector<WorkingSet> sets;
+  std::vector<bool> assigned(partition_bytes.size(), false);
+  // Empty partitions never need transferring.
+  for (size_t p = 0; p < partition_bytes.size(); ++p) {
+    if (partition_bytes[p] == 0) assigned[p] = true;
+  }
+
+  // Partitions that alone exceed the budget go into singleton sets (the
+  // GPU sub-partitions them).
+  for (size_t p = 0; p < partition_bytes.size(); ++p) {
+    if (!assigned[p] && partition_bytes[p] > config.budget_bytes) {
+      sets.push_back({{static_cast<uint32_t>(p)}, partition_bytes[p]});
+      assigned[p] = true;
+    }
+  }
+
+  // Step 1: the first regular working set.
+  std::vector<std::pair<uint64_t, uint32_t>> items;  // (bytes, partition)
+  for (size_t p = 0; p < partition_bytes.size(); ++p) {
+    if (!assigned[p]) items.push_back({partition_bytes[p],
+                                       static_cast<uint32_t>(p)});
+  }
+  std::sort(items.begin(), items.end(), std::greater<>());
+
+  if (!items.empty()) {
+    WorkingSet first;
+    if (config.knapsack_first_set) {
+      uint64_t total = 0;
+      for (const auto& [size, p] : items) total += size;
+      std::vector<bool> chosen(items.size(), false);
+      std::vector<bool> best_set(items.size(), false);
+      uint64_t best = 0;
+      Knapsack(items, 0, 0, config.budget_bytes, total, &chosen, &best,
+               &best_set);
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (best_set[i]) {
+          first.partitions.push_back(items[i].second);
+          first.bytes += items[i].first;
+          assigned[items[i].second] = true;
+        }
+      }
+    } else {
+      // Naive: take partitions in index order until the budget is hit.
+      for (size_t p = 0; p < partition_bytes.size(); ++p) {
+        if (assigned[p]) continue;
+        if (first.bytes + partition_bytes[p] > config.budget_bytes) break;
+        first.partitions.push_back(static_cast<uint32_t>(p));
+        first.bytes += partition_bytes[p];
+        assigned[p] = true;
+      }
+    }
+    if (!first.partitions.empty()) sets.push_back(std::move(first));
+  }
+
+  // Step 2: greedy descending packing of the rest, <= 1 oversized
+  // partition per set.
+  std::vector<std::pair<uint64_t, uint32_t>> rest;
+  for (size_t p = 0; p < partition_bytes.size(); ++p) {
+    if (!assigned[p]) rest.push_back({partition_bytes[p],
+                                      static_cast<uint32_t>(p)});
+  }
+  std::sort(rest.begin(), rest.end(), std::greater<>());
+  std::vector<WorkingSet> open;
+  std::vector<int> open_oversized;  // count per open set
+  for (const auto& [size, p] : rest) {
+    const bool big = size > oversize;
+    bool placed = false;
+    for (size_t i = 0; i < open.size(); ++i) {
+      if (open[i].bytes + size <= config.budget_bytes &&
+          (!big || open_oversized[i] == 0)) {
+        open[i].partitions.push_back(p);
+        open[i].bytes += size;
+        open_oversized[i] += big ? 1 : 0;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      open.push_back({{p}, size});
+      open_oversized.push_back(big ? 1 : 0);
+    }
+  }
+  for (auto& ws : open) sets.push_back(std::move(ws));
+  return sets;
+}
+
+}  // namespace gjoin::outofgpu

@@ -1,0 +1,55 @@
+// Working-set selection for the co-processing strategy (Section IV-D).
+//
+// Partitions produced by the CPU pre-partitioning must be grouped into
+// "working sets" that are GPU-resident one at a time. Two constraints:
+// each set must fit the GPU memory allocated to the build side, and the
+// *first* set should be as large as possible so that transferring it
+// hides the CPU partitioning of all chunks behind it. Skew makes
+// partition sizes uneven, so a naive packing violates one or the other.
+//
+// The paper's two-step approach, implemented here:
+//  1. a knapsack maximizing the tuple count of the first working set
+//     under the memory budget (exact branch-and-bound for the 16-way
+//     fanouts in play), and
+//  2. greedy packing of the rest, with at most one "oversized" partition
+//     (above `oversize_threshold`) per set, since such partitions need
+//     extra buffer space for GPU-side sub-partitioning.
+
+#ifndef GJOIN_OUTOFGPU_WORKING_SET_H_
+#define GJOIN_OUTOFGPU_WORKING_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gjoin::outofgpu {
+
+/// \brief One working set: partition indices plus their total size.
+struct WorkingSet {
+  std::vector<uint32_t> partitions;
+  uint64_t bytes = 0;
+};
+
+/// \brief Packing constraints.
+struct WorkingSetConfig {
+  uint64_t budget_bytes = 0;       ///< GPU memory for the build side.
+  uint64_t oversize_threshold = 0; ///< Partitions above this count as
+                                   ///< oversized; <= 1 per set. 0 =
+                                   ///< budget / 2.
+  bool knapsack_first_set = true;  ///< false = naive sequential packing
+                                   ///< (the ablation baseline).
+};
+
+/// Packs partitions (given by size in bytes) into working sets. Returns
+/// Invalid if the budget is zero; a single partition larger than the
+/// budget is placed alone in its own set (the caller sub-partitions it
+/// on the GPU, Section IV-B: "If the aggregate size of two co-partitions
+/// is larger than the GPU memory, they are further partitioned").
+util::Result<std::vector<WorkingSet>> PackWorkingSets(
+    const std::vector<uint64_t>& partition_bytes,
+    const WorkingSetConfig& config);
+
+}  // namespace gjoin::outofgpu
+
+#endif  // GJOIN_OUTOFGPU_WORKING_SET_H_

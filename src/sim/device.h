@@ -1,0 +1,102 @@
+// The simulated GPU device: kernel launches with functional execution and
+// modeled timing.
+//
+// Device::Launch runs a kernel body once per thread block (parallelized
+// over host threads purely for wall-clock speed — modeled time is
+// unaffected), merges the per-block KernelStats and converts them to
+// modeled seconds with the hw::CostModel. A Device also owns the
+// simulated device memory and accumulates a profile of all launches,
+// which the experiment harness reads to report phase breakdowns
+// (partition vs build vs probe), mirroring the "join co-partitions"
+// series of Figures 5 and 6.
+
+#ifndef GJOIN_SIM_DEVICE_H_
+#define GJOIN_SIM_DEVICE_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "hw/spec.h"
+#include "sim/block.h"
+#include "sim/device_memory.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace gjoin::sim {
+
+/// \brief Grid/block geometry of one kernel launch.
+struct LaunchConfig {
+  std::string name;              ///< Kernel name, for profiles and tests.
+  int num_blocks = 1;            ///< Grid size.
+  int threads_per_block = 1024;  ///< Block size (multiple of 32).
+  size_t shared_mem_bytes = 48 << 10;  ///< Shared memory per block.
+};
+
+/// \brief Outcome of a kernel launch: what it did and what that costs.
+struct LaunchResult {
+  hw::KernelStats stats;
+  hw::KernelCost cost;
+  /// Modeled execution time (== cost.total_s).
+  double seconds = 0;
+};
+
+/// \brief One entry of the device's launch profile.
+struct ProfileEntry {
+  std::string name;
+  hw::KernelStats stats;
+  double seconds = 0;
+};
+
+/// \brief Simulated GPU.
+class Device {
+ public:
+  /// \param spec hardware description (GTX 1080 testbed by default)
+  /// \param pool host threads for functional execution; defaults to the
+  ///        process-wide pool.
+  explicit Device(const hw::HardwareSpec& spec,
+                  util::ThreadPool* pool = nullptr);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Launches a kernel: `body` runs once per block. Returns Invalid if
+  /// the launch configuration violates device limits (block size, shared
+  /// memory) — the same errors CUDA reports at launch time.
+  util::Result<LaunchResult> Launch(const LaunchConfig& config,
+                                    const std::function<void(Block&)>& body);
+
+  /// Simulated device memory (capacity-accounted allocations).
+  DeviceMemory& memory() { return memory_; }
+
+  /// Timing model in use.
+  const hw::CostModel& cost_model() const { return cost_model_; }
+
+  /// Machine description.
+  const hw::HardwareSpec& spec() const { return spec_; }
+
+  /// All launches since construction or the last ClearProfile().
+  std::vector<ProfileEntry> profile() const;
+
+  /// Sum of modeled seconds of profiled launches whose name contains
+  /// `substr` (empty matches all).
+  double ProfiledSeconds(const std::string& substr = "") const;
+
+  /// Resets the launch profile.
+  void ClearProfile();
+
+ private:
+  hw::HardwareSpec spec_;
+  hw::CostModel cost_model_;
+  DeviceMemory memory_;
+  util::ThreadPool* pool_;
+
+  mutable std::mutex profile_mu_;
+  std::vector<ProfileEntry> profile_;
+};
+
+}  // namespace gjoin::sim
+
+#endif  // GJOIN_SIM_DEVICE_H_

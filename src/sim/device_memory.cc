@@ -1,0 +1,25 @@
+#include "sim/device_memory.h"
+
+namespace gjoin::sim {
+
+util::Status DeviceMemory::Reserve(size_t bytes) {
+  size_t current = used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (current + bytes > capacity_) {
+      return util::Status::OutOfMemory(
+          "device memory exhausted: requested " + std::to_string(bytes) +
+          " bytes, " + std::to_string(capacity_ - current) + " of " +
+          std::to_string(capacity_) + " available");
+    }
+    if (used_.compare_exchange_weak(current, current + bytes,
+                                    std::memory_order_relaxed)) {
+      return util::Status::OK();
+    }
+  }
+}
+
+void DeviceMemory::Release(size_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace gjoin::sim

@@ -1,0 +1,131 @@
+// Simulated GPU device memory: host-backed allocations with device-
+// capacity accounting.
+//
+// Kernels in this reproduction execute on the host, so a "device buffer"
+// is ordinary memory — but allocation is accounted against the simulated
+// device's capacity (8 GB for the GTX 1080 testbed). Capacity exhaustion
+// returns OutOfMemory exactly where a real cudaMalloc would fail, which
+// drives the paper's data-placement decisions: in-GPU vs streaming vs
+// co-processing (Sections III/IV) and the GPU-residency cutoffs of
+// Figures 14/15.
+
+#ifndef GJOIN_SIM_DEVICE_MEMORY_H_
+#define GJOIN_SIM_DEVICE_MEMORY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace gjoin::sim {
+
+class DeviceMemory;
+
+/// \brief Move-only typed allocation in simulated device memory.
+///
+/// Frees its reservation on destruction. The backing store is plain host
+/// memory, so kernels (which run on the host) index it directly.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::move(other.data_);
+      size_ = other.size_;
+      owner_ = other.owner_;
+      other.size_ = 0;
+      other.owner_ = nullptr;
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  ~DeviceBuffer() { Reset(); }
+
+  /// Element access (device-side from kernels, host-side from tests).
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  /// Number of elements.
+  size_t size() const { return size_; }
+  /// Allocation size in bytes.
+  size_t bytes() const { return size_ * sizeof(T); }
+  /// True iff this buffer holds an allocation.
+  bool allocated() const { return data_ != nullptr; }
+
+  /// Releases the allocation and returns capacity to the device.
+  void Reset();
+
+ private:
+  friend class DeviceMemory;
+  DeviceBuffer(std::unique_ptr<T[]> data, size_t size, DeviceMemory* owner)
+      : data_(std::move(data)), size_(size), owner_(owner) {}
+
+  std::unique_ptr<T[]> data_;
+  size_t size_ = 0;
+  DeviceMemory* owner_ = nullptr;
+};
+
+/// \brief Capacity-accounted allocator for simulated device memory.
+///
+/// Thread-safe. Must outlive all DeviceBuffers it hands out.
+class DeviceMemory {
+ public:
+  /// \param capacity_bytes total simulated device memory.
+  explicit DeviceMemory(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  DeviceMemory(const DeviceMemory&) = delete;
+  DeviceMemory& operator=(const DeviceMemory&) = delete;
+
+  /// Allocates `count` elements of T; OutOfMemory when the reservation
+  /// would exceed the device capacity. Contents are zero-initialized
+  /// (unlike cudaMalloc) so kernels start deterministic.
+  template <typename T>
+  util::Result<DeviceBuffer<T>> Allocate(size_t count) {
+    const size_t bytes = count * sizeof(T);
+    GJOIN_RETURN_NOT_OK(Reserve(bytes));
+    // value-initialization zeroes the array.
+    auto data = std::make_unique<T[]>(count);
+    return DeviceBuffer<T>(std::move(data), count, this);
+  }
+
+  /// Bytes currently allocated.
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  /// Total capacity in bytes.
+  size_t capacity() const { return capacity_; }
+  /// Bytes still available.
+  size_t available() const { return capacity_ - used(); }
+
+ private:
+  template <typename T>
+  friend class DeviceBuffer;
+
+  util::Status Reserve(size_t bytes);
+  void Release(size_t bytes);
+
+  size_t capacity_;
+  std::atomic<size_t> used_{0};
+};
+
+template <typename T>
+void DeviceBuffer<T>::Reset() {
+  if (owner_ != nullptr) {
+    owner_->Release(bytes());
+    owner_ = nullptr;
+  }
+  data_.reset();
+  size_ = 0;
+}
+
+}  // namespace gjoin::sim
+
+#endif  // GJOIN_SIM_DEVICE_MEMORY_H_

@@ -1,0 +1,53 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+namespace gjoin::sim {
+
+OpId Timeline::Add(Engine engine, double duration_s, std::vector<OpId> deps,
+                   std::string label) {
+  Op op;
+  op.engine = engine;
+  op.duration_s = duration_s;
+  op.deps = std::move(deps);
+  op.label = std::move(label);
+  ops_.push_back(std::move(op));
+  return static_cast<OpId>(ops_.size()) - 1;
+}
+
+util::Result<Schedule> Timeline::Run() const {
+  Schedule schedule;
+  schedule.start_s.resize(ops_.size(), 0);
+  schedule.finish_s.resize(ops_.size(), 0);
+  double engine_free[kNumEngines] = {0, 0, 0, 0};
+
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    double ready = 0;
+    for (OpId dep : op.deps) {
+      if (dep < 0 || static_cast<size_t>(dep) >= i) {
+        return util::Status::Invalid(
+            "op " + std::to_string(i) + " ('" + op.label +
+            "') depends on invalid or later op " + std::to_string(dep));
+      }
+      ready = std::max(ready, schedule.finish_s[static_cast<size_t>(dep)]);
+    }
+    const int engine = static_cast<int>(op.engine);
+    const double start = std::max(ready, engine_free[engine]);
+    const double finish = start + op.duration_s;
+    schedule.start_s[i] = start;
+    schedule.finish_s[i] = finish;
+    engine_free[engine] = finish;
+    schedule.busy_s[engine] += op.duration_s;
+    schedule.makespan_s = std::max(schedule.makespan_s, finish);
+  }
+  return schedule;
+}
+
+double Timeline::Makespan() const {
+  auto schedule = Run();
+  schedule.status().CheckOK();
+  return schedule.ValueOrDie().makespan_s;
+}
+
+}  // namespace gjoin::sim

@@ -1,0 +1,93 @@
+// Stream/event scheduler for asynchronous pipelines.
+//
+// CUDA programs overlap PCIe transfers with kernel execution using
+// streams (per-engine FIFO queues) and events (cross-stream dependencies).
+// The paper's out-of-GPU strategies are pipelines built exactly this way
+// (Figures 2-4): double-buffered H2D copies on one stream, join kernels
+// on another, D2H result copies on a third, CPU partitioning feeding the
+// front. Timeline reproduces the scheduling semantics: operations on the
+// same engine serialize in issue order (hardware queues), operations wait
+// for their declared dependencies (events), and the makespan of the whole
+// DAG is the pipeline's modeled execution time.
+
+#ifndef GJOIN_SIM_TIMELINE_H_
+#define GJOIN_SIM_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gjoin::sim {
+
+/// \brief Hardware queues that execute operations.
+enum class Engine : int {
+  kComputeGpu = 0,  ///< GPU kernels (one at a time; join kernels saturate
+                    ///< the device, as in the paper's execution model).
+  kCopyH2D = 1,     ///< Host-to-device DMA engine.
+  kCopyD2H = 2,     ///< Device-to-host DMA engine.
+  kCpu = 3,         ///< The host thread team (partitioning, staging).
+};
+
+/// Number of distinct engines.
+inline constexpr int kNumEngines = 4;
+
+/// Identifier of an operation within a Timeline.
+using OpId = int;
+
+/// \brief One scheduled operation.
+struct Op {
+  Engine engine;
+  double duration_s = 0;
+  std::vector<OpId> deps;  ///< Must finish before this op starts.
+  std::string label;
+};
+
+/// \brief Computed schedule of a Timeline.
+struct Schedule {
+  std::vector<double> start_s;
+  std::vector<double> finish_s;
+  double makespan_s = 0;
+  /// Total busy time per engine, for utilization reporting (e.g. "the
+  /// transfer unit will always be busy", Section IV-A).
+  double busy_s[kNumEngines] = {0, 0, 0, 0};
+
+  /// Utilization of `engine` over the makespan, in [0, 1].
+  double Utilization(Engine engine) const {
+    return makespan_s > 0 ? busy_s[static_cast<int>(engine)] / makespan_s : 0;
+  }
+};
+
+/// \brief Builds and evaluates an asynchronous-operation DAG.
+class Timeline {
+ public:
+  /// Appends an operation. Dependencies must refer to already-added ops
+  /// (CUDA events are recorded before they are waited on). Returns the
+  /// operation's id.
+  OpId Add(Engine engine, double duration_s, std::vector<OpId> deps = {},
+           std::string label = "");
+
+  /// Number of operations added.
+  size_t size() const { return ops_.size(); }
+
+  /// The operations (for tests / inspection).
+  const std::vector<Op>& ops() const { return ops_; }
+
+  /// Evaluates the schedule. Engines process their operations in issue
+  /// order; an operation starts when its engine is free AND all its
+  /// dependencies have finished. Returns Invalid if a dependency id is
+  /// out of range or refers to a later op.
+  util::Result<Schedule> Run() const;
+
+  /// Convenience: makespan of Run() (aborts on malformed timelines —
+  /// which are programming errors).
+  double Makespan() const;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace gjoin::sim
+
+#endif  // GJOIN_SIM_TIMELINE_H_

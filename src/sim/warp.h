@@ -1,0 +1,81 @@
+// Warp-level primitives with CUDA semantics, executed in lockstep.
+//
+// A warp is modeled explicitly-SIMD: per-lane values live in a
+// LaneArray<T> (32 entries) and every primitive operates on all lanes at
+// once, which makes lock-step semantics trivially correct. The ballot-
+// based nested-loop probe of the paper's Listing 1 and the warp-buffered
+// output of Section III-C are written directly against these primitives.
+
+#ifndef GJOIN_SIM_WARP_H_
+#define GJOIN_SIM_WARP_H_
+
+#include <array>
+#include <cstdint>
+
+#include "sim/block.h"
+
+namespace gjoin::sim {
+
+/// Threads per warp (fixed by the CUDA model).
+inline constexpr int kWarpSize = 32;
+
+/// Per-lane register values of one warp.
+template <typename T>
+using LaneArray = std::array<T, kWarpSize>;
+
+/// CUDA __ballot_sync: builds a 32-bit mask with bit i set iff lane i's
+/// predicate is non-zero, broadcast to every lane. Charges one warp
+/// instruction.
+inline uint32_t Ballot(Block& block, const LaneArray<uint32_t>& pred) {
+  uint32_t mask = 0;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (pred[lane] != 0) mask |= (1u << lane);
+  }
+  block.ChargeCycles(1);
+  return mask;
+}
+
+/// CUDA __shfl_sync: every lane receives the value held by `src_lane`.
+template <typename T>
+inline LaneArray<T> ShuffleBroadcast(Block& block, const LaneArray<T>& value,
+                                     int src_lane) {
+  LaneArray<T> out;
+  out.fill(value[static_cast<size_t>(src_lane & (kWarpSize - 1))]);
+  block.ChargeCycles(1);
+  return out;
+}
+
+/// CUDA __shfl_sync with per-lane source indices.
+template <typename T>
+inline LaneArray<T> Shuffle(Block& block, const LaneArray<T>& value,
+                            const LaneArray<int>& src_lane) {
+  LaneArray<T> out;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    out[lane] = value[static_cast<size_t>(src_lane[lane] & (kWarpSize - 1))];
+  }
+  block.ChargeCycles(1);
+  return out;
+}
+
+/// CUDA __any_sync.
+inline bool Any(Block& block, const LaneArray<uint32_t>& pred) {
+  return Ballot(block, pred) != 0;
+}
+
+/// Exclusive prefix count of set bits below each lane in `mask` — the
+/// idiom warps use to compute per-lane write offsets into a shared output
+/// buffer (__popc(mask & lanemask_lt)).
+inline LaneArray<int> PrefixRanks(Block& block, uint32_t mask) {
+  LaneArray<int> ranks;
+  int count = 0;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    ranks[lane] = count;
+    if (mask & (1u << lane)) ++count;
+  }
+  block.ChargeCycles(2);  // popc + lanemask arithmetic
+  return ranks;
+}
+
+}  // namespace gjoin::sim
+
+#endif  // GJOIN_SIM_WARP_H_

@@ -1,0 +1,45 @@
+// Behavioural model of CoGaDB [8, 9], the research GPU DBMS the paper
+// compares against (Figures 14 and 15).
+//
+// Characterized by: an operator-at-a-time execution model that
+// materializes every intermediate (tid lists, gathered columns) in GPU
+// memory; GPU-resident operation only ("not designed to operate on
+// joins that do not fit one of the two sides in GPU memory"); and a
+// loading failure at TPC-H SF100 ("failing to resize an internal data
+// structure"), modeled as a cap on loadable relation cardinality.
+// Substitution recorded in DESIGN.md §1.
+
+#ifndef GJOIN_SYSTEMS_COGADB_H_
+#define GJOIN_SYSTEMS_COGADB_H_
+
+#include "data/relation.h"
+#include "gpujoin/types.h"
+#include "sim/device.h"
+#include "util/status.h"
+
+namespace gjoin::systems {
+
+/// \brief Model parameters for CoGaDB.
+struct CoGaDbConfig {
+  uint64_t max_load_tuples = 512ull << 20;  ///< Internal container limit
+                                            ///< (SF100 lineitem ~600M
+                                            ///< rows exceeds it).
+  double operator_overhead_factor = 3.5;    ///< Operator-at-a-time engine
+                                            ///< overhead: every operator
+                                            ///< materializes and re-scans
+                                            ///< its full input column.
+  double memory_headroom = 3.0;  ///< Inputs + intermediates must fit:
+                                 ///< headroom x input bytes <= device.
+};
+
+/// Executes a join the way CoGaDB would: copy both relations to the GPU,
+/// run an operator-at-a-time non-partitioned join materializing tid
+/// lists, and gather results. Errors when data cannot be GPU-resident or
+/// exceeds the loader's container limit.
+util::Result<gjoin::gpujoin::JoinStats> CoGaDbJoin(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe, const CoGaDbConfig& config = CoGaDbConfig());
+
+}  // namespace gjoin::systems
+
+#endif  // GJOIN_SYSTEMS_COGADB_H_

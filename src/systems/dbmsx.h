@@ -1,0 +1,48 @@
+// Behavioural model of DBMS-X, the commercial code-generating GPU
+// database the paper compares against (Figures 14 and 15).
+//
+// The paper characterizes DBMS-X by: (a) per-query code-generation
+// overhead; (b) a non-partitioned GPU hash join over GPU-resident data
+// while the inputs fit below a ~32M-tuple residency cutoff; (c) beyond
+// that, "DBMS-X does not load data into GPU memory and simply executes
+// an out-of-GPU join over CPU-memory resident tables" — an order of
+// magnitude slower; and (d) a failure on the TPC-H SF100
+// lineitem-orders join attributed to "internal integer size differences
+// in the data type used to represent keys" — modeled as an error when
+// the key domain exceeds 2^29.
+//
+// This substitution is recorded in DESIGN.md §1: the join itself
+// executes functionally (results verified), and the timing model encodes
+// exactly the behaviours the paper reports.
+
+#ifndef GJOIN_SYSTEMS_DBMSX_H_
+#define GJOIN_SYSTEMS_DBMSX_H_
+
+#include "data/relation.h"
+#include "gpujoin/types.h"
+#include "sim/device.h"
+#include "util/status.h"
+
+namespace gjoin::systems {
+
+/// \brief Model parameters for DBMS-X.
+struct DbmsXConfig {
+  double codegen_overhead_s = 0.005;   ///< Per-query compile time
+                                       ///< (mostly cached across the
+                                       ///< repeated runs the paper uses).
+  uint64_t residency_cutoff_tuples = 32ull << 20;  ///< ~32M tuples/side.
+  uint64_t max_key_domain = 1ull << 29;  ///< Key-representation limit.
+  double engine_overhead_factor = 1.35;  ///< Engine slowdown vs our raw
+                                         ///< non-partitioned kernel.
+};
+
+/// Executes a join the way DBMS-X would. Returns ExecutionError when the
+/// key domain exceeds the engine's integer limits (the SF100 orders
+/// failure).
+util::Result<gjoin::gpujoin::JoinStats> DbmsXJoin(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe, const DbmsXConfig& config = DbmsXConfig());
+
+}  // namespace gjoin::systems
+
+#endif  // GJOIN_SYSTEMS_DBMSX_H_

@@ -1,0 +1,81 @@
+// Bit-manipulation helpers and the hash functions used by all join
+// implementations in gjoin.
+//
+// The radix joins in this project follow the convention of the CPU radix
+// join literature (Boncz et al. [1], Balkesen et al. [3]): partitioning
+// uses a contiguous field of low-order key bits ("radix bits"), and any
+// in-partition hash table hashes on bits *above* the partitioning bits so
+// that the two levels are independent.
+
+#ifndef GJOIN_UTIL_BITS_H_
+#define GJOIN_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace gjoin::util {
+
+/// True iff v is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v must be >= 1).
+constexpr uint64_t NextPowerOfTwo(uint64_t v) { return std::bit_ceil(v); }
+
+/// Floor of log2(v); v must be > 0.
+constexpr int Log2Floor(uint64_t v) { return 63 - std::countl_zero(v); }
+
+/// Ceil of log2(v); v must be > 0.
+constexpr int Log2Ceil(uint64_t v) {
+  return (v <= 1) ? 0 : Log2Floor(v - 1) + 1;
+}
+
+/// Number of set bits.
+constexpr int PopCount(uint64_t v) { return std::popcount(v); }
+constexpr int PopCount32(uint32_t v) { return std::popcount(v); }
+
+/// Ceiling division for non-negative integers.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Rounds a up to the next multiple of b (b > 0).
+constexpr uint64_t RoundUp(uint64_t a, uint64_t b) { return CeilDiv(a, b) * b; }
+
+/// Extracts `bits` partition bits from `key` starting at bit `shift`.
+/// This is the radix function used by every partitioning pass.
+constexpr uint32_t RadixOf(uint32_t key, int shift, int bits) {
+  return (key >> shift) & ((1u << bits) - 1u);
+}
+
+/// Finalizer-style 32-bit mixer (from MurmurHash3). Used where a
+/// partition-independent hash of the full key is needed.
+constexpr uint32_t Mix32(uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+/// 64-bit mixer (SplitMix64 finalizer).
+constexpr uint64_t Mix64(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Hash used for in-partition hash tables: hashes the key bits above the
+/// `partition_bits` low bits already consumed by partitioning, folded into
+/// `slots` (a power of two). With unique keys and slots <= partition size
+/// this distributes chains evenly, mirroring the paper's use of the
+/// non-partitioning bits for the shared-memory hash table.
+constexpr uint32_t HashTableSlot(uint32_t key, int partition_bits,
+                                 uint32_t slots) {
+  return Mix32(key >> partition_bits) & (slots - 1u);
+}
+
+}  // namespace gjoin::util
+
+#endif  // GJOIN_UTIL_BITS_H_

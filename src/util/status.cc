@@ -1,0 +1,31 @@
+#include "util/status.h"
+
+#include <cstdio>
+
+namespace gjoin::util {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalid:
+      return "Invalid";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+  }
+  return "Unknown";
+}
+
+void Status::CheckOK() const {
+  if (ok()) return;
+  std::fprintf(stderr, "Fatal: status not OK: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace gjoin::util

@@ -1,0 +1,184 @@
+// Status / Result error handling for gjoin.
+//
+// The project follows the Google C++ style guide and therefore does not use
+// C++ exceptions. Fallible operations return util::Status, or
+// util::Result<T> when they produce a value. The design mirrors
+// arrow::Status / arrow::Result in spirit but is self-contained.
+
+#ifndef GJOIN_UTIL_STATUS_H_
+#define GJOIN_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gjoin::util {
+
+/// \brief Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalid = 1,        ///< Invalid argument or configuration.
+  kOutOfMemory = 2,    ///< Host or simulated device memory exhausted.
+  kUnsupported = 3,    ///< Operation valid but not supported by this engine.
+  kInternal = 4,       ///< Invariant violation inside the library.
+  kExecutionError = 5  ///< A (simulated) engine failed at run time.
+};
+
+/// \brief Human-readable name of a StatusCode ("OK", "Invalid", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a message.
+///
+/// The OK state is represented without allocation; error states carry a
+/// heap-allocated (code, message) pair. Status is cheap to move and to
+/// copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an error with code kInvalid.
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalid, std::move(msg));
+  }
+  /// Returns an error with code kOutOfMemory.
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  /// Returns an error with code kUnsupported.
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  /// Returns an error with code kInternal.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns an error with code kExecutionError.
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code (kOk for success).
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeToString(state_->code)) + ": " + state_->msg;
+  }
+
+  /// Aborts the process if this status is not OK. Use only where an error
+  /// indicates a bug (tests, examples, benchmark setup).
+  void CheckOK() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // shared_ptr keeps Status copyable cheaply; error paths are cold.
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& st) {
+  return os << st.ToString();
+}
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result aborts; call ok() first or use
+/// the GJOIN_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit so `return status;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    EnsureOK();
+    return *value_;
+  }
+  /// Moves out the contained value; aborts if this Result holds an error.
+  T ValueOrDie() && {
+    EnsureOK();
+    return std::move(*value_);
+  }
+  /// Alias of ValueOrDie for terse call sites.
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const {
+    EnsureOK();
+    return &*value_;
+  }
+
+ private:
+  void EnsureOK() const {
+    if (!ok()) {
+      status_.CheckOK();  // Prints the error and aborts.
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gjoin::util
+
+/// Propagates a non-OK Status to the caller.
+#define GJOIN_RETURN_NOT_OK(expr)                     \
+  do {                                                \
+    ::gjoin::util::Status _gjoin_status = (expr);     \
+    if (!_gjoin_status.ok()) return _gjoin_status;    \
+  } while (false)
+
+#define GJOIN_CONCAT_IMPL(x, y) x##y
+#define GJOIN_CONCAT(x, y) GJOIN_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may include a declaration).
+#define GJOIN_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto GJOIN_CONCAT(_gjoin_result_, __LINE__) = (rexpr);            \
+  if (!GJOIN_CONCAT(_gjoin_result_, __LINE__).ok())                 \
+    return GJOIN_CONCAT(_gjoin_result_, __LINE__).status();         \
+  lhs = std::move(GJOIN_CONCAT(_gjoin_result_, __LINE__)).ValueOrDie()
+
+#endif  // GJOIN_UTIL_STATUS_H_

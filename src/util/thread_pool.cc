@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace gjoin::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForRanges(n, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForRanges(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = std::min(n, num_threads());
+  const size_t chunk = (n + workers - 1) / workers;
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = w * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  Wait();
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool* pool =
+      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace gjoin::util

@@ -1,0 +1,189 @@
+// Tests for the CPU baselines (NPO/PRO) and the host radix partitioner.
+
+#include "cpu/cpu_joins.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpu/cpu_partition.h"
+#include "data/generator.h"
+#include "data/oracle.h"
+#include "util/bits.h"
+
+namespace gjoin::cpu {
+namespace {
+
+class CpuJoinTest : public ::testing::Test {
+ protected:
+  hw::CpuSpec spec_;
+  hw::CpuCostModel model_{spec_};
+  CpuJoinConfig cfg_;
+};
+
+TEST_F(CpuJoinTest, NpoMatchesOracle) {
+  const auto r = data::MakeUniqueUniform(30000, 1);
+  const auto s = data::MakeUniformProbe(60000, 30000, 2);
+  auto result = NpoJoin(r, s, cfg_, model_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto oracle = data::JoinOracle(r, s);
+  EXPECT_EQ(result->matches, oracle.matches);
+  EXPECT_EQ(result->payload_sum, oracle.payload_sum);
+  EXPECT_GT(result->seconds, 0.0);
+}
+
+TEST_F(CpuJoinTest, ProMatchesOracle) {
+  const auto r = data::MakeUniqueUniform(30000, 3);
+  const auto s = data::MakeUniformProbe(60000, 30000, 4);
+  auto result = ProJoin(r, s, cfg_, model_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto oracle = data::JoinOracle(r, s);
+  EXPECT_EQ(result->matches, oracle.matches);
+  EXPECT_EQ(result->payload_sum, oracle.payload_sum);
+  EXPECT_GT(result->cost.partition_s, 0.0);
+}
+
+TEST_F(CpuJoinTest, BothHandleDuplicatesAndSkew) {
+  const auto r = data::MakeZipf(20000, 5000, 0.9, 5, 7);
+  const auto s = data::MakeZipf(20000, 5000, 0.9, 6, 7);
+  const auto oracle = data::JoinOracle(r, s);
+  auto npo = NpoJoin(r, s, cfg_, model_);
+  auto pro = ProJoin(r, s, cfg_, model_);
+  ASSERT_TRUE(npo.ok());
+  ASSERT_TRUE(pro.ok());
+  EXPECT_EQ(npo->matches, oracle.matches);
+  EXPECT_EQ(pro->matches, oracle.matches);
+  EXPECT_EQ(npo->payload_sum, oracle.payload_sum);
+  EXPECT_EQ(pro->payload_sum, oracle.payload_sum);
+}
+
+TEST_F(CpuJoinTest, EmptyInputs) {
+  data::Relation empty;
+  const auto r = data::MakeUniqueUniform(100, 8);
+  for (auto* join : {&NpoJoin, &ProJoin}) {
+    auto a = (*join)(empty, r, cfg_, model_, nullptr);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a->matches, 0u);
+    auto b = (*join)(r, empty, cfg_, model_, nullptr);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(b->matches, 0u);
+  }
+}
+
+TEST_F(CpuJoinTest, RejectsInvalidConfig) {
+  const auto r = data::MakeUniqueUniform(100, 9);
+  CpuJoinConfig bad;
+  bad.threads = 0;
+  EXPECT_FALSE(NpoJoin(r, r, bad, model_).ok());
+  EXPECT_FALSE(ProJoin(r, r, bad, model_).ok());
+  CpuJoinConfig bad_bits;
+  bad_bits.radix_bits = 0;
+  EXPECT_FALSE(ProJoin(r, r, bad_bits, model_).ok());
+}
+
+TEST_F(CpuJoinTest, ModeledTimeComesFromCostModel) {
+  const auto r = data::MakeUniqueUniform(10000, 10);
+  auto result = NpoJoin(r, r, cfg_, model_);
+  ASSERT_TRUE(result.ok());
+  const auto expect = model_.Npo(r.size(), r.size(), cfg_.threads);
+  EXPECT_DOUBLE_EQ(result->seconds, expect.total_s);
+}
+
+TEST_F(CpuJoinTest, ThroughputHelper) {
+  CpuJoinResult r;
+  r.seconds = 2.0;
+  EXPECT_DOUBLE_EQ(r.Throughput(1000, 3000), 2000.0);
+}
+
+class CpuPartitionTest : public CpuJoinTest {};
+
+TEST_F(CpuPartitionTest, SixteenWayPartitioningIsCorrect) {
+  const auto rel = data::MakeUniqueUniform(50000, 11);
+  CpuPartitionConfig cfg;  // 16-way default
+  auto parts = CpuRadixPartition(rel, cfg, model_);
+  ASSERT_TRUE(parts.ok()) << parts.status();
+  ASSERT_EQ(parts->parts.size(), 16u);
+  uint64_t total = 0;
+  std::multiset<uint32_t> seen;
+  for (uint32_t p = 0; p < 16; ++p) {
+    for (uint32_t key : parts->parts[p].keys) {
+      EXPECT_EQ(util::RadixOf(key, 0, 4), p);
+      seen.insert(key);
+    }
+    total += parts->parts[p].size();
+  }
+  EXPECT_EQ(total, rel.size());
+  std::multiset<uint32_t> expect(rel.keys.begin(), rel.keys.end());
+  EXPECT_EQ(seen, expect);
+}
+
+TEST_F(CpuPartitionTest, KeyPayloadPairsPreserved) {
+  const auto rel = data::MakeUniformProbe(20000, 1000, 12);
+  CpuPartitionConfig cfg;
+  cfg.chunk_tuples = 1024;  // force many chunks and concatenation
+  auto parts = CpuRadixPartition(rel, cfg, model_);
+  ASSERT_TRUE(parts.ok());
+  std::multiset<std::pair<uint32_t, uint32_t>> seen, expect;
+  for (size_t i = 0; i < rel.size(); ++i) {
+    expect.emplace(rel.keys[i], rel.payloads[i]);
+  }
+  for (const auto& p : parts->parts) {
+    for (size_t i = 0; i < p.size(); ++i) {
+      seen.emplace(p.keys[i], p.payloads[i]);
+    }
+  }
+  EXPECT_EQ(seen, expect);
+}
+
+TEST_F(CpuPartitionTest, SkewProducesUnevenPartitions) {
+  const auto rel = data::MakeZipf(50000, 50000, 1.0, 13);
+  CpuPartitionConfig cfg;
+  auto parts = CpuRadixPartition(rel, cfg, model_);
+  ASSERT_TRUE(parts.ok());
+  uint64_t largest = 0, smallest = UINT64_MAX;
+  for (const auto& p : parts->parts) {
+    largest = std::max<uint64_t>(largest, p.size());
+    smallest = std::min<uint64_t>(smallest, p.size());
+  }
+  // "Skew in data results in unevenly sized partitions" (Section IV-D).
+  EXPECT_GT(largest, 2 * smallest);
+}
+
+TEST_F(CpuPartitionTest, ModeledSecondsMatchOutputRate) {
+  const auto rel = data::MakeUniqueUniform(100000, 14);
+  CpuPartitionConfig cfg;
+  auto parts = CpuRadixPartition(rel, cfg, model_);
+  ASSERT_TRUE(parts.ok());
+  const double expect =
+      static_cast<double>(rel.bytes()) /
+      (model_.PartitionOutputGbps(cfg.threads) * 1e9);
+  EXPECT_DOUBLE_EQ(parts->seconds, expect);
+}
+
+TEST_F(CpuPartitionTest, SixteenThreadsHitPaperAnchor) {
+  // 16 threads produce ~40 GB/s: partitioning 8 GB of tuples takes ~0.2s.
+  const double s = CpuPartitionSeconds(8ull << 30, 16, model_);
+  EXPECT_GT(s, 0.15);
+  EXPECT_LT(s, 0.3);
+}
+
+TEST_F(CpuPartitionTest, RejectsInvalidConfig) {
+  const auto rel = data::MakeUniqueUniform(100, 15);
+  CpuPartitionConfig bad;
+  bad.radix_bits = 0;
+  EXPECT_FALSE(CpuRadixPartition(rel, bad, model_).ok());
+  CpuPartitionConfig bad2;
+  bad2.threads = 0;
+  EXPECT_FALSE(CpuRadixPartition(rel, bad2, model_).ok());
+}
+
+TEST_F(CpuPartitionTest, EmptyRelation) {
+  data::Relation empty;
+  CpuPartitionConfig cfg;
+  auto parts = CpuRadixPartition(empty, cfg, model_);
+  ASSERT_TRUE(parts.ok());
+  for (const auto& p : parts->parts) EXPECT_TRUE(p.empty());
+}
+
+}  // namespace
+}  // namespace gjoin::cpu

@@ -1,0 +1,137 @@
+// Tests for the workload generators of Section V.
+
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gjoin::data {
+namespace {
+
+TEST(UniqueUniformTest, KeysArePermutationOfRange) {
+  const Relation rel = MakeUniqueUniform(10000, 1);
+  ASSERT_EQ(rel.size(), 10000u);
+  std::vector<uint32_t> sorted = rel.keys;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], i + 1);
+  }
+}
+
+TEST(UniqueUniformTest, KeysAreShuffled) {
+  const Relation rel = MakeUniqueUniform(10000, 1);
+  size_t in_place = 0;
+  for (size_t i = 0; i < rel.size(); ++i) {
+    if (rel.keys[i] == i + 1) ++in_place;
+  }
+  EXPECT_LT(in_place, 100u);  // A real shuffle leaves few fixed points.
+}
+
+TEST(UniqueUniformTest, PayloadsAreRowIds) {
+  const Relation rel = MakeUniqueUniform(100, 2);
+  for (size_t i = 0; i < rel.size(); ++i) {
+    EXPECT_EQ(rel.payloads[i], i);
+  }
+}
+
+TEST(UniqueUniformTest, DeterministicInSeed) {
+  const Relation a = MakeUniqueUniform(5000, 77);
+  const Relation b = MakeUniqueUniform(5000, 77);
+  const Relation c = MakeUniqueUniform(5000, 78);
+  EXPECT_EQ(a.keys, b.keys);
+  EXPECT_NE(a.keys, c.keys);
+}
+
+TEST(UniformProbeTest, KeysWithinDistinctDomain) {
+  const Relation rel = MakeUniformProbe(20000, 512, 3);
+  ASSERT_EQ(rel.size(), 20000u);
+  for (uint32_t k : rel.keys) {
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 512u);
+  }
+}
+
+TEST(UniformProbeTest, CoversDomainForLargeSamples) {
+  const Relation rel = MakeUniformProbe(20000, 128, 4);
+  std::set<uint32_t> distinct(rel.keys.begin(), rel.keys.end());
+  EXPECT_EQ(distinct.size(), 128u);
+}
+
+TEST(ZipfRelationTest, SkewConcentratesFrequencies) {
+  const Relation uniform = MakeZipf(50000, 1000, 0.0, 5);
+  const Relation skewed = MakeZipf(50000, 1000, 1.0, 5);
+  auto top_frequency = [](const Relation& rel) {
+    std::map<uint32_t, size_t> freq;
+    for (uint32_t k : rel.keys) freq[k]++;
+    size_t top = 0;
+    for (auto& [k, c] : freq) top = std::max(top, c);
+    return top;
+  };
+  EXPECT_GT(top_frequency(skewed), 4 * top_frequency(uniform));
+}
+
+TEST(ZipfRelationTest, PopularKeysAreScattered) {
+  // The rank->key permutation must spread heavy hitters over the key
+  // domain (so they do not collapse into the same radix partition).
+  const Relation rel = MakeZipf(50000, 10000, 1.0, 6);
+  std::map<uint32_t, size_t> freq;
+  for (uint32_t k : rel.keys) freq[k]++;
+  // Find the most popular key; it should rarely be key 1 specifically.
+  uint32_t top_key = 0;
+  size_t top = 0;
+  for (auto& [k, c] : freq) {
+    if (c > top) {
+      top = c;
+      top_key = k;
+    }
+  }
+  // Not asserting a specific key — only that popularity is not tied to
+  // the low end of the domain as raw ranks would be.
+  EXPECT_GT(top_key, 10u);
+}
+
+TEST(ZipfRelationTest, DomainRespected) {
+  const Relation rel = MakeZipf(10000, 777, 0.75, 9);
+  for (uint32_t k : rel.keys) {
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 777u);
+  }
+}
+
+TEST(ReplicatedTest, AverageReplicationFactorHolds) {
+  const Relation rel = MakeReplicated(40000, 4.0, 11);
+  std::set<uint32_t> distinct(rel.keys.begin(), rel.keys.end());
+  // 40000 tuples over 10000 distinct values -> ~4 replicas on average;
+  // sampling misses a few values, so allow slack.
+  EXPECT_GT(distinct.size(), 9000u);
+  EXPECT_LE(distinct.size(), 10000u);
+}
+
+TEST(ReplicatedTest, ReplicasOfOneIsNearlyUnique) {
+  const Relation rel = MakeReplicated(10000, 1.0, 12);
+  std::set<uint32_t> distinct(rel.keys.begin(), rel.keys.end());
+  // Sampling with replacement: ~63% coverage of the domain.
+  EXPECT_GT(distinct.size(), 5500u);
+}
+
+class RatioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RatioTest, ProbeKeepsBuildDistinctValues) {
+  // Fig. 8's 1:N setting: probe drawn from the build key domain.
+  const size_t build_n = 4000;
+  const Relation build = MakeUniqueUniform(build_n, 21);
+  const Relation probe =
+      MakeUniformProbe(build_n * GetParam(), build_n, 22);
+  std::set<uint32_t> build_keys(build.keys.begin(), build.keys.end());
+  for (uint32_t k : probe.keys) {
+    EXPECT_TRUE(build_keys.count(k)) << "probe key outside build domain";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioTest, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace gjoin::data

@@ -1,0 +1,100 @@
+// Tests for the reference join oracle.
+
+#include "data/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace gjoin::data {
+namespace {
+
+Relation FromPairs(std::initializer_list<std::pair<uint32_t, uint32_t>> kv) {
+  Relation rel;
+  for (auto [k, v] : kv) rel.Append(k, v);
+  return rel;
+}
+
+TEST(OracleTest, EmptyInputsProduceNoMatches) {
+  Relation empty;
+  const Relation r = FromPairs({{1, 10}});
+  EXPECT_EQ(JoinOracle(empty, r).matches, 0u);
+  EXPECT_EQ(JoinOracle(r, empty).matches, 0u);
+}
+
+TEST(OracleTest, SimpleOneToOne) {
+  const Relation build = FromPairs({{1, 100}, {2, 200}, {3, 300}});
+  const Relation probe = FromPairs({{2, 7}, {3, 8}, {4, 9}});
+  const OracleResult result = JoinOracle(build, probe);
+  EXPECT_EQ(result.matches, 2u);
+  // (200 + 7) + (300 + 8)
+  EXPECT_EQ(result.payload_sum, 515u);
+}
+
+TEST(OracleTest, DuplicatesMultiplyMatches) {
+  const Relation build = FromPairs({{5, 1}, {5, 2}});
+  const Relation probe = FromPairs({{5, 10}, {5, 20}, {5, 30}});
+  const OracleResult result = JoinOracle(build, probe);
+  EXPECT_EQ(result.matches, 6u);  // 2 x 3 cross product on key 5
+  // sum over pairs of (r.payload + s.payload):
+  // (1+2) appears 3 times, (10+20+30) appears 2 times.
+  EXPECT_EQ(result.payload_sum, 3u * 3 + 2u * 60);
+}
+
+TEST(OracleTest, UniqueUniformSelfJoinMatchesAllTuples) {
+  const Relation build = MakeUniqueUniform(10000, 31);
+  const Relation probe = MakeUniqueUniform(10000, 32);
+  // Same key domain [1,10000], unique on both sides: exactly n matches.
+  EXPECT_EQ(JoinOracle(build, probe).matches, 10000u);
+}
+
+TEST(OracleTest, ProbeRatioScalesMatches) {
+  const Relation build = MakeUniqueUniform(1000, 41);
+  const Relation probe = MakeUniformProbe(4000, 1000, 42);
+  // Unique build: every probe tuple matches exactly once.
+  EXPECT_EQ(JoinOracle(build, probe).matches, 4000u);
+}
+
+TEST(OracleTest, PayloadSumIsOrderIndependent) {
+  Relation build = MakeUniqueUniform(500, 51);
+  const Relation probe = MakeUniformProbe(1000, 500, 52);
+  const OracleResult a = JoinOracle(build, probe);
+  // Reverse the build relation; the checksum must not change.
+  std::reverse(build.keys.begin(), build.keys.end());
+  std::reverse(build.payloads.begin(), build.payloads.end());
+  const OracleResult b = JoinOracle(build, probe);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.payload_sum, b.payload_sum);
+}
+
+TEST(OracleTest, DisjointDomainsYieldZero) {
+  Relation build, probe;
+  for (uint32_t i = 1; i <= 100; ++i) build.Append(i, i);
+  for (uint32_t i = 1000; i < 1100; ++i) probe.Append(i, i);
+  EXPECT_EQ(JoinOracle(build, probe).matches, 0u);
+}
+
+TEST(OracleTest, SkewedJoinExplodesMatches) {
+  // Identically skewed inputs (shared popular values) produce superlinear
+  // match counts — the "output explosion" of Figs. 17/18/20.
+  constexpr uint64_t kSharedPerm = 999;
+  const Relation uniform_b = MakeZipf(20000, 20000, 0.0, 61, kSharedPerm);
+  const Relation uniform_p = MakeZipf(20000, 20000, 0.0, 62, kSharedPerm);
+  const Relation skewed_b = MakeZipf(20000, 20000, 1.0, 61, kSharedPerm);
+  const Relation skewed_p = MakeZipf(20000, 20000, 1.0, 63, kSharedPerm);
+  EXPECT_GT(JoinOracle(skewed_b, skewed_p).matches,
+            10 * JoinOracle(uniform_b, uniform_p).matches);
+}
+
+TEST(OracleTest, IndependentSkewDoesNotExplode) {
+  // Different permutation seeds: popular values differ, so the join does
+  // not blow up even at high skew.
+  const Relation b = MakeZipf(20000, 20000, 1.0, 61, 1001);
+  const Relation p = MakeZipf(20000, 20000, 1.0, 63, 1002);
+  const Relation ib = MakeZipf(20000, 20000, 1.0, 61, 777);
+  const Relation ip = MakeZipf(20000, 20000, 1.0, 63, 777);
+  EXPECT_LT(JoinOracle(b, p).matches, JoinOracle(ib, ip).matches / 4);
+}
+
+}  // namespace
+}  // namespace gjoin::data

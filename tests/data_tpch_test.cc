@@ -1,0 +1,67 @@
+// Tests for the TPC-H-shaped workload generator (Figure 14).
+
+#include "data/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include "data/oracle.h"
+
+namespace gjoin::data {
+namespace {
+
+TEST(TpchTest, CardinalitiesMatchScaleFactor) {
+  const TpchWorkload w = MakeTpch(0.01, 1);  // SF 0.01 for test speed
+  EXPECT_EQ(w.customer.size(), 1500u);
+  EXPECT_EQ(w.orders.size(), 15000u);
+  // lineitem: 1-7 lines per order, expectation 4.
+  EXPECT_GT(w.lineitem_orderkey.size(), 3 * w.orders.size());
+  EXPECT_LT(w.lineitem_orderkey.size(), 5 * w.orders.size());
+  EXPECT_EQ(w.lineitem_orderkey.size(), w.lineitem_custkey.size());
+}
+
+TEST(TpchTest, ForeignKeysAreValid) {
+  const TpchWorkload w = MakeTpch(0.01, 2);
+  for (uint32_t k : w.lineitem_orderkey.keys) {
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 4 * w.orders.size());  // sparse orderkey domain
+    EXPECT_EQ(k % 4, 1u);
+  }
+  for (uint32_t k : w.lineitem_custkey.keys) {
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, w.customer.size());
+  }
+}
+
+TEST(TpchTest, EveryLineitemJoinsExactlyOnce) {
+  const TpchWorkload w = MakeTpch(0.01, 3);
+  // orders keys are unique -> |lineitem join orders| = |lineitem|.
+  const OracleResult with_orders = JoinOracle(w.orders, w.lineitem_orderkey);
+  EXPECT_EQ(with_orders.matches, w.lineitem_orderkey.size());
+  const OracleResult with_customer =
+      JoinOracle(w.customer, w.lineitem_custkey);
+  EXPECT_EQ(with_customer.matches, w.lineitem_custkey.size());
+}
+
+TEST(TpchTest, CustkeyDenormalizationIsConsistent) {
+  // Lines of the same order share the order's custkey.
+  const TpchWorkload w = MakeTpch(0.01, 4);
+  std::vector<uint32_t> order_cust(4 * w.orders.size() + 2, 0);
+  for (size_t i = 0; i < w.lineitem_orderkey.size(); ++i) {
+    const uint32_t ord = w.lineitem_orderkey.keys[i];
+    const uint32_t cust = w.lineitem_custkey.keys[i];
+    if (order_cust[ord] == 0) {
+      order_cust[ord] = cust;
+    } else {
+      EXPECT_EQ(order_cust[ord], cust) << "order " << ord;
+    }
+  }
+}
+
+TEST(TpchTest, DeterministicInSeed) {
+  const TpchWorkload a = MakeTpch(0.01, 9);
+  const TpchWorkload b = MakeTpch(0.01, 9);
+  EXPECT_EQ(a.lineitem_custkey.keys, b.lineitem_custkey.keys);
+}
+
+}  // namespace
+}  // namespace gjoin::data

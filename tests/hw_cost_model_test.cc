@@ -1,0 +1,152 @@
+// Tests for the GPU cost model: each traffic class must be charged
+// against the right bandwidth, and the structural properties the
+// reproduction relies on (max of memory and compute, load-imbalance
+// bound, L2 interpolation) must hold.
+
+#include "hw/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace gjoin::hw {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  GpuSpec gpu_;  // GTX 1080 defaults.
+  CostModel model_{gpu_};
+};
+
+TEST_F(CostModelTest, StreamSecondsMatchesEffectiveBandwidth) {
+  const uint64_t bytes = 1ull << 30;  // 1 GiB
+  const double expect =
+      static_cast<double>(bytes) /
+      (gpu_.device_bw_gbps * gpu_.stream_efficiency * 1e9);
+  EXPECT_DOUBLE_EQ(model_.StreamSeconds(bytes), expect);
+}
+
+TEST_F(CostModelTest, EmptyKernelCostsOnlyLaunchOverhead) {
+  KernelStats stats;
+  const KernelCost cost = model_.KernelTime(stats);
+  EXPECT_DOUBLE_EQ(cost.total_s, gpu_.kernel_launch_us * 1e-6);
+}
+
+TEST_F(CostModelTest, CoalescedTrafficDominatesWhenLarge) {
+  KernelStats stats;
+  stats.coalesced_read_bytes = 4ull << 30;
+  const KernelCost cost = model_.KernelTime(stats);
+  EXPECT_GT(cost.coalesced_s, 0.01);  // ~17 ms at 250 GB/s.
+  EXPECT_NEAR(cost.total_s, cost.coalesced_s + cost.launch_s, 1e-9);
+}
+
+TEST_F(CostModelTest, ScatterWritesCostMoreThanCoalesced) {
+  KernelStats coalesced, scattered;
+  coalesced.coalesced_write_bytes = 1ull << 30;
+  scattered.scatter_write_bytes = 1ull << 30;
+  EXPECT_GT(model_.KernelSeconds(scattered), model_.KernelSeconds(coalesced));
+}
+
+TEST_F(CostModelTest, RandomBandwidthInterpolatesWithWorkingSet) {
+  // Tiny working set: everything hits L2 -> near L2 bandwidth.
+  EXPECT_NEAR(model_.RandomBandwidthGbps(gpu_.l2_bytes / 2), gpu_.l2_bw_gbps,
+              1e-9);
+  // Huge working set: decays to the DRAM random floor.
+  const double big = model_.RandomBandwidthGbps(64ull << 30);
+  EXPECT_LT(big, gpu_.random_dram_bw_gbps);
+  EXPECT_GE(big, gpu_.random_bw_floor_gbps);
+  EXPECT_NEAR(big, gpu_.random_bw_floor_gbps, 1.0);
+  // Monotone: larger working sets never get faster.
+  double prev = model_.RandomBandwidthGbps(1 << 20);
+  for (uint64_t ws = 2 << 20; ws <= (1ull << 34); ws <<= 1) {
+    const double bw = model_.RandomBandwidthGbps(ws);
+    EXPECT_LE(bw, prev + 1e-12);
+    prev = bw;
+  }
+}
+
+TEST_F(CostModelTest, RandomTransactionsExpandToTransactionSize) {
+  KernelStats stats;
+  stats.random_transactions = 1000000;
+  stats.random_working_set_bytes = 1ull << 34;  // deep DRAM regime
+  const KernelCost cost = model_.KernelTime(stats);
+  const double bw = model_.RandomBandwidthGbps(1ull << 34);
+  EXPECT_NEAR(cost.random_s,
+              1e6 * static_cast<double>(gpu_.random_transaction_bytes) /
+                  (bw * 1e9),
+              1e-12);
+}
+
+TEST_F(CostModelTest, ComputeAndMemoryOverlap) {
+  // A kernel with both memory traffic and compute pays max, not sum.
+  KernelStats stats;
+  stats.coalesced_read_bytes = 1ull << 30;
+  stats.total_cycles = 1ull << 32;  // heavy compute
+  stats.max_block_cycles = 1 << 20;
+  stats.num_blocks = 4096;
+  const KernelCost cost = model_.KernelTime(stats);
+  EXPECT_NEAR(cost.total_s,
+              std::max(cost.coalesced_s, cost.compute_s) + cost.launch_s,
+              1e-12);
+}
+
+TEST_F(CostModelTest, LongestBlockBoundsKernel) {
+  // Load imbalance: one block with half the total cycles dominates even
+  // though the SMs could have shared the rest. Reproduces the paper's
+  // skew discussion (Section III-A).
+  KernelStats balanced;
+  balanced.total_cycles = 40'000'000;
+  balanced.max_block_cycles = 40'000'000 / 40;
+  balanced.num_blocks = 40;
+
+  KernelStats skewed = balanced;
+  skewed.max_block_cycles = 20'000'000;
+
+  EXPECT_GT(model_.KernelSeconds(skewed), model_.KernelSeconds(balanced));
+}
+
+TEST_F(CostModelTest, AtomicsSerializeAtConfiguredRates) {
+  KernelStats stats;
+  stats.shared_atomics = 1'000'000;
+  stats.device_atomics = 1'000'000;
+  const KernelCost cost = model_.KernelTime(stats);
+  const double expect = 1e6 / (gpu_.shared_atomic_gops * 1e9) +
+                        1e6 / (gpu_.device_atomic_gops * 1e9);
+  EXPECT_NEAR(cost.atomics_s, expect, 1e-12);
+  // Device atomics are the expensive ones.
+  EXPECT_GT(1e6 / (gpu_.device_atomic_gops * 1e9),
+            1e6 / (gpu_.shared_atomic_gops * 1e9));
+}
+
+TEST_F(CostModelTest, MergeAccumulatesStats) {
+  KernelStats a, b;
+  a.coalesced_read_bytes = 100;
+  a.max_block_cycles = 10;
+  a.total_cycles = 10;
+  b.coalesced_read_bytes = 50;
+  b.max_block_cycles = 30;
+  b.total_cycles = 30;
+  a.Merge(b);
+  EXPECT_EQ(a.coalesced_read_bytes, 150u);
+  EXPECT_EQ(a.max_block_cycles, 30u);
+  EXPECT_EQ(a.total_cycles, 40u);
+}
+
+TEST_F(CostModelTest, HeadlineSanityInGpuJoinBudget) {
+  // End-to-end sanity anchor: the traffic of a 128M x 128M in-GPU
+  // partitioned join (2 passes over both relations + probe scan) must
+  // model to tens of milliseconds — the regime where the paper reports
+  // ~3.5-4.5 billion tuples/s total throughput.
+  const uint64_t rel_bytes = 128ull * 1000 * 1000 * 8;
+  KernelStats pass;
+  pass.coalesced_read_bytes = 2 * rel_bytes;
+  pass.scatter_write_bytes = 2 * rel_bytes;
+  KernelStats probe;
+  probe.coalesced_read_bytes = 2 * rel_bytes;
+  const double total =
+      2 * model_.KernelSeconds(pass) + model_.KernelSeconds(probe);
+  const double throughput = 256e6 / total;  // tuples/sec
+  EXPECT_GT(throughput, 2.5e9);
+  EXPECT_LT(throughput, 7e9);
+}
+
+}  // namespace
+}  // namespace gjoin::hw

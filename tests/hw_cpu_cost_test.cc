@@ -1,0 +1,123 @@
+// Tests for the CPU cost model: thread scaling, calibration anchors, and
+// the PRO-vs-NPO shape properties the paper's figures rely on.
+
+#include "hw/cpu_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace gjoin::hw {
+namespace {
+
+constexpr uint64_t kM = 1000 * 1000;
+
+class CpuCostTest : public ::testing::Test {
+ protected:
+  CpuSpec cpu_;
+  CpuCostModel model_{cpu_};
+};
+
+TEST_F(CpuCostTest, StreamBandwidthScalesThenSaturates) {
+  const double t1 = model_.StreamBwGbps(1);
+  const double t4 = model_.StreamBwGbps(4);
+  EXPECT_NEAR(t4, 4 * t1, 1e-9);
+  // Saturation: 48 threads cannot exceed the two-socket budget.
+  EXPECT_LE(model_.StreamBwGbps(48),
+            cpu_.sockets * cpu_.socket_mem_bw_gbps);
+  // Monotone non-decreasing.
+  double prev = 0;
+  for (int t = 1; t <= 48; ++t) {
+    const double bw = model_.StreamBwGbps(t);
+    EXPECT_GE(bw, prev - 1e-9);
+    prev = bw;
+  }
+}
+
+TEST_F(CpuCostTest, PartitionOutputAnchorAt16Threads) {
+  // Section V-C: "the CPU radix partitioning pass can reach a throughput
+  // of approximately 40 GB/s for our configuration" with 16 threads.
+  const double gbps = model_.PartitionOutputGbps(16);
+  EXPECT_GT(gbps, 32.0);
+  EXPECT_LT(gbps, 48.0);
+}
+
+TEST_F(CpuCostTest, PartitionOutputPlateausAtHighThreadCounts) {
+  const double t16 = model_.PartitionOutputGbps(16);
+  const double t32 = model_.PartitionOutputGbps(32);
+  // Far less than 2x: bandwidth-bound plateau (Fig. 13).
+  EXPECT_LT(t32, t16 * 1.4);
+}
+
+TEST_F(CpuCostTest, NpoIsRandomAccessBound) {
+  const auto cost = model_.Npo(128 * kM, 128 * kM, 48);
+  const double throughput = 256e6 / cost.total_s;
+  // Paper Fig. 8: NPO lands around 0.3-0.6 billion tuples/s at 48 threads.
+  EXPECT_GT(throughput, 0.25e9);
+  EXPECT_LT(throughput, 0.8e9);
+}
+
+TEST_F(CpuCostTest, ProBeatsNpoAtScale) {
+  const auto pro = model_.Pro(128 * kM, 128 * kM, 48);
+  const auto npo = model_.Npo(128 * kM, 128 * kM, 48);
+  EXPECT_LT(pro.total_s, npo.total_s);
+}
+
+TEST_F(CpuCostTest, NpoBeatsProOnTinyInputs) {
+  // The sweet-spot story of Fig. 8: partitioning overhead dominates for
+  // small relations, so the non-partitioned join wins there.
+  const auto pro = model_.Pro(1 * kM, 1 * kM, 48);
+  const auto npo = model_.Npo(1 * kM, 1 * kM, 48);
+  EXPECT_LT(npo.total_s, pro.total_s);
+}
+
+TEST_F(CpuCostTest, ProPeakMatchesPaper) {
+  // PRO at 48 threads peaks around ~1 Btps (Fig. 8, 32-128M range).
+  const auto cost = model_.Pro(64 * kM, 64 * kM, 48);
+  const double throughput = 128e6 / cost.total_s;
+  EXPECT_GT(throughput, 0.55e9);
+  EXPECT_LT(throughput, 1.6e9);
+}
+
+TEST_F(CpuCostTest, ProThroughputDeclinesForHugeInputs) {
+  // Fig. 12: past ~512M tuples the fixed fanout leaves partitions larger
+  // than L2 and PRO throughput falls.
+  const auto mid = model_.Pro(256 * kM, 256 * kM, 48);
+  const auto big = model_.Pro(2048 * kM, 2048 * kM, 48);
+  const double mid_tput = 512e6 / mid.total_s;
+  const double big_tput = 4096e6 / big.total_s;
+  EXPECT_LT(big_tput, mid_tput);
+}
+
+TEST_F(CpuCostTest, ProScalesWithThreads) {
+  const auto t6 = model_.Pro(512 * kM, 512 * kM, 6);
+  const auto t24 = model_.Pro(512 * kM, 512 * kM, 24);
+  EXPECT_LT(t24.total_s, t6.total_s);
+  // Roughly proportional until saturation (Fig. 13: "throughput of the
+  // CPU implementation is proportional to the number of threads").
+  EXPECT_GT(t6.total_s / t24.total_s, 2.0);
+}
+
+TEST_F(CpuCostTest, CostBreakdownAddsUp) {
+  const auto pro = model_.Pro(32 * kM, 64 * kM, 16);
+  EXPECT_NEAR(pro.total_s,
+              pro.partition_s + pro.build_s + pro.probe_s + pro.fixed_s,
+              1e-12);
+  const auto npo = model_.Npo(32 * kM, 64 * kM, 16);
+  EXPECT_NEAR(npo.total_s, npo.build_s + npo.probe_s + npo.fixed_s, 1e-12);
+}
+
+class ThreadSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweepTest, MoreThreadsNeverSlower) {
+  CpuCostModel model{CpuSpec{}};
+  const int t = GetParam();
+  const auto a = model.Pro(256 * kM, 256 * kM, t);
+  const auto b = model.Pro(256 * kM, 256 * kM, t + 2);
+  EXPECT_LE(b.total_s, a.total_s * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweepTest,
+                         ::testing::Values(2, 6, 10, 14, 18, 22, 26, 30, 34,
+                                           38, 42, 46));
+
+}  // namespace
+}  // namespace gjoin::hw

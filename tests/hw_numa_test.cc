@@ -1,0 +1,77 @@
+// Tests for the NUMA arbitration model (Figures 13 and 16 substrate).
+
+#include "hw/numa.h"
+
+#include <gtest/gtest.h>
+
+namespace gjoin::hw {
+namespace {
+
+class NumaTest : public ::testing::Test {
+ protected:
+  CpuSpec cpu_;  // dual E5-2650L v3 defaults.
+  NumaModel model_{cpu_};
+};
+
+TEST_F(NumaTest, NoContentionGrantsEverything) {
+  NumaLoad load;
+  load.dma_gbps = 12.3;
+  load.partition_gbps = 20.0;
+  const NumaGrant grant = model_.Arbitrate(load);  // 32.3 < 55 budget
+  EXPECT_DOUBLE_EQ(grant.dma_scale, 1.0);
+  EXPECT_DOUBLE_EQ(grant.cpu_scale, 1.0);
+}
+
+TEST_F(NumaTest, OverloadDegradesDmaGently) {
+  NumaLoad load;
+  load.dma_gbps = 12.3;
+  load.partition_gbps = 96.0;  // e.g. 24 unconstrained SMT threads
+  const NumaGrant grant = model_.Arbitrate(load);
+  // DMA loses something but keeps the lion's share (paper: "small drop").
+  EXPECT_LT(grant.dma_scale, 1.0);
+  EXPECT_GT(grant.dma_scale, 0.7);
+  // The CPU side absorbs the bulk of the shortfall.
+  EXPECT_LT(grant.cpu_scale, 0.6);
+}
+
+TEST_F(NumaTest, MoreCpuDemandMeansMoreDmaLoss) {
+  NumaLoad a, b;
+  a.dma_gbps = b.dma_gbps = 12.3;
+  a.partition_gbps = 60;
+  b.partition_gbps = 120;
+  EXPECT_GT(model_.Arbitrate(a).dma_scale, model_.Arbitrate(b).dma_scale);
+}
+
+TEST_F(NumaTest, FarSocketDmaLimitedByQpi) {
+  // Idle QPI: DMA limited to QPI bandwidth fraction.
+  const double idle = model_.FarSocketDmaScale(12.3, /*cpu_active=*/false);
+  EXPECT_NEAR(idle, cpu_.qpi_bw_gbps / 12.3, 1e-9);
+  // Congested QPI: significantly worse (Fig. 16's "Direct copy").
+  const double busy = model_.FarSocketDmaScale(12.3, /*cpu_active=*/true);
+  EXPECT_LT(busy, idle * 0.7);
+}
+
+TEST_F(NumaTest, FarSocketNeverExceedsNominal) {
+  EXPECT_LE(model_.FarSocketDmaScale(1.0, false), 1.0);
+}
+
+TEST_F(NumaTest, StagingScalesWithThreadsUntilQpiBound) {
+  const double one = model_.StagingCopyGbps(1);
+  const double two = model_.StagingCopyGbps(2);
+  EXPECT_NEAR(two, std::min(2 * one, cpu_.qpi_bw_gbps), 1e-9);
+  EXPECT_GT(two, one);
+  // Many threads: QPI is the ceiling.
+  EXPECT_DOUBLE_EQ(model_.StagingCopyGbps(64), cpu_.qpi_bw_gbps);
+}
+
+TEST_F(NumaTest, StagingBeatsCongestedDirectCopy) {
+  // The core claim of Figure 16: staging with a few threads sustains a
+  // higher transfer rate than direct far-socket DMA under CPU traffic.
+  const double direct_gbps =
+      12.3 * model_.FarSocketDmaScale(12.3, /*cpu_active=*/true);
+  const double staging_gbps = model_.StagingCopyGbps(4);
+  EXPECT_GT(staging_gbps, direct_gbps);
+}
+
+}  // namespace
+}  // namespace gjoin::hw

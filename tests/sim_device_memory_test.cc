@@ -1,0 +1,92 @@
+// Tests for simulated device memory: capacity accounting drives the
+// paper's data-placement decisions, so it must be exact.
+
+#include "sim/device_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace gjoin::sim {
+namespace {
+
+TEST(DeviceMemoryTest, AllocateWithinCapacity) {
+  DeviceMemory mem(1 << 20);
+  auto buf = mem.Allocate<uint32_t>(1000);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ(buf->size(), 1000u);
+  EXPECT_EQ(mem.used(), 4000u);
+  EXPECT_EQ(mem.available(), (1u << 20) - 4000u);
+}
+
+TEST(DeviceMemoryTest, ZeroInitialized) {
+  DeviceMemory mem(1 << 20);
+  auto buf = std::move(mem.Allocate<uint64_t>(128)).ValueOrDie();
+  for (size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0u);
+}
+
+TEST(DeviceMemoryTest, ExhaustionReturnsOutOfMemory) {
+  DeviceMemory mem(1024);
+  auto ok = mem.Allocate<uint8_t>(1024);
+  ASSERT_TRUE(ok.ok());
+  auto fail = mem.Allocate<uint8_t>(1);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), util::StatusCode::kOutOfMemory);
+}
+
+TEST(DeviceMemoryTest, ExactFitSucceeds) {
+  DeviceMemory mem(4096);
+  auto buf = mem.Allocate<uint32_t>(1024);
+  EXPECT_TRUE(buf.ok());
+  EXPECT_EQ(mem.available(), 0u);
+}
+
+TEST(DeviceMemoryTest, ResetReturnsCapacity) {
+  DeviceMemory mem(1 << 20);
+  {
+    auto buf = std::move(mem.Allocate<uint32_t>(1000)).ValueOrDie();
+    EXPECT_EQ(mem.used(), 4000u);
+    buf.Reset();
+    EXPECT_EQ(mem.used(), 0u);
+  }
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(DeviceMemoryTest, DestructorReturnsCapacity) {
+  DeviceMemory mem(1 << 20);
+  {
+    auto buf = std::move(mem.Allocate<uint32_t>(1000)).ValueOrDie();
+    EXPECT_GT(mem.used(), 0u);
+  }
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(DeviceMemoryTest, MoveTransfersOwnership) {
+  DeviceMemory mem(1 << 20);
+  auto a = std::move(mem.Allocate<uint32_t>(100)).ValueOrDie();
+  a[5] = 42;
+  DeviceBuffer<uint32_t> b = std::move(a);
+  EXPECT_EQ(b[5], 42u);
+  EXPECT_FALSE(a.allocated());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(mem.used(), 400u);
+  b.Reset();
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(DeviceMemoryTest, FreeingAllowsReallocation) {
+  DeviceMemory mem(1024);
+  for (int round = 0; round < 10; ++round) {
+    auto buf = mem.Allocate<uint8_t>(1024);
+    ASSERT_TRUE(buf.ok()) << "round " << round;
+  }
+}
+
+TEST(DeviceMemoryTest, GpuCapacityMatchesGtx1080) {
+  // The default spec's 8 GB must be representable and enforced.
+  DeviceMemory mem(8ull << 30);
+  EXPECT_EQ(mem.capacity(), 8ull << 30);
+  // A 9 GB request fails without allocating host memory first.
+  auto fail = mem.Allocate<uint8_t>(9ull << 30);
+  EXPECT_FALSE(fail.ok());
+}
+
+}  // namespace
+}  // namespace gjoin::sim

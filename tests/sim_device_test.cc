@@ -1,0 +1,146 @@
+// Tests for the simulated device: launch validation, functional block
+// execution, stats merging and profiling.
+
+#include "sim/device.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gjoin::sim {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  hw::HardwareSpec spec_;
+  Device device_{spec_};
+};
+
+TEST_F(DeviceTest, LaunchRunsEveryBlockOnce) {
+  std::vector<std::atomic<int>> visits(64);
+  LaunchConfig cfg{"touch", 64, 256, 1024};
+  auto result = device_.Launch(cfg, [&](Block& block) {
+    visits[static_cast<size_t>(block.block_id())].fetch_add(1);
+    EXPECT_EQ(block.grid_size(), 64);
+    EXPECT_EQ(block.num_threads(), 256);
+  });
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+  EXPECT_EQ(result->stats.num_blocks, 64u);
+}
+
+TEST_F(DeviceTest, RejectsOversizedBlock) {
+  LaunchConfig cfg{"bad", 1, 2048, 1024};  // > 1024 threads
+  auto result = device_.Launch(cfg, [](Block&) {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(DeviceTest, RejectsNonWarpMultipleBlock) {
+  LaunchConfig cfg{"bad", 1, 100, 1024};
+  auto result = device_.Launch(cfg, [](Block&) {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(DeviceTest, RejectsOversizedSharedMemory) {
+  LaunchConfig cfg{"bad", 1, 1024, (48 << 10) + 1};
+  auto result = device_.Launch(cfg, [](Block&) {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(DeviceTest, RejectsEmptyGrid) {
+  LaunchConfig cfg{"bad", 0, 1024, 1024};
+  auto result = device_.Launch(cfg, [](Block&) {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(DeviceTest, StatsAggregateAcrossBlocks) {
+  LaunchConfig cfg{"traffic", 10, 1024, 1024};
+  auto result = device_.Launch(cfg, [](Block& block) {
+    block.ChargeCoalescedRead(1000);
+    block.ChargeCycles(500);
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.coalesced_read_bytes, 10000u);
+  EXPECT_EQ(result->stats.total_cycles, 5000u);
+  EXPECT_EQ(result->stats.max_block_cycles, 500u);
+}
+
+TEST_F(DeviceTest, MaxBlockCyclesTracksWorstBlock) {
+  LaunchConfig cfg{"skewed", 8, 1024, 1024};
+  auto result = device_.Launch(cfg, [](Block& block) {
+    block.ChargeCycles(block.block_id() == 3 ? 100000 : 10);
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.max_block_cycles, 100000u);
+}
+
+TEST_F(DeviceTest, SharedMemoryIsPerBlockAndResetBetweenBlocks) {
+  LaunchConfig cfg{"smem", 32, 1024, 4096};
+  auto result = device_.Launch(cfg, [](Block& block) {
+    // Allocate the whole scratchpad every block; succeeds only if the
+    // allocator was reset between blocks sharing a host worker.
+    auto* a = block.shared().Alloc<uint8_t>(4000);
+    EXPECT_NE(a, nullptr);
+    auto* b = block.shared().Alloc<uint8_t>(4000);
+    EXPECT_EQ(b, nullptr);  // over capacity within one block
+  });
+  ASSERT_TRUE(result.ok());
+}
+
+TEST_F(DeviceTest, ModeledTimeMatchesCostModel) {
+  LaunchConfig cfg{"timed", 4, 1024, 1024};
+  auto result = device_.Launch(cfg, [](Block& block) {
+    block.ChargeCoalescedRead(1ull << 28);
+  });
+  ASSERT_TRUE(result.ok());
+  const double expect =
+      device_.cost_model().KernelTime(result->stats).total_s;
+  EXPECT_DOUBLE_EQ(result->seconds, expect);
+  EXPECT_GT(result->seconds, 0.0);
+}
+
+TEST_F(DeviceTest, ProfileAccumulatesLaunches) {
+  device_.ClearProfile();
+  LaunchConfig a{"partition_pass1", 2, 1024, 1024};
+  LaunchConfig b{"join_probe", 2, 1024, 1024};
+  (void)device_.Launch(a, [](Block& blk) { blk.ChargeCycles(10); });
+  (void)device_.Launch(b, [](Block& blk) { blk.ChargeCycles(10); });
+  (void)device_.Launch(b, [](Block& blk) { blk.ChargeCycles(10); });
+  EXPECT_EQ(device_.profile().size(), 3u);
+  EXPECT_GT(device_.ProfiledSeconds("join"), 0.0);
+  EXPECT_GT(device_.ProfiledSeconds(""), device_.ProfiledSeconds("join"));
+  device_.ClearProfile();
+  EXPECT_EQ(device_.profile().size(), 0u);
+}
+
+TEST_F(DeviceTest, DeviceMemoryHonorsSpecCapacity) {
+  hw::HardwareSpec small;
+  small.gpu.device_memory_bytes = 1 << 20;
+  Device device(small);
+  EXPECT_EQ(device.memory().capacity(), 1u << 20);
+  auto fail = device.memory().Allocate<uint8_t>(2 << 20);
+  EXPECT_FALSE(fail.ok());
+}
+
+TEST_F(DeviceTest, FunctionalResultsAreDeterministic) {
+  // Blocks write disjoint slices; two launches must agree bit-for-bit.
+  auto out1 = std::move(device_.memory().Allocate<uint32_t>(1024)).ValueOrDie();
+  auto out2 = std::move(device_.memory().Allocate<uint32_t>(1024)).ValueOrDie();
+  auto run = [&](DeviceBuffer<uint32_t>& out) {
+    LaunchConfig cfg{"fill", 16, 64, 1024};
+    (void)device_.Launch(cfg, [&](Block& block) {
+      const size_t base = static_cast<size_t>(block.block_id()) * 64;
+      for (size_t i = 0; i < 64; ++i) {
+        out[base + i] = static_cast<uint32_t>(base + i * 7);
+      }
+    });
+  };
+  run(out1);
+  run(out2);
+  for (size_t i = 0; i < 1024; ++i) EXPECT_EQ(out1[i], out2[i]);
+}
+
+}  // namespace
+}  // namespace gjoin::sim

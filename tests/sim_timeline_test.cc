@@ -1,0 +1,144 @@
+// Tests for the stream/event scheduler. The double-buffering and
+// co-processing pipeline cases mirror Figures 2-4 of the paper.
+
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace gjoin::sim {
+namespace {
+
+TEST(TimelineTest, EmptyTimelineHasZeroMakespan) {
+  Timeline tl;
+  auto schedule = tl.Run();
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_DOUBLE_EQ(schedule->makespan_s, 0.0);
+}
+
+TEST(TimelineTest, SameEngineSerializes) {
+  Timeline tl;
+  tl.Add(Engine::kCopyH2D, 1.0);
+  tl.Add(Engine::kCopyH2D, 2.0);
+  EXPECT_DOUBLE_EQ(tl.Makespan(), 3.0);
+}
+
+TEST(TimelineTest, DifferentEnginesOverlap) {
+  Timeline tl;
+  tl.Add(Engine::kCopyH2D, 2.0);
+  tl.Add(Engine::kComputeGpu, 1.5);
+  EXPECT_DOUBLE_EQ(tl.Makespan(), 2.0);
+}
+
+TEST(TimelineTest, DependencyDelaysStart) {
+  Timeline tl;
+  const OpId copy = tl.Add(Engine::kCopyH2D, 2.0);
+  tl.Add(Engine::kComputeGpu, 1.0, {copy});
+  EXPECT_DOUBLE_EQ(tl.Makespan(), 3.0);
+}
+
+TEST(TimelineTest, InvalidDependencyRejected) {
+  Timeline tl;
+  tl.Add(Engine::kCopyH2D, 1.0, {5});  // dep on nonexistent op
+  auto schedule = tl.Run();
+  EXPECT_FALSE(schedule.ok());
+}
+
+TEST(TimelineTest, SelfDependencyRejected) {
+  Timeline tl;
+  tl.Add(Engine::kCopyH2D, 1.0, {0});  // op 0 depending on itself
+  EXPECT_FALSE(tl.Run().ok());
+}
+
+TEST(TimelineTest, BusyTimeAndUtilization) {
+  Timeline tl;
+  tl.Add(Engine::kCopyH2D, 2.0);
+  tl.Add(Engine::kComputeGpu, 1.0);
+  auto schedule = std::move(tl.Run()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(schedule.busy_s[static_cast<int>(Engine::kCopyH2D)], 2.0);
+  EXPECT_DOUBLE_EQ(schedule.Utilization(Engine::kCopyH2D), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.Utilization(Engine::kComputeGpu), 0.5);
+}
+
+// Figure 2: double buffering. N chunks; chunk i's transfer overlaps
+// chunk i-1's join. When transfers are slower than joins, the makespan
+// is (total transfer time) + (last join) — the paper's Section IV-A
+// claim "total execution time is the transfer time for the data plus the
+// GPU execution time for the last chunk".
+TEST(TimelineTest, DoubleBufferingHidesComputeBehindTransfers) {
+  Timeline tl;
+  const int kChunks = 8;
+  const double kTransfer = 1.0;
+  const double kJoin = 0.4;  // faster than transfers
+  OpId prev_join = -1;
+  OpId prev_prev_join = -1;  // two buffers: transfer i waits on join i-2
+  for (int i = 0; i < kChunks; ++i) {
+    std::vector<OpId> tdeps;
+    if (prev_prev_join >= 0) tdeps.push_back(prev_prev_join);
+    const OpId t = tl.Add(Engine::kCopyH2D, kTransfer, tdeps, "h2d");
+    const OpId j = tl.Add(Engine::kComputeGpu, kJoin, {t}, "join");
+    prev_prev_join = prev_join;
+    prev_join = j;
+  }
+  EXPECT_DOUBLE_EQ(tl.Makespan(), kChunks * kTransfer + kJoin);
+}
+
+// Converse regime: joins slower than transfers -> compute-bound pipeline:
+// makespan = first transfer + N * join.
+TEST(TimelineTest, ComputeBoundPipeline) {
+  Timeline tl;
+  const int kChunks = 6;
+  const double kTransfer = 0.3;
+  const double kJoin = 1.0;
+  std::vector<OpId> joins;
+  for (int i = 0; i < kChunks; ++i) {
+    std::vector<OpId> tdeps;
+    if (i >= 2) tdeps.push_back(joins[i - 2]);  // buffer (i % 2) free
+    const OpId t = tl.Add(Engine::kCopyH2D, kTransfer, tdeps);
+    joins.push_back(tl.Add(Engine::kComputeGpu, kJoin, {t}));
+  }
+  EXPECT_DOUBLE_EQ(tl.Makespan(), kTransfer + kChunks * kJoin);
+}
+
+// Figure 3: three-stage pipeline (CPU partition -> H2D -> GPU join).
+// Each stage on its own engine; with equal durations the makespan is
+// (stages - 1 + chunks) * stage_time.
+TEST(TimelineTest, ThreeStagePipeline) {
+  Timeline tl;
+  const int kChunks = 5;
+  const double kStage = 1.0;
+  OpId prev_part = -1;
+  std::vector<OpId> parts, copies;
+  for (int i = 0; i < kChunks; ++i) {
+    std::vector<OpId> pdeps;
+    if (prev_part >= 0) pdeps.push_back(prev_part);
+    const OpId p = tl.Add(Engine::kCpu, kStage, pdeps, "partition");
+    const OpId c = tl.Add(Engine::kCopyH2D, kStage, {p}, "h2d");
+    tl.Add(Engine::kComputeGpu, kStage, {c}, "join");
+    prev_part = p;
+  }
+  EXPECT_DOUBLE_EQ(tl.Makespan(), (3 - 1 + kChunks) * kStage);
+}
+
+// Figure 4: D2H result materialization on the second DMA engine runs
+// concurrently with H2D input transfers.
+TEST(TimelineTest, BidirectionalDmaOverlaps) {
+  Timeline tl;
+  const OpId h2d = tl.Add(Engine::kCopyH2D, 1.0);
+  const OpId join = tl.Add(Engine::kComputeGpu, 0.5, {h2d});
+  tl.Add(Engine::kCopyD2H, 1.0, {join});
+  const OpId h2d2 = tl.Add(Engine::kCopyH2D, 1.0);
+  const OpId join2 = tl.Add(Engine::kComputeGpu, 0.5, {h2d2});
+  tl.Add(Engine::kCopyD2H, 1.0, {join2});
+  // H2D: [0,1],[1,2]; joins: [1,1.5],[2,2.5]; D2H: [1.5,2.5],[2.5,3.5].
+  EXPECT_DOUBLE_EQ(tl.Makespan(), 3.5);
+}
+
+TEST(TimelineTest, LabelsArePreserved) {
+  Timeline tl;
+  tl.Add(Engine::kCpu, 1.0, {}, "stage-a");
+  EXPECT_EQ(tl.ops()[0].label, "stage-a");
+  EXPECT_EQ(tl.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gjoin::sim

@@ -1,0 +1,125 @@
+// Tests for warp-level primitives (ballot/shuffle/prefix ranks) — the
+// building blocks of the paper's Listing 1 probe and the warp-buffered
+// output of Section III-C.
+
+#include "sim/warp.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/shared_memory.h"
+
+namespace gjoin::sim {
+namespace {
+
+class WarpTest : public ::testing::Test {
+ protected:
+  SharedMemory shared_{48 << 10};
+  Block block_{0, 1, 1024, &shared_};
+};
+
+TEST_F(WarpTest, BallotBuildsMaskFromPredicates) {
+  LaneArray<uint32_t> pred{};
+  pred[0] = 1;
+  pred[5] = 7;    // any non-zero counts
+  pred[31] = 1;
+  const uint32_t mask = Ballot(block_, pred);
+  EXPECT_EQ(mask, (1u << 0) | (1u << 5) | (1u << 31));
+}
+
+TEST_F(WarpTest, BallotAllAndNone) {
+  LaneArray<uint32_t> all;
+  all.fill(1);
+  EXPECT_EQ(Ballot(block_, all), 0xFFFFFFFFu);
+  LaneArray<uint32_t> none{};
+  EXPECT_EQ(Ballot(block_, none), 0u);
+}
+
+TEST_F(WarpTest, ShuffleBroadcastDistributesOneLane) {
+  LaneArray<int> vals;
+  for (int i = 0; i < kWarpSize; ++i) vals[i] = i * 10;
+  const auto out = ShuffleBroadcast(block_, vals, 7);
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(out[i], 70);
+}
+
+TEST_F(WarpTest, ShuffleBroadcastWrapsSourceLane) {
+  LaneArray<int> vals;
+  for (int i = 0; i < kWarpSize; ++i) vals[i] = i;
+  const auto out = ShuffleBroadcast(block_, vals, 35);  // 35 & 31 == 3
+  EXPECT_EQ(out[0], 3);
+}
+
+TEST_F(WarpTest, ShufflePerLaneIndices) {
+  LaneArray<int> vals;
+  LaneArray<int> src;
+  for (int i = 0; i < kWarpSize; ++i) {
+    vals[i] = 100 + i;
+    src[i] = kWarpSize - 1 - i;  // reverse
+  }
+  const auto out = Shuffle(block_, vals, src);
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(out[i], 100 + 31 - i);
+}
+
+TEST_F(WarpTest, AnyDetectsSingleLane) {
+  LaneArray<uint32_t> pred{};
+  EXPECT_FALSE(Any(block_, pred));
+  pred[17] = 1;
+  EXPECT_TRUE(Any(block_, pred));
+}
+
+TEST_F(WarpTest, PrefixRanksComputeCompactionOffsets) {
+  // mask has bits 1, 3, 4 set: lanes 1,3,4 write to offsets 0,1,2.
+  const uint32_t mask = (1u << 1) | (1u << 3) | (1u << 4);
+  const auto ranks = PrefixRanks(block_, mask);
+  EXPECT_EQ(ranks[0], 0);
+  EXPECT_EQ(ranks[1], 0);
+  EXPECT_EQ(ranks[2], 1);
+  EXPECT_EQ(ranks[3], 1);
+  EXPECT_EQ(ranks[4], 2);
+  EXPECT_EQ(ranks[5], 3);
+  EXPECT_EQ(ranks[31], 3);
+}
+
+TEST_F(WarpTest, PrefixRanksFullMaskIsIdentity) {
+  const auto ranks = PrefixRanks(block_, 0xFFFFFFFFu);
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(ranks[i], i);
+}
+
+TEST_F(WarpTest, PrimitivesChargeCycles) {
+  LaneArray<uint32_t> pred{};
+  Ballot(block_, pred);
+  Ballot(block_, pred);
+  const auto stats = block_.TakeStats();
+  EXPECT_GE(stats.total_cycles, 2u);
+}
+
+// Property check: the ballot-based bit-matching idiom of Listing 1.
+// Every lane holds a probe value s; the warp holds 32 build values r.
+// After iterating over the value bits with ballots, lane i's mask must
+// have bit j set iff r[j] == s[i].
+TEST_F(WarpTest, ListingOneBitMatchFindsExactEqualities) {
+  LaneArray<uint32_t> r;   // "shared memory" values, one per lane
+  LaneArray<uint32_t> s;   // per-lane probe values
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = static_cast<uint32_t>(i * 3 % 16);
+    s[i] = static_cast<uint32_t>(i % 16);
+  }
+  LaneArray<uint32_t> mask;
+  mask.fill(~0u);
+  for (int bit = 0; bit < 4; ++bit) {  // values < 16: 4 bits may differ
+    LaneArray<uint32_t> pred;
+    for (int l = 0; l < kWarpSize; ++l) pred[l] = (r[l] >> bit) & 1u;
+    const uint32_t vote = Ballot(block_, pred);
+    for (int l = 0; l < kWarpSize; ++l) {
+      mask[l] &= ((s[l] >> bit) & 1u) ? vote : ~vote;
+    }
+  }
+  for (int i = 0; i < kWarpSize; ++i) {
+    for (int j = 0; j < kWarpSize; ++j) {
+      const bool match = (mask[i] >> j) & 1u;
+      EXPECT_EQ(match, r[j] == s[i]) << "lane " << i << " vs value " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gjoin::sim

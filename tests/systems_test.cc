@@ -1,0 +1,197 @@
+// Tests for the DBMS-X / CoGaDB comparator models (Figs. 14/15) and the
+// public API's strategy selection.
+
+#include <gtest/gtest.h>
+
+#include "api/gjoin.h"
+#include "data/generator.h"
+#include "data/oracle.h"
+#include "data/tpch.h"
+#include "systems/cogadb.h"
+#include "systems/dbmsx.h"
+
+namespace gjoin {
+namespace {
+
+class SystemsTest : public ::testing::Test {
+ protected:
+  hw::HardwareSpec spec_;
+  sim::Device device_{spec_};
+};
+
+TEST_F(SystemsTest, DbmsXComputesCorrectJoin) {
+  const auto r = data::MakeUniqueUniform(20000, 1);
+  const auto s = data::MakeUniformProbe(40000, 20000, 2);
+  auto stats = systems::DbmsXJoin(&device_, r, s);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->matches, data::JoinOracle(r, s).matches);
+}
+
+TEST_F(SystemsTest, DbmsXPaysCodegenOverhead) {
+  const auto r = data::MakeUniqueUniform(10000, 3);
+  auto stats = systems::DbmsXJoin(&device_, r, r);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->seconds, systems::DbmsXConfig().codegen_overhead_s);
+}
+
+TEST_F(SystemsTest, DbmsXFallsOffCliffBeyondResidencyCutoff) {
+  // Exclude the fixed codegen overhead so the kernel-level cliff is
+  // visible at test scale (at paper scale codegen amortizes away).
+  const auto r = data::MakeUniqueUniform(50000, 4);
+  systems::DbmsXConfig resident_cfg;
+  resident_cfg.codegen_overhead_s = 0;
+  systems::DbmsXConfig small_cutoff = resident_cfg;
+  small_cutoff.residency_cutoff_tuples = 10000;  // force out-of-GPU mode
+  auto out_of_gpu = systems::DbmsXJoin(&device_, r, r, small_cutoff);
+  auto resident = systems::DbmsXJoin(&device_, r, r, resident_cfg);
+  ASSERT_TRUE(out_of_gpu.ok());
+  ASSERT_TRUE(resident.ok());
+  // "This difference extends to 10x when data is not GPU resident."
+  EXPECT_GT(out_of_gpu->seconds, resident->seconds * 2);
+}
+
+TEST_F(SystemsTest, DbmsXRejectsWideKeyDomains) {
+  data::Relation r;
+  r.Append((1u << 29) + 5, 0);  // key beyond the modeled integer limit
+  auto stats = systems::DbmsXJoin(&device_, r, r);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), util::StatusCode::kExecutionError);
+}
+
+TEST_F(SystemsTest, DbmsXErrorsOnTpchSf100OrdersShape) {
+  // The SF100 lineitem-orders join has sparse orderkeys up to 600M,
+  // beyond DBMS-X's modeled key-domain limit. Validate the *trigger*
+  // with a small relation carrying the same key shape.
+  data::Relation orders_like;
+  const uint32_t sf100_orders = 150000000;
+  orders_like.Append(4 * (sf100_orders - 1) + 1, 0);  // max SF100 orderkey
+  auto stats = systems::DbmsXJoin(&device_, orders_like, orders_like);
+  EXPECT_FALSE(stats.ok());
+  // SF10 keys (60M domain) are fine.
+  data::Relation sf10_like;
+  sf10_like.Append(4 * 15000000 + 1, 0);
+  EXPECT_TRUE(systems::DbmsXJoin(&device_, sf10_like, sf10_like).ok());
+}
+
+TEST_F(SystemsTest, CoGaDbComputesCorrectJoin) {
+  const auto r = data::MakeUniqueUniform(20000, 5);
+  const auto s = data::MakeUniformProbe(20000, 20000, 6);
+  auto stats = systems::CoGaDbJoin(&device_, r, s);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->matches, data::JoinOracle(r, s).matches);
+}
+
+TEST_F(SystemsTest, CoGaDbRefusesOutOfGpuJoins) {
+  hw::HardwareSpec tiny = spec_;
+  tiny.gpu.device_memory_bytes = 1 << 20;
+  sim::Device small(tiny);
+  const auto r = data::MakeUniqueUniform(100000, 7);  // 800 KB/side
+  auto stats = systems::CoGaDbJoin(&small, r, r);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), util::StatusCode::kOutOfMemory);
+}
+
+TEST_F(SystemsTest, CoGaDbRefusesOverlargeLoads) {
+  const auto r = data::MakeUniqueUniform(1000, 8);
+  systems::CoGaDbConfig cfg;
+  cfg.max_load_tuples = 500;
+  auto stats = systems::CoGaDbJoin(&device_, r, r, cfg);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), util::StatusCode::kExecutionError);
+}
+
+TEST_F(SystemsTest, CoGaDbSlowerThanDbmsX) {
+  // Fig. 15: CoGaDB's operator-at-a-time model trails DBMS-X.
+  const auto r = data::MakeUniqueUniform(100000, 9);
+  auto cogadb = systems::CoGaDbJoin(&device_, r, r);
+  auto dbmsx = systems::DbmsXJoin(&device_, r, r);
+  ASSERT_TRUE(cogadb.ok());
+  ASSERT_TRUE(dbmsx.ok());
+  EXPECT_GT(cogadb->seconds + 0.02, dbmsx->seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+class ApiTest : public SystemsTest {};
+
+TEST_F(ApiTest, ChoosesInGpuForSmallInputs) {
+  EXPECT_EQ(api::ChooseStrategy(device_, 1 << 20, 1 << 20),
+            api::Strategy::kInGpu);
+}
+
+TEST_F(ApiTest, ChoosesStreamingWhenOnlyBuildFits) {
+  const uint64_t build = 1ull << 30;  // 1 GB fits 8 GB device
+  const uint64_t probe = 16ull << 30;
+  EXPECT_EQ(api::ChooseStrategy(device_, build, probe),
+            api::Strategy::kStreamingProbe);
+}
+
+TEST_F(ApiTest, ChoosesCoProcessingWhenNothingFits) {
+  const uint64_t huge = 16ull << 30;
+  EXPECT_EQ(api::ChooseStrategy(device_, huge, huge),
+            api::Strategy::kCoProcessing);
+}
+
+TEST_F(ApiTest, ExplainMentionsStrategy) {
+  const std::string text = api::Explain(device_, 1 << 20, 1 << 20);
+  EXPECT_NE(text.find("in-gpu"), std::string::npos);
+}
+
+TEST_F(ApiTest, JoinAutoInGpuMatchesOracle) {
+  const auto r = data::MakeUniqueUniform(30000, 10);
+  const auto s = data::MakeUniformProbe(60000, 30000, 11);
+  api::JoinConfig cfg;
+  cfg.pass_bits = {5, 4};
+  auto outcome = api::Join(&device_, r, s, cfg);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->strategy, api::Strategy::kInGpu);
+  EXPECT_EQ(outcome->stats.matches, data::JoinOracle(r, s).matches);
+}
+
+TEST_F(ApiTest, JoinForcedStrategiesAllAgree) {
+  const auto r = data::MakeUniqueUniform(40000, 12);
+  const auto s = data::MakeUniformProbe(80000, 40000, 13);
+  const auto oracle = data::JoinOracle(r, s);
+  for (api::Strategy strategy :
+       {api::Strategy::kInGpu, api::Strategy::kStreamingProbe,
+        api::Strategy::kCoProcessing}) {
+    api::JoinConfig cfg;
+    cfg.strategy = strategy;
+    cfg.pass_bits = {5, 4};
+    auto outcome = api::Join(&device_, r, s, cfg);
+    ASSERT_TRUE(outcome.ok())
+        << api::StrategyName(strategy) << ": " << outcome.status();
+    EXPECT_EQ(outcome->stats.matches, oracle.matches)
+        << api::StrategyName(strategy);
+    EXPECT_EQ(outcome->stats.payload_sum, oracle.payload_sum);
+  }
+}
+
+TEST_F(ApiTest, MaterializeFlagFlowsThrough) {
+  const auto r = data::MakeUniqueUniform(200000, 14);
+  api::JoinConfig agg, mat;
+  agg.pass_bits = mat.pass_bits = {5, 4};
+  mat.materialize = true;
+  auto a = api::Join(&device_, r, r, agg);
+  auto m = api::Join(&device_, r, r, mat);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->stats.seconds, a->stats.seconds);
+}
+
+TEST_F(ApiTest, TpchJoinsViaApi) {
+  const auto w = data::MakeTpch(0.01, 15);
+  api::JoinConfig cfg;
+  cfg.pass_bits = {5, 4};
+  auto orders = api::Join(&device_, w.orders, w.lineitem_orderkey, cfg);
+  ASSERT_TRUE(orders.ok());
+  EXPECT_EQ(orders->stats.matches, w.lineitem_orderkey.size());
+  auto customer = api::Join(&device_, w.customer, w.lineitem_custkey, cfg);
+  ASSERT_TRUE(customer.ok());
+  EXPECT_EQ(customer->stats.matches, w.lineitem_custkey.size());
+}
+
+}  // namespace
+}  // namespace gjoin

@@ -1,0 +1,95 @@
+// Tests for bit utilities and the radix/hash helpers.
+
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gjoin::util {
+namespace {
+
+TEST(BitsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ull << 40));
+  EXPECT_FALSE(IsPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(BitsTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(BitsTest, Log2) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(1024), 10);
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(1024), 10);
+  EXPECT_EQ(Log2Ceil(1025), 11);
+}
+
+TEST(BitsTest, CeilDivAndRoundUp) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(RoundUp(10, 4), 12u);
+  EXPECT_EQ(RoundUp(8, 4), 8u);
+}
+
+TEST(BitsTest, RadixOfExtractsField) {
+  // key = 0b1011'0110, low 3 bits from shift 0 -> 0b110 = 6.
+  EXPECT_EQ(RadixOf(0xB6, 0, 3), 6u);
+  // next 3 bits -> 0b110 = 6.
+  EXPECT_EQ(RadixOf(0xB6, 3, 3), 6u);
+  EXPECT_EQ(RadixOf(0xB6, 6, 2), 2u);
+  // Zero bits is always partition 0... with bits=0 the mask is 0.
+  EXPECT_EQ(RadixOf(0xFFFF, 4, 0), 0u);
+}
+
+TEST(BitsTest, RadixPartitioningIsAPartition) {
+  // Every key maps to exactly one partition and partitions cover [0, 2^b).
+  constexpr int kBits = 4;
+  std::set<uint32_t> seen;
+  for (uint32_t key = 0; key < 64; ++key) {
+    uint32_t p = RadixOf(key, 0, kBits);
+    EXPECT_LT(p, 1u << kBits);
+    seen.insert(p);
+  }
+  EXPECT_EQ(seen.size(), 1u << kBits);
+}
+
+TEST(BitsTest, Mix32IsBijectiveOnSample) {
+  // Mixers must not collide on a dense sample (they are bijections).
+  std::set<uint32_t> outputs;
+  for (uint32_t i = 0; i < 10000; ++i) outputs.insert(Mix32(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(BitsTest, HashTableSlotInRange) {
+  for (uint32_t key = 0; key < 1000; ++key) {
+    EXPECT_LT(HashTableSlot(key, 5, 256), 256u);
+  }
+}
+
+TEST(BitsTest, HashTableSlotUsesNonPartitionBits) {
+  // Keys that differ only in the partition bits land in the same slot:
+  // the hash must depend only on bits above the partitioning field.
+  constexpr int kPartitionBits = 6;
+  for (uint32_t base = 0; base < 100; ++base) {
+    const uint32_t high = base << kPartitionBits;
+    const uint32_t slot0 = HashTableSlot(high, kPartitionBits, 128);
+    for (uint32_t low = 1; low < (1u << kPartitionBits); low += 13) {
+      EXPECT_EQ(HashTableSlot(high | low, kPartitionBits, 128), slot0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gjoin::util

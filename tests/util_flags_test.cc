@@ -1,0 +1,67 @@
+// Tests for the command-line flag parser.
+
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gjoin::util {
+namespace {
+
+Flags MustParse(std::vector<const char*> args) {
+  args.insert(args.begin(), "binary");
+  auto result = Flags::Parse(static_cast<int>(args.size()),
+                             const_cast<char**>(args.data()));
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ValueOrDie();
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = MustParse({"--tuples=1000", "--skew=0.75", "--name=fig8"});
+  EXPECT_EQ(f.GetInt("tuples", 0), 1000);
+  EXPECT_DOUBLE_EQ(f.GetDouble("skew", 0), 0.75);
+  EXPECT_EQ(f.GetString("name", ""), "fig8");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = MustParse({"--tuples", "1000"});
+  EXPECT_EQ(f.GetInt("tuples", 0), 1000);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  Flags f = MustParse({"--materialize"});
+  EXPECT_TRUE(f.GetBool("materialize", false));
+  EXPECT_TRUE(f.Has("materialize"));
+  EXPECT_FALSE(f.Has("other"));
+}
+
+TEST(FlagsTest, ExplicitBooleans) {
+  Flags f = MustParse({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.GetBool("d", true));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = MustParse({});
+  EXPECT_EQ(f.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(f.GetString("missing", "x"), "x");
+  EXPECT_TRUE(f.GetBool("missing", true));
+}
+
+TEST(FlagsTest, RejectsPositionalArguments) {
+  std::vector<const char*> args = {"binary", "positional"};
+  auto result = Flags::Parse(2, const_cast<char**>(args.data()));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(FlagsTest, UnparsableNumberFallsBackToDefault) {
+  Flags f = MustParse({"--n=abc"});
+  EXPECT_EQ(f.GetInt("n", 5), 5);
+}
+
+}  // namespace
+}  // namespace gjoin::util

@@ -1,0 +1,104 @@
+// Tests for util::Status and util::Result.
+
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gjoin::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::Invalid("x").code(), StatusCode::kInvalid);
+  EXPECT_EQ(Status::OutOfMemory("x").code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ExecutionError("x").code(), StatusCode::kExecutionError);
+
+  Status st = Status::Invalid("bad fanout");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "bad fanout");
+  EXPECT_EQ(st.ToString(), "Invalid: bad fanout");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::Internal("boom");
+  Status copy = st;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.message(), "boom");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfMemory), "OutOfMemory");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Invalid("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalid);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::Invalid("negative");
+  return Status::OK();
+}
+
+Status UseReturnNotOk(int x) {
+  GJOIN_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UseReturnNotOk(1).ok());
+  EXPECT_FALSE(UseReturnNotOk(-1).ok());
+}
+
+Result<int> MakeValue(bool good) {
+  if (!good) return Status::Internal("no value");
+  return 7;
+}
+
+Result<int> UseAssignOrReturn(bool good) {
+  GJOIN_ASSIGN_OR_RETURN(int v, MakeValue(good));
+  return v * 2;
+}
+
+TEST(MacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  auto good = UseAssignOrReturn(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.ValueOrDie(), 14);
+
+  auto bad = UseAssignOrReturn(false);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultDeathTest, ValueOrDieAbortsOnError) {
+  Result<int> r = Status::Invalid("fatal");
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "fatal");
+}
+
+}  // namespace
+}  // namespace gjoin::util

@@ -1,0 +1,86 @@
+// Tests for the thread pool.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gjoin::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ZeroRequestedBecomesOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.ParallelFor(1000, [&visits](size_t i) { visits[i].fetch_add(1); });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRangesCoversExactly) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  pool.ParallelForRanges(103, [&](size_t b, size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(b, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  size_t expect_begin = 0;
+  for (auto [b, e] : ranges) {
+    EXPECT_EQ(b, expect_begin);
+    EXPECT_LT(b, e);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, 103u);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultPoolSingleton) {
+  ThreadPool* a = ThreadPool::Default();
+  ThreadPool* b = ThreadPool::Default();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a->num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace gjoin::util
