@@ -7,8 +7,8 @@
 
 #include "bench/common.h"
 #include "bench/runner.h"
-#include "data/generator.h"
-#include "data/oracle.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
 
 namespace gjoin {
 namespace {

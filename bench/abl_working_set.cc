@@ -6,9 +6,9 @@
 
 #include "bench/common.h"
 #include "bench/runner.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "outofgpu/coprocess.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/outofgpu/coprocess.h"
 
 namespace gjoin {
 namespace {

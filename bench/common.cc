@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "util/bits.h"
+#include "src/util/bits.h"
 
 namespace gjoin::bench {
 

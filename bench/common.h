@@ -28,8 +28,8 @@
 #include <string>
 #include <vector>
 
-#include "hw/spec.h"
-#include "util/flags.h"
+#include "src/hw/spec.h"
+#include "src/util/flags.h"
 
 namespace gjoin::bench {
 

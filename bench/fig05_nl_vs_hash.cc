@@ -10,10 +10,10 @@
 #include <map>
 
 #include "bench/common.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "gpujoin/partitioned_join.h"
-#include "util/bits.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/gpujoin/partitioned_join.h"
+#include "src/util/bits.h"
 
 namespace gjoin {
 namespace {

@@ -9,8 +9,8 @@
 
 #include "bench/common.h"
 #include "bench/runner.h"
-#include "cpu/cpu_joins.h"
-#include "data/generator.h"
+#include "src/cpu/cpu_joins.h"
+#include "src/data/generator.h"
 
 namespace gjoin {
 namespace {

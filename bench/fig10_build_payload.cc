@@ -8,7 +8,7 @@
 
 #include "bench/common.h"
 #include "bench/runner.h"
-#include "data/generator.h"
+#include "src/data/generator.h"
 
 namespace gjoin {
 namespace {

@@ -6,11 +6,11 @@
 
 #include "bench/common.h"
 #include "bench/runner.h"
-#include "cpu/cpu_joins.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "hw/pcie.h"
-#include "outofgpu/streaming_probe.h"
+#include "src/cpu/cpu_joins.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/hw/pcie.h"
+#include "src/outofgpu/streaming_probe.h"
 
 namespace gjoin {
 namespace {

@@ -7,10 +7,10 @@
 
 #include "bench/common.h"
 #include "bench/runner.h"
-#include "cpu/cpu_joins.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "outofgpu/coprocess.h"
+#include "src/cpu/cpu_joins.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/outofgpu/coprocess.h"
 
 namespace gjoin {
 namespace {

@@ -6,12 +6,12 @@
 // CoGaDB fails to load SF100 at all; gjoin falls back to its streaming
 // variant when the working set stops fitting.
 
-#include "api/gjoin.h"
+#include "src/api/gjoin.h"
 #include "bench/common.h"
-#include "data/oracle.h"
-#include "data/tpch.h"
-#include "systems/cogadb.h"
-#include "systems/dbmsx.h"
+#include "src/data/oracle.h"
+#include "src/data/tpch.h"
+#include "src/systems/cogadb.h"
+#include "src/systems/dbmsx.h"
 
 namespace gjoin {
 namespace {

@@ -5,13 +5,13 @@
 
 #include <map>
 
-#include "api/gjoin.h"
+#include "src/api/gjoin.h"
 #include "bench/common.h"
 #include "bench/runner.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "systems/cogadb.h"
-#include "systems/dbmsx.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/systems/cogadb.h"
+#include "src/systems/dbmsx.h"
 
 namespace gjoin {
 namespace {

@@ -6,8 +6,8 @@
 
 #include "bench/common.h"
 #include "bench/runner.h"
-#include "data/generator.h"
-#include "outofgpu/coprocess.h"
+#include "src/data/generator.h"
+#include "src/outofgpu/coprocess.h"
 
 namespace gjoin {
 namespace {

@@ -6,9 +6,9 @@
 
 #include "bench/common.h"
 #include "bench/runner.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "outofgpu/transfer_mech.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/outofgpu/transfer_mech.h"
 
 namespace gjoin {
 namespace {

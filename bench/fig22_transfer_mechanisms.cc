@@ -5,10 +5,10 @@
 
 #include "bench/common.h"
 #include "bench/runner.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "outofgpu/coprocess.h"
-#include "outofgpu/transfer_mech.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/outofgpu/coprocess.h"
+#include "src/outofgpu/transfer_mech.h"
 
 namespace gjoin {
 namespace {

@@ -9,11 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
-#include "cpu/cpu_joins.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "gpujoin/nonpartitioned.h"
-#include "gpujoin/partitioned_join.h"
+#include "src/cpu/cpu_joins.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/gpujoin/nonpartitioned.h"
+#include "src/gpujoin/partitioned_join.h"
 
 namespace {
 

@@ -7,11 +7,11 @@
 
 #include <optional>
 
-#include "data/oracle.h"
-#include "data/relation.h"
-#include "gpujoin/nonpartitioned.h"
-#include "gpujoin/partitioned_join.h"
-#include "sim/device.h"
+#include "src/data/oracle.h"
+#include "src/data/relation.h"
+#include "src/gpujoin/nonpartitioned.h"
+#include "src/gpujoin/partitioned_join.h"
+#include "src/sim/device.h"
 
 namespace gjoin::bench {
 

@@ -6,12 +6,12 @@
 
 #include <cstdio>
 
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "hw/pcie.h"
-#include "outofgpu/coprocess.h"
-#include "outofgpu/streaming_probe.h"
-#include "util/flags.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/hw/pcie.h"
+#include "src/outofgpu/coprocess.h"
+#include "src/outofgpu/streaming_probe.h"
+#include "src/util/flags.h"
 
 int main(int argc, char** argv) {
   using namespace gjoin;

@@ -9,10 +9,10 @@
 
 #include <cstdio>
 
-#include "api/gjoin.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "util/flags.h"
+#include "src/api/gjoin.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/util/flags.h"
 
 int main(int argc, char** argv) {
   using namespace gjoin;

@@ -11,12 +11,12 @@
 
 #include <cstdio>
 
-#include "cpu/cpu_partition.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "gpujoin/partitioned_join.h"
-#include "outofgpu/working_set.h"
-#include "util/flags.h"
+#include "src/cpu/cpu_partition.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/gpujoin/partitioned_join.h"
+#include "src/outofgpu/working_set.h"
+#include "src/util/flags.h"
 
 int main(int argc, char** argv) {
   using namespace gjoin;

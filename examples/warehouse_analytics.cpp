@@ -11,11 +11,11 @@
 
 #include <cstdio>
 
-#include "api/gjoin.h"
-#include "cpu/cpu_joins.h"
-#include "data/oracle.h"
-#include "data/tpch.h"
-#include "util/flags.h"
+#include "src/api/gjoin.h"
+#include "src/cpu/cpu_joins.h"
+#include "src/data/oracle.h"
+#include "src/data/tpch.h"
+#include "src/util/flags.h"
 
 namespace {
 

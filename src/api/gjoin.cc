@@ -1,9 +1,9 @@
-#include "api/gjoin.h"
+#include "src/api/gjoin.h"
 
 #include <algorithm>
 #include <sstream>
 
-#include "hw/pcie.h"
+#include "src/hw/pcie.h"
 
 namespace gjoin::api {
 

@@ -27,12 +27,12 @@
 
 #include <string>
 
-#include "data/relation.h"
-#include "gpujoin/partitioned_join.h"
-#include "outofgpu/coprocess.h"
-#include "outofgpu/streaming_probe.h"
-#include "sim/device.h"
-#include "util/status.h"
+#include "src/data/relation.h"
+#include "src/gpujoin/partitioned_join.h"
+#include "src/outofgpu/coprocess.h"
+#include "src/outofgpu/streaming_probe.h"
+#include "src/sim/device.h"
+#include "src/util/status.h"
 
 namespace gjoin::api {
 

@@ -1,11 +1,11 @@
-#include "cpu/cpu_joins.h"
+#include "src/cpu/cpu_joins.h"
 
 #include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <vector>
 
-#include "util/bits.h"
+#include "src/util/bits.h"
 
 namespace gjoin::cpu {
 

@@ -19,10 +19,10 @@
 
 #include <cstdint>
 
-#include "data/relation.h"
-#include "hw/cpu_cost.h"
-#include "util/status.h"
-#include "util/thread_pool.h"
+#include "src/data/relation.h"
+#include "src/hw/cpu_cost.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace gjoin::cpu {
 

@@ -1,9 +1,9 @@
-#include "cpu/cpu_partition.h"
+#include "src/cpu/cpu_partition.h"
 
 #include <algorithm>
 #include <mutex>
 
-#include "util/bits.h"
+#include "src/util/bits.h"
 
 namespace gjoin::cpu {
 

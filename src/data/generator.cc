@@ -1,6 +1,6 @@
-#include "data/generator.h"
+#include "src/data/generator.h"
 
-#include "util/rng.h"
+#include "src/util/rng.h"
 
 namespace gjoin::data {
 

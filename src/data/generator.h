@@ -9,7 +9,7 @@
 
 #include <cstdint>
 
-#include "data/relation.h"
+#include "src/data/relation.h"
 
 namespace gjoin::data {
 

@@ -1,4 +1,4 @@
-#include "data/oracle.h"
+#include "src/data/oracle.h"
 
 #include <unordered_map>
 

@@ -1,6 +1,6 @@
-#include "data/tpch.h"
+#include "src/data/tpch.h"
 
-#include "util/rng.h"
+#include "src/util/rng.h"
 
 namespace gjoin::data {
 

@@ -1,4 +1,4 @@
-#include "gpujoin/bucket_chains.h"
+#include "src/gpujoin/bucket_chains.h"
 
 namespace gjoin::gpujoin {
 

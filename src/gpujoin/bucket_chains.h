@@ -21,9 +21,9 @@
 #include <utility>
 #include <vector>
 
-#include "gpujoin/bucket_pool.h"
-#include "sim/device_memory.h"
-#include "util/status.h"
+#include "src/gpujoin/bucket_pool.h"
+#include "src/sim/device_memory.h"
+#include "src/util/status.h"
 
 namespace gjoin::gpujoin {
 

@@ -1,4 +1,4 @@
-#include "gpujoin/bucket_pool.h"
+#include "src/gpujoin/bucket_pool.h"
 
 namespace gjoin::gpujoin {
 

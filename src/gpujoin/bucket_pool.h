@@ -17,8 +17,8 @@
 #include <mutex>
 #include <vector>
 
-#include "sim/device_memory.h"
-#include "util/status.h"
+#include "src/sim/device_memory.h"
+#include "src/util/status.h"
 
 namespace gjoin::gpujoin {
 

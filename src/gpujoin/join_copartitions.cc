@@ -1,11 +1,11 @@
-#include "gpujoin/join_copartitions.h"
+#include "src/gpujoin/join_copartitions.h"
 
 #include <algorithm>
 #include <atomic>
 #include <vector>
 
-#include "sim/warp.h"
-#include "util/bits.h"
+#include "src/sim/warp.h"
+#include "src/util/bits.h"
 
 namespace gjoin::gpujoin {
 

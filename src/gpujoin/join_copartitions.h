@@ -33,11 +33,11 @@
 
 #include <cstdint>
 
-#include "gpujoin/output_ring.h"
-#include "gpujoin/radix_partition.h"
-#include "gpujoin/types.h"
-#include "sim/device.h"
-#include "util/status.h"
+#include "src/gpujoin/output_ring.h"
+#include "src/gpujoin/radix_partition.h"
+#include "src/gpujoin/types.h"
+#include "src/sim/device.h"
+#include "src/util/status.h"
 
 namespace gjoin::gpujoin {
 

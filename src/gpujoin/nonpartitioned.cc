@@ -1,11 +1,11 @@
-#include "gpujoin/nonpartitioned.h"
+#include "src/gpujoin/nonpartitioned.h"
 
 #include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <vector>
 
-#include "util/bits.h"
+#include "src/util/bits.h"
 
 namespace gjoin::gpujoin {
 

@@ -13,10 +13,10 @@
 #ifndef GJOIN_GPUJOIN_NONPARTITIONED_H_
 #define GJOIN_GPUJOIN_NONPARTITIONED_H_
 
-#include "gpujoin/output_ring.h"
-#include "gpujoin/types.h"
-#include "sim/device.h"
-#include "util/status.h"
+#include "src/gpujoin/output_ring.h"
+#include "src/gpujoin/types.h"
+#include "src/sim/device.h"
+#include "src/util/status.h"
 
 namespace gjoin::gpujoin {
 

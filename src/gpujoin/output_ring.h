@@ -14,8 +14,8 @@
 #include <cstdint>
 #include <memory>
 
-#include "sim/device_memory.h"
-#include "util/status.h"
+#include "src/sim/device_memory.h"
+#include "src/util/status.h"
 
 namespace gjoin::gpujoin {
 

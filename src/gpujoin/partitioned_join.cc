@@ -1,8 +1,8 @@
-#include "gpujoin/partitioned_join.h"
+#include "src/gpujoin/partitioned_join.h"
 
 #include <algorithm>
 
-#include "util/bits.h"
+#include "src/util/bits.h"
 
 namespace gjoin::gpujoin {
 

@@ -5,12 +5,12 @@
 #ifndef GJOIN_GPUJOIN_PARTITIONED_JOIN_H_
 #define GJOIN_GPUJOIN_PARTITIONED_JOIN_H_
 
-#include "data/relation.h"
-#include "gpujoin/join_copartitions.h"
-#include "gpujoin/radix_partition.h"
-#include "gpujoin/types.h"
-#include "sim/device.h"
-#include "util/status.h"
+#include "src/data/relation.h"
+#include "src/gpujoin/join_copartitions.h"
+#include "src/gpujoin/radix_partition.h"
+#include "src/gpujoin/types.h"
+#include "src/sim/device.h"
+#include "src/util/status.h"
 
 namespace gjoin::gpujoin {
 

@@ -1,9 +1,9 @@
-#include "gpujoin/radix_partition.h"
+#include "src/gpujoin/radix_partition.h"
 
 #include <algorithm>
 #include <mutex>
 
-#include "util/bits.h"
+#include "src/util/bits.h"
 
 namespace gjoin::gpujoin {
 

@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <vector>
 
-#include "gpujoin/bucket_chains.h"
-#include "gpujoin/types.h"
-#include "sim/device.h"
-#include "util/status.h"
+#include "src/gpujoin/bucket_chains.h"
+#include "src/gpujoin/types.h"
+#include "src/sim/device.h"
+#include "src/util/status.h"
 
 namespace gjoin::gpujoin {
 

@@ -1,4 +1,4 @@
-#include "gpujoin/types.h"
+#include "src/gpujoin/types.h"
 
 #include <algorithm>
 

@@ -6,10 +6,10 @@
 #include <cstdint>
 #include <string>
 
-#include "data/relation.h"
-#include "sim/device.h"
-#include "sim/device_memory.h"
-#include "util/status.h"
+#include "src/data/relation.h"
+#include "src/sim/device.h"
+#include "src/sim/device_memory.h"
+#include "src/util/status.h"
 
 namespace gjoin::gpujoin {
 

@@ -1,4 +1,4 @@
-#include "hw/cost_model.h"
+#include "src/hw/cost_model.h"
 
 #include <algorithm>
 #include <cmath>

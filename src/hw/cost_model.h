@@ -10,8 +10,8 @@
 #ifndef GJOIN_HW_COST_MODEL_H_
 #define GJOIN_HW_COST_MODEL_H_
 
-#include "hw/kernel_stats.h"
-#include "hw/spec.h"
+#include "src/hw/kernel_stats.h"
+#include "src/hw/spec.h"
 
 namespace gjoin::hw {
 

@@ -1,4 +1,4 @@
-#include "hw/cpu_cost.h"
+#include "src/hw/cpu_cost.h"
 
 #include <algorithm>
 #include <cmath>

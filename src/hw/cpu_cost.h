@@ -11,7 +11,7 @@
 
 #include <cstdint>
 
-#include "hw/spec.h"
+#include "src/hw/spec.h"
 
 namespace gjoin::hw {
 

@@ -1,4 +1,4 @@
-#include "hw/numa.h"
+#include "src/hw/numa.h"
 
 #include <algorithm>
 

@@ -12,7 +12,7 @@
 #ifndef GJOIN_HW_NUMA_H_
 #define GJOIN_HW_NUMA_H_
 
-#include "hw/spec.h"
+#include "src/hw/spec.h"
 
 namespace gjoin::hw {
 

@@ -7,7 +7,7 @@
 
 #include <cstdint>
 
-#include "hw/spec.h"
+#include "src/hw/spec.h"
 
 namespace gjoin::hw {
 

@@ -1,11 +1,11 @@
-#include "outofgpu/coprocess.h"
+#include "src/outofgpu/coprocess.h"
 
 #include <algorithm>
 
-#include "hw/numa.h"
-#include "hw/pcie.h"
-#include "sim/timeline.h"
-#include "util/bits.h"
+#include "src/hw/numa.h"
+#include "src/hw/pcie.h"
+#include "src/sim/timeline.h"
+#include "src/util/bits.h"
 
 namespace gjoin::outofgpu {
 

@@ -25,12 +25,12 @@
 #ifndef GJOIN_OUTOFGPU_COPROCESS_H_
 #define GJOIN_OUTOFGPU_COPROCESS_H_
 
-#include "cpu/cpu_partition.h"
-#include "data/relation.h"
-#include "gpujoin/partitioned_join.h"
-#include "outofgpu/working_set.h"
-#include "sim/device.h"
-#include "util/status.h"
+#include "src/cpu/cpu_partition.h"
+#include "src/data/relation.h"
+#include "src/gpujoin/partitioned_join.h"
+#include "src/outofgpu/working_set.h"
+#include "src/sim/device.h"
+#include "src/util/status.h"
 
 namespace gjoin::outofgpu {
 

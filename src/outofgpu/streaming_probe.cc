@@ -1,12 +1,12 @@
-#include "outofgpu/streaming_probe.h"
+#include "src/outofgpu/streaming_probe.h"
 
 #include <algorithm>
 
-#include "gpujoin/join_copartitions.h"
-#include "gpujoin/output_ring.h"
-#include "hw/pcie.h"
-#include "sim/timeline.h"
-#include "util/bits.h"
+#include "src/gpujoin/join_copartitions.h"
+#include "src/gpujoin/output_ring.h"
+#include "src/hw/pcie.h"
+#include "src/sim/timeline.h"
+#include "src/util/bits.h"
 
 namespace gjoin::outofgpu {
 

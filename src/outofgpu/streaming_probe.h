@@ -15,10 +15,10 @@
 #ifndef GJOIN_OUTOFGPU_STREAMING_PROBE_H_
 #define GJOIN_OUTOFGPU_STREAMING_PROBE_H_
 
-#include "data/relation.h"
-#include "gpujoin/partitioned_join.h"
-#include "sim/device.h"
-#include "util/status.h"
+#include "src/data/relation.h"
+#include "src/gpujoin/partitioned_join.h"
+#include "src/sim/device.h"
+#include "src/util/status.h"
 
 namespace gjoin::outofgpu {
 

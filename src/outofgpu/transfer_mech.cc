@@ -1,8 +1,8 @@
-#include "outofgpu/transfer_mech.h"
+#include "src/outofgpu/transfer_mech.h"
 
 #include <algorithm>
 
-#include "hw/pcie.h"
+#include "src/hw/pcie.h"
 
 namespace gjoin::outofgpu {
 

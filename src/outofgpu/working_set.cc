@@ -1,4 +1,4 @@
-#include "outofgpu/working_set.h"
+#include "src/outofgpu/working_set.h"
 
 #include <algorithm>
 #include <numeric>

@@ -21,7 +21,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "util/status.h"
+#include "src/util/status.h"
 
 namespace gjoin::outofgpu {
 

@@ -13,8 +13,8 @@
 
 #include <cstdint>
 
-#include "hw/kernel_stats.h"
-#include "sim/shared_memory.h"
+#include "src/hw/kernel_stats.h"
+#include "src/sim/shared_memory.h"
 
 namespace gjoin::sim {
 

@@ -1,4 +1,4 @@
-#include "sim/device.h"
+#include "src/sim/device.h"
 
 #include <algorithm>
 

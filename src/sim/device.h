@@ -18,12 +18,12 @@
 #include <string>
 #include <vector>
 
-#include "hw/cost_model.h"
-#include "hw/spec.h"
-#include "sim/block.h"
-#include "sim/device_memory.h"
-#include "util/status.h"
-#include "util/thread_pool.h"
+#include "src/hw/cost_model.h"
+#include "src/hw/spec.h"
+#include "src/sim/block.h"
+#include "src/sim/device_memory.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace gjoin::sim {
 

@@ -1,4 +1,4 @@
-#include "sim/device_memory.h"
+#include "src/sim/device_memory.h"
 
 namespace gjoin::sim {
 

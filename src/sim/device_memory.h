@@ -19,7 +19,7 @@
 #include <string>
 #include <utility>
 
-#include "util/status.h"
+#include "src/util/status.h"
 
 namespace gjoin::sim {
 

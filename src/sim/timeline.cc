@@ -1,4 +1,4 @@
-#include "sim/timeline.h"
+#include "src/sim/timeline.h"
 
 #include <algorithm>
 

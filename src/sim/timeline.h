@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "util/status.h"
+#include "src/util/status.h"
 
 namespace gjoin::sim {
 

@@ -12,7 +12,7 @@
 #include <array>
 #include <cstdint>
 
-#include "sim/block.h"
+#include "src/sim/block.h"
 
 namespace gjoin::sim {
 

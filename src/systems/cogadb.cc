@@ -1,8 +1,8 @@
-#include "systems/cogadb.h"
+#include "src/systems/cogadb.h"
 
 #include <algorithm>
 
-#include "gpujoin/nonpartitioned.h"
+#include "src/gpujoin/nonpartitioned.h"
 
 namespace gjoin::systems {
 

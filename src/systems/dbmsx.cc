@@ -1,9 +1,9 @@
-#include "systems/dbmsx.h"
+#include "src/systems/dbmsx.h"
 
 #include <algorithm>
 
-#include "gpujoin/nonpartitioned.h"
-#include "hw/pcie.h"
+#include "src/gpujoin/nonpartitioned.h"
+#include "src/hw/pcie.h"
 
 namespace gjoin::systems {
 

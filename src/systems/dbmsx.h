@@ -18,10 +18,10 @@
 #ifndef GJOIN_SYSTEMS_DBMSX_H_
 #define GJOIN_SYSTEMS_DBMSX_H_
 
-#include "data/relation.h"
-#include "gpujoin/types.h"
-#include "sim/device.h"
-#include "util/status.h"
+#include "src/data/relation.h"
+#include "src/gpujoin/types.h"
+#include "src/sim/device.h"
+#include "src/util/status.h"
 
 namespace gjoin::systems {
 

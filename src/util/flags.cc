@@ -1,4 +1,4 @@
-#include "util/flags.h"
+#include "src/util/flags.h"
 
 #include <cstdlib>
 

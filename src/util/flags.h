@@ -9,7 +9,7 @@
 #include <map>
 #include <string>
 
-#include "util/status.h"
+#include "src/util/status.h"
 
 namespace gjoin::util {
 

@@ -1,8 +1,8 @@
-#include "util/rng.h"
+#include "src/util/rng.h"
 
 #include <cmath>
 
-#include "util/bits.h"
+#include "src/util/bits.h"
 
 namespace gjoin::util {
 

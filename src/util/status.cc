@@ -1,4 +1,4 @@
-#include "util/status.h"
+#include "src/util/status.h"
 
 #include <cstdio>
 

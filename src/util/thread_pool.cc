@@ -1,4 +1,4 @@
-#include "util/thread_pool.h"
+#include "src/util/thread_pool.h"
 
 #include <algorithm>
 

@@ -1,15 +1,15 @@
 // Tests for the CPU baselines (NPO/PRO) and the host radix partitioner.
 
-#include "cpu/cpu_joins.h"
+#include "src/cpu/cpu_joins.h"
 
 #include <gtest/gtest.h>
 
 #include <set>
 
-#include "cpu/cpu_partition.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "util/bits.h"
+#include "src/cpu/cpu_partition.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/util/bits.h"
 
 namespace gjoin::cpu {
 namespace {

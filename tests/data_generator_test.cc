@@ -1,6 +1,6 @@
 // Tests for the workload generators of Section V.
 
-#include "data/generator.h"
+#include "src/data/generator.h"
 
 #include <gtest/gtest.h>
 

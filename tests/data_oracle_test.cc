@@ -1,10 +1,10 @@
 // Tests for the reference join oracle.
 
-#include "data/oracle.h"
+#include "src/data/oracle.h"
 
 #include <gtest/gtest.h>
 
-#include "data/generator.h"
+#include "src/data/generator.h"
 
 namespace gjoin::data {
 namespace {

@@ -1,10 +1,10 @@
 // Tests for the TPC-H-shaped workload generator (Figure 14).
 
-#include "data/tpch.h"
+#include "src/data/tpch.h"
 
 #include <gtest/gtest.h>
 
-#include "data/oracle.h"
+#include "src/data/oracle.h"
 
 namespace gjoin::data {
 namespace {

@@ -6,10 +6,10 @@
 
 #include <algorithm>
 
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "gpujoin/nonpartitioned.h"
-#include "gpujoin/partitioned_join.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/gpujoin/nonpartitioned.h"
+#include "src/gpujoin/partitioned_join.h"
 
 namespace gjoin::gpujoin {
 namespace {

@@ -8,12 +8,12 @@
 #include <algorithm>
 #include <set>
 
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "gpujoin/bucket_pool.h"
-#include "gpujoin/output_ring.h"
-#include "gpujoin/partitioned_join.h"
-#include "gpujoin/radix_partition.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/gpujoin/bucket_pool.h"
+#include "src/gpujoin/output_ring.h"
+#include "src/gpujoin/partitioned_join.h"
+#include "src/gpujoin/radix_partition.h"
 
 namespace gjoin::gpujoin {
 namespace {

@@ -9,9 +9,9 @@
 
 #include <tuple>
 
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "gpujoin/partitioned_join.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/gpujoin/partitioned_join.h"
 
 namespace gjoin::gpujoin {
 namespace {

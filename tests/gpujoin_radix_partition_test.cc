@@ -4,16 +4,16 @@
 // structure is identical in content (as a multiset) regardless of pass
 // structure or work assignment.
 
-#include "gpujoin/radix_partition.h"
+#include "src/gpujoin/radix_partition.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
 
-#include "data/generator.h"
-#include "gpujoin/types.h"
-#include "util/bits.h"
+#include "src/data/generator.h"
+#include "src/gpujoin/types.h"
+#include "src/util/bits.h"
 
 namespace gjoin::gpujoin {
 namespace {

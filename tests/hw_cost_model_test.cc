@@ -3,7 +3,7 @@
 // reproduction relies on (max of memory and compute, load-imbalance
 // bound, L2 interpolation) must hold.
 
-#include "hw/cost_model.h"
+#include "src/hw/cost_model.h"
 
 #include <gtest/gtest.h>
 

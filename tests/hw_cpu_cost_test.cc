@@ -1,7 +1,7 @@
 // Tests for the CPU cost model: thread scaling, calibration anchors, and
 // the PRO-vs-NPO shape properties the paper's figures rely on.
 
-#include "hw/cpu_cost.h"
+#include "src/hw/cpu_cost.h"
 
 #include <gtest/gtest.h>
 

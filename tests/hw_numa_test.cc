@@ -1,6 +1,6 @@
 // Tests for the NUMA arbitration model (Figures 13 and 16 substrate).
 
-#include "hw/numa.h"
+#include "src/hw/numa.h"
 
 #include <gtest/gtest.h>
 

@@ -6,13 +6,13 @@
 #include <numeric>
 #include <set>
 
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "hw/pcie.h"
-#include "outofgpu/coprocess.h"
-#include "outofgpu/streaming_probe.h"
-#include "outofgpu/transfer_mech.h"
-#include "outofgpu/working_set.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/hw/pcie.h"
+#include "src/outofgpu/coprocess.h"
+#include "src/outofgpu/streaming_probe.h"
+#include "src/outofgpu/transfer_mech.h"
+#include "src/outofgpu/working_set.h"
 
 namespace gjoin::outofgpu {
 namespace {

@@ -1,7 +1,7 @@
 // Tests for simulated device memory: capacity accounting drives the
 // paper's data-placement decisions, so it must be exact.
 
-#include "sim/device_memory.h"
+#include "src/sim/device_memory.h"
 
 #include <gtest/gtest.h>
 

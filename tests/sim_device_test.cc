@@ -1,7 +1,7 @@
 // Tests for the simulated device: launch validation, functional block
 // execution, stats merging and profiling.
 
-#include "sim/device.h"
+#include "src/sim/device.h"
 
 #include <gtest/gtest.h>
 

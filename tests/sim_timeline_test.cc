@@ -1,7 +1,7 @@
 // Tests for the stream/event scheduler. The double-buffering and
 // co-processing pipeline cases mirror Figures 2-4 of the paper.
 
-#include "sim/timeline.h"
+#include "src/sim/timeline.h"
 
 #include <gtest/gtest.h>
 

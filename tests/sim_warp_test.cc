@@ -2,11 +2,11 @@
 // building blocks of the paper's Listing 1 probe and the warp-buffered
 // output of Section III-C.
 
-#include "sim/warp.h"
+#include "src/sim/warp.h"
 
 #include <gtest/gtest.h>
 
-#include "sim/shared_memory.h"
+#include "src/sim/shared_memory.h"
 
 namespace gjoin::sim {
 namespace {

@@ -3,12 +3,12 @@
 
 #include <gtest/gtest.h>
 
-#include "api/gjoin.h"
-#include "data/generator.h"
-#include "data/oracle.h"
-#include "data/tpch.h"
-#include "systems/cogadb.h"
-#include "systems/dbmsx.h"
+#include "src/api/gjoin.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/data/tpch.h"
+#include "src/systems/cogadb.h"
+#include "src/systems/dbmsx.h"
 
 namespace gjoin {
 namespace {

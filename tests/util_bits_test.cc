@@ -1,6 +1,6 @@
 // Tests for bit utilities and the radix/hash helpers.
 
-#include "util/bits.h"
+#include "src/util/bits.h"
 
 #include <gtest/gtest.h>
 

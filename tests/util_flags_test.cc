@@ -1,6 +1,6 @@
 // Tests for the command-line flag parser.
 
-#include "util/flags.h"
+#include "src/util/flags.h"
 
 #include <gtest/gtest.h>
 

@@ -1,6 +1,6 @@
 // Tests for the PRNG and the Zipf sampler.
 
-#include "util/rng.h"
+#include "src/util/rng.h"
 
 #include <gtest/gtest.h>
 

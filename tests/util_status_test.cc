@@ -1,6 +1,6 @@
 // Tests for util::Status and util::Result.
 
-#include "util/status.h"
+#include "src/util/status.h"
 
 #include <gtest/gtest.h>
 

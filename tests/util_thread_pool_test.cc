@@ -1,6 +1,6 @@
 // Tests for the thread pool.
 
-#include "util/thread_pool.h"
+#include "src/util/thread_pool.h"
 
 #include <gtest/gtest.h>
 
