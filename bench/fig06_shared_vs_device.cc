@@ -15,7 +15,7 @@ namespace {
 int Run(int argc, char** argv) {
   auto ctx = bench::BenchContext::Create(
       argc, argv, "fig06", "hash table in shared vs device memory",
-      /*default_divisor=*/8);
+      /*default_divisor=*/4);
   sim::Device device(ctx.spec());
 
   struct Point {

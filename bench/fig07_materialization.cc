@@ -13,7 +13,7 @@ namespace {
 int Run(int argc, char** argv) {
   auto ctx = bench::BenchContext::Create(
       argc, argv, "fig07", "partitioned join: aggregation vs materialization",
-      /*default_divisor=*/16);
+      /*default_divisor=*/4);
   sim::Device device(ctx.spec());
 
   std::map<std::pair<bool, uint64_t>, double> tput;

@@ -19,7 +19,7 @@ namespace {
 int Run(int argc, char** argv) {
   auto ctx = bench::BenchContext::Create(
       argc, argv, "fig09", "probe-side payload width sweep",
-      /*default_divisor=*/16);
+      /*default_divisor=*/4);
   sim::Device device(ctx.spec());
 
   const size_t n = ctx.Scale(32 * bench::kM);

@@ -16,7 +16,7 @@ namespace {
 int Run(int argc, char** argv) {
   auto ctx = bench::BenchContext::Create(
       argc, argv, "fig10", "build-side payload width sweep",
-      /*default_divisor=*/16);
+      /*default_divisor=*/4);
   sim::Device device(ctx.spec());
 
   const size_t n = ctx.Scale(32 * bench::kM);

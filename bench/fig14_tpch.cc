@@ -19,7 +19,7 @@ namespace {
 int Run(int argc, char** argv) {
   auto ctx = bench::BenchContext::Create(
       argc, argv, "fig14", "TPC-H joins vs DBMS-X and CoGaDB",
-      /*default_divisor=*/64);
+      /*default_divisor=*/16);
   sim::Device device(ctx.spec());
 
   // System limits are key-domain / cardinality constants; scale them

@@ -19,7 +19,7 @@ namespace {
 int Run(int argc, char** argv) {
   auto ctx = bench::BenchContext::Create(
       argc, argv, "fig15", "state-of-the-art GPU systems sweep",
-      /*default_divisor=*/64);
+      /*default_divisor=*/16);
   sim::Device device(ctx.spec());
 
   systems::DbmsXConfig dbmsx;

@@ -19,7 +19,7 @@ namespace {
 int Run(int argc, char** argv) {
   auto ctx = bench::BenchContext::Create(
       argc, argv, "fig18", "skew on CPU-resident data (co-processing)",
-      /*default_divisor=*/2048);
+      /*default_divisor=*/1024);
   sim::Device device(ctx.spec());
 
   const size_t n = ctx.Scale(512 * bench::kM);

@@ -17,7 +17,7 @@ namespace {
 int Run(int argc, char** argv) {
   auto ctx = bench::BenchContext::Create(
       argc, argv, "fig19", "uniform replicas, in- and out-of-GPU",
-      /*default_divisor=*/256);
+      /*default_divisor=*/64);
   sim::Device device(ctx.spec());
 
   std::map<std::pair<std::string, int>, double> tput;

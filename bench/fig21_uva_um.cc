@@ -16,7 +16,7 @@ namespace {
 int Run(int argc, char** argv) {
   auto ctx = bench::BenchContext::Create(
       argc, argv, "fig21", "UVA / Unified Memory vs explicit transfers",
-      /*default_divisor=*/64);
+      /*default_divisor=*/8);
   sim::Device device(ctx.spec());
 
   const size_t n = ctx.Scale(32 * bench::kM);

@@ -16,7 +16,7 @@ namespace {
 int Run(int argc, char** argv) {
   auto ctx = bench::BenchContext::Create(
       argc, argv, "fig22", "transfer mechanisms for out-of-GPU joins",
-      /*default_divisor=*/256);
+      /*default_divisor=*/32);
   sim::Device device(ctx.spec());
 
   const size_t n = ctx.Scale(512 * bench::kM);

@@ -7,20 +7,25 @@
 
 namespace gjoin::bench {
 
+void VerifyJoin(uint64_t matches, uint64_t payload_sum,
+                const std::optional<data::OracleResult>& oracle,
+                const char* what) {
+  if (!oracle.has_value()) return;
+  if (matches != oracle->matches || payload_sum != oracle->payload_sum) {
+    std::fprintf(stderr,
+                 "bench: %s result mismatch (matches %llu vs oracle %llu)\n",
+                 what, static_cast<unsigned long long>(matches),
+                 static_cast<unsigned long long>(oracle->matches));
+    std::abort();
+  }
+}
+
 namespace {
 
 void VerifyOrDie(const gpujoin::JoinStats& stats,
                  const std::optional<data::OracleResult>& oracle,
                  const char* what) {
-  if (!oracle.has_value()) return;
-  if (stats.matches != oracle->matches ||
-      stats.payload_sum != oracle->payload_sum) {
-    std::fprintf(stderr,
-                 "bench: %s result mismatch (matches %llu vs oracle %llu)\n",
-                 what, static_cast<unsigned long long>(stats.matches),
-                 static_cast<unsigned long long>(oracle->matches));
-    std::abort();
-  }
+  VerifyJoin(stats.matches, stats.payload_sum, oracle, what);
 }
 
 }  // namespace

@@ -41,6 +41,11 @@ gpujoin::JoinStats MustNonPartitionedJoin(
     const gpujoin::NonPartitionedJoinConfig& config,
     const std::optional<data::OracleResult>& oracle = std::nullopt);
 
+/// Aborts unless (matches, payload_sum) match the oracle (when given).
+void VerifyJoin(uint64_t matches, uint64_t payload_sum,
+                const std::optional<data::OracleResult>& oracle,
+                const char* what);
+
 }  // namespace gjoin::bench
 
 #endif  // GJOIN_BENCH_RUNNER_H_

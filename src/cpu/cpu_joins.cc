@@ -2,30 +2,39 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <vector>
 
 #include "src/util/bits.h"
+#include "src/util/flat_table.h"
 
 namespace gjoin::cpu {
 
 namespace {
 
-/// Chained hash table over the build relation (shared, NPO-style).
-struct SharedChainedTable {
-  std::vector<int64_t> heads;  // slot -> first tuple index, -1 empty
-  std::vector<int64_t> next;   // tuple -> next in chain
-  size_t mask;
+/// Shared functional core of both CPU joins: neither charges
+/// per-operation stats (the CPU cost models are analytic in the input
+/// sizes), so the functional side only needs the join's
+/// order-independent aggregate — fold the build side per key into a
+/// flat table and probe it in parallel.
+void FunctionalAggJoin(const data::Relation& build,
+                       const data::Relation& probe, util::ThreadPool* pool,
+                       CpuJoinResult* result) {
+  util::FlatAggTable table(build.size());
+  table.AddAll(build.keys.data(), build.payloads.data(), build.size());
 
-  explicit SharedChainedTable(size_t n) {
-    const size_t slots = util::NextPowerOfTwo(std::max<size_t>(2 * n, 64));
-    heads.assign(slots, -1);
-    next.assign(n, -1);
-    mask = slots - 1;
-  }
-
-  size_t SlotOf(uint32_t key) const { return util::Mix32(key) & mask; }
-};
+  std::atomic<uint64_t> matches{0};
+  std::atomic<uint64_t> checksum{0};
+  pool->ParallelForRanges(probe.size(), [&](size_t /*worker*/, size_t lo,
+                                            size_t hi) {
+    uint64_t local_matches = 0, local_sum = 0;
+    table.ProbeAll(probe.keys.data() + lo, probe.payloads.data() + lo,
+                   hi - lo, &local_matches, &local_sum);
+    matches.fetch_add(local_matches, std::memory_order_relaxed);
+    checksum.fetch_add(local_sum, std::memory_order_relaxed);
+  });
+  result->matches = matches.load();
+  result->payload_sum = checksum.load();
+}
 
 }  // namespace
 
@@ -39,43 +48,8 @@ util::Result<CpuJoinResult> NpoJoin(const data::Relation& build,
   }
   if (pool == nullptr) pool = util::ThreadPool::Default();
 
-  SharedChainedTable table(build.size());
-  // Parallel build with striped locks standing in for the CAS loop the
-  // real implementation uses on each bucket head.
-  constexpr size_t kStripes = 256;
-  std::vector<std::mutex> stripes(kStripes);
-  pool->ParallelForRanges(build.size(), [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      const size_t slot = table.SlotOf(build.keys[i]);
-      std::lock_guard<std::mutex> lock(stripes[slot % kStripes]);
-      table.next[i] = table.heads[slot];
-      table.heads[slot] = static_cast<int64_t>(i);
-    }
-  });
-
-  std::atomic<uint64_t> matches{0};
-  std::atomic<uint64_t> checksum{0};
-  pool->ParallelForRanges(probe.size(), [&](size_t lo, size_t hi) {
-    uint64_t local_matches = 0, local_sum = 0;
-    for (size_t i = lo; i < hi; ++i) {
-      const uint32_t key = probe.keys[i];
-      for (int64_t e = table.heads[table.SlotOf(key)]; e >= 0;
-           e = table.next[e]) {
-        if (build.keys[static_cast<size_t>(e)] == key) {
-          ++local_matches;
-          local_sum +=
-              static_cast<uint64_t>(build.payloads[static_cast<size_t>(e)]) +
-              probe.payloads[i];
-        }
-      }
-    }
-    matches.fetch_add(local_matches, std::memory_order_relaxed);
-    checksum.fetch_add(local_sum, std::memory_order_relaxed);
-  });
-
   CpuJoinResult result;
-  result.matches = matches.load();
-  result.payload_sum = checksum.load();
+  FunctionalAggJoin(build, probe, pool, &result);
   result.cost = model.Npo(build.size(), probe.size(), config.threads);
   result.seconds = result.cost.total_s;
   return result;
@@ -94,65 +68,13 @@ util::Result<CpuJoinResult> ProJoin(const data::Relation& build,
   }
   if (pool == nullptr) pool = util::ThreadPool::Default();
 
-  const uint32_t fanout = 1u << config.radix_bits;
-
-  // Radix-partition a relation into `fanout` partitions: per-thread
-  // histogram + concatenation, a compact functional stand-in for the
-  // two-pass software-managed-buffer partitioner whose *cost* the model
-  // charges.
-  auto partition = [&](const data::Relation& rel) {
-    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> parts(fanout);
-    // Size estimate to limit reallocation.
-    const size_t est = rel.size() / fanout + 4;
-    for (auto& p : parts) p.reserve(est);
-    for (size_t i = 0; i < rel.size(); ++i) {
-      const uint32_t p = util::RadixOf(rel.keys[i], 0, config.radix_bits);
-      parts[p].emplace_back(rel.keys[i], rel.payloads[i]);
-    }
-    return parts;
-  };
-  const auto r_parts = partition(build);
-  const auto s_parts = partition(probe);
-
-  std::atomic<uint64_t> matches{0};
-  std::atomic<uint64_t> checksum{0};
-  pool->ParallelForRanges(fanout, [&](size_t lo, size_t hi) {
-    uint64_t local_matches = 0, local_sum = 0;
-    for (size_t p = lo; p < hi; ++p) {
-      const auto& r = r_parts[p];
-      const auto& s = s_parts[p];
-      if (r.empty() || s.empty()) continue;
-      // Cache-resident build+probe over the co-partition.
-      const size_t slots = util::NextPowerOfTwo(std::max<size_t>(r.size(), 8));
-      std::vector<int32_t> heads(slots, -1);
-      std::vector<int32_t> next(r.size(), -1);
-      for (size_t i = 0; i < r.size(); ++i) {
-        const size_t slot =
-            util::HashTableSlot(r[i].first, config.radix_bits,
-                                static_cast<uint32_t>(slots));
-        next[i] = heads[slot];
-        heads[slot] = static_cast<int32_t>(i);
-      }
-      for (const auto& [skey, spay] : s) {
-        const size_t slot = util::HashTableSlot(
-            skey, config.radix_bits, static_cast<uint32_t>(slots));
-        for (int32_t e = heads[slot]; e >= 0; e = next[e]) {
-          if (r[static_cast<size_t>(e)].first == skey) {
-            ++local_matches;
-            local_sum +=
-                static_cast<uint64_t>(r[static_cast<size_t>(e)].second) +
-                spay;
-          }
-        }
-      }
-    }
-    matches.fetch_add(local_matches, std::memory_order_relaxed);
-    checksum.fetch_add(local_sum, std::memory_order_relaxed);
-  });
-
+  // A radix join's result is the same order-independent aggregate as
+  // any other join's, so PRO shares the flat-aggregate functional core.
+  // The radix partitioning logic itself is exercised by the GPU
+  // partitioner and cpu_partition, both of which keep full functional
+  // fidelity.
   CpuJoinResult result;
-  result.matches = matches.load();
-  result.payload_sum = checksum.load();
+  FunctionalAggJoin(build, probe, pool, &result);
   result.cost = model.Pro(build.size(), probe.size(), config.threads,
                           data::Relation::kTupleBytes, config.radix_bits);
   result.seconds = result.cost.total_s;

@@ -24,19 +24,19 @@ util::Result<HostPartitions> CpuRadixPartition(const data::Relation& rel,
   const size_t chunk = std::max<size_t>(config.chunk_tuples, 1);
   const size_t num_chunks = n == 0 ? 0 : util::CeilDiv(n, chunk);
 
-  // Per-chunk partition lists ("a list of buckets per partition" per
-  // thread), then concatenation.
-  std::vector<std::vector<data::Relation>> chunk_parts(num_chunks);
+  // Two-phase counting sort ("a list of buckets per partition" per
+  // thread, batched): per-chunk histograms, an exclusive prefix turning
+  // them into per-(chunk, partition) write cursors, then a stable
+  // parallel scatter straight into the final partition storage — no
+  // per-chunk intermediate relations.
+  std::vector<std::vector<size_t>> cursors(num_chunks);
   pool->ParallelFor(num_chunks, [&](size_t c) {
     const size_t begin = c * chunk;
     const size_t end = std::min(n, begin + chunk);
-    auto& parts = chunk_parts[c];
-    parts.resize(fanout);
-    const size_t est = (end - begin) / fanout + 4;
-    for (auto& p : parts) p.Reserve(est);
+    auto& histo = cursors[c];
+    histo.assign(fanout, 0);
     for (size_t i = begin; i < end; ++i) {
-      const uint32_t p = util::RadixOf(rel.keys[i], 0, config.radix_bits);
-      parts[p].Append(rel.keys[i], rel.payloads[i]);
+      ++histo[util::RadixOf(rel.keys[i], 0, config.radix_bits)];
     }
   });
 
@@ -44,19 +44,31 @@ util::Result<HostPartitions> CpuRadixPartition(const data::Relation& rel,
   out.radix_bits = config.radix_bits;
   out.tuples = n;
   out.parts.resize(fanout);
+  std::vector<size_t> totals(fanout, 0);
   for (uint32_t p = 0; p < fanout; ++p) {
-    size_t total = 0;
-    for (const auto& cp : chunk_parts) total += cp[p].size();
-    out.parts[p].Reserve(total);
-    out.parts[p].logical_payload_bytes = rel.logical_payload_bytes;
-    for (const auto& cp : chunk_parts) {
-      out.parts[p].keys.insert(out.parts[p].keys.end(), cp[p].keys.begin(),
-                               cp[p].keys.end());
-      out.parts[p].payloads.insert(out.parts[p].payloads.end(),
-                                   cp[p].payloads.begin(),
-                                   cp[p].payloads.end());
+    for (size_t c = 0; c < num_chunks; ++c) {
+      // Chunk c's run of partition p starts after all earlier chunks'
+      // runs, preserving input order within each partition.
+      const size_t count = cursors[c][p];
+      cursors[c][p] = totals[p];
+      totals[p] += count;
     }
+    out.parts[p].keys.resize(totals[p]);
+    out.parts[p].payloads.resize(totals[p]);
+    out.parts[p].logical_payload_bytes = rel.logical_payload_bytes;
   }
+
+  pool->ParallelFor(num_chunks, [&](size_t c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    auto& cursor = cursors[c];
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t p = util::RadixOf(rel.keys[i], 0, config.radix_bits);
+      const size_t dst = cursor[p]++;
+      out.parts[p].keys[dst] = rel.keys[i];
+      out.parts[p].payloads[dst] = rel.payloads[i];
+    }
+  });
   out.seconds = CpuPartitionSeconds(rel.bytes(), config.threads, model);
   return out;
 }

@@ -1,34 +1,40 @@
 #include "src/data/oracle.h"
 
-#include <unordered_map>
+#include "src/util/flat_table.h"
 
 namespace gjoin::data {
 
 OracleResult JoinOracle(const Relation& build, const Relation& probe) {
   // Aggregate build payloads per key: (count, payload sum) suffices to
   // fold all matches for a probe tuple without materializing pairs.
-  struct PerKey {
-    uint64_t count = 0;
-    uint64_t payload_sum = 0;
-  };
-  std::unordered_map<uint32_t, PerKey> table;
-  table.reserve(build.size());
-  for (size_t i = 0; i < build.size(); ++i) {
-    PerKey& entry = table[build.keys[i]];
-    entry.count += 1;
-    entry.payload_sum += build.payloads[i];
-  }
+  util::FlatAggTable table(build.size());
+  table.AddAll(build.keys.data(), build.payloads.data(), build.size());
 
   OracleResult result;
-  for (size_t i = 0; i < probe.size(); ++i) {
-    auto it = table.find(probe.keys[i]);
-    if (it == table.end()) continue;
-    result.matches += it->second.count;
-    result.payload_sum +=
-        it->second.payload_sum +
-        it->second.count * static_cast<uint64_t>(probe.payloads[i]);
-  }
+  table.ProbeAll(probe.keys.data(), probe.payloads.data(), probe.size(),
+                 &result.matches, &result.payload_sum);
   return result;
+}
+
+std::vector<OracleResult> JoinOraclePrefixes(
+    const Relation& build, const Relation& probe,
+    const std::vector<size_t>& prefixes) {
+  util::FlatAggTable table(build.size());
+  table.AddAll(build.keys.data(), build.payloads.data(), build.size());
+
+  // The aggregate is prefix-additive: continue the probe from the last
+  // checkpoint and snapshot the running totals at each boundary.
+  std::vector<OracleResult> results;
+  results.reserve(prefixes.size());
+  OracleResult acc;
+  size_t done = 0;
+  for (const size_t upto : prefixes) {
+    table.ProbeAll(probe.keys.data() + done, probe.payloads.data() + done,
+                   upto - done, &acc.matches, &acc.payload_sum);
+    done = upto;
+    results.push_back(acc);
+  }
+  return results;
 }
 
 }  // namespace gjoin::data

@@ -11,6 +11,7 @@
 #define GJOIN_DATA_ORACLE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/data/relation.h"
 
@@ -27,6 +28,15 @@ struct OracleResult {
 /// Computes the ground truth for an equi-join of `build` and `probe` on
 /// their key columns.
 OracleResult JoinOracle(const Relation& build, const Relation& probe);
+
+/// Ground truth for several probe *prefixes* in one pass: result[i]
+/// equals JoinOracle(build, probe[0..prefixes[i])). `prefixes` must be
+/// ascending and bounded by probe.size(). Benches that sweep a
+/// build-to-probe ratio over a shared probe stream verify every ratio
+/// from one oracle build this way.
+std::vector<OracleResult> JoinOraclePrefixes(
+    const Relation& build, const Relation& probe,
+    const std::vector<size_t>& prefixes);
 
 }  // namespace gjoin::data
 

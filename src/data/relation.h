@@ -57,6 +57,35 @@ struct Relation {
   }
 };
 
+/// \brief Non-owning view of a contiguous tuple range of a Relation.
+///
+/// Segmented and chunked pipelines hand slices of a host relation to the
+/// device without materializing per-segment copies; the view is valid
+/// only as long as the underlying Relation is.
+struct RelationView {
+  const uint32_t* keys = nullptr;
+  const uint32_t* payloads = nullptr;
+  size_t size = 0;
+  int logical_payload_bytes = 4;
+
+  /// Views the whole relation.
+  static RelationView Of(const Relation& rel) {
+    return {rel.keys.data(), rel.payloads.data(), rel.size(),
+            rel.logical_payload_bytes};
+  }
+
+  /// Views tuples [begin, end) of `rel`; `begin <= end <= rel.size()`.
+  static RelationView Slice(const Relation& rel, size_t begin, size_t end) {
+    return {rel.keys.data() + begin, rel.payloads.data() + begin,
+            end - begin, rel.logical_payload_bytes};
+  }
+
+  /// Physical bytes of the viewed join columns.
+  uint64_t bytes() const {
+    return static_cast<uint64_t>(size) * Relation::kTupleBytes;
+  }
+};
+
 }  // namespace gjoin::data
 
 #endif  // GJOIN_DATA_RELATION_H_

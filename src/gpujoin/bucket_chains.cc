@@ -1,5 +1,7 @@
 #include "src/gpujoin/bucket_chains.h"
 
+#include <atomic>
+
 namespace gjoin::gpujoin {
 
 util::Result<BucketChains> BucketChains::Allocate(
@@ -17,7 +19,6 @@ util::Result<BucketChains> BucketChains::Allocate(
   GJOIN_ASSIGN_OR_RETURN(chains.heads_,
                          memory->Allocate<int32_t>(num_partitions));
   for (uint32_t p = 0; p < num_partitions; ++p) chains.heads_[p] = kNull;
-  chains.publish_mu_ = std::make_unique<std::mutex>();
   return chains;
 }
 
@@ -33,9 +34,13 @@ util::Result<BucketChains> BucketChains::Allocate(sim::DeviceMemory* memory,
 
 void BucketChains::PublishSegment(uint32_t partition, int32_t first,
                                   int32_t last) {
-  std::lock_guard<std::mutex> lock(*publish_mu_);
-  const int32_t old_head = heads_[partition];
-  heads_[partition] = first;
+  // Wait-free head exchange, exactly the device atomicExch of the
+  // paper's Listing 2: swing the head to the segment's first bucket and
+  // hook the previous head behind the segment's last one. Linking the
+  // old head is safe without further synchronization because `last` is
+  // owned by this producer until the exchange makes it reachable.
+  const int32_t old_head =
+      std::atomic_ref<int32_t>(heads_[partition]).exchange(first);
   pool_->next()[last] = old_head;
 }
 

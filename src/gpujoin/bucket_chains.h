@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -101,8 +100,6 @@ class BucketChains {
   uint32_t num_partitions_ = 0;
   std::shared_ptr<BucketPool> pool_;
   sim::DeviceBuffer<int32_t> heads_;
-  // Guards concurrent PublishSegment (models the device atomicExch).
-  std::unique_ptr<std::mutex> publish_mu_;
 };
 
 }  // namespace gjoin::gpujoin

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <vector>
 
-#include "src/sim/warp.h"
 #include "src/util/bits.h"
 
 namespace gjoin::gpujoin {
@@ -164,6 +163,16 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
   const int radix_bits = build.radix_bits;
   const int base_shift = build.base_shift;
   const int key_bits = config.key_bits > 0 ? config.key_bits : 32;
+  // Key bits the nested-loop ballot actually votes on: all significant
+  // bits except those fixed by the partitioning layout. Both sides of a
+  // co-partition agree on the fixed bits, so a mask built from ballots
+  // over the voted bits equals a full-key equality mask — which is what
+  // the batched probe computes directly, charging per 32x32 tile.
+  int nl_voted_bits = 0;
+  for (int bit = 0; bit < key_bits; ++bit) {
+    if (bit >= base_shift && bit < base_shift + radix_bits) continue;
+    ++nl_voted_bits;
+  }
 
   // Host-side work-list construction (mirrors the driver-side setup a
   // CUDA implementation performs between kernels): flatten each
@@ -216,6 +225,28 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
         // Device-memory table scratch (kDeviceHash); reused across items.
         std::vector<int32_t> dev_heads;
         std::vector<int32_t> dev_next;
+        // Epoch stamps: a slot's head is live only if its stamp matches
+        // the current chunk's epoch, which resets both tables in O(1)
+        // per chunk instead of a full head re-fill (the simulated kernel
+        // still pays the re-fill — its charges are unchanged).
+        std::vector<uint32_t> table_epoch;
+        uint32_t cur_epoch = 0;
+        if (need_table) {
+          table_epoch.assign(config.hash_slots, 0);
+          if (config.algo == ProbeAlgorithm::kDeviceHash) {
+            dev_heads.resize(config.hash_slots);
+          }
+        }
+        // Per-item scratch, hoisted: the work list can hold tens of
+        // thousands of small co-partitions.
+        std::vector<int32_t> r_buckets;
+        std::vector<uint32_t> dev_rkeys, dev_rpays;  // kDeviceHash only
+        // Functional index over the R chunk for the batched nested-loop
+        // probe (aggregate mode); reused across chunks. Not charged:
+        // the simulated kernel compares tiles, the host merely needs the
+        // same matches without executing O(|R| x |S|) scalar work.
+        std::vector<int32_t> nl_heads;
+        std::vector<int32_t> nl_next;
 
         for (size_t w = static_cast<size_t>(block.block_id());
              w < items.size(); w += static_cast<size_t>(num_blocks)) {
@@ -244,7 +275,7 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
                   : config.shared_elems;
 
           // Walk the R chain once per chunk pass.
-          std::vector<int32_t> r_buckets;
+          r_buckets.clear();
           for (int32_t b = build.chains.heads()[item.p];
                b != BucketChains::kNull; b = build.chains.next()[b]) {
             r_buckets.push_back(b);
@@ -266,12 +297,11 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
               block.ChargeShared(8ull * r_count);
             }
             // Functional gather of the chunk [r_done, r_done + r_count).
-            std::vector<uint32_t> dev_rkeys, dev_rpays;  // kDeviceHash only
             uint32_t* rkeys = area.rkeys;
             uint32_t* rpays = area.rpays;
             if (config.algo == ProbeAlgorithm::kDeviceHash) {
-              dev_rkeys.resize(r_count);
-              dev_rpays.resize(r_count);
+              dev_rkeys.resize(std::max<size_t>(dev_rkeys.size(), r_count));
+              dev_rpays.resize(std::max<size_t>(dev_rpays.size(), r_count));
               rkeys = dev_rkeys.data();
               rpays = dev_rpays.data();
             }
@@ -297,31 +327,52 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
                 if (filled == r_count) break;
               }
             }
+            if (config.algo == ProbeAlgorithm::kNestedLoop &&
+                config.output != OutputMode::kMaterialize) {
+              // Functional R-chunk index for the batched NL probe.
+              const size_t slots = util::NextPowerOfTwo(
+                  std::max<uint32_t>(2 * r_count, 8));
+              nl_heads.assign(slots, -1);
+              nl_next.assign(r_count, -1);
+              for (uint32_t i = 0; i < r_count; ++i) {
+                const uint32_t slot = util::Mix32(rkeys[i]) & (slots - 1);
+                nl_next[i] = nl_heads[slot];
+                nl_heads[slot] = static_cast<int32_t>(i);
+              }
+            }
 
             // ---- Build ----
             if (config.algo == ProbeAlgorithm::kSharedHash) {
-              std::fill_n(area.heads, config.hash_slots, kEmpty16);
+              // The kernel zeroes the head array each chunk; the
+              // functional table resets via the epoch stamp instead.
+              ++cur_epoch;
               block.ChargeShared(2ull * config.hash_slots);
               block.ChargeCycles(config.hash_slots / 32 + 1);
               for (uint32_t i = 0; i < r_count; ++i) {
                 const uint32_t slot = util::HashTableSlot(
                     rkeys[i], radix_bits, config.hash_slots);
                 // Listing 2: wait-free front insertion via atomicExch.
-                area.next[i] = area.heads[slot];
+                area.next[i] = table_epoch[slot] == cur_epoch
+                                   ? area.heads[slot]
+                                   : kEmpty16;
                 area.heads[slot] = static_cast<uint16_t>(i);
+                table_epoch[slot] = cur_epoch;
               }
               block.ChargeSharedAtomic(r_count);
               block.ChargeShared(6ull * r_count);
               block.ChargeCycles(r_count * 4 / 32 + 1);
             } else if (config.algo == ProbeAlgorithm::kDeviceHash) {
-              dev_heads.assign(config.hash_slots, -1);
-              dev_next.assign(r_count, -1);
+              ++cur_epoch;
+              dev_next.resize(std::max<size_t>(dev_next.size(), r_count));
               block.ChargeCoalescedWrite(4ull * config.hash_slots);
               for (uint32_t i = 0; i < r_count; ++i) {
                 const uint32_t slot = util::HashTableSlot(
                     rkeys[i], radix_bits, config.hash_slots);
-                dev_next[i] = dev_heads[slot];
+                dev_next[i] = table_epoch[slot] == cur_epoch
+                                  ? dev_heads[slot]
+                                  : -1;
                 dev_heads[slot] = static_cast<int32_t>(i);
+                table_epoch[slot] = cur_epoch;
               }
               block.ChargeDeviceAtomic(r_count);            // atomicExch
               block.ChargeRandomAccess(r_count, probe_ws);  // next write
@@ -340,67 +391,66 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
               const uint64_t matches_before = state.matches;
 
               if (config.algo == ProbeAlgorithm::kNestedLoop) {
-                // Listing 1: warp-cooperative ballot matching.
-                for (uint32_t s0 = 0; s0 < s_fill; s0 += 32) {
-                  const uint32_t s_lanes = std::min<uint32_t>(32, s_fill - s0);
-                  sim::LaneArray<uint32_t> svals{};
-                  for (uint32_t l = 0; l < s_lanes; ++l) {
-                    svals[l] = probe.chains.keys()[s_base + s0 + l];
-                  }
-                  for (uint32_t r0 = 0; r0 < r_count; r0 += 32) {
-                    const uint32_t r_lanes =
-                        std::min<uint32_t>(32, r_count - r0);
-                    sim::LaneArray<uint32_t> rvals{};
-                    for (uint32_t l = 0; l < r_lanes; ++l) {
-                      rvals[l] = rkeys[r0 + l];
-                    }
-                    sim::LaneArray<uint32_t> mask;
-                    mask.fill(~0u);
-                    if (config.nl_use_ballot) {
-                      block.ChargeShared(4ull * 32);  // one r per lane
-                      // Ballot over every key bit not fixed by the
-                      // partitioning layout [base_shift,
-                      // base_shift+radix).
-                      for (int bit = 0; bit < key_bits; ++bit) {
-                        if (bit >= base_shift &&
-                            bit < base_shift + radix_bits) {
-                          continue;
-                        }
-                        sim::LaneArray<uint32_t> pred;
-                        for (int l = 0; l < 32; ++l) {
-                          pred[l] = (rvals[l] >> bit) & 1u;
-                        }
-                        const uint32_t vote = sim::Ballot(block, pred);
-                        for (int l = 0; l < 32; ++l) {
-                          mask[l] &= ((svals[l] >> bit) & 1u) ? vote : ~vote;
-                        }
-                        block.ChargeCycles(2);
-                      }
-                    } else {
-                      // Conventional pairwise comparison: each lane reads
-                      // all 32 r values from shared memory and compares
-                      // them itself (32x the shared traffic, one compare
-                      // instruction per pair).
-                      for (int l = 0; l < 32; ++l) {
-                        uint32_t m = 0;
+                // Listing 1, batched: a 32x32 tile's ballot loop over the
+                // voted key bits computes exactly a full-key equality
+                // mask (the skipped bits are fixed by partitioning), so
+                // the kernel's traffic and cycles are charged per tile
+                // analytically and the host computes the same matches
+                // without per-bit lane loops.
+                const uint64_t tiles = CeilDiv(s_fill, 32) *
+                                       CeilDiv(r_count, 32);
+                if (config.nl_use_ballot) {
+                  // Per tile: one r value per lane from shared memory,
+                  // then one ballot (1 cycle) + mask fold (2 cycles) per
+                  // voted bit.
+                  block.ChargeShared(4ull * 32 * tiles);
+                  block.ChargeCycles(
+                      3ull * static_cast<uint64_t>(nl_voted_bits) * tiles);
+                } else {
+                  // Conventional pairwise comparison: each lane reads
+                  // all 32 r values from shared memory and compares
+                  // them itself (32x the shared traffic, one compare
+                  // instruction per pair).
+                  block.ChargeShared(4ull * 32 * 32 * tiles);
+                  block.ChargeCycles(32ull * tiles);
+                }
+                if (config.output == OutputMode::kMaterialize) {
+                  // Materialization consumes matches in warp emission
+                  // order (s lane within tile, then ascending r), which
+                  // determines ring wrap behavior: reproduce the tile
+                  // walk with direct equality.
+                  for (uint32_t s0 = 0; s0 < s_fill; s0 += 32) {
+                    const uint32_t s_lanes =
+                        std::min<uint32_t>(32, s_fill - s0);
+                    for (uint32_t r0 = 0; r0 < r_count; r0 += 32) {
+                      const uint32_t r_lanes =
+                          std::min<uint32_t>(32, r_count - r0);
+                      for (uint32_t l = 0; l < s_lanes; ++l) {
+                        const uint32_t skey =
+                            probe.chains.keys()[s_base + s0 + l];
                         for (uint32_t j = 0; j < r_lanes; ++j) {
-                          if (rvals[j] == svals[l]) m |= (1u << j);
+                          if (rkeys[r0 + j] == skey) {
+                            state.Match(
+                                &block, config, &area, out, rpays[r0 + j],
+                                probe.chains.payloads()[s_base + s0 + l]);
+                          }
                         }
-                        mask[l] = m;
                       }
-                      block.ChargeShared(4ull * 32 * 32);
-                      block.ChargeCycles(32);
                     }
-                    for (uint32_t l = 0; l < s_lanes; ++l) {
-                      uint32_t m = mask[l];
-                      while (m != 0) {
-                        const int j = std::countr_zero(m);
-                        m &= m - 1;
-                        if (static_cast<uint32_t>(j) < r_lanes) {
-                          state.Match(&block, config, &area, out,
-                                      rpays[r0 + j],
-                                      probe.chains.payloads()[s_base + s0 + l]);
-                        }
+                  }
+                } else {
+                  // Aggregate mode is order-independent: probe a
+                  // functional hash index over the R chunk instead of
+                  // scanning it per S tuple.
+                  for (uint32_t i = 0; i < s_fill; ++i) {
+                    const uint32_t skey = probe.chains.keys()[s_base + i];
+                    const uint32_t slot =
+                        util::Mix32(skey) & (nl_heads.size() - 1);
+                    for (int32_t e = nl_heads[slot]; e >= 0;
+                         e = nl_next[e]) {
+                      if (rkeys[e] == skey) {
+                        state.Match(&block, config, &area, out, rpays[e],
+                                    probe.chains.payloads()[s_base + i]);
                       }
                     }
                   }
@@ -413,7 +463,9 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
                   const uint32_t slot = util::HashTableSlot(
                       skey, radix_bits, config.hash_slots);
                   if (config.algo == ProbeAlgorithm::kSharedHash) {
-                    uint16_t e = area.heads[slot];
+                    uint16_t e = table_epoch[slot] == cur_epoch
+                                     ? area.heads[slot]
+                                     : kEmpty16;
                     while (e != kEmpty16) {
                       ++steps;
                       if (rkeys[e] == skey) {
@@ -423,7 +475,9 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
                       e = area.next[e];
                     }
                   } else {
-                    int32_t e = dev_heads[slot];
+                    int32_t e = table_epoch[slot] == cur_epoch
+                                    ? dev_heads[slot]
+                                    : -1;
                     while (e >= 0) {
                       ++steps;
                       if (rkeys[e] == skey) {

@@ -87,22 +87,41 @@ util::Result<JoinStats> PartitionedJoinConsuming(
   return PartitionedJoinImpl(device, build, probe, &build, &probe, config);
 }
 
+util::Result<PreparedBuild> PreparePartitionedBuild(
+    sim::Device* device, const data::Relation& build,
+    const PartitionedJoinConfig& config) {
+  PreparedBuild prepared;
+  prepared.key_bits = config.join.key_bits;
+  if (prepared.key_bits == 0) {
+    uint32_t max_key = 1;
+    for (uint32_t k : build.keys) max_key = std::max(max_key, k);
+    prepared.key_bits = util::Log2Floor(max_key) + 1;
+  }
+  GJOIN_ASSIGN_OR_RETURN(DeviceRelation r_dev,
+                         DeviceRelation::Upload(device, build));
+  GJOIN_ASSIGN_OR_RETURN(
+      prepared.parted,
+      RadixPartitionConsuming(device, std::move(r_dev), config.partition));
+  return prepared;
+}
+
 util::Result<JoinStats> PartitionedJoinFromHost(
     sim::Device* device, const data::Relation& build,
     const data::Relation& probe, const PartitionedJoinConfig& config,
     int probe_segments) {
-  PartitionedJoinConfig cfg = config;
-  if (cfg.join.key_bits == 0) {
-    uint32_t max_key = 1;
-    for (uint32_t k : build.keys) max_key = std::max(max_key, k);
-    cfg.join.key_bits = util::Log2Floor(max_key) + 1;
-  }
+  GJOIN_ASSIGN_OR_RETURN(PreparedBuild prepared,
+                         PreparePartitionedBuild(device, build, config));
+  return PartitionedJoinFromHostWithBuild(device, prepared, probe, config,
+                                          probe_segments);
+}
 
-  GJOIN_ASSIGN_OR_RETURN(DeviceRelation r_dev,
-                         DeviceRelation::Upload(device, build));
-  GJOIN_ASSIGN_OR_RETURN(
-      PartitionedRelation r_parted,
-      RadixPartitionConsuming(device, std::move(r_dev), cfg.partition));
+util::Result<JoinStats> PartitionedJoinFromHostWithBuild(
+    sim::Device* device, const PreparedBuild& build,
+    const data::Relation& probe, const PartitionedJoinConfig& config,
+    int probe_segments) {
+  PartitionedJoinConfig cfg = config;
+  if (cfg.join.key_bits == 0) cfg.join.key_bits = build.key_bits;
+  const PartitionedRelation& r_parted = build.parted;
 
   if (probe_segments <= 0) {
     // Size segments so one raw segment plus the partitioned probe side

@@ -50,6 +50,29 @@ util::Result<JoinStats> PartitionedJoinFromHost(
     const data::Relation& probe, const PartitionedJoinConfig& config,
     int probe_segments = 0);
 
+/// \brief A build side uploaded and partitioned once, reusable across
+/// several probes — the multi-query sharing primitive (concurrent
+/// queries against a common relation share its device-resident
+/// partitioned form instead of re-uploading and re-partitioning).
+struct PreparedBuild {
+  PartitionedRelation parted;
+  int key_bits = 0;  ///< Derived from the build keys when config left 0.
+};
+
+/// Uploads and partitions `build` as PartitionedJoinFromHost would.
+util::Result<PreparedBuild> PreparePartitionedBuild(
+    sim::Device* device, const data::Relation& build,
+    const PartitionedJoinConfig& config);
+
+/// Joins `probe` against a prepared build. Returns stats identical to
+/// PartitionedJoinFromHost(device, build, probe, config) — partitioning
+/// is deterministic, so the prepared form's seconds stand in for a
+/// fresh run's.
+util::Result<JoinStats> PartitionedJoinFromHostWithBuild(
+    sim::Device* device, const PreparedBuild& build,
+    const data::Relation& probe, const PartitionedJoinConfig& config,
+    int probe_segments = 0);
+
 }  // namespace gjoin::gpujoin
 
 #endif  // GJOIN_GPUJOIN_PARTITIONED_JOIN_H_

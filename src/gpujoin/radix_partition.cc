@@ -20,6 +20,85 @@ using util::CeilDiv;
 /// time" (Section III-A).
 constexpr double kCyclesPerElement = 12.0 / 32.0 + 1.6;
 
+/// Tuples radix-decoded and grouped per batch of the two-phase fast
+/// path: a tight histogram+scatter loop over the batch, then one bulk
+/// bucket append per touched partition. Sized to keep the batch scratch
+/// L1/L2-resident on the host.
+constexpr uint32_t kGroupBatch = 4096;
+
+/// Host-side scratch that groups a run of tuples by radix digit with a
+/// stable counting sort. This is the functional stand-in for the warp
+/// shuffle into the shared-memory staging space: the simulated traffic
+/// is still charged against the block (ChargeStagePush/ChargeStageFlush
+/// per tuple, exactly what tuple-at-a-time staging charged), but the
+/// host executes one vectorizable pass instead of per-tuple pushes.
+class GroupScratch {
+ public:
+  void Init(uint32_t fanout, uint32_t max_run) {
+    digits_.resize(max_run);
+    keys_.resize(max_run);
+    pays_.resize(max_run);
+    counts_.assign(fanout, 0);
+    starts_.assign(fanout, 0);
+    touched_.reserve(fanout);
+  }
+
+  /// Groups tuples [0, n) by RadixOf(key, shift, bits), offset by an
+  /// optional per-tuple base digit (used to group one batch across
+  /// several parent partitions: base = parent-slot << bits). After the
+  /// call, `touched()` lists the non-empty digits in first-seen order
+  /// and `Run(d)` returns the digit's contiguous (keys, pays, count) run.
+  void Group(const uint32_t* keys, const uint32_t* pays, uint32_t n,
+             int shift, int bits, const uint32_t* bases = nullptr) {
+    touched_.clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t d = (bases != nullptr ? bases[i] : 0u) |
+                         util::RadixOf(keys[i], shift, bits);
+      digits_[i] = d;
+      if (counts_[d]++ == 0) touched_.push_back(d);
+    }
+    uint32_t off = 0;
+    for (const uint32_t d : touched_) {
+      starts_[d] = off;
+      off += counts_[d];
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t dst = starts_[digits_[i]]++;
+      keys_[dst] = keys[i];
+      pays_[dst] = pays[i];
+    }
+    // starts_ now points one past each run; rewind for Run().
+    for (const uint32_t d : touched_) starts_[d] -= counts_[d];
+  }
+
+  const std::vector<uint32_t>& touched() const { return touched_; }
+
+  struct RunView {
+    const uint32_t* keys;
+    const uint32_t* pays;
+    uint32_t count;
+  };
+  RunView Run(uint32_t d) const {
+    return {keys_.data() + starts_[d], pays_.data() + starts_[d], counts_[d]};
+  }
+
+  /// Tuples grouped under digit d by the last Group call.
+  uint32_t CountOf(uint32_t d) const { return counts_[d]; }
+
+  /// Resets the counters touched by the last Group (call once per batch
+  /// after consuming the runs).
+  void ResetCounts() {
+    for (const uint32_t d : touched_) counts_[d] = 0;
+  }
+
+ private:
+  std::vector<uint32_t> digits_;
+  std::vector<uint32_t> keys_, pays_;
+  std::vector<uint32_t> counts_;
+  std::vector<uint32_t> starts_;
+  std::vector<uint32_t> touched_;
+};
+
 /// Per-block partitioning state for block-private chains (pass 1 and
 /// partition-at-a-time later passes): current bucket, fill, staging, and
 /// the segment endpoints published at the end. All of it lives in the
@@ -27,7 +106,10 @@ constexpr double kCyclesPerElement = 12.0 / 32.0 + 1.6;
 struct BlockLocalChains {
   uint32_t fanout = 0;
   uint32_t stage_elems = 0;
-  // Shared-memory arrays (allocated from the block's scratchpad).
+  // Shared-memory arrays (allocated from the block's scratchpad). The
+  // staging arrays model the shuffle space: the fast path groups tuples
+  // host-side (GroupScratch) but the simulated footprint and traffic are
+  // unchanged.
   int32_t* cur_bucket = nullptr;
   uint32_t* cur_fill = nullptr;
   uint32_t* stage_fill = nullptr;
@@ -71,10 +153,17 @@ struct BlockLocalChains {
     block->ChargeShared(static_cast<uint64_t>(fanout) * 20);
   }
 
-  /// Moves `count` staged tuples of local partition `lp` into the block's
-  /// current bucket chain for that partition.
-  void FlushStage(sim::Block* block, BucketChains* out, uint32_t lp,
-                  uint32_t count) {
+  /// Appends a pre-grouped run of `count` tuples of local partition `lp`
+  /// to the block's current bucket chain, charging exactly what `count`
+  /// per-tuple stage pushes plus their flushes charged: 8B staged + one
+  /// stage-slot atomic per tuple, then 8B shared re-read + 8B scatter
+  /// write per tuple, and one device atomic per bucket drawn from the
+  /// pool. Bucket boundaries are identical to the tuple-at-a-time path
+  /// because chains fill each bucket to capacity before allocating.
+  void AppendRun(sim::Block* block, BucketChains* out, uint32_t lp,
+                 const uint32_t* keys, const uint32_t* pays, uint32_t count) {
+    block->ChargeStagePush(count);
+    block->ChargeStageFlush(count);
     const uint32_t cap = out->bucket_capacity();
     uint32_t done = 0;
     while (done < count) {
@@ -102,39 +191,17 @@ struct BlockLocalChains {
       const uint32_t batch = std::min(room, count - done);
       const size_t dst =
           static_cast<size_t>(cur_bucket[lp]) * cap + cur_fill[lp];
-      const size_t src = static_cast<size_t>(lp) * stage_elems + done;
-      std::copy_n(stage_keys + src, batch, out->keys() + dst);
-      std::copy_n(stage_pays + src, batch, out->payloads() + dst);
+      std::copy_n(keys + done, batch, out->keys() + dst);
+      std::copy_n(pays + done, batch, out->payloads() + dst);
       cur_fill[lp] += batch;
       done += batch;
-      // Staged tuples are re-read from shared memory and written to the
-      // bucket as a coalesced-as-possible burst (scatter class).
-      block->ChargeShared(8ull * batch);
-      block->ChargeScatterWrite(8ull * batch);
-    }
-    stage_fill[lp] = 0;
-  }
-
-  /// Appends one tuple to the stage of local partition lp, flushing when
-  /// the stage fills.
-  void Push(sim::Block* block, BucketChains* out, uint32_t lp, uint32_t key,
-            uint32_t payload) {
-    const size_t slot = static_cast<size_t>(lp) * stage_elems + stage_fill[lp];
-    stage_keys[slot] = key;
-    stage_pays[slot] = payload;
-    block->ChargeShared(8);
-    block->ChargeSharedAtomic(1);  // stage-slot claim within the warp
-    if (++stage_fill[lp] == stage_elems) {
-      FlushStage(block, out, lp, stage_elems);
     }
   }
 
-  /// Flushes all stages and publishes every non-empty segment onto the
-  /// global partition lists. Local partition lp publishes as global
-  /// partition gp_base + lp.
+  /// Publishes every non-empty segment onto the global partition lists.
+  /// Local partition lp publishes as global partition gp_base + lp.
   void Finish(sim::Block* block, BucketChains* out, uint32_t gp_base) {
     for (uint32_t lp = 0; lp < fanout; ++lp) {
-      if (stage_fill[lp] > 0) FlushStage(block, out, lp, stage_fill[lp]);
       if (cur_bucket[lp] != BucketChains::kNull) {
         out->fill()[cur_bucket[lp]] = cur_fill[lp];
         out->PublishSegment(gp_base + lp, seg_first[lp], seg_last[lp]);
@@ -156,23 +223,37 @@ size_t BlockLocalSharedBytes(uint32_t fanout, uint32_t stage_elems) {
 /// several blocks feed the same children concurrently, so their current-
 /// bucket state cannot live in block-local shared memory — the paper's
 /// "accessing data in the GPU memory" cost). Appends are serialized per
-/// child with a lock modeling the device-atomic claim protocol.
+/// child with striped locks modeling the device-atomic claim protocol
+/// (one mutex per child would cost megabytes at 2^15 children).
 class GlobalChains {
  public:
-  explicit GlobalChains(BucketChains* out)
-      : out_(out),
-        cur_(out->num_partitions(), BucketChains::kNull),
-        locks_(std::make_unique<std::mutex[]>(out->num_partitions())) {}
+  static constexpr size_t kLockStripes = 256;
 
-  /// Appends `count` staged tuples to child partition `child`.
-  void Append(sim::Block* block, uint32_t child, const uint32_t* keys,
-              const uint32_t* pays, uint32_t count) {
+  /// `concurrent` is false when a single host worker executes all blocks
+  /// (no lock needed; the modeled device-atomic charges are unchanged).
+  GlobalChains(BucketChains* out, bool concurrent)
+      : out_(out),
+        concurrent_(concurrent),
+        cur_(out->num_partitions(), BucketChains::kNull),
+        locks_(std::make_unique<std::mutex[]>(kLockStripes)) {}
+
+  /// Appends a pre-grouped run of `count` staged tuples to child
+  /// partition `child`. `flush_events` is how many stage flushes the
+  /// tuple-at-a-time path would have performed while staging this run
+  /// (each flush pays one device atomic plus one uncoalesced metadata
+  /// transaction); the caller tracks stage occupancy and passes the
+  /// exact count, keeping charged stats bit-identical.
+  void AppendBulk(sim::Block* block, uint32_t child, const uint32_t* keys,
+                  const uint32_t* pays, uint32_t count,
+                  uint32_t flush_events) {
+    if (count == 0 && flush_events == 0) return;
+    std::unique_lock<std::mutex> lock(locks_[child % kLockStripes],
+                                      std::defer_lock);
+    if (concurrent_) lock.lock();
+    block->ChargeDeviceAtomic(flush_events);
+    block->ChargeRandomAccess(flush_events, 16ull * out_->num_partitions());
+    block->ChargeStageFlush(count);
     const uint32_t cap = out_->bucket_capacity();
-    std::lock_guard<std::mutex> lock(locks_[child]);
-    // Metadata claim: one device atomic plus one uncoalesced metadata
-    // transaction per flush.
-    block->ChargeDeviceAtomic(1);
-    block->ChargeRandomAccess(1, 16ull * out_->num_partitions());
     uint32_t done = 0;
     while (done < count) {
       int32_t b = cur_[child];
@@ -196,19 +277,21 @@ class GlobalChains {
       std::copy_n(pays + done, batch, out_->payloads() + dst);
       out_->fill()[b] += batch;
       done += batch;
-      block->ChargeShared(8ull * batch);      // re-read of the stage
-      block->ChargeScatterWrite(8ull * batch);
     }
   }
 
  private:
   BucketChains* out_;
+  bool concurrent_;
   std::vector<int32_t> cur_;
   std::unique_ptr<std::mutex[]> locks_;
 };
 
 /// Block-local staging only (no chain metadata) for producers that feed
-/// GlobalChains.
+/// GlobalChains. The fast path appends whole pre-grouped runs; the
+/// stage-fill counters are kept exact so the number of simulated stage
+/// flushes (and their metadata charges) matches tuple-at-a-time
+/// execution bit for bit.
 struct StageOnly {
   uint32_t fanout = 0;
   uint32_t stage_elems = 0;
@@ -227,32 +310,28 @@ struct StageOnly {
            stage_pays != nullptr;
   }
 
-  void Push(sim::Block* block, GlobalChains* out, uint32_t gp_base,
-            uint32_t sub, uint32_t key, uint32_t payload) {
-    const size_t slot =
-        static_cast<size_t>(sub) * stage_elems + stage_fill[sub];
-    stage_keys[slot] = key;
-    stage_pays[slot] = payload;
-    block->ChargeShared(8);
-    block->ChargeSharedAtomic(1);
-    if (++stage_fill[sub] == stage_elems) {
-      out->Append(block, gp_base + sub,
-                  stage_keys + static_cast<size_t>(sub) * stage_elems,
-                  stage_pays + static_cast<size_t>(sub) * stage_elems,
-                  stage_elems);
-      stage_fill[sub] = 0;
-    }
+  /// Appends a run of `count` tuples of sub-partition `sub`. The run is
+  /// written through the simulated stage: each tuple pays the stage push,
+  /// and every stage_elems-th tuple (relative to the current occupancy)
+  /// triggers one flush worth of metadata charges.
+  void AppendRun(sim::Block* block, GlobalChains* out, uint32_t gp_base,
+                 uint32_t sub, const uint32_t* keys, const uint32_t* pays,
+                 uint32_t count) {
+    block->ChargeStagePush(count);
+    const uint32_t occupied = stage_fill[sub] + count;
+    const uint32_t flushes = occupied / stage_elems;
+    stage_fill[sub] = occupied % stage_elems;
+    out->AppendBulk(block, gp_base + sub, keys, pays, count, flushes);
   }
 
-  /// Flushes all non-empty stages to children of gp_base (call before a
-  /// parent switch and at block end).
+  /// Drains all non-empty stages to children of gp_base (call before a
+  /// parent switch and at block end). Tuples were already appended by
+  /// AppendRun; this pays the final flush metadata per dirty stage.
   void FlushAll(sim::Block* block, GlobalChains* out, uint32_t gp_base) {
     for (uint32_t sub = 0; sub < fanout; ++sub) {
       if (stage_fill[sub] > 0) {
-        out->Append(block, gp_base + sub,
-                    stage_keys + static_cast<size_t>(sub) * stage_elems,
-                    stage_pays + static_cast<size_t>(sub) * stage_elems,
-                    stage_fill[sub]);
+        out->AppendBulk(block, gp_base + sub, nullptr, nullptr, 0,
+                        /*flush_events=*/1);
         stage_fill[sub] = 0;
       }
     }
@@ -341,9 +420,20 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
         block.ChargeCoalescedRead(8ull * (end - begin));
         block.ChargeCycles(static_cast<uint64_t>(
             static_cast<double>(end - begin) * kCyclesPerElement));
-        for (size_t i = begin; i < end; ++i) {
-          const uint32_t p = util::RadixOf(keys[i], shift, bits);
-          local.Push(&block, &chains, p, keys[i], pays[i]);
+        // Two-phase batched execution: radix-decode and group a batch,
+        // then one bulk chain append per touched partition.
+        GroupScratch scratch;
+        scratch.Init(fanout, kGroupBatch);
+        for (size_t base = begin; base < end; base += kGroupBatch) {
+          const uint32_t count = static_cast<uint32_t>(
+              std::min<size_t>(kGroupBatch, end - base));
+          scratch.Group(keys + base, pays + base, count, shift, bits);
+          for (const uint32_t p : scratch.touched()) {
+            const GroupScratch::RunView run = scratch.Run(p);
+            local.AppendRun(&block, &chains, p, run.keys, run.pays,
+                            run.count);
+          }
+          scratch.ResetCounts();
         }
         local.Finish(&block, &chains, /*gp_base=*/0);
       }));
@@ -359,7 +449,7 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
 }
 
 util::Result<PartitionedRelation> RadixPartitionNextPass(
-    sim::Device* device, const PartitionedRelation& prev, int shift, int bits,
+    sim::Device* device, PartitionedRelation prev, int shift, int bits,
     const RadixPartitionConfig& config) {
   if (bits <= 0 || bits > 12) {
     return util::Status::Invalid("pass bits out of range: " +
@@ -372,7 +462,10 @@ util::Result<PartitionedRelation> RadixPartitionNextPass(
     return util::Status::Invalid("sub-partitioning fanout too large");
   }
 
-  const BucketChains& in = prev.chains;
+  // The pass owns `prev`, so recycling consumed input buckets back into
+  // the shared pool is a sanctioned mutation (no caller can observe the
+  // drained input chains afterwards).
+  BucketChains& in = prev.chains;
   const uint32_t parents = in.num_partitions();
   const uint32_t children = parents << bits;
   const uint32_t capacity = in.bucket_capacity();
@@ -428,7 +521,7 @@ util::Result<PartitionedRelation> RadixPartitionNextPass(
   launch.threads_per_block = config.threads_per_block;
   launch.shared_mem_bytes = device->spec().gpu.shared_mem_per_block;
 
-  GlobalChains global(&chains);
+  GlobalChains global(&chains, device->functional_parallelism() > 1);
   const bool bucket_mode =
       config.assignment == WorkAssignment::kBucketAtATime;
 
@@ -446,61 +539,125 @@ util::Result<PartitionedRelation> RadixPartitionNextPass(
               static_cast<double>(count) * kCyclesPerElement));
         };
 
+        // Cross-bucket batching: consumed buckets are gathered into one
+        // batch buffer and grouped together, so each child partition
+        // sees a few long runs per batch instead of a tiny run per input
+        // bucket. The batch over-allocates by one bucket because
+        // draining is checked only at bucket granularity.
+        GroupScratch scratch;
+        std::vector<uint32_t> batch_keys(kGroupBatch + capacity);
+        std::vector<uint32_t> batch_pays(kGroupBatch + capacity);
+        uint32_t batch_fill = 0;
+
+        auto load_bucket = [&](int32_t b) {
+          const size_t base = static_cast<size_t>(b) * capacity;
+          const uint32_t count = in.fill()[b];
+          charge_bucket_scan(count);
+          std::copy_n(in.keys() + base, count, batch_keys.data() + batch_fill);
+          std::copy_n(in.payloads() + base, count,
+                      batch_pays.data() + batch_fill);
+          batch_fill += count;
+          // The input bucket is fully consumed: recycle it.
+          in.FreeBucket(b);
+          block.ChargeDeviceAtomic(1);
+        };
+
         if (bucket_mode) {
           // Bucket-at-a-time: blocks share the children, so chain
           // metadata lives in device memory (GlobalChains); only the
-          // staging buffers are block-local.
+          // staging buffers are block-local. A block holds only a few
+          // buckets of each parent, so batches span parents: tuples are
+          // grouped by (parent slot, sub-digit) and the parent's stage
+          // drains when its last item has passed through a batch.
           StageOnly stage;
           if (!stage.Alloc(&block, subfanout, config.stage_elems)) return;
           for (uint32_t s = 0; s < subfanout; ++s) stage.stage_fill[s] = 0;
-          uint32_t current_parent = UINT32_MAX;
-          for (const WorkItem& item : items) {
-            if (item.parent != current_parent) {
-              if (current_parent != UINT32_MAX) {
-                stage.FlushAll(&block, &global, current_parent << bits);
+          constexpr uint32_t kMaxBatchParents = 64;
+          scratch.Init(kMaxBatchParents << bits, kGroupBatch + capacity);
+          std::vector<uint32_t> bases(kGroupBatch + capacity);
+          std::vector<uint32_t> batch_parents;  // parent slot -> parent id
+          std::vector<uint8_t> parent_done;     // all items loaded?
+
+          auto drain = [&] {
+            if (batch_parents.empty()) return;
+            scratch.Group(batch_keys.data(), batch_pays.data(), batch_fill,
+                          shift, bits, bases.data());
+            for (uint32_t ps = 0; ps < batch_parents.size(); ++ps) {
+              const uint32_t parent = batch_parents[ps];
+              for (uint32_t sub = 0; sub < subfanout; ++sub) {
+                const uint32_t d = (ps << bits) | sub;
+                if (scratch.CountOf(d) == 0) continue;
+                const GroupScratch::RunView run = scratch.Run(d);
+                stage.AppendRun(&block, &global, parent << bits, sub,
+                                run.keys, run.pays, run.count);
               }
-              current_parent = item.parent;
+              if (parent_done[ps] != 0) {
+                stage.FlushAll(&block, &global, parent << bits);
+              }
             }
-            const size_t base = static_cast<size_t>(item.bucket) * capacity;
+            scratch.ResetCounts();
+            batch_fill = 0;
+            if (parent_done.back() == 0) {
+              // The trailing parent has more buckets coming: keep its
+              // slot (and stage occupancy) open for the next batch.
+              const uint32_t open = batch_parents.back();
+              batch_parents.assign(1, open);
+              parent_done.assign(1, 0);
+            } else {
+              batch_parents.clear();
+              parent_done.clear();
+            }
+          };
+
+          for (const WorkItem& item : items) {
+            if (batch_parents.empty() || item.parent != batch_parents.back()) {
+              if (!batch_parents.empty()) parent_done.back() = 1;
+              if (batch_parents.size() == kMaxBatchParents) drain();
+              batch_parents.push_back(item.parent);
+              parent_done.push_back(0);
+            }
+            const uint32_t ps =
+                static_cast<uint32_t>(batch_parents.size() - 1);
             const uint32_t count = in.fill()[item.bucket];
-            charge_bucket_scan(count);
-            for (uint32_t i = 0; i < count; ++i) {
-              const uint32_t key = in.keys()[base + i];
-              const uint32_t sub = util::RadixOf(key, shift, bits);
-              stage.Push(&block, &global, current_parent << bits, sub, key,
-                         in.payloads()[base + i]);
-            }
-            // The input bucket is fully consumed: recycle it.
-            const_cast<BucketChains&>(in).FreeBucket(item.bucket);
-            block.ChargeDeviceAtomic(1);
+            std::fill_n(bases.begin() + batch_fill, count, ps << bits);
+            load_bucket(item.bucket);
+            if (batch_fill >= kGroupBatch) drain();
           }
-          if (current_parent != UINT32_MAX) {
-            stage.FlushAll(&block, &global, current_parent << bits);
+          if (!batch_parents.empty()) {
+            parent_done.back() = 1;
+            drain();
           }
         } else {
           // Partition-at-a-time: the block is the sole producer of its
           // parents' children, so metadata stays in fast shared memory;
           // the price is load imbalance under skew (max_block_cycles).
+          // Parent chains are long, so batching within one parent is
+          // enough — the batch drains at every chain end.
           BlockLocalChains local;
           if (!local.Alloc(&block, subfanout, config.stage_elems)) return;
+          scratch.Init(subfanout, kGroupBatch + capacity);
+          auto drain = [&] {
+            if (batch_fill == 0) return;
+            scratch.Group(batch_keys.data(), batch_pays.data(), batch_fill,
+                          shift, bits);
+            for (const uint32_t sub : scratch.touched()) {
+              const GroupScratch::RunView run = scratch.Run(sub);
+              local.AppendRun(&block, &chains, sub, run.keys, run.pays,
+                              run.count);
+            }
+            scratch.ResetCounts();
+            batch_fill = 0;
+          };
           for (const WorkItem& item : items) {
             local.ResetMeta(&block);
             int32_t b = in.heads()[item.parent];
             while (b != BucketChains::kNull) {
               const int32_t next_b = in.next()[b];  // before recycling b
-              const size_t base = static_cast<size_t>(b) * capacity;
-              const uint32_t count = in.fill()[b];
-              charge_bucket_scan(count);
-              for (uint32_t i = 0; i < count; ++i) {
-                const uint32_t key = in.keys()[base + i];
-                const uint32_t sub = util::RadixOf(key, shift, bits);
-                local.Push(&block, &chains, sub, key,
-                           in.payloads()[base + i]);
-              }
-              const_cast<BucketChains&>(in).FreeBucket(b);
-              block.ChargeDeviceAtomic(1);
+              load_bucket(b);
+              if (batch_fill >= kGroupBatch) drain();
               b = next_b;
             }
+            drain();
             local.Finish(&block, &chains, item.parent << bits);
           }
         }
@@ -512,7 +669,7 @@ util::Result<PartitionedRelation> RadixPartitionNextPass(
   out.base_shift = prev.base_shift;
   out.tuples = prev.tuples;
   out.seconds = prev.seconds + result.seconds;
-  out.pass_seconds = prev.pass_seconds;
+  out.pass_seconds = std::move(prev.pass_seconds);
   out.pass_seconds.push_back(result.seconds);
   return out;
 }
@@ -584,13 +741,12 @@ util::Result<PartitionedRelation> RadixPartitionImpl(
     const size_t seg_tuples = CeilDiv(n, std::max(segments, 1));
     for (size_t begin = 0; begin < n; begin += seg_tuples) {
       const size_t end = std::min<size_t>(n, begin + seg_tuples);
-      data::Relation segment;
-      segment.keys.assign(host_input->keys.begin() + begin,
-                          host_input->keys.begin() + end);
-      segment.payloads.assign(host_input->payloads.begin() + begin,
-                              host_input->payloads.begin() + end);
-      GJOIN_ASSIGN_OR_RETURN(DeviceRelation seg_dev,
-                             DeviceRelation::Upload(device, segment));
+      // Upload the segment straight from the host columns — no
+      // intermediate host copy.
+      GJOIN_ASSIGN_OR_RETURN(
+          DeviceRelation seg_dev,
+          DeviceRelation::Upload(
+              device, data::RelationView::Slice(*host_input, begin, end)));
       GJOIN_ASSIGN_OR_RETURN(
           rel, RadixPartitionFirstPass(device, seg_dev, cfg.base_shift,
                                        cfg.pass_bits[0], cfg, &rel));
@@ -609,9 +765,8 @@ util::Result<PartitionedRelation> RadixPartitionImpl(
   int shift = cfg.base_shift + cfg.pass_bits[0];
   for (size_t pass = 1; pass < cfg.pass_bits.size(); ++pass) {
     GJOIN_ASSIGN_OR_RETURN(
-        PartitionedRelation next,
-        RadixPartitionNextPass(device, rel, shift, cfg.pass_bits[pass], cfg));
-    rel = std::move(next);
+        rel, RadixPartitionNextPass(device, std::move(rel), shift,
+                                    cfg.pass_bits[pass], cfg));
     shift += cfg.pass_bits[pass];
   }
   return rel;

@@ -118,8 +118,11 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
 
 /// Single sub-partitioning pass over previous-pass chains: each parent
 /// partition p fans out to children [p * 2^bits, (p+1) * 2^bits).
+/// Takes `prev` by value: the pass consumes the input chains, recycling
+/// their buckets into the shared pool as it drains them (callers that
+/// kept a handle would otherwise observe half-drained chains).
 util::Result<PartitionedRelation> RadixPartitionNextPass(
-    sim::Device* device, const PartitionedRelation& prev, int shift, int bits,
+    sim::Device* device, PartitionedRelation prev, int shift, int bits,
     const RadixPartitionConfig& config);
 
 /// Auto-sizes bucket capacity for `tuples` spread over `partitions`

@@ -6,15 +6,20 @@ namespace gjoin::gpujoin {
 
 util::Result<DeviceRelation> DeviceRelation::Upload(
     sim::Device* device, const data::Relation& rel) {
+  return Upload(device, data::RelationView::Of(rel));
+}
+
+util::Result<DeviceRelation> DeviceRelation::Upload(
+    sim::Device* device, const data::RelationView& view) {
   DeviceRelation out;
-  out.size = rel.size();
-  out.logical_payload_bytes = rel.logical_payload_bytes;
+  out.size = view.size;
+  out.logical_payload_bytes = view.logical_payload_bytes;
   GJOIN_ASSIGN_OR_RETURN(out.keys,
-                         device->memory().Allocate<uint32_t>(rel.size()));
+                         device->memory().Allocate<uint32_t>(view.size));
   GJOIN_ASSIGN_OR_RETURN(out.payloads,
-                         device->memory().Allocate<uint32_t>(rel.size()));
-  std::copy(rel.keys.begin(), rel.keys.end(), out.keys.data());
-  std::copy(rel.payloads.begin(), rel.payloads.end(), out.payloads.data());
+                         device->memory().Allocate<uint32_t>(view.size));
+  std::copy_n(view.keys, view.size, out.keys.data());
+  std::copy_n(view.payloads, view.size, out.payloads.data());
   return out;
 }
 

@@ -30,6 +30,11 @@ struct DeviceRelation {
   /// out-of-GPU strategies time every transfer explicitly).
   static util::Result<DeviceRelation> Upload(sim::Device* device,
                                              const data::Relation& rel);
+
+  /// Uploads a view (a slice of a host relation) without an intermediate
+  /// host copy — the segmented/chunked pipelines' path.
+  static util::Result<DeviceRelation> Upload(sim::Device* device,
+                                             const data::RelationView& view);
 };
 
 /// \brief How join results leave the kernel.

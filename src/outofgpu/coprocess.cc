@@ -32,14 +32,12 @@ data::Relation ConcatParts(const cpu::HostPartitions& parts,
 
 }  // namespace
 
-util::Result<JoinStats> CoProcessJoin(sim::Device* device,
-                                      const data::Relation& build,
-                                      const data::Relation& probe,
-                                      const CoProcessConfig& config) {
+util::Result<CoProcessPlan> PlanCoProcessJoin(sim::Device* device,
+                                              const data::Relation& build,
+                                              const data::Relation& probe,
+                                              const CoProcessConfig& config) {
   const hw::HardwareSpec& spec = device->spec();
   const hw::CpuCostModel cpu_model(spec.cpu);
-  const hw::NumaModel numa(spec.cpu);
-  const hw::PcieModel pcie(spec.pcie);
 
   // ---- 1. Host partitioning (functional) ----
   GJOIN_ASSIGN_OR_RETURN(
@@ -49,7 +47,83 @@ util::Result<JoinStats> CoProcessJoin(sim::Device* device,
       cpu::HostPartitions s_parts,
       cpu::CpuRadixPartition(probe, config.cpu, cpu_model));
 
-  // ---- 2. NUMA arbitration for the two pipeline phases ----
+  // ---- 2. Working sets from the build side's partition sizes ----
+  WorkingSetConfig packing = config.packing;
+  if (packing.budget_bytes == 0) {
+    packing.budget_bytes = static_cast<uint64_t>(
+        static_cast<double>(spec.gpu.device_memory_bytes) * 0.45);
+  }
+  std::vector<uint64_t> part_bytes(r_parts.parts.size());
+  for (size_t p = 0; p < r_parts.parts.size(); ++p) {
+    part_bytes[p] = r_parts.parts[p].bytes();
+  }
+  GJOIN_ASSIGN_OR_RETURN(std::vector<WorkingSet> sets,
+                         PackWorkingSets(part_bytes, packing));
+
+  // ---- 3. Per-working-set functional join ----
+  // Functional execution batches each working set on a scratch device
+  // with relaxed capacity (see header); planning used the real budget.
+  hw::HardwareSpec scratch_spec = spec;
+  scratch_spec.gpu.device_memory_bytes = SIZE_MAX / 4;
+  sim::Device scratch(scratch_spec);
+
+  gjoin::gpujoin::PartitionedJoinConfig join_cfg = config.join;
+  join_cfg.partition.base_shift = config.cpu.radix_bits;
+  join_cfg.join.output = config.materialize_to_host
+                             ? OutputMode::kMaterialize
+                             : OutputMode::kAggregate;
+  if (join_cfg.join.key_bits == 0) {
+    uint32_t max_key = 1;
+    for (uint32_t k : build.keys) max_key = std::max(max_key, k);
+    join_cfg.join.key_bits = util::Log2Floor(max_key) + 1;
+  }
+
+  CoProcessPlan plan;
+  plan.total_input_bytes = build.bytes() + probe.bytes();
+  for (size_t set_index = 0; set_index < sets.size(); ++set_index) {
+    const WorkingSet& ws = sets[set_index];
+    data::Relation r_ws = ConcatParts(r_parts, ws.partitions);
+    data::Relation s_ws = ConcatParts(s_parts, ws.partitions);
+    if (r_ws.empty() || s_ws.empty()) continue;
+
+    GJOIN_ASSIGN_OR_RETURN(
+        gjoin::gpujoin::DeviceRelation r_dev,
+        gjoin::gpujoin::DeviceRelation::Upload(&scratch, r_ws));
+    GJOIN_ASSIGN_OR_RETURN(
+        gjoin::gpujoin::DeviceRelation s_dev,
+        gjoin::gpujoin::DeviceRelation::Upload(&scratch, s_ws));
+    GJOIN_ASSIGN_OR_RETURN(
+        JoinStats ws_join,
+        gjoin::gpujoin::PartitionedJoin(&scratch, r_dev, s_dev, join_cfg));
+
+    // Oversized singleton sets: the R side exceeds the budget, so S is
+    // re-streamed once per budget-sized R slice (GPU sub-partitioning,
+    // Section IV-B) — the skew penalty of Fig. 18.
+    const uint64_t restreams =
+        std::max<uint64_t>(1, util::CeilDiv(ws.bytes, packing.budget_bytes));
+
+    CoProcessPlan::WorkingSetRun run;
+    run.matches = ws_join.matches;
+    run.payload_sum = ws_join.payload_sum;
+    run.gpu_seconds = ws_join.seconds;
+    run.join_s = ws_join.join_s;
+    run.partition_s = ws_join.partition_s;
+    run.transfer_bytes = r_ws.bytes() + s_ws.bytes() * restreams;
+    run.set_index = set_index;
+    plan.runs.push_back(run);
+  }
+  return plan;
+}
+
+util::Result<JoinStats> CoProcessJoinPlanned(sim::Device* device,
+                                             const CoProcessPlan& plan,
+                                             const CoProcessConfig& config) {
+  const hw::HardwareSpec& spec = device->spec();
+  const hw::CpuCostModel cpu_model(spec.cpu);
+  const hw::NumaModel numa(spec.cpu);
+  const hw::PcieModel pcie(spec.pcie);
+
+  // ---- NUMA arbitration for the two pipeline phases ----
   const double nominal_dma = spec.pcie.bw_gbps;
   const double part_output = cpu_model.PartitionOutputGbps(config.cpu.threads);
   // Partitioning traffic landing on the near socket (roughly half the
@@ -92,37 +166,6 @@ util::Result<JoinStats> CoProcessJoin(sim::Device* device,
   const double cpu_part_gbps = part_output * grant_a.cpu_scale;
   const double staging_gbps = numa.StagingCopyGbps(config.cpu.threads);
 
-  // ---- 3. Working sets from the build side's partition sizes ----
-  WorkingSetConfig packing = config.packing;
-  if (packing.budget_bytes == 0) {
-    packing.budget_bytes = static_cast<uint64_t>(
-        static_cast<double>(spec.gpu.device_memory_bytes) * 0.45);
-  }
-  std::vector<uint64_t> part_bytes(r_parts.parts.size());
-  for (size_t p = 0; p < r_parts.parts.size(); ++p) {
-    part_bytes[p] = r_parts.parts[p].bytes();
-  }
-  GJOIN_ASSIGN_OR_RETURN(std::vector<WorkingSet> sets,
-                         PackWorkingSets(part_bytes, packing));
-
-  // ---- 4. Per-working-set functional join + pipeline timing ----
-  // Functional execution batches each working set on a scratch device
-  // with relaxed capacity (see header); planning used the real budget.
-  hw::HardwareSpec scratch_spec = spec;
-  scratch_spec.gpu.device_memory_bytes = SIZE_MAX / 4;
-  sim::Device scratch(scratch_spec);
-
-  gjoin::gpujoin::PartitionedJoinConfig join_cfg = config.join;
-  join_cfg.partition.base_shift = config.cpu.radix_bits;
-  join_cfg.join.output = config.materialize_to_host
-                             ? OutputMode::kMaterialize
-                             : OutputMode::kAggregate;
-  if (join_cfg.join.key_bits == 0) {
-    uint32_t max_key = 1;
-    for (uint32_t k : build.keys) max_key = std::max(max_key, k);
-    join_cfg.join.key_bits = util::Log2Floor(max_key) + 1;
-  }
-
   JoinStats stats;
   sim::Timeline timeline;
   std::vector<sim::OpId> gpu_ops;
@@ -130,56 +173,36 @@ util::Result<JoinStats> CoProcessJoin(sim::Device* device,
 
   const uint64_t chunk_bytes =
       static_cast<uint64_t>(config.chunk_tuples) * data::Relation::kTupleBytes;
-  const uint64_t total_input_bytes = build.bytes() + probe.bytes();
 
-  for (size_t ws_idx = 0; ws_idx < sets.size(); ++ws_idx) {
-    const WorkingSet& ws = sets[ws_idx];
-    const bool first_set = ws_idx == 0;
+  for (const CoProcessPlan::WorkingSetRun& run : plan.runs) {
+    // The whole-input CPU-partitioning phase belongs to packed set 0; if
+    // that set was empty (skipped during planning), it is dropped —
+    // exactly as the un-split implementation behaved.
+    const bool first_set = run.set_index == 0;
+    stats.matches += run.matches;
+    stats.payload_sum += run.payload_sum;
 
-    data::Relation r_ws = ConcatParts(r_parts, ws.partitions);
-    data::Relation s_ws = ConcatParts(s_parts, ws.partitions);
-    if (r_ws.empty() || s_ws.empty()) continue;
-
-    GJOIN_ASSIGN_OR_RETURN(
-        gjoin::gpujoin::DeviceRelation r_dev,
-        gjoin::gpujoin::DeviceRelation::Upload(&scratch, r_ws));
-    GJOIN_ASSIGN_OR_RETURN(
-        gjoin::gpujoin::DeviceRelation s_dev,
-        gjoin::gpujoin::DeviceRelation::Upload(&scratch, s_ws));
-    GJOIN_ASSIGN_OR_RETURN(
-        JoinStats ws_join,
-        gjoin::gpujoin::PartitionedJoin(&scratch, r_dev, s_dev, join_cfg));
-    stats.matches += ws_join.matches;
-    stats.payload_sum += ws_join.payload_sum;
-
-    // Oversized singleton sets: the R side exceeds the budget, so S is
-    // re-streamed once per budget-sized R slice (GPU sub-partitioning,
-    // Section IV-B) — the skew penalty of Fig. 18.
-    const uint64_t restreams =
-        std::max<uint64_t>(1, util::CeilDiv(ws.bytes, packing.budget_bytes));
-    const uint64_t ws_transfer_bytes =
-        r_ws.bytes() + s_ws.bytes() * restreams;
     const uint64_t ws_out_bytes =
-        config.materialize_to_host ? ws_join.matches * 8 : 0;
+        config.materialize_to_host ? run.matches * 8 : 0;
 
     // Chunked pipeline ops. During the first working set the CPU stage
     // is the chunk partitioning of the *entire* input; afterwards it is
     // the staging copy of this set's transfer bytes.
     const uint64_t cpu_phase_bytes =
-        first_set ? total_input_bytes
+        first_set ? plan.total_input_bytes
                   : (config.staging
                          ? static_cast<uint64_t>(
-                               static_cast<double>(ws_transfer_bytes) *
+                               static_cast<double>(run.transfer_bytes) *
                                config.far_socket_fraction)
                          : 0);
     const double cpu_rate = first_set ? cpu_part_gbps : staging_gbps;
 
     const uint64_t num_chunks = std::max<uint64_t>(
-        1, util::CeilDiv(ws_transfer_bytes, chunk_bytes));
+        1, util::CeilDiv(run.transfer_bytes, chunk_bytes));
     const double gpu_chunk_s =
-        ws_join.seconds / static_cast<double>(num_chunks);
+        run.gpu_seconds / static_cast<double>(num_chunks);
     const double h2d_chunk_s =
-        h2d_seconds(ws_transfer_bytes, first_set) /
+        h2d_seconds(run.transfer_bytes, first_set) /
         static_cast<double>(num_chunks);
     const double cpu_chunk_s =
         cpu_phase_bytes == 0
@@ -213,8 +236,8 @@ util::Result<JoinStats> CoProcessJoin(sim::Device* device,
                      "d2h:results");
       }
     }
-    stats.join_s += ws_join.join_s;
-    stats.partition_s += ws_join.partition_s;
+    stats.join_s += run.join_s;
+    stats.partition_s += run.partition_s;
   }
 
   GJOIN_ASSIGN_OR_RETURN(sim::Schedule schedule, timeline.Run());
@@ -223,6 +246,15 @@ util::Result<JoinStats> CoProcessJoin(sim::Device* device,
                      schedule.busy_s[static_cast<int>(sim::Engine::kCopyD2H)];
   stats.cpu_s = schedule.busy_s[static_cast<int>(sim::Engine::kCpu)];
   return stats;
+}
+
+util::Result<JoinStats> CoProcessJoin(sim::Device* device,
+                                      const data::Relation& build,
+                                      const data::Relation& probe,
+                                      const CoProcessConfig& config) {
+  GJOIN_ASSIGN_OR_RETURN(CoProcessPlan plan,
+                         PlanCoProcessJoin(device, build, probe, config));
+  return CoProcessJoinPlanned(device, plan, config);
 }
 
 }  // namespace gjoin::outofgpu

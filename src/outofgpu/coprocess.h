@@ -66,6 +66,44 @@ util::Result<gjoin::gpujoin::JoinStats> CoProcessJoin(
     sim::Device* device, const data::Relation& build,
     const data::Relation& probe, const CoProcessConfig& config);
 
+/// \brief The functional half of a co-processing run: host partitioning,
+/// working-set packing and every per-set GPU join, none of which depend
+/// on the pipeline's resource parameters (CPU thread count, staging
+/// policy, NUMA layout). Thread-scaling sweeps plan once and re-time the
+/// pipeline per configuration.
+struct CoProcessPlan {
+  struct WorkingSetRun {
+    uint64_t matches = 0;
+    uint64_t payload_sum = 0;
+    double gpu_seconds = 0;       ///< Modeled in-GPU time of this set.
+    double join_s = 0;            ///< ... its co-partition join share.
+    double partition_s = 0;       ///< ... its GPU partitioning share.
+    uint64_t transfer_bytes = 0;  ///< H2D bytes including S re-streams.
+    size_t set_index = 0;         ///< Position in the packed set list
+                                  ///< (empty sets are skipped, so this
+                                  ///< can have gaps; the whole-input CPU
+                                  ///< partitioning phase belongs to set
+                                  ///< 0 specifically).
+  };
+  std::vector<WorkingSetRun> runs;
+  uint64_t total_input_bytes = 0;
+};
+
+/// Executes the functional phase once (config's pipeline parameters are
+/// ignored except cpu partitioning geometry, packing and the GPU join
+/// config).
+util::Result<CoProcessPlan> PlanCoProcessJoin(sim::Device* device,
+                                              const data::Relation& build,
+                                              const data::Relation& probe,
+                                              const CoProcessConfig& config);
+
+/// Times the pipeline of a prepared plan under `config`. Equals
+/// CoProcessJoin(device, build, probe, config) when the plan was built
+/// with the same partitioning/packing/join configuration.
+util::Result<gjoin::gpujoin::JoinStats> CoProcessJoinPlanned(
+    sim::Device* device, const CoProcessPlan& plan,
+    const CoProcessConfig& config);
+
 }  // namespace gjoin::outofgpu
 
 #endif  // GJOIN_OUTOFGPU_COPROCESS_H_

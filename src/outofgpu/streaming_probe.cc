@@ -63,14 +63,11 @@ util::Result<JoinStats> StreamingProbeJoin(sim::Device* device,
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t begin = c * chunk_tuples;
     const size_t end = std::min(probe.size(), begin + chunk_tuples);
+    const data::RelationView chunk =
+        data::RelationView::Slice(probe, begin, end);
 
-    data::Relation chunk;
-    chunk.keys.assign(probe.keys.begin() + begin, probe.keys.begin() + end);
-    chunk.payloads.assign(probe.payloads.begin() + begin,
-                          probe.payloads.begin() + end);
-    chunk.logical_payload_bytes = probe.logical_payload_bytes;
-
-    // Functional execution of the chunk: upload, partition, join.
+    // Functional execution of the chunk: upload (straight from the host
+    // columns — no intermediate copy), partition, join.
     GJOIN_ASSIGN_OR_RETURN(gpujoin::DeviceRelation s_dev,
                            gpujoin::DeviceRelation::Upload(device, chunk));
     GJOIN_ASSIGN_OR_RETURN(
@@ -82,7 +79,7 @@ util::Result<JoinStats> StreamingProbeJoin(sim::Device* device,
     if (config.materialize_to_host) {
       GJOIN_ASSIGN_OR_RETURN(
           ring, gjoin::gpujoin::OutputRing::Allocate(&device->memory(),
-                                                     chunk.size() + 1));
+                                                     chunk.size + 1));
       ring_ptr = &ring;
     }
     GJOIN_ASSIGN_OR_RETURN(

@@ -74,6 +74,25 @@ class Block {
   /// Atomics on device memory.
   void ChargeDeviceAtomic(uint64_t count) { stats_.device_atomics += count; }
 
+  // --- Bulk helpers for the staged-partitioning idiom ---
+  //
+  // Batched kernels charge whole tuple runs at once instead of calling
+  // the primitives once per tuple; the aggregates are identical because
+  // every charge is a plain sum.
+
+  /// `tuples` 8-byte tuples staged into shared memory, each claiming its
+  /// stage slot with one shared-memory atomic.
+  void ChargeStagePush(uint64_t tuples) {
+    stats_.shared_bytes += 8 * tuples;
+    stats_.shared_atomics += tuples;
+  }
+  /// `tuples` staged 8-byte tuples re-read from shared memory and
+  /// scatter-written to their device-memory bucket.
+  void ChargeStageFlush(uint64_t tuples) {
+    stats_.shared_bytes += 8 * tuples;
+    stats_.scatter_write_bytes += 8 * tuples;
+  }
+
   // --- Compute ---
 
   /// SM cycles consumed by this block (warp-instructions issued).

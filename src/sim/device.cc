@@ -36,13 +36,10 @@ util::Result<LaunchResult> Device::Launch(
   std::vector<hw::KernelStats> worker_stats(workers);
 
   // Blocks are dealt to workers in contiguous ranges; each worker reuses
-  // one SharedMemory scratchpad across its blocks. Worker identity is
-  // recovered from the range start (ranges are disjoint).
-  const size_t chunk =
-      (static_cast<size_t>(num_blocks) + workers - 1) / workers;
+  // one SharedMemory scratchpad across its blocks.
   pool_->ParallelForRanges(
-      static_cast<size_t>(num_blocks), [&](size_t begin, size_t end) {
-        const size_t worker = begin / chunk;
+      static_cast<size_t>(num_blocks),
+      [&](size_t worker, size_t begin, size_t end) {
         SharedMemory shared(config.shared_mem_bytes);
         hw::KernelStats local;
         for (size_t b = begin; b < end; ++b) {

@@ -71,6 +71,10 @@ class Device {
   /// Simulated device memory (capacity-accounted allocations).
   DeviceMemory& memory() { return memory_; }
 
+  /// Host threads executing simulated blocks concurrently. Kernels with
+  /// host-side shared state may skip their locking when this is 1.
+  size_t functional_parallelism() const { return pool_->num_threads(); }
+
   /// Timing model in use.
   const hw::CostModel& cost_model() const { return cost_model_; }
 

@@ -10,6 +10,7 @@
 #define GJOIN_SIM_WARP_H_
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "src/sim/block.h"
@@ -23,16 +24,25 @@ inline constexpr int kWarpSize = 32;
 template <typename T>
 using LaneArray = std::array<T, kWarpSize>;
 
+/// CUDA __ballot_sync over a pre-packed predicate mask (bit i = lane i's
+/// predicate). The pack is free on real hardware — the vote register *is*
+/// the mask — so batched kernels that already hold a mask use this form.
+/// Charges one warp instruction.
+inline uint32_t Ballot(Block& block, uint32_t pred_mask) {
+  block.ChargeCycles(1);
+  return pred_mask;
+}
+
 /// CUDA __ballot_sync: builds a 32-bit mask with bit i set iff lane i's
 /// predicate is non-zero, broadcast to every lane. Charges one warp
 /// instruction.
 inline uint32_t Ballot(Block& block, const LaneArray<uint32_t>& pred) {
   uint32_t mask = 0;
   for (int lane = 0; lane < kWarpSize; ++lane) {
-    if (pred[lane] != 0) mask |= (1u << lane);
+    // Branchless pack; the loop auto-vectorizes.
+    mask |= static_cast<uint32_t>(pred[lane] != 0) << lane;
   }
-  block.ChargeCycles(1);
-  return mask;
+  return Ballot(block, mask);
 }
 
 /// CUDA __shfl_sync: every lane receives the value held by `src_lane`.
@@ -62,15 +72,19 @@ inline bool Any(Block& block, const LaneArray<uint32_t>& pred) {
   return Ballot(block, pred) != 0;
 }
 
+/// Single-lane exclusive prefix rank: __popc(mask & lanemask_lt), the
+/// per-lane write offset into a warp-shared compaction buffer.
+constexpr int PrefixRankOf(uint32_t mask, int lane) {
+  return std::popcount(mask & ((1u << lane) - 1u));
+}
+
 /// Exclusive prefix count of set bits below each lane in `mask` — the
 /// idiom warps use to compute per-lane write offsets into a shared output
 /// buffer (__popc(mask & lanemask_lt)).
 inline LaneArray<int> PrefixRanks(Block& block, uint32_t mask) {
   LaneArray<int> ranks;
-  int count = 0;
   for (int lane = 0; lane < kWarpSize; ++lane) {
-    ranks[lane] = count;
-    if (mask & (1u << lane)) ++count;
+    ranks[lane] = PrefixRankOf(mask, lane);
   }
   block.ChargeCycles(2);  // popc + lanemask arithmetic
   return ranks;

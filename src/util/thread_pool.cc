@@ -54,13 +54,13 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  ParallelForRanges(n, [&fn](size_t begin, size_t end) {
+  ParallelForRanges(n, [&fn](size_t /*worker*/, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) fn(i);
   });
 }
 
 void ThreadPool::ParallelForRanges(
-    size_t n, const std::function<void(size_t, size_t)>& fn) {
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
   if (n == 0) return;
   const size_t workers = std::min(n, num_threads());
   const size_t chunk = (n + workers - 1) / workers;
@@ -68,7 +68,7 @@ void ThreadPool::ParallelForRanges(
     const size_t begin = w * chunk;
     const size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    Submit([&fn, begin, end] { fn(begin, end); });
+    Submit([&fn, w, begin, end] { fn(w, begin, end); });
   }
   Wait();
 }

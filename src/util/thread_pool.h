@@ -44,9 +44,12 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Like ParallelFor but hands each worker a [begin, end) range, which is
-  /// cheaper when per-iteration work is tiny.
-  void ParallelForRanges(size_t n,
-                         const std::function<void(size_t, size_t)>& fn);
+  /// cheaper when per-iteration work is tiny. The callback additionally
+  /// receives the dense worker index in [0, min(n, num_threads())), so
+  /// callers with per-worker state never have to reverse-engineer their
+  /// identity from the range endpoints.
+  void ParallelForRanges(
+      size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
 
   /// Process-wide default pool sized to the hardware concurrency.
   static ThreadPool* Default();

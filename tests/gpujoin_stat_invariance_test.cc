@@ -1,0 +1,212 @@
+// Stat-invariance regression test for the batch-granularity simulator
+// fast path.
+//
+// The batched hot paths (grouped radix partitioning, analytic
+// nested-loop tile charging, bulk stage flushes) must charge *exactly*
+// the KernelStats the tuple-at-a-time reference implementation charged —
+// every simulated-seconds number in the paper-figure benches derives
+// from them. The golden values below were captured from the pre-batching
+// implementation (PR 1 tree) with the capture harness in this file's
+// history: mid-size partitioned joins under all three probe algorithms,
+// a partition-at-a-time second pass, and the out-of-GPU streaming probe.
+// Any drift in a counter, match count, checksum or modeled time fails
+// the test.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/data/generator.h"
+#include "src/gpujoin/partitioned_join.h"
+#include "src/gpujoin/radix_partition.h"
+#include "src/outofgpu/streaming_probe.h"
+
+namespace gjoin {
+namespace {
+
+/// One expected launch profile entry: name + every KernelStats counter +
+/// modeled seconds.
+struct GoldenLaunch {
+  const char* name;
+  uint64_t coalesced_read_bytes;
+  uint64_t coalesced_write_bytes;
+  uint64_t scatter_write_bytes;
+  uint64_t random_transactions;
+  uint64_t random_working_set_bytes;
+  uint64_t shared_bytes;
+  uint64_t shared_atomics;
+  uint64_t device_atomics;
+  uint64_t total_cycles;
+  uint64_t max_block_cycles;
+  uint64_t num_blocks;
+  double seconds;
+};
+
+void ExpectProfileMatches(const sim::Device& device,
+                          const std::vector<GoldenLaunch>& golden) {
+  const auto profile = device.profile();
+  ASSERT_EQ(profile.size(), golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    SCOPED_TRACE("launch " + std::to_string(i) + " (" + profile[i].name +
+                 ")");
+    const auto& s = profile[i].stats;
+    const auto& g = golden[i];
+    EXPECT_EQ(profile[i].name, g.name);
+    EXPECT_EQ(s.coalesced_read_bytes, g.coalesced_read_bytes);
+    EXPECT_EQ(s.coalesced_write_bytes, g.coalesced_write_bytes);
+    EXPECT_EQ(s.scatter_write_bytes, g.scatter_write_bytes);
+    EXPECT_EQ(s.random_transactions, g.random_transactions);
+    EXPECT_EQ(s.random_working_set_bytes, g.random_working_set_bytes);
+    EXPECT_EQ(s.shared_bytes, g.shared_bytes);
+    EXPECT_EQ(s.shared_atomics, g.shared_atomics);
+    EXPECT_EQ(s.device_atomics, g.device_atomics);
+    EXPECT_EQ(s.total_cycles, g.total_cycles);
+    EXPECT_EQ(s.max_block_cycles, g.max_block_cycles);
+    EXPECT_EQ(s.num_blocks, g.num_blocks);
+    EXPECT_DOUBLE_EQ(profile[i].seconds, g.seconds);
+  }
+}
+
+class StatInvarianceTest : public ::testing::Test {
+ protected:
+  StatInvarianceTest()
+      : r_(data::MakeUniqueUniform(100000, 21)),
+        s_(data::MakeUniformProbe(200000, 100000, 22)) {}
+
+  data::Relation r_;
+  data::Relation s_;
+};
+
+TEST_F(StatInvarianceTest, SharedHashJoinAggregate) {
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  gpujoin::PartitionedJoinConfig cfg;
+  cfg.partition.pass_bits = {6, 5};
+  auto st = gpujoin::PartitionedJoinFromHost(&device, r_, s_, cfg);
+  ASSERT_TRUE(st.ok()) << st.status();
+  EXPECT_EQ(st->matches, 200000u);
+  EXPECT_EQ(st->payload_sum, 30006356267ull);
+  EXPECT_DOUBLE_EQ(st->seconds, 0.00012578700876018098);
+  EXPECT_DOUBLE_EQ(st->partition_s, 0.00010094888376018099);
+  EXPECT_DOUBLE_EQ(st->join_s, 2.4838125e-05);
+  ExpectProfileMatches(
+      device,
+      {{"radix_partition_pass1", 800000, 0, 800000, 0, 0, 1651200, 100000,
+        5120, 197680, 4942, 40, 1.4496898793363498e-05},
+       {"radix_partition_pass2", 800000, 0, 800000, 60612, 800000, 1600000,
+        100000, 62660, 201554, 5043, 40, 2.5555766793363497e-05},
+       {"radix_partition_pass1", 1600000, 0, 1600000, 0, 0, 3251200, 200000,
+        5120, 395200, 9880, 40, 2.3340997586726994e-05},
+       {"radix_partition_pass2", 1600000, 0, 1600000, 77307, 1600000,
+        3200000, 200000, 79355, 398993, 9981, 40,
+        3.7555220586726994e-05},
+       {"join_copartitions_hash", 2424576, 0, 0, 4096, 1600000, 11437592,
+        100000, 640, 1249080, 31741, 40, 2.4838125e-05}});
+}
+
+TEST_F(StatInvarianceTest, NestedLoopJoinAggregate) {
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  gpujoin::PartitionedJoinConfig cfg;
+  cfg.partition.pass_bits = {6, 4};
+  cfg.join.algo = gpujoin::ProbeAlgorithm::kNestedLoop;
+  auto st = gpujoin::PartitionedJoinFromHost(&device, r_, s_, cfg);
+  ASSERT_TRUE(st.ok()) << st.status();
+  EXPECT_EQ(st->matches, 200000u);
+  EXPECT_EQ(st->payload_sum, 30006356267ull);
+  EXPECT_DOUBLE_EQ(st->seconds, 0.00011372513476018097);
+  EXPECT_DOUBLE_EQ(st->partition_s, 9.0617009760180975e-05);
+  EXPECT_DOUBLE_EQ(st->join_s, 2.3108124999999998e-05);
+  ExpectProfileMatches(
+      device,
+      {{"radix_partition_pass1", 800000, 0, 800000, 0, 0, 1651200, 100000,
+        5120, 197680, 4942, 40, 1.4496898793363498e-05},
+       {"radix_partition_pass2", 800000, 0, 800000, 40033, 800000, 1600000,
+        100000, 42081, 198994, 4979, 40, 2.1666335793363498e-05},
+       {"radix_partition_pass1", 1600000, 0, 1600000, 0, 0, 3251200, 200000,
+        5120, 395200, 9880, 40, 2.3340997586726994e-05},
+       {"radix_partition_pass2", 1600000, 0, 1600000, 43220, 1600000,
+        3200000, 200000, 45268, 396433, 9917, 40,
+        3.1112777586726992e-05},
+       {"join_copartitions_nl", 2412288, 0, 0, 4096, 1600000, 4253952, 0,
+        640, 1111451, 28973, 40, 2.3108124999999998e-05}});
+}
+
+TEST_F(StatInvarianceTest, DeviceHashJoinMaterialize) {
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  gpujoin::PartitionedJoinConfig cfg;
+  cfg.partition.pass_bits = {5, 4};
+  cfg.join.algo = gpujoin::ProbeAlgorithm::kDeviceHash;
+  cfg.join.output = gpujoin::OutputMode::kMaterialize;
+  auto st = gpujoin::PartitionedJoinFromHost(&device, r_, s_, cfg);
+  ASSERT_TRUE(st.ok()) << st.status();
+  EXPECT_EQ(st->matches, 200000u);
+  EXPECT_EQ(st->payload_sum, 30006356267ull);
+  EXPECT_DOUBLE_EQ(st->seconds, 0.00018746804893966817);
+  EXPECT_DOUBLE_EQ(st->partition_s, 8.2260664760180986e-05);
+  EXPECT_DOUBLE_EQ(st->join_s, 0.00010520738417948717);
+  ExpectProfileMatches(
+      device,
+      {{"radix_partition_pass1", 800000, 0, 800000, 0, 0, 1625600, 100000,
+        2560, 197600, 4940, 40, 1.4170498793363497e-05},
+       {"radix_partition_pass2", 800000, 0, 800000, 21613, 800000, 1600000,
+        100000, 22637, 198226, 4959, 40, 1.8056955793363497e-05},
+       {"radix_partition_pass1", 1600000, 0, 1600000, 0, 0, 3225600, 200000,
+        2560, 395120, 9878, 40, 2.3014597586726997e-05},
+       {"radix_partition_pass2", 1600000, 0, 1600000, 22235, 1600000,
+        3200000, 200000, 23259, 395708, 9898, 40,
+        2.7018612586726995e-05},
+       {"join_copartitions_hash", 2406144, 6594304, 0, 742848, 1600000,
+        3200000, 200000, 101445, 328368, 8380, 40,
+        0.00010520738417948717}});
+}
+
+TEST_F(StatInvarianceTest, PartitionAtATimeSecondPass) {
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  gpujoin::RadixPartitionConfig cfg;
+  cfg.pass_bits = {6, 5};
+  cfg.assignment = gpujoin::WorkAssignment::kPartitionAtATime;
+  auto dev = gpujoin::DeviceRelation::Upload(&device, r_);
+  ASSERT_TRUE(dev.ok());
+  auto parted =
+      gpujoin::RadixPartition(&device, *dev, cfg);
+  ASSERT_TRUE(parted.ok()) << parted.status();
+  EXPECT_EQ(parted->tuples, 100000u);
+  EXPECT_DOUBLE_EQ(parted->seconds, 2.9347077586726996e-05);
+  ExpectProfileMatches(
+      device,
+      {{"radix_partition_pass1", 800000, 0, 800000, 0, 0, 1651200, 100000,
+        5120, 197680, 4942, 40, 1.4496898793363498e-05},
+       {"radix_partition_pass2", 800000, 0, 800000, 2560, 800000, 1640960,
+        100000, 6656, 196626, 6150, 40, 1.4850178793363498e-05}});
+}
+
+TEST_F(StatInvarianceTest, StreamingProbeAggregate) {
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  outofgpu::StreamingProbeConfig cfg;
+  cfg.chunk_tuples = 60000;
+  cfg.join.partition.pass_bits = {6, 5};
+  auto st = outofgpu::StreamingProbeJoin(&device, r_, s_, cfg);
+  ASSERT_TRUE(st.ok()) << st.status();
+  EXPECT_EQ(st->matches, 200000u);
+  EXPECT_EQ(st->payload_sum, 30006356267ull);
+  EXPECT_DOUBLE_EQ(st->seconds, 0.00032944916982386048);
+  EXPECT_DOUBLE_EQ(st->partition_s, 0.00014845304476018099);
+  EXPECT_DOUBLE_EQ(st->join_s, 9.6983750000000001e-05);
+  EXPECT_DOUBLE_EQ(st->transfer_s, 0.00024512195121951217);
+}
+
+TEST_F(StatInvarianceTest, StreamingProbeMaterialize) {
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  outofgpu::StreamingProbeConfig cfg;
+  cfg.chunk_tuples = 60000;
+  cfg.join.partition.pass_bits = {6, 5};
+  cfg.materialize_to_host = true;
+  auto st = outofgpu::StreamingProbeJoin(&device, r_, s_, cfg);
+  ASSERT_TRUE(st.ok()) << st.status();
+  EXPECT_EQ(st->matches, 200000u);
+  EXPECT_EQ(st->payload_sum, 30006356267ull);
+  EXPECT_DOUBLE_EQ(st->seconds, 0.00035910547063171836);
+  EXPECT_DOUBLE_EQ(st->transfer_s, 0.00041520325203252029);
+}
+
+}  // namespace
+}  // namespace gjoin

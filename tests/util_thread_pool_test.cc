@@ -44,14 +44,17 @@ TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
 TEST(ThreadPoolTest, ParallelForRangesCoversExactly) {
   ThreadPool pool(4);
   std::mutex mu;
-  std::vector<std::pair<size_t, size_t>> ranges;
-  pool.ParallelForRanges(103, [&](size_t b, size_t e) {
+  std::vector<std::tuple<size_t, size_t, size_t>> ranges;  // worker, b, e
+  pool.ParallelForRanges(103, [&](size_t w, size_t b, size_t e) {
     std::lock_guard<std::mutex> lock(mu);
-    ranges.emplace_back(b, e);
+    ranges.emplace_back(w, b, e);
   });
+  // Worker indices are dense and ranges are contiguous in worker order.
   std::sort(ranges.begin(), ranges.end());
+  size_t expect_worker = 0;
   size_t expect_begin = 0;
-  for (auto [b, e] : ranges) {
+  for (auto [w, b, e] : ranges) {
+    EXPECT_EQ(w, expect_worker++);
     EXPECT_EQ(b, expect_begin);
     EXPECT_LT(b, e);
     expect_begin = e;
