@@ -12,6 +12,7 @@
 #include "src/cpu/cpu_joins.h"
 #include "src/data/generator.h"
 #include "src/data/oracle.h"
+#include "src/exec/session.h"
 #include "src/gpujoin/nonpartitioned.h"
 #include "src/gpujoin/partitioned_join.h"
 
@@ -116,6 +117,30 @@ void BM_CpuProJoinFunctional(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_CpuProJoinFunctional)->Arg(1 << 18);
+
+void BM_SessionSmallBatch(benchmark::State& state) {
+  // Session-scheduler overhead gate: a 2-query shared-build batch of
+  // small in-GPU joins through exec::Session (planning, upload cache,
+  // graph splice, list scheduling) on top of the functional join work.
+  const size_t n = static_cast<size_t>(state.range(0));
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  const auto r = data::MakeUniqueUniform(n, 11);
+  const auto s1 = data::MakeUniformProbe(n, n, 12);
+  const auto s2 = data::MakeUniformProbe(n, n, 13);
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  for (auto _ : state) {
+    exec::Session session(&device);
+    session.Submit(r, s1, cfg);
+    session.Submit(r, s2, cfg);
+    session.Run().CheckOK();
+    benchmark::DoNotOptimize(session.stats().makespan_s);
+    device.ClearProfile();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 3 *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SessionSmallBatch)->Arg(1 << 16);
 
 }  // namespace
 

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Run every paper-figure bench binary and collect its CSV rows.
+
+Usage:
+  scripts/run_figures.py [--build-dir BUILD] [--out-dir OUT]
+                         [--only REGEX] [--divisor N] [--strict]
+
+Discovers bench binaries from bench/*.cc (fig*, abl_*) and runs the
+same-named executables from --build-dir sequentially (the benches are
+CPU-bound functional simulations; parallel runs just fight for cores and
+garble timing-free output ordering). Per bench, stdout is saved to
+OUT/<name>.txt, the figure,series,x,value rows to OUT/<name>.csv, and
+everything to OUT/all_figures.csv.
+
+Exit status: 1 if any bench exited non-zero (with --strict, benches
+themselves exit non-zero when a shape check fails), else 0.
+"""
+
+import argparse
+import csv
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def discover_benches(only: str) -> list[str]:
+    names = sorted(
+        src.stem
+        for pattern in ("fig*.cc", "abl_*.cc")
+        for src in (REPO_ROOT / "bench").glob(pattern)
+    )
+    if only:
+        names = [n for n in names if re.search(only, n)]
+    return names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory with the bench binaries")
+    parser.add_argument("--out-dir", default="out/figures",
+                        help="where CSV/log outputs are written")
+    parser.add_argument("--only", default="",
+                        help="regex filter on bench names")
+    parser.add_argument("--divisor", type=int, default=0,
+                        help="override every bench's default divisor")
+    parser.add_argument("--strict", action="store_true",
+                        help="pass --strict: a failed shape check fails "
+                             "the bench (and this script)")
+    parser.add_argument("--timeout", type=int, default=3600,
+                        help="per-bench timeout in seconds")
+    args = parser.parse_args()
+
+    build_dir = pathlib.Path(args.build_dir)
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    benches = discover_benches(args.only)
+    if not benches:
+        print("no benches matched", file=sys.stderr)
+        return 1
+
+    all_rows = []
+    failures = []
+    checks_failed = 0
+    for name in benches:
+        binary = build_dir / name
+        if not binary.exists():
+            print(f"SKIP {name}: {binary} not built", file=sys.stderr)
+            failures.append(name)
+            continue
+        cmd = [str(binary)]
+        if args.divisor > 0:
+            cmd.append(f"--divisor={args.divisor}")
+        if args.strict:
+            cmd.append("--strict")
+        print(f"RUN  {' '.join(cmd)}", flush=True)
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=args.timeout)
+        except subprocess.TimeoutExpired as timeout:
+            # Keep whatever the bench printed before hanging — that is
+            # exactly the log one needs to debug it. (TimeoutExpired
+            # carries bytes even in text mode on some Python versions.)
+            def as_text(v):
+                return v.decode(errors="replace") if isinstance(v, bytes) \
+                    else (v or "")
+            (out_dir / f"{name}.txt").write_text(
+                as_text(timeout.stdout) + as_text(timeout.stderr) +
+                f"\nFAIL: timeout after {args.timeout}s\n")
+            print(f"FAIL {name}: timeout after {args.timeout}s",
+                  file=sys.stderr)
+            failures.append(name)
+            continue
+        (out_dir / f"{name}.txt").write_text(proc.stdout + proc.stderr)
+
+        rows = []
+        for line in proc.stdout.splitlines():
+            if line.startswith("#"):
+                continue
+            if line.startswith("CHECK "):
+                if line.rstrip().endswith(": FAIL"):
+                    checks_failed += 1
+                    print(f"  {line}", flush=True)
+                continue
+            parts = line.split(",")
+            if len(parts) >= 4:
+                rows.append(parts)
+        with open(out_dir / f"{name}.csv", "w", newline="") as f:
+            csv.writer(f).writerows(rows)
+        all_rows.extend(rows)
+
+        if proc.returncode != 0:
+            print(f"FAIL {name}: exit {proc.returncode}", file=sys.stderr)
+            failures.append(name)
+        else:
+            print(f"OK   {name}: {len(rows)} rows", flush=True)
+
+    with open(out_dir / "all_figures.csv", "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["figure", "series", "x", "value"])
+        writer.writerows(all_rows)
+
+    print(f"\n{len(benches) - len(failures)}/{len(benches)} benches ok, "
+          f"{len(all_rows)} rows, {checks_failed} shape-check failures "
+          f"-> {out_dir}/all_figures.csv")
+    if failures:
+        print("failed: " + ", ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

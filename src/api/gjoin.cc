@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
 
-#include "src/hw/pcie.h"
+#include "src/exec/session.h"
 
 namespace gjoin::api {
 
@@ -17,6 +18,11 @@ constexpr double kInGpuHeadroom = 2.6;
 constexpr double kStreamingHeadroom = 2.8;
 
 }  // namespace
+
+int DefaultCpuThreads() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return static_cast<int>(std::max(1u, std::min(16u, hardware)));
+}
 
 const char* StrategyName(Strategy strategy) {
   switch (strategy) {
@@ -71,62 +77,12 @@ util::Result<JoinOutcome> Join(sim::Device* device,
                                const data::Relation& build,
                                const data::Relation& probe,
                                const JoinConfig& config) {
-  Strategy strategy = config.strategy;
-  if (strategy == Strategy::kAuto) {
-    strategy = ChooseStrategy(*device, build.bytes(), probe.bytes());
-  }
-
-  JoinOutcome outcome;
-  outcome.strategy = strategy;
-
-  gjoin::gpujoin::PartitionedJoinConfig join_cfg;
-  join_cfg.partition.pass_bits = config.pass_bits;
-  join_cfg.join.algo = config.probe_algorithm;
-
-  switch (strategy) {
-    case Strategy::kInGpu: {
-      join_cfg.join.output = config.materialize
-                                 ? gjoin::gpujoin::OutputMode::kMaterialize
-                                 : gjoin::gpujoin::OutputMode::kAggregate;
-      GJOIN_ASSIGN_OR_RETURN(
-          gjoin::gpujoin::DeviceRelation r_dev,
-          gjoin::gpujoin::DeviceRelation::Upload(device, build));
-      GJOIN_ASSIGN_OR_RETURN(
-          gjoin::gpujoin::DeviceRelation s_dev,
-          gjoin::gpujoin::DeviceRelation::Upload(device, probe));
-      GJOIN_ASSIGN_OR_RETURN(
-          outcome.stats,
-          gjoin::gpujoin::PartitionedJoin(device, r_dev, s_dev, join_cfg));
-      // Account the one-time input transfer (the paper's in-GPU numbers
-      // assume resident data; Join() reports end-to-end).
-      const hw::PcieModel pcie(device->spec().pcie);
-      outcome.stats.transfer_s =
-          pcie.DmaSeconds(build.bytes()) + pcie.DmaSeconds(probe.bytes());
-      break;
-    }
-    case Strategy::kStreamingProbe: {
-      outofgpu::StreamingProbeConfig stream_cfg;
-      stream_cfg.join = join_cfg;
-      stream_cfg.materialize_to_host = config.materialize;
-      GJOIN_ASSIGN_OR_RETURN(
-          outcome.stats,
-          outofgpu::StreamingProbeJoin(device, build, probe, stream_cfg));
-      break;
-    }
-    case Strategy::kCoProcessing: {
-      outofgpu::CoProcessConfig co_cfg;
-      co_cfg.join = join_cfg;
-      co_cfg.cpu.threads = config.cpu_threads;
-      co_cfg.materialize_to_host = config.materialize;
-      GJOIN_ASSIGN_OR_RETURN(
-          outcome.stats,
-          outofgpu::CoProcessJoin(device, build, probe, co_cfg));
-      break;
-    }
-    case Strategy::kAuto:
-      return util::Status::Internal("unresolved auto strategy");
-  }
-  return outcome;
+  // One execution path: a standalone join is a 1-query session (strategy
+  // selection, upload accounting and timing all live in exec::Session).
+  exec::Session session(device);
+  const exec::QueryHandle handle = session.Submit(build, probe, config);
+  GJOIN_RETURN_NOT_OK(session.Run());
+  return session.result(handle).outcome;
 }
 
 }  // namespace gjoin::api

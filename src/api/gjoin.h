@@ -47,6 +47,14 @@ enum class Strategy {
 /// Human-readable strategy name.
 const char* StrategyName(Strategy strategy);
 
+/// Default CPU thread count for the co-processing partitioning phase:
+/// the paper testbed's 16, clamped to this host's
+/// std::thread::hardware_concurrency() (never below 1). The clamp keeps
+/// default functional runs sane on small hosts — 16 modeled partitioning
+/// threads multiplexed onto one core would claim parallel-speedup
+/// seconds the host can't check.
+int DefaultCpuThreads();
+
 /// \brief Top-level join configuration.
 struct JoinConfig {
   Strategy strategy = Strategy::kAuto;
@@ -55,8 +63,13 @@ struct JoinConfig {
   /// strategies); false computes an aggregate over the payloads.
   bool materialize = false;
 
-  /// CPU threads for the co-processing partitioning phase.
-  int cpu_threads = 16;
+  /// CPU threads for the co-processing partitioning phase. This is a
+  /// *modeled* resource: it sets the partitioning/staging rates the cost
+  /// model charges, so two hosts get identical modeled seconds for the
+  /// same value. The default is DefaultCpuThreads() (paper value 16,
+  /// clamped to the host's concurrency) — set it explicitly when
+  /// reproducing paper numbers on a small machine.
+  int cpu_threads = DefaultCpuThreads();
 
   /// GPU partitioning layout (paper default: 2 passes to 2^15).
   std::vector<int> pass_bits = {8, 7};

@@ -1,0 +1,44 @@
+#include "src/exec/query_graph.h"
+
+#include <algorithm>
+
+namespace gjoin::exec {
+
+std::vector<NodeId> QueryGraph::Append(
+    int query, const sim::Timeline& solo,
+    const std::map<sim::OpId, NodeId>& alias) {
+  const std::vector<sim::Op>& ops = solo.ops();
+  std::vector<NodeId> mapping(ops.size(), -1);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const auto aliased = alias.find(static_cast<sim::OpId>(i));
+    if (aliased != alias.end()) {
+      mapping[i] = aliased->second;
+      continue;
+    }
+    QueryNode node;
+    node.query = query;
+    node.lane = ops[i].lane;
+    node.duration_s = ops[i].duration_s;
+    // Built with append (not operator+) to dodge GCC 12's -Wrestrict
+    // false positive on char* + std::string&& chains.
+    node.label = "q";
+    node.label += std::to_string(query);
+    node.label += ':';
+    node.label += ops[i].label;
+    node.deps.reserve(ops[i].deps.size());
+    for (sim::OpId dep : ops[i].deps) {
+      const NodeId mapped = mapping[static_cast<size_t>(dep)];
+      // Aliased deps can collapse onto the same producer node; keep the
+      // dep list duplicate-free.
+      if (std::find(node.deps.begin(), node.deps.end(), mapped) ==
+          node.deps.end()) {
+        node.deps.push_back(mapped);
+      }
+    }
+    nodes_.push_back(std::move(node));
+    mapping[i] = static_cast<NodeId>(nodes_.size()) - 1;
+  }
+  return mapping;
+}
+
+}  // namespace gjoin::exec

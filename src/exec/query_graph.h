@@ -1,0 +1,56 @@
+// The merged operation DAG of one exec::Session batch.
+//
+// Every query's strategy implementation yields a *solo* sim::Timeline —
+// the op DAG a standalone gjoin::Join would have timed (its makespan is
+// the query's independent execution time). The QueryGraph splices those
+// solo DAGs into one batch-wide DAG over the device's resource lanes:
+// ops whose work an earlier query already charged (a shared relation
+// upload, a shared partitioned build) are *aliased* to the producing
+// query's nodes instead of being duplicated, and everything downstream
+// re-targets its dependencies accordingly. The scheduler then orders the
+// merged DAG onto the shared engine lanes, which is where cross-query
+// transfer/compute overlap comes from.
+
+#ifndef GJOIN_EXEC_QUERY_GRAPH_H_
+#define GJOIN_EXEC_QUERY_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/timeline.h"
+
+namespace gjoin::exec {
+
+/// Index of a node in a QueryGraph.
+using NodeId = int;
+
+/// \brief One operation of the merged batch DAG.
+struct QueryNode {
+  int query = -1;  ///< Submitting query (index in the session).
+  sim::LaneId lane = 0;
+  double duration_s = 0;
+  std::vector<NodeId> deps;
+  std::string label;
+};
+
+/// \brief Merged multi-query op DAG.
+class QueryGraph {
+ public:
+  /// Splices `solo`'s ops in for query `query`. Ops listed in `alias`
+  /// map to existing nodes (the artifact's producer) instead of creating
+  /// new ones; dependencies of the remaining ops are re-targeted through
+  /// the mapping. Returns the local-OpId -> NodeId mapping.
+  std::vector<NodeId> Append(int query, const sim::Timeline& solo,
+                             const std::map<sim::OpId, NodeId>& alias = {});
+
+  const std::vector<QueryNode>& nodes() const { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<QueryNode> nodes_;
+};
+
+}  // namespace gjoin::exec
+
+#endif  // GJOIN_EXEC_QUERY_GRAPH_H_

@@ -1,0 +1,106 @@
+#include "src/exec/scheduler.h"
+
+#include <algorithm>
+#include <string>
+
+namespace gjoin::exec {
+
+util::Result<ScheduledBatch> ScheduleBatch(const QueryGraph& graph,
+                                           int num_queries) {
+  const std::vector<QueryNode>& nodes = graph.nodes();
+  const size_t n = nodes.size();
+  ScheduledBatch batch;
+  batch.node_to_op.assign(n, -1);
+  batch.query_finish_s.assign(static_cast<size_t>(std::max(num_queries, 0)),
+                              0.0);
+
+  // Validate and index the DAG. Nodes are appended in dependency order
+  // (QueryGraph::Append only links backwards), so deps must precede.
+  std::vector<int> pending(n, 0);
+  std::vector<std::vector<NodeId>> dependents(n);
+  int max_lane = sim::kNumEngines - 1;
+  for (size_t i = 0; i < n; ++i) {
+    max_lane = std::max(max_lane, nodes[i].lane);
+    for (NodeId dep : nodes[i].deps) {
+      if (dep < 0 || static_cast<size_t>(dep) >= i) {
+        return util::Status::Invalid(
+            "query-graph node " + std::to_string(i) +
+            " depends on invalid or later node " + std::to_string(dep));
+      }
+      ++pending[i];
+      dependents[static_cast<size_t>(dep)].push_back(static_cast<NodeId>(i));
+    }
+  }
+  for (int lane = sim::kNumEngines; lane <= max_lane; ++lane) {
+    batch.timeline.AddLane("lane" + std::to_string(lane));
+  }
+
+  // Greedy list scheduling: issue the ready op with the earliest
+  // feasible start; ties resolve to the lowest node id (submit order,
+  // then program order — which makes a 1-query batch reproduce its solo
+  // issue order exactly).
+  std::vector<double> lane_free(static_cast<size_t>(max_lane) + 1, 0.0);
+  std::vector<double> finish(n, 0.0);
+  std::vector<NodeId> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (pending[i] == 0) ready.push_back(static_cast<NodeId>(i));
+  }
+
+  size_t scheduled = 0;
+  while (scheduled < n) {
+    if (ready.empty()) {
+      return util::Status::Invalid("query graph has a dependency cycle");
+    }
+    size_t best_pos = 0;
+    double best_start = 0.0;
+    for (size_t pos = 0; pos < ready.size(); ++pos) {
+      const QueryNode& node = nodes[static_cast<size_t>(ready[pos])];
+      double start = lane_free[static_cast<size_t>(node.lane)];
+      for (NodeId dep : node.deps) {
+        start = std::max(start, finish[static_cast<size_t>(dep)]);
+      }
+      if (pos == 0 || start < best_start ||
+          (start == best_start && ready[pos] < ready[best_pos])) {
+        best_pos = pos;
+        best_start = start;
+      }
+    }
+    const NodeId id = ready[best_pos];
+    ready.erase(ready.begin() + static_cast<ptrdiff_t>(best_pos));
+    const QueryNode& node = nodes[static_cast<size_t>(id)];
+
+    std::vector<sim::OpId> dep_ops;
+    dep_ops.reserve(node.deps.size());
+    for (NodeId dep : node.deps) {
+      dep_ops.push_back(batch.node_to_op[static_cast<size_t>(dep)]);
+    }
+    batch.node_to_op[static_cast<size_t>(id)] = batch.timeline.Add(
+        node.lane, node.duration_s, std::move(dep_ops), node.label);
+    finish[static_cast<size_t>(id)] = best_start + node.duration_s;
+    lane_free[static_cast<size_t>(node.lane)] =
+        finish[static_cast<size_t>(id)];
+    ++scheduled;
+
+    for (NodeId dependent : dependents[static_cast<size_t>(id)]) {
+      if (--pending[static_cast<size_t>(dependent)] == 0) {
+        ready.push_back(dependent);
+      }
+    }
+  }
+
+  // The timeline's own evaluation is authoritative (and, in issue order,
+  // reproduces the greedy starts bit-for-bit).
+  GJOIN_ASSIGN_OR_RETURN(batch.schedule, batch.timeline.Run());
+  for (size_t i = 0; i < n; ++i) {
+    const int q = nodes[i].query;
+    if (q >= 0 && static_cast<size_t>(q) < batch.query_finish_s.size()) {
+      const sim::OpId op = batch.node_to_op[i];
+      batch.query_finish_s[static_cast<size_t>(q)] =
+          std::max(batch.query_finish_s[static_cast<size_t>(q)],
+                   batch.schedule.finish_s[static_cast<size_t>(op)]);
+    }
+  }
+  return batch;
+}
+
+}  // namespace gjoin::exec

@@ -1,0 +1,43 @@
+// List scheduler that orders a merged QueryGraph onto one shared device
+// timeline.
+//
+// sim::Timeline serializes each lane in *issue order*, exactly like CUDA
+// stream queues — so for a batch of queries, the issue order IS the
+// schedule. The scheduler picks it greedily: repeatedly issue, among the
+// ops whose dependencies have been issued, the one that can start
+// earliest (ties: lowest node id, i.e. submit order then program order).
+// One query's PCIe transfers therefore slot into another query's kernel
+// time and vice versa — the cross-query generalization of the paper's
+// Figure 2-4 overlap. For a single query the tie-break reproduces the
+// solo program order, so the shared timeline's makespan is bit-identical
+// to the standalone strategy's.
+
+#ifndef GJOIN_EXEC_SCHEDULER_H_
+#define GJOIN_EXEC_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/exec/query_graph.h"
+#include "src/sim/timeline.h"
+#include "src/util/status.h"
+
+namespace gjoin::exec {
+
+/// \brief A scheduled batch: the merged timeline and its evaluation.
+struct ScheduledBatch {
+  sim::Timeline timeline;        ///< Merged ops, in issue order.
+  sim::Schedule schedule;        ///< timeline.Run() result.
+  std::vector<sim::OpId> node_to_op;  ///< NodeId -> OpId in `timeline`.
+  /// Completion time of each query (max finish over its own + aliased
+  /// ops), indexed by query id; size = num_queries.
+  std::vector<double> query_finish_s;
+};
+
+/// Greedily schedules `graph` (see file comment). `num_queries` sizes
+/// query_finish_s. Returns Invalid on malformed graphs (dangling deps).
+util::Result<ScheduledBatch> ScheduleBatch(const QueryGraph& graph,
+                                           int num_queries);
+
+}  // namespace gjoin::exec
+
+#endif  // GJOIN_EXEC_SCHEDULER_H_

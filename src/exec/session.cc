@@ -1,0 +1,307 @@
+#include "src/exec/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/gpujoin/join_copartitions.h"
+#include "src/gpujoin/output_ring.h"
+#include "src/hw/pcie.h"
+#include "src/outofgpu/coprocess.h"
+#include "src/outofgpu/streaming_probe.h"
+
+namespace gjoin::exec {
+
+using gjoin::gpujoin::DeviceRelation;
+using gjoin::gpujoin::JoinStats;
+using gjoin::gpujoin::OutputMode;
+using gjoin::gpujoin::PartitionedJoinConfig;
+using gjoin::gpujoin::PartitionedRelation;
+using gjoin::gpujoin::PreparedBuild;
+
+namespace {
+
+/// The strategy-independent join configuration a standalone gjoin::Join
+/// derives from the API config.
+PartitionedJoinConfig MakeJoinConfig(const api::JoinConfig& config) {
+  PartitionedJoinConfig join_cfg;
+  join_cfg.partition.pass_bits = config.pass_bits;
+  join_cfg.join.algo = config.probe_algorithm;
+  return join_cfg;
+}
+
+}  // namespace
+
+Session::Session(sim::Device* device, SessionConfig config)
+    : device_(device),
+      config_(config),
+      cache_(config.cache_budget_bytes != 0
+                 ? config.cache_budget_bytes
+                 : static_cast<uint64_t>(device->memory().capacity()) / 2) {}
+
+QueryHandle Session::Submit(const data::Relation& build,
+                            const data::Relation& probe,
+                            const api::JoinConfig& config) {
+  Query query;
+  query.build = &build;
+  query.probe = &probe;
+  query.config = config;
+  queries_.push_back(query);
+  return static_cast<QueryHandle>(queries_.size()) - 1;
+}
+
+util::Status Session::Run() {
+  if (ran_) {
+    return util::Status::Internal("Session::Run called twice");
+  }
+  ran_ = true;
+
+  // ---- Plan: resolve strategies, declare shared-artifact demand ----
+  for (Query& query : queries_) {
+    query.strategy = query.config.strategy;
+    if (query.strategy == api::Strategy::kAuto) {
+      query.strategy = api::ChooseStrategy(*device_, query.build->bytes(),
+                                           query.probe->bytes());
+    }
+    const PartitionedJoinConfig join_cfg = MakeJoinConfig(query.config);
+    switch (query.strategy) {
+      case api::Strategy::kInGpu:
+        cache_.AddDemand(
+            UploadCache::BuildKey(*query.build, join_cfg.partition));
+        cache_.AddDemand(UploadCache::UploadKey(*query.probe));
+        break;
+      case api::Strategy::kStreamingProbe:
+        if (!query.build->empty()) {
+          cache_.AddDemand(
+              UploadCache::BuildKey(*query.build, join_cfg.partition));
+        }
+        break;
+      case api::Strategy::kCoProcessing:
+        break;  // Host-resident pipeline; no device artifacts to share.
+      case api::Strategy::kAuto:
+        return util::Status::Internal("unresolved auto strategy");
+    }
+  }
+
+  // ---- Execute: functional runs + solo DAGs spliced into the batch ----
+  QueryGraph graph;
+  results_.assign(queries_.size(), QueryResult());
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    GJOIN_RETURN_NOT_OK(
+        ExecuteQuery(static_cast<int>(q), &graph, &results_[q]));
+  }
+
+  // ---- Schedule the merged DAG on the shared device timeline ----
+  GJOIN_ASSIGN_OR_RETURN(
+      ScheduledBatch batch,
+      ScheduleBatch(graph, static_cast<int>(queries_.size())));
+  stats_.makespan_s = batch.schedule.makespan_s;
+  stats_.independent_s = 0;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    results_[q].finish_s = batch.query_finish_s[q];
+    stats_.independent_s += results_[q].solo_seconds;
+  }
+  stats_.speedup = stats_.makespan_s > 0
+                       ? stats_.independent_s / stats_.makespan_s
+                       : 1.0;
+  stats_.schedule = std::move(batch.schedule);
+  stats_.cache = cache_.stats();
+  return util::Status::OK();
+}
+
+util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
+                                   QueryResult* result) {
+  const Query& query = queries_[static_cast<size_t>(index)];
+  const data::Relation& build = *query.build;
+  const data::Relation& probe = *query.probe;
+  result->outcome.strategy = query.strategy;
+  JoinStats& stats = result->outcome.stats;
+
+  const hw::PcieModel pcie(device_->spec().pcie);
+  PartitionedJoinConfig join_cfg = MakeJoinConfig(query.config);
+
+  sim::Timeline solo;
+  std::map<sim::OpId, NodeId> alias;
+  // Artifact ops of this query's solo DAG, registered as producers when
+  // this query materialized the artifact into the cache.
+  std::vector<std::pair<std::string, std::vector<sim::OpId>>> produced;
+
+  switch (query.strategy) {
+    case api::Strategy::kInGpu: {
+      PartitionedJoinConfig cfg = join_cfg;
+      cfg.join.output = query.config.materialize ? OutputMode::kMaterialize
+                                                 : OutputMode::kAggregate;
+
+      // Build side: one partitioned form serves every probe against it.
+      const std::string build_key =
+          UploadCache::BuildKey(build, cfg.partition);
+      PreparedBuild local_build;
+      const PreparedBuild* prepared = cache_.AcquireBuild(build_key);
+      const bool build_shared = prepared != nullptr;
+      if (build_shared) {
+        ++stats_.shared_build_hits;
+      } else {
+        const uint64_t before = device_->memory().used();
+        GJOIN_ASSIGN_OR_RETURN(
+            local_build,
+            gjoin::gpujoin::PreparePartitionedBuild(device_, build, cfg));
+        const uint64_t bytes = device_->memory().used() - before;
+        prepared = cache_.InsertBuild(build_key, &local_build, bytes);
+        if (prepared == nullptr) prepared = &local_build;  // uncached
+      }
+      if (cfg.join.key_bits == 0) cfg.join.key_bits = prepared->key_bits;
+
+      // Probe side: deduplicated raw upload, partitioned per query.
+      const std::string probe_key = UploadCache::UploadKey(probe);
+      DeviceRelation local_probe;
+      const DeviceRelation* s_dev = cache_.AcquireUpload(probe_key);
+      const bool probe_shared = s_dev != nullptr;
+      if (probe_shared) {
+        ++stats_.shared_upload_hits;
+      } else {
+        const uint64_t before = device_->memory().used();
+        GJOIN_ASSIGN_OR_RETURN(local_probe,
+                               DeviceRelation::Upload(device_, probe));
+        const uint64_t bytes = device_->memory().used() - before;
+        s_dev = cache_.InsertUpload(probe_key, &local_probe, bytes);
+        if (s_dev == nullptr) s_dev = &local_probe;  // uncached
+      }
+
+      GJOIN_ASSIGN_OR_RETURN(
+          PartitionedRelation s_parted,
+          gjoin::gpujoin::RadixPartition(device_, *s_dev, cfg.partition));
+
+      gjoin::gpujoin::OutputRing ring;
+      gjoin::gpujoin::OutputRing* ring_ptr = nullptr;
+      if (cfg.join.output == OutputMode::kMaterialize) {
+        const size_t capacity =
+            cfg.out_capacity != 0 ? cfg.out_capacity
+                                  : std::max<size_t>(probe.size(), 1);
+        GJOIN_ASSIGN_OR_RETURN(
+            ring, gjoin::gpujoin::OutputRing::Allocate(&device_->memory(),
+                                                       capacity));
+        ring_ptr = &ring;
+      }
+      GJOIN_ASSIGN_OR_RETURN(
+          gjoin::gpujoin::CoPartitionJoinResult join_result,
+          gjoin::gpujoin::JoinCoPartitions(device_, prepared->parted,
+                                           s_parted, cfg.join, ring_ptr));
+
+      stats.matches = join_result.matches;
+      stats.payload_sum = join_result.payload_sum;
+      stats.partition_s = prepared->parted.seconds + s_parted.seconds;
+      stats.join_s = join_result.seconds;
+      stats.seconds = stats.partition_s + stats.join_s;
+      // The one-time input transfer (the paper's in-GPU numbers assume
+      // resident data; end-to-end reporting charges it separately).
+      stats.transfer_s =
+          pcie.DmaSeconds(build.bytes()) + pcie.DmaSeconds(probe.bytes());
+
+      // Solo op DAG: uploads on the H2D engine, partition + join on the
+      // compute engine.
+      const sim::OpId h2d_r = solo.Add(
+          sim::Engine::kCopyH2D, pcie.DmaSeconds(build.bytes()), {}, "h2d:R");
+      const sim::OpId part_r =
+          solo.Add(sim::Engine::kComputeGpu, prepared->parted.seconds,
+                   {h2d_r}, "part:R");
+      const sim::OpId h2d_s = solo.Add(
+          sim::Engine::kCopyH2D, pcie.DmaSeconds(probe.bytes()), {}, "h2d:S");
+      const sim::OpId part_s = solo.Add(
+          sim::Engine::kComputeGpu, s_parted.seconds, {h2d_s}, "part:S");
+      solo.Add(sim::Engine::kComputeGpu, join_result.seconds,
+               {part_r, part_s}, "join");
+
+      if (build_shared) {
+        alias[h2d_r] = artifact_nodes_[build_key][0];
+        alias[part_r] = artifact_nodes_[build_key][1];
+      } else if (cache_.Contains(build_key)) {
+        produced.push_back({build_key, {h2d_r, part_r}});
+      }
+      if (probe_shared) {
+        alias[h2d_s] = artifact_nodes_[probe_key][0];
+      } else if (cache_.Contains(probe_key)) {
+        produced.push_back({probe_key, {h2d_s}});
+      }
+      cache_.Release(build_key);
+      cache_.Release(probe_key);
+      break;
+    }
+
+    case api::Strategy::kStreamingProbe: {
+      outofgpu::StreamingProbeConfig stream_cfg;
+      stream_cfg.join = join_cfg;
+      stream_cfg.materialize_to_host = query.config.materialize;
+
+      PreparedBuild local_build;
+      const PreparedBuild* prepared = nullptr;
+      std::string build_key;
+      bool build_shared = false;
+      if (!build.empty()) {
+        build_key = UploadCache::BuildKey(build, stream_cfg.join.partition);
+        prepared = cache_.AcquireBuild(build_key);
+        build_shared = prepared != nullptr;
+        if (build_shared) {
+          ++stats_.shared_build_hits;
+        } else {
+          const uint64_t before = device_->memory().used();
+          GJOIN_ASSIGN_OR_RETURN(local_build,
+                                 gjoin::gpujoin::PreparePartitionedBuild(
+                                     device_, build, stream_cfg.join));
+          const uint64_t bytes = device_->memory().used() - before;
+          prepared = cache_.InsertBuild(build_key, &local_build, bytes);
+          if (prepared == nullptr) prepared = &local_build;  // uncached
+        }
+      }
+
+      GJOIN_ASSIGN_OR_RETURN(
+          outofgpu::StreamingProbeRun run,
+          outofgpu::StreamingProbeExecute(device_, build, probe, stream_cfg,
+                                          prepared));
+      stats = run.stats;
+      solo = std::move(run.timeline);
+      if (build_shared) {
+        alias[run.build_h2d] = artifact_nodes_[build_key][0];
+        alias[run.build_part] = artifact_nodes_[build_key][1];
+      } else if (!build_key.empty() && cache_.Contains(build_key)) {
+        produced.push_back({build_key, {run.build_h2d, run.build_part}});
+      }
+      if (!build_key.empty()) cache_.Release(build_key);
+      break;
+    }
+
+    case api::Strategy::kCoProcessing: {
+      outofgpu::CoProcessConfig co_cfg;
+      co_cfg.join = join_cfg;
+      co_cfg.cpu.threads = query.config.cpu_threads;
+      co_cfg.materialize_to_host = query.config.materialize;
+      GJOIN_ASSIGN_OR_RETURN(
+          outofgpu::CoProcessPlan plan,
+          outofgpu::PlanCoProcessJoin(device_, build, probe, co_cfg));
+      GJOIN_ASSIGN_OR_RETURN(
+          outofgpu::CoProcessRun run,
+          outofgpu::CoProcessExecutePlanned(device_, plan, co_cfg));
+      stats = run.stats;
+      solo = std::move(run.timeline);
+      break;
+    }
+
+    case api::Strategy::kAuto:
+      return util::Status::Internal("unresolved auto strategy");
+  }
+
+  // Solo end-to-end seconds: what this query would take alone.
+  GJOIN_ASSIGN_OR_RETURN(sim::Schedule solo_schedule, solo.Run());
+  result->solo_seconds = solo_schedule.makespan_s;
+
+  // Splice into the batch DAG; register freshly-produced artifacts.
+  const std::vector<NodeId> mapping = graph->Append(index, solo, alias);
+  for (auto& [key, ops] : produced) {
+    std::vector<NodeId>& nodes = artifact_nodes_[key];
+    nodes.clear();
+    for (sim::OpId op : ops) {
+      nodes.push_back(mapping[static_cast<size_t>(op)]);
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace gjoin::exec

@@ -1,0 +1,142 @@
+// Multi-query session scheduler: the execution layer between the
+// gjoin::Join API and the strategy implementations.
+//
+// A Session accepts many enqueued join requests, plans them as one
+// batch, and executes them on a single simulated device timeline:
+//
+//   1. per query, the strategy is chosen from data placement exactly as
+//      a standalone gjoin::Join chooses it (in-GPU / streaming-probe /
+//      co-processing);
+//   2. device uploads of relations shared between queries are
+//      deduplicated through a refcounted, device-memory-budgeted
+//      UploadCache, and all probes against a common build side reuse
+//      one partitioned build (PreparePartitionedBuild);
+//   3. every query's solo op DAG is spliced into one QueryGraph and
+//      list-scheduled onto the shared engine lanes, so one query's PCIe
+//      transfers overlap another query's kernel time — the cross-query
+//      generalization of the paper's Figure 2-4 intra-query overlap.
+//
+// Per-query results are bit-identical to what a standalone gjoin::Join
+// would have returned (partitioning and probing are deterministic, and
+// a query's solo DAG is evaluated for its own stats even when the
+// shared timeline charges deduplicated work only once); the batch-level
+// win shows up in SessionStats: makespan_s vs the sum of independent
+// execution times. gjoin::Join itself runs as a 1-query session, so
+// there is exactly one execution path.
+//
+// Usage:
+//
+//   gjoin::exec::Session session(&device);
+//   auto q0 = session.Submit(orders, lineitem, config);
+//   auto q1 = session.Submit(orders, returns, config);   // shares build
+//   GJOIN_RETURN_NOT_OK(session.Run());
+//   session.result(q0).outcome.stats;    // == gjoin::Join(...)
+//   session.stats().speedup;             // batch vs independent runs
+
+#ifndef GJOIN_EXEC_SESSION_H_
+#define GJOIN_EXEC_SESSION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/api/gjoin.h"
+#include "src/exec/query_graph.h"
+#include "src/exec/scheduler.h"
+#include "src/exec/upload_cache.h"
+#include "src/sim/device.h"
+#include "src/util/status.h"
+
+namespace gjoin::exec {
+
+/// Identifier of a submitted query within its Session.
+using QueryHandle = int;
+
+/// \brief Session-level configuration.
+struct SessionConfig {
+  /// Device-memory budget for shared artifacts (raw uploads + prepared
+  /// builds). 0 = half of the device's memory; the other half stays
+  /// available for per-query working state.
+  uint64_t cache_budget_bytes = 0;
+};
+
+/// \brief Outcome of one query of a batch.
+struct QueryResult {
+  /// Stats + strategy, bit-identical to a standalone gjoin::Join.
+  api::JoinOutcome outcome;
+  /// Modeled end-to-end seconds had the query run alone (its solo op
+  /// DAG's makespan, including input transfers).
+  double solo_seconds = 0;
+  /// Completion time of the query within the shared batch timeline.
+  double finish_s = 0;
+};
+
+/// \brief Batch-level outcome.
+struct SessionStats {
+  double makespan_s = 0;     ///< Shared-timeline end-to-end seconds.
+  double independent_s = 0;  ///< Sum of the queries' solo makespans.
+  /// independent_s / makespan_s (1.0 for a 1-query session by
+  /// construction; > 1 from sharing and cross-query overlap).
+  double speedup = 0;
+  size_t shared_build_hits = 0;   ///< Probes that reused a partitioned build.
+  size_t shared_upload_hits = 0;  ///< Deduplicated relation uploads.
+  sim::Schedule schedule;         ///< Merged schedule (utilization etc.).
+  UploadCacheStats cache;         ///< Artifact-cache counters.
+};
+
+/// \brief A batch of join queries executed on one device timeline.
+class Session {
+ public:
+  explicit Session(sim::Device* device, SessionConfig config = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Enqueues a join of `build` and `probe` (host-resident; both must
+  /// outlive Run — relation identity, for upload sharing, is the
+  /// Relation object itself). Returns the query's handle.
+  QueryHandle Submit(const data::Relation& build, const data::Relation& probe,
+                     const api::JoinConfig& config = {});
+
+  /// Plans and executes every submitted query. Call once.
+  util::Status Run();
+
+  /// Number of submitted queries.
+  size_t size() const { return queries_.size(); }
+
+  /// Result of query `handle`; valid after Run() succeeded.
+  const QueryResult& result(QueryHandle handle) const {
+    return results_[static_cast<size_t>(handle)];
+  }
+
+  /// Batch statistics; valid after Run() succeeded.
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  struct Query {
+    const data::Relation* build;
+    const data::Relation* probe;
+    api::JoinConfig config;
+    api::Strategy strategy = api::Strategy::kAuto;  ///< Resolved in Run.
+  };
+
+  /// Executes query `index` functionally, filling `result` and
+  /// splicing its solo DAG into `graph`.
+  util::Status ExecuteQuery(int index, QueryGraph* graph,
+                            QueryResult* result);
+
+  sim::Device* device_;
+  SessionConfig config_;
+  UploadCache cache_;
+  std::vector<Query> queries_;
+  std::vector<QueryResult> results_;
+  SessionStats stats_;
+  bool ran_ = false;
+
+  /// key -> node ids of the resident artifact's producer ops.
+  std::map<std::string, std::vector<NodeId>> artifact_nodes_;
+};
+
+}  // namespace gjoin::exec
+
+#endif  // GJOIN_EXEC_SESSION_H_

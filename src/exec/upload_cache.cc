@@ -1,0 +1,150 @@
+#include "src/exec/upload_cache.h"
+
+#include <sstream>
+#include <vector>
+
+namespace gjoin::exec {
+
+std::string UploadCache::UploadKey(const data::Relation& rel) {
+  std::ostringstream os;
+  os << "up:" << static_cast<const void*>(&rel) << ":n=" << rel.size();
+  return os.str();
+}
+
+std::string UploadCache::BuildKey(
+    const data::Relation& rel,
+    const gpujoin::RadixPartitionConfig& partition) {
+  std::ostringstream os;
+  os << "pb:" << static_cast<const void*>(&rel) << ":n=" << rel.size()
+     << ":bits=";
+  for (int b : partition.pass_bits) os << b << ".";
+  os << ":shift=" << partition.base_shift
+     << ":cap=" << partition.bucket_capacity
+     << ":tpb=" << partition.threads_per_block
+     << ":grid=" << partition.num_blocks
+     << ":assign=" << static_cast<int>(partition.assignment)
+     << ":stage=" << partition.stage_elems;
+  return os.str();
+}
+
+void UploadCache::AddDemand(const std::string& key) { ++demand_[key]; }
+
+int UploadCache::DemandOf(const std::string& key) const {
+  auto it = demand_.find(key);
+  return it != demand_.end() ? it->second : 0;
+}
+
+UploadCache::Entry* UploadCache::Lookup(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  Entry& entry = it->second;
+  ++stats_.hits;
+  ++entry.in_use;
+  entry.last_use = ++use_clock_;
+  if (entry.future_uses > 0) --entry.future_uses;
+  auto demand = demand_.find(key);
+  if (demand != demand_.end() && demand->second > 0) --demand->second;
+  return &entry;
+}
+
+const gjoin::gpujoin::DeviceRelation* UploadCache::AcquireUpload(
+    const std::string& key) {
+  Entry* entry = Lookup(key);
+  return entry != nullptr ? entry->upload.get() : nullptr;
+}
+
+const gjoin::gpujoin::PreparedBuild* UploadCache::AcquireBuild(
+    const std::string& key) {
+  Entry* entry = Lookup(key);
+  return entry != nullptr ? entry->build.get() : nullptr;
+}
+
+bool UploadCache::MakeRoom(uint64_t bytes) {
+  if (bytes > budget_bytes_) return false;
+  while (bytes_cached_ + bytes > budget_bytes_) {
+    // Victim: idle entries only; prefer ones no query still wants, then
+    // least recently used.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.in_use > 0) continue;
+      if (victim == entries_.end()) {
+        victim = it;
+        continue;
+      }
+      const bool it_unwanted = it->second.future_uses == 0;
+      const bool victim_unwanted = victim->second.future_uses == 0;
+      if (it_unwanted != victim_unwanted) {
+        if (it_unwanted) victim = it;
+      } else if (it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return false;
+    bytes_cached_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+UploadCache::Entry* UploadCache::PrepareSlot(const std::string& key,
+                                             uint64_t bytes) {
+  // The inserting query consumes one declared use whether or not the
+  // artifact ends up cached.
+  auto demand = demand_.find(key);
+  if (demand != demand_.end() && demand->second > 0) --demand->second;
+  auto existing = entries_.find(key);
+  if (existing != entries_.end()) {
+    if (existing->second.in_use > 0) {
+      // A resident, pinned duplicate means the caller raced its own
+      // Acquire; refuse rather than clobber a handed-out pointer.
+      ++stats_.insert_failures;
+      return nullptr;
+    }
+    bytes_cached_ -= existing->second.bytes;
+    entries_.erase(existing);
+  }
+  if (!MakeRoom(bytes)) {
+    ++stats_.insert_failures;
+    return nullptr;
+  }
+  Entry entry;
+  entry.bytes = bytes;
+  entry.in_use = 1;
+  entry.last_use = ++use_clock_;
+  entry.future_uses = demand != demand_.end() ? demand->second : 0;
+  bytes_cached_ += bytes;
+  auto [it, inserted] = entries_.insert_or_assign(key, std::move(entry));
+  (void)inserted;
+  return &it->second;
+}
+
+const gjoin::gpujoin::DeviceRelation* UploadCache::InsertUpload(
+    const std::string& key, gjoin::gpujoin::DeviceRelation* relation,
+    uint64_t bytes) {
+  Entry* slot = PrepareSlot(key, bytes);
+  if (slot == nullptr) return nullptr;
+  slot->upload = std::make_unique<gjoin::gpujoin::DeviceRelation>(
+      std::move(*relation));
+  return slot->upload.get();
+}
+
+const gjoin::gpujoin::PreparedBuild* UploadCache::InsertBuild(
+    const std::string& key, gjoin::gpujoin::PreparedBuild* build,
+    uint64_t bytes) {
+  Entry* slot = PrepareSlot(key, bytes);
+  if (slot == nullptr) return nullptr;
+  slot->build =
+      std::make_unique<gjoin::gpujoin::PreparedBuild>(std::move(*build));
+  return slot->build.get();
+}
+
+void UploadCache::Release(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.in_use > 0) --it->second.in_use;
+}
+
+}  // namespace gjoin::exec

@@ -115,9 +115,9 @@ util::Result<CoProcessPlan> PlanCoProcessJoin(sim::Device* device,
   return plan;
 }
 
-util::Result<JoinStats> CoProcessJoinPlanned(sim::Device* device,
-                                             const CoProcessPlan& plan,
-                                             const CoProcessConfig& config) {
+util::Result<CoProcessRun> CoProcessExecutePlanned(
+    sim::Device* device, const CoProcessPlan& plan,
+    const CoProcessConfig& config) {
   const hw::HardwareSpec& spec = device->spec();
   const hw::CpuCostModel cpu_model(spec.cpu);
   const hw::NumaModel numa(spec.cpu);
@@ -166,8 +166,9 @@ util::Result<JoinStats> CoProcessJoinPlanned(sim::Device* device,
   const double cpu_part_gbps = part_output * grant_a.cpu_scale;
   const double staging_gbps = numa.StagingCopyGbps(config.cpu.threads);
 
-  JoinStats stats;
-  sim::Timeline timeline;
+  CoProcessRun run;
+  JoinStats& stats = run.stats;
+  sim::Timeline& timeline = run.timeline;
   std::vector<sim::OpId> gpu_ops;
   sim::OpId last_cpu_op = -1;
 
@@ -245,7 +246,15 @@ util::Result<JoinStats> CoProcessJoinPlanned(sim::Device* device,
   stats.transfer_s = schedule.busy_s[static_cast<int>(sim::Engine::kCopyH2D)] +
                      schedule.busy_s[static_cast<int>(sim::Engine::kCopyD2H)];
   stats.cpu_s = schedule.busy_s[static_cast<int>(sim::Engine::kCpu)];
-  return stats;
+  return run;
+}
+
+util::Result<JoinStats> CoProcessJoinPlanned(sim::Device* device,
+                                             const CoProcessPlan& plan,
+                                             const CoProcessConfig& config) {
+  GJOIN_ASSIGN_OR_RETURN(CoProcessRun run,
+                         CoProcessExecutePlanned(device, plan, config));
+  return run.stats;
 }
 
 util::Result<JoinStats> CoProcessJoin(sim::Device* device,

@@ -30,6 +30,7 @@
 #include "src/gpujoin/partitioned_join.h"
 #include "src/outofgpu/working_set.h"
 #include "src/sim/device.h"
+#include "src/sim/timeline.h"
 #include "src/util/status.h"
 
 namespace gjoin::outofgpu {
@@ -96,6 +97,20 @@ util::Result<CoProcessPlan> PlanCoProcessJoin(sim::Device* device,
                                               const data::Relation& build,
                                               const data::Relation& probe,
                                               const CoProcessConfig& config);
+
+/// \brief A timed co-processing pipeline: finalized stats plus the op
+/// DAG they were timed on (consumed by the multi-query session
+/// scheduler, which re-emits the ops into a shared device timeline).
+struct CoProcessRun {
+  gjoin::gpujoin::JoinStats stats;
+  sim::Timeline timeline;  ///< Solo op DAG (stats.seconds = makespan).
+};
+
+/// Times the pipeline of a prepared plan under `config` and returns the
+/// stats together with the op DAG.
+util::Result<CoProcessRun> CoProcessExecutePlanned(
+    sim::Device* device, const CoProcessPlan& plan,
+    const CoProcessConfig& config);
 
 /// Times the pipeline of a prepared plan under `config`. Equals
 /// CoProcessJoin(device, build, probe, config) when the plan was built

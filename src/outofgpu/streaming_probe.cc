@@ -14,35 +14,49 @@ using gpujoin::JoinStats;
 using gpujoin::OutputMode;
 using gpujoin::PartitionedRelation;
 
-util::Result<JoinStats> StreamingProbeJoin(sim::Device* device,
-                                           const data::Relation& build,
-                                           const data::Relation& probe,
-                                           const StreamingProbeConfig& config) {
+util::Result<StreamingProbeRun> StreamingProbeExecute(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe, const StreamingProbeConfig& config,
+    const gpujoin::PreparedBuild* prepared) {
+  StreamingProbeRun run;
   if (build.empty()) {
-    JoinStats empty;
-    return empty;
+    return run;
   }
   const hw::PcieModel pcie(device->spec().pcie);
 
   gjoin::gpujoin::PartitionedJoinConfig cfg = config.join;
   if (cfg.join.key_bits == 0) {
-    uint32_t max_key = 1;
-    for (uint32_t k : build.keys) max_key = std::max(max_key, k);
-    cfg.join.key_bits = util::Log2Floor(max_key) + 1;
+    if (prepared != nullptr) {
+      cfg.join.key_bits = prepared->key_bits;
+    } else {
+      uint32_t max_key = 1;
+      for (uint32_t k : build.keys) max_key = std::max(max_key, k);
+      cfg.join.key_bits = util::Log2Floor(max_key) + 1;
+    }
   }
   cfg.join.output = config.materialize_to_host ? OutputMode::kMaterialize
                                                : OutputMode::kAggregate;
 
   // ---- Build side: one transfer + resident partitioning ----
-  GJOIN_ASSIGN_OR_RETURN(gpujoin::DeviceRelation r_dev,
-                         gpujoin::DeviceRelation::Upload(device, build));
-  const double r_h2d_s = pcie.DmaSeconds(r_dev.bytes());
-  GJOIN_ASSIGN_OR_RETURN(PartitionedRelation r_parted,
-                         gjoin::gpujoin::RadixPartition(device, r_dev,
-                                                        cfg.partition));
-  // The raw build columns are no longer needed on-device.
-  r_dev.keys.Reset();
-  r_dev.payloads.Reset();
+  // With a shared prepared build the upload and partitioning are not
+  // re-executed, but their ops still enter the solo DAG (and their
+  // modeled seconds this query's stats) so the run is indistinguishable
+  // from a standalone one; the session scheduler substitutes these ops
+  // with the producing query's when merging timelines.
+  PartitionedRelation local_parted;
+  const PartitionedRelation* r_parted = nullptr;
+  if (prepared != nullptr) {
+    r_parted = &prepared->parted;
+  } else {
+    GJOIN_ASSIGN_OR_RETURN(gpujoin::DeviceRelation r_dev,
+                           gpujoin::DeviceRelation::Upload(device, build));
+    GJOIN_ASSIGN_OR_RETURN(
+        local_parted,
+        gjoin::gpujoin::RadixPartitionConsuming(device, std::move(r_dev),
+                                                cfg.partition));
+    r_parted = &local_parted;
+  }
+  const double r_h2d_s = pcie.DmaSeconds(build.bytes());
 
   const size_t chunk_tuples = config.chunk_tuples != 0
                                   ? config.chunk_tuples
@@ -50,12 +64,11 @@ util::Result<JoinStats> StreamingProbeJoin(sim::Device* device,
   const size_t num_chunks =
       probe.empty() ? 0 : util::CeilDiv(probe.size(), chunk_tuples);
 
-  JoinStats stats;
-  sim::Timeline timeline;
-  const sim::OpId r_copy =
-      timeline.Add(sim::Engine::kCopyH2D, r_h2d_s, {}, "h2d:R");
-  const sim::OpId r_part = timeline.Add(sim::Engine::kComputeGpu,
-                                        r_parted.seconds, {r_copy}, "part:R");
+  JoinStats& stats = run.stats;
+  sim::Timeline& timeline = run.timeline;
+  run.build_h2d = timeline.Add(sim::Engine::kCopyH2D, r_h2d_s, {}, "h2d:R");
+  run.build_part = timeline.Add(sim::Engine::kComputeGpu, r_parted->seconds,
+                                {run.build_h2d}, "part:R");
 
   // Double-buffered chunk pipeline: transfer i waits for the join that
   // last used buffer (i % 2); joins serialize on the compute engine.
@@ -84,8 +97,8 @@ util::Result<JoinStats> StreamingProbeJoin(sim::Device* device,
     }
     GJOIN_ASSIGN_OR_RETURN(
         gjoin::gpujoin::CoPartitionJoinResult chunk_join,
-        gjoin::gpujoin::JoinCoPartitions(device, r_parted, s_parted, cfg.join,
-                                         ring_ptr));
+        gjoin::gpujoin::JoinCoPartitions(device, *r_parted, s_parted,
+                                         cfg.join, ring_ptr));
     stats.matches += chunk_join.matches;
     stats.payload_sum += chunk_join.payload_sum;
 
@@ -96,7 +109,7 @@ util::Result<JoinStats> StreamingProbeJoin(sim::Device* device,
         sim::Engine::kCopyH2D, pcie.DmaSeconds(chunk.bytes()), copy_deps,
         "h2d:chunk");
     const double gpu_s = s_parted.seconds + chunk_join.seconds;
-    std::vector<sim::OpId> join_deps = {h2d, r_part};
+    std::vector<sim::OpId> join_deps = {h2d, run.build_part};
     const sim::OpId join_op =
         timeline.Add(sim::Engine::kComputeGpu, gpu_s, join_deps, "join:chunk");
     joins.push_back(join_op);
@@ -113,8 +126,17 @@ util::Result<JoinStats> StreamingProbeJoin(sim::Device* device,
   stats.seconds = schedule.makespan_s;
   stats.transfer_s = schedule.busy_s[static_cast<int>(sim::Engine::kCopyH2D)] +
                      schedule.busy_s[static_cast<int>(sim::Engine::kCopyD2H)];
-  stats.partition_s += r_parted.seconds;
-  return stats;
+  stats.partition_s += r_parted->seconds;
+  return run;
+}
+
+util::Result<JoinStats> StreamingProbeJoin(sim::Device* device,
+                                           const data::Relation& build,
+                                           const data::Relation& probe,
+                                           const StreamingProbeConfig& config) {
+  GJOIN_ASSIGN_OR_RETURN(StreamingProbeRun run,
+                         StreamingProbeExecute(device, build, probe, config));
+  return run.stats;
 }
 
 }  // namespace gjoin::outofgpu

@@ -18,6 +18,7 @@
 #include "src/data/relation.h"
 #include "src/gpujoin/partitioned_join.h"
 #include "src/sim/device.h"
+#include "src/sim/timeline.h"
 #include "src/util/status.h"
 
 namespace gjoin::outofgpu {
@@ -35,6 +36,31 @@ struct StreamingProbeConfig {
   /// "Materialization" series of Fig. 11); false aggregates on-GPU.
   bool materialize_to_host = false;
 };
+
+/// \brief One functionally-executed streaming-probe run: finalized stats
+/// plus the op DAG they were timed on.
+///
+/// The single-query path (StreamingProbeJoin) only needs `stats`; the
+/// multi-query session scheduler re-emits `timeline`'s ops into a shared
+/// device timeline, substituting `build_h2d`/`build_part` with the ops of
+/// whichever query materialized the shared prepared build first.
+struct StreamingProbeRun {
+  gpujoin::JoinStats stats;
+  sim::Timeline timeline;       ///< Solo op DAG (stats.seconds = makespan).
+  sim::OpId build_h2d = -1;     ///< Build-side upload op.
+  sim::OpId build_part = -1;    ///< Build-side partitioning op.
+};
+
+/// Functionally executes the streaming-probe join and returns finalized
+/// stats plus the solo op DAG. When `prepared` is non-null it must be
+/// PreparePartitionedBuild(device, build, config.join): the resident
+/// partitioned build is reused instead of re-uploading/re-partitioning,
+/// while the returned stats and DAG remain identical to a standalone run
+/// (partitioning is deterministic).
+util::Result<StreamingProbeRun> StreamingProbeExecute(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe, const StreamingProbeConfig& config,
+    const gpujoin::PreparedBuild* prepared = nullptr);
 
 /// Runs the streaming-probe join: `build` must fit in device memory,
 /// `probe` streams from the host. Returns verified counts and modeled

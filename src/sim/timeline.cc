@@ -4,10 +4,28 @@
 
 namespace gjoin::sim {
 
+namespace {
+
+const std::string kEngineNames[kNumEngines] = {"gpu", "h2d", "d2h", "cpu"};
+const std::string kUnknownLane = "?";
+
+}  // namespace
+
+LaneId Timeline::AddLane(std::string name) {
+  lane_names_.push_back(std::move(name));
+  return kNumEngines + static_cast<LaneId>(lane_names_.size()) - 1;
+}
+
 OpId Timeline::Add(Engine engine, double duration_s, std::vector<OpId> deps,
                    std::string label) {
+  return Add(static_cast<LaneId>(engine), duration_s, std::move(deps),
+             std::move(label));
+}
+
+OpId Timeline::Add(LaneId lane, double duration_s, std::vector<OpId> deps,
+                   std::string label) {
   Op op;
-  op.engine = engine;
+  op.lane = lane;
   op.duration_s = duration_s;
   op.deps = std::move(deps);
   op.label = std::move(label);
@@ -15,14 +33,29 @@ OpId Timeline::Add(Engine engine, double duration_s, std::vector<OpId> deps,
   return static_cast<OpId>(ops_.size()) - 1;
 }
 
+const std::string& Timeline::LaneName(LaneId lane) const {
+  if (lane >= 0 && lane < kNumEngines) return kEngineNames[lane];
+  const size_t named = static_cast<size_t>(lane - kNumEngines);
+  if (lane >= kNumEngines && named < lane_names_.size()) {
+    return lane_names_[named];
+  }
+  return kUnknownLane;
+}
+
 util::Result<Schedule> Timeline::Run() const {
   Schedule schedule;
   schedule.start_s.resize(ops_.size(), 0);
   schedule.finish_s.resize(ops_.size(), 0);
-  double engine_free[kNumEngines] = {0, 0, 0, 0};
+  schedule.lane_busy_s.assign(static_cast<size_t>(num_lanes()), 0.0);
+  std::vector<double> lane_free(static_cast<size_t>(num_lanes()), 0.0);
 
   for (size_t i = 0; i < ops_.size(); ++i) {
     const Op& op = ops_[i];
+    if (op.lane < 0 || op.lane >= num_lanes()) {
+      return util::Status::Invalid("op " + std::to_string(i) + " ('" +
+                                   op.label + "') uses unknown lane " +
+                                   std::to_string(op.lane));
+    }
     double ready = 0;
     for (OpId dep : op.deps) {
       if (dep < 0 || static_cast<size_t>(dep) >= i) {
@@ -32,14 +65,17 @@ util::Result<Schedule> Timeline::Run() const {
       }
       ready = std::max(ready, schedule.finish_s[static_cast<size_t>(dep)]);
     }
-    const int engine = static_cast<int>(op.engine);
-    const double start = std::max(ready, engine_free[engine]);
+    const size_t lane = static_cast<size_t>(op.lane);
+    const double start = std::max(ready, lane_free[lane]);
     const double finish = start + op.duration_s;
     schedule.start_s[i] = start;
     schedule.finish_s[i] = finish;
-    engine_free[engine] = finish;
-    schedule.busy_s[engine] += op.duration_s;
+    lane_free[lane] = finish;
+    schedule.lane_busy_s[lane] += op.duration_s;
     schedule.makespan_s = std::max(schedule.makespan_s, finish);
+  }
+  for (int e = 0; e < kNumEngines; ++e) {
+    schedule.busy_s[e] = schedule.lane_busy_s[static_cast<size_t>(e)];
   }
   return schedule;
 }

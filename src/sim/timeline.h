@@ -9,6 +9,13 @@
 // same engine serialize in issue order (hardware queues), operations wait
 // for their declared dependencies (events), and the makespan of the whole
 // DAG is the pipeline's modeled execution time.
+//
+// Resources are modeled as *lanes*: serialized FIFO queues. The four
+// hardware engines of the testbed (GPU compute, H2D DMA, D2H DMA, host
+// thread team) are predefined lanes 0-3; AddLane creates further named
+// resources (e.g. a second GPU or an extra DMA queue on richer specs),
+// which the multi-query session scheduler uses to model per-resource
+// contention when many queries share one device timeline.
 
 #ifndef GJOIN_SIM_TIMELINE_H_
 #define GJOIN_SIM_TIMELINE_H_
@@ -21,7 +28,7 @@
 
 namespace gjoin::sim {
 
-/// \brief Hardware queues that execute operations.
+/// \brief Predefined hardware queues that execute operations.
 enum class Engine : int {
   kComputeGpu = 0,  ///< GPU kernels (one at a time; join kernels saturate
                     ///< the device, as in the paper's execution model).
@@ -30,15 +37,19 @@ enum class Engine : int {
   kCpu = 3,         ///< The host thread team (partitioning, staging).
 };
 
-/// Number of distinct engines.
+/// Number of predefined engines (lanes 0 .. kNumEngines-1).
 inline constexpr int kNumEngines = 4;
 
 /// Identifier of an operation within a Timeline.
 using OpId = int;
 
+/// Identifier of a serialized resource lane. The predefined engines map
+/// to lanes [0, kNumEngines); AddLane returns ids from kNumEngines up.
+using LaneId = int;
+
 /// \brief One scheduled operation.
 struct Op {
-  Engine engine;
+  LaneId lane = 0;
   double duration_s = 0;
   std::vector<OpId> deps;  ///< Must finish before this op starts.
   std::string label;
@@ -49,35 +60,62 @@ struct Schedule {
   std::vector<double> start_s;
   std::vector<double> finish_s;
   double makespan_s = 0;
-  /// Total busy time per engine, for utilization reporting (e.g. "the
-  /// transfer unit will always be busy", Section IV-A).
+  /// Total busy time of the four predefined engines, for utilization
+  /// reporting (e.g. "the transfer unit will always be busy", IV-A).
   double busy_s[kNumEngines] = {0, 0, 0, 0};
+  /// Busy time of every lane (predefined engines first, then AddLane
+  /// lanes in creation order).
+  std::vector<double> lane_busy_s;
 
   /// Utilization of `engine` over the makespan, in [0, 1].
   double Utilization(Engine engine) const {
     return makespan_s > 0 ? busy_s[static_cast<int>(engine)] / makespan_s : 0;
+  }
+
+  /// Utilization of an arbitrary lane over the makespan, in [0, 1].
+  double LaneUtilization(LaneId lane) const {
+    return makespan_s > 0 && static_cast<size_t>(lane) < lane_busy_s.size()
+               ? lane_busy_s[static_cast<size_t>(lane)] / makespan_s
+               : 0;
   }
 };
 
 /// \brief Builds and evaluates an asynchronous-operation DAG.
 class Timeline {
  public:
-  /// Appends an operation. Dependencies must refer to already-added ops
-  /// (CUDA events are recorded before they are waited on). Returns the
-  /// operation's id.
+  /// Creates a named resource lane beyond the predefined engines.
+  /// Operations on the same lane serialize in issue order.
+  LaneId AddLane(std::string name);
+
+  /// Appends an operation on a predefined engine. Dependencies must refer
+  /// to already-added ops (CUDA events are recorded before they are
+  /// waited on). Returns the operation's id.
   OpId Add(Engine engine, double duration_s, std::vector<OpId> deps = {},
+           std::string label = "");
+
+  /// Appends an operation on an arbitrary lane (predefined or AddLane).
+  OpId Add(LaneId lane, double duration_s, std::vector<OpId> deps = {},
            std::string label = "");
 
   /// Number of operations added.
   size_t size() const { return ops_.size(); }
 
-  /// The operations (for tests / inspection).
+  /// Total number of lanes (kNumEngines + named lanes).
+  int num_lanes() const {
+    return kNumEngines + static_cast<int>(lane_names_.size());
+  }
+
+  /// Name of `lane` ("gpu" / "h2d" / "d2h" / "cpu" for the engines).
+  const std::string& LaneName(LaneId lane) const;
+
+  /// The operations (for tests / inspection / the session scheduler).
   const std::vector<Op>& ops() const { return ops_; }
 
-  /// Evaluates the schedule. Engines process their operations in issue
-  /// order; an operation starts when its engine is free AND all its
+  /// Evaluates the schedule. Lanes process their operations in issue
+  /// order; an operation starts when its lane is free AND all its
   /// dependencies have finished. Returns Invalid if a dependency id is
-  /// out of range or refers to a later op.
+  /// out of range or refers to a later op, or an op names an unknown
+  /// lane.
   util::Result<Schedule> Run() const;
 
   /// Convenience: makespan of Run() (aborts on malformed timelines —
@@ -86,6 +124,7 @@ class Timeline {
 
  private:
   std::vector<Op> ops_;
+  std::vector<std::string> lane_names_;  ///< Names of AddLane lanes.
 };
 
 }  // namespace gjoin::sim

@@ -140,5 +140,49 @@ TEST(TimelineTest, LabelsArePreserved) {
   EXPECT_EQ(tl.size(), 1u);
 }
 
+// --- Per-resource lanes (multi-query session scheduler substrate) ---
+
+TEST(TimelineTest, NamedLanesSerializeIndependently) {
+  Timeline tl;
+  const LaneId gpu2 = tl.AddLane("gpu2");
+  EXPECT_EQ(tl.num_lanes(), kNumEngines + 1);
+  EXPECT_EQ(tl.LaneName(gpu2), "gpu2");
+  EXPECT_EQ(tl.LaneName(static_cast<LaneId>(Engine::kCopyH2D)), "h2d");
+  // Two ops on the primary GPU serialize; the second device's lane
+  // overlaps them fully.
+  tl.Add(Engine::kComputeGpu, 1.0);
+  tl.Add(Engine::kComputeGpu, 1.0);
+  tl.Add(gpu2, 1.5);
+  EXPECT_DOUBLE_EQ(tl.Makespan(), 2.0);
+}
+
+TEST(TimelineTest, LaneBusyTimeAndUtilization) {
+  Timeline tl;
+  const LaneId aux = tl.AddLane("aux-dma");
+  tl.Add(Engine::kComputeGpu, 4.0);
+  tl.Add(aux, 1.0);
+  tl.Add(aux, 1.0);
+  auto schedule = std::move(tl.Run()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(schedule.lane_busy_s[static_cast<size_t>(aux)], 2.0);
+  EXPECT_DOUBLE_EQ(schedule.LaneUtilization(aux), 0.5);
+  // Engine busy_s mirrors the first kNumEngines lanes.
+  EXPECT_DOUBLE_EQ(schedule.busy_s[static_cast<int>(Engine::kComputeGpu)],
+                   schedule.lane_busy_s[static_cast<int>(Engine::kComputeGpu)]);
+}
+
+TEST(TimelineTest, DependenciesCrossLanes) {
+  Timeline tl;
+  const LaneId aux = tl.AddLane("aux");
+  const OpId a = tl.Add(aux, 2.0);
+  tl.Add(Engine::kComputeGpu, 1.0, {a});
+  EXPECT_DOUBLE_EQ(tl.Makespan(), 3.0);
+}
+
+TEST(TimelineTest, UnknownLaneRejected) {
+  Timeline tl;
+  tl.Add(static_cast<LaneId>(99), 1.0);
+  EXPECT_FALSE(tl.Run().ok());
+}
+
 }  // namespace
 }  // namespace gjoin::sim
