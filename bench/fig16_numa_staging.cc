@@ -7,6 +7,7 @@
 #include "bench/common.h"
 #include "bench/runner.h"
 #include "src/data/generator.h"
+#include "src/hw/numa.h"
 #include "src/outofgpu/coprocess.h"
 
 namespace gjoin {
@@ -60,6 +61,12 @@ int Run(int argc, char** argv) {
   ctx.Check("direct far-socket copies lose >= 20% to QPI congestion",
             gbps.at({false, 1024 * bench::kM}) <
                 0.8 * gbps.at({true, 1024 * bench::kM}));
+  // The planner that promoted this figure's hand-rolled policy choice
+  // (hw::numa::PlacementPlanner, used by the session's upload path)
+  // must agree with the measured winner.
+  const hw::numa::PlacementPlanner planner(ctx.spec());
+  ctx.Check("the NUMA placement planner picks the measured winner",
+            planner.Plan(/*device_index=*/0, /*cpu_threads=*/16).stage);
   return ctx.Finish();
 }
 

@@ -1,0 +1,147 @@
+// Figure 24 (extension beyond the paper): multi-GPU scaling of the
+// session scheduler. A batch of in-GPU joins (16M-tuple builds,
+// 32M-tuple probes) runs on a sim::Topology of 1/2/4 devices under the
+// two placement policies:
+//
+//   replicate — each query runs wholly on one device (greedy
+//               earliest-finish placement); a build shared by queries on
+//               several devices is replicated once per device over the
+//               peer interconnect;
+//   partition — every query's build and probe work is sliced 1/N across
+//               the group (no replica cost, single queries scale too).
+//
+// Reported metric: modeled speedup of the N-device batch over the same
+// batch on 1 device. The shared-build fraction stresses the
+// replicate-vs-partition trade-off the topology layer exists to expose.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "bench/runner.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/exec/session.h"
+#include "src/sim/topology.h"
+
+namespace gjoin {
+namespace {
+
+const char* PolicyName(api::PlacementPolicy policy) {
+  return policy == api::PlacementPolicy::kReplicate ? "Replicate"
+                                                    : "Partition";
+}
+
+int Run(int argc, char** argv) {
+  auto ctx = bench::BenchContext::Create(
+      argc, argv, "fig24",
+      "multi-GPU sessions: replicated vs partitioned placement",
+      /*default_divisor=*/32);
+
+  const size_t build_n = ctx.Scale(16 * bench::kM);
+  const size_t probe_n = ctx.Scale(32 * bench::kM);
+  const int kBatch = 8;
+
+  api::JoinConfig cfg;
+  cfg.pass_bits = ctx.ScalePassBits({8, 7});
+
+  const auto shared_build = data::MakeUniqueUniform(build_n, 400);
+  std::vector<data::Relation> builds, probes;
+  for (int i = 0; i < kBatch; ++i) {
+    builds.push_back(data::MakeUniqueUniform(build_n, 401 + i));
+    probes.push_back(data::MakeUniformProbe(probe_n, build_n, 501 + i));
+  }
+  std::map<std::pair<const data::Relation*, int>, data::OracleResult> oracles;
+  auto oracle_of = [&](const data::Relation& build, int probe_idx) {
+    auto [it, inserted] =
+        oracles.try_emplace({&build, probe_idx}, data::OracleResult{});
+    if (inserted) it->second = data::JoinOracle(build, probes[probe_idx]);
+    return it->second;
+  };
+
+  struct RunStats {
+    double makespan = 0;
+    size_t replicated = 0;
+  };
+  auto run_batch = [&](api::PlacementPolicy policy, double shared_fraction,
+                       int devices) {
+    const int n_shared = static_cast<int>(
+        std::lround(shared_fraction * static_cast<double>(kBatch)));
+    sim::Topology topo(ctx.spec(), devices);
+    exec::SessionConfig session_cfg;
+    session_cfg.placement = policy;
+    exec::Session session(&topo, session_cfg);
+    std::vector<const data::Relation*> query_builds;
+    for (int q = 0; q < kBatch; ++q) {
+      const data::Relation& build =
+          q < n_shared ? shared_build : builds[static_cast<size_t>(q)];
+      query_builds.push_back(&build);
+      session.Submit(build, probes[static_cast<size_t>(q)], cfg);
+    }
+    session.Run().CheckOK();
+    for (int q = 0; q < kBatch; ++q) {
+      const auto& outcome = session.result(q).outcome;
+      if (outcome.strategy != api::Strategy::kInGpu) {
+        std::fprintf(stderr, "fig24: expected in-GPU strategy, got %s\n",
+                     api::StrategyName(outcome.strategy));
+        std::exit(1);
+      }
+      bench::VerifyJoin(outcome.stats.matches, outcome.stats.payload_sum,
+                        oracle_of(*query_builds[static_cast<size_t>(q)], q),
+                        "fig24 session query");
+    }
+    return RunStats{session.stats().makespan_s,
+                    session.stats().replicated_builds};
+  };
+
+  // (policy, shared%, devices) -> speedup over 1 device.
+  std::map<std::tuple<int, int, int>, double> speedup;
+  size_t replicas_shared2 = 0;
+  for (const api::PlacementPolicy policy :
+       {api::PlacementPolicy::kReplicate, api::PlacementPolicy::kPartition}) {
+    const int p = static_cast<int>(policy);
+    for (const double f : {0.0, 1.0}) {
+      const int f_pct = static_cast<int>(f * 100);
+      double base = 0;  // the devices=1 run of this config
+      for (const int devices : {1, 2, 4}) {
+        const RunStats run = run_batch(policy, f, devices);
+        if (devices == 1) base = run.makespan;
+        speedup[{p, f_pct, devices}] = base / run.makespan;
+        ctx.Emit(std::string(PolicyName(policy)) + " shared=" +
+                     std::to_string(f_pct) + "%",
+                 devices, base / run.makespan);
+        if (policy == api::PlacementPolicy::kReplicate && f_pct == 100 &&
+            devices == 2) {
+          replicas_shared2 = run.replicated;
+        }
+      }
+    }
+  }
+
+  const int kRep = static_cast<int>(api::PlacementPolicy::kReplicate);
+  const int kPar = static_cast<int>(api::PlacementPolicy::kPartition);
+  ctx.Check("replica charges stay bounded: shared keeps >= 70% of the "
+            "unshared 4-device scaling under replication",
+            speedup[{kRep, 100, 4}] >= 0.7 * speedup[{kRep, 0, 4}]);
+  ctx.Check("2 devices reach >= 1.6x for replicated shared-build workloads",
+            speedup[{kRep, 100, 2}] >= 1.6);
+  ctx.Check("4 devices beat 2 under replication (shared and unshared)",
+            speedup[{kRep, 100, 4}] > speedup[{kRep, 100, 2}] &&
+                speedup[{kRep, 0, 4}] > speedup[{kRep, 0, 2}]);
+  ctx.Check("partitioned placement also scales (>= 1.4x at 2 devices)",
+            speedup[{kPar, 0, 2}] >= 1.4 && speedup[{kPar, 100, 2}] >= 1.4);
+  ctx.Check("a 2-device shared-build batch charges exactly one replica",
+            replicas_shared2 == 1);
+  ctx.Check("partitioned placement approaches linear scaling (>= 3.5x at 4)",
+            speedup[{kPar, 0, 4}] >= 3.5 && speedup[{kPar, 100, 4}] >= 3.5);
+  return ctx.Finish();
+}
+
+}  // namespace
+}  // namespace gjoin
+
+int main(int argc, char** argv) { return gjoin::Run(argc, argv); }

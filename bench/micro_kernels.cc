@@ -15,6 +15,7 @@
 #include "src/exec/session.h"
 #include "src/gpujoin/nonpartitioned.h"
 #include "src/gpujoin/partitioned_join.h"
+#include "src/sim/topology.h"
 
 namespace {
 
@@ -141,6 +142,31 @@ void BM_SessionSmallBatch(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_SessionSmallBatch)->Arg(1 << 16);
+
+void BM_TopologyPlacement(benchmark::State& state) {
+  // Multi-GPU session overhead gate: an 8-query shared-build batch
+  // placed and scheduled over a 2-device topology (greedy placement,
+  // per-device caches, replica accounting, multi-lane list scheduling)
+  // on top of the functional join work.
+  const size_t n = static_cast<size_t>(state.range(0));
+  sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
+  const auto r = data::MakeUniqueUniform(n, 14);
+  std::vector<data::Relation> probes;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    probes.push_back(data::MakeUniformProbe(n, n, 20 + seed));
+  }
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  for (auto _ : state) {
+    exec::Session session(&topo);
+    for (const auto& probe : probes) session.Submit(r, probe, cfg);
+    session.Run().CheckOK();
+    benchmark::DoNotOptimize(session.stats().makespan_s);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 9 *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TopologyPlacement)->Arg(1 << 16);
 
 }  // namespace
 

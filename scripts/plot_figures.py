@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Render matplotlib plots from the collected figure CSVs.
+
+Usage:
+  scripts/plot_figures.py [--csv out/figures/all_figures.csv]
+                          [--out-dir out/plots] [--only REGEX] [--fmt png]
+
+Consumes the figure,series,x,value rows that scripts/run_figures.py
+collects from the bench binaries and renders one plot per figure: every
+series becomes a line (marker per point), the x axis is labeled in the
+paper-nominal units the benches emit, and axes switch to log scale when
+a figure's values span several decades. ERROR(<why>) values (systems
+that failed at a scale, as in the paper) are skipped.
+
+Requires matplotlib; exits with a clear message when it is missing (the
+nightly CI job installs it and uploads the rendered plots as artifacts).
+
+Exit status: 0 on success, 1 when no rows matched, 2 when matplotlib is
+unavailable.
+"""
+
+import argparse
+import collections
+import csv
+import pathlib
+import re
+import sys
+
+
+def read_rows(csv_path: pathlib.Path, only: str):
+    """Returns {figure: {series: [(x, value), ...]}} from the CSV."""
+    figures = collections.defaultdict(lambda: collections.defaultdict(list))
+    with open(csv_path, newline="") as f:
+        reader = csv.reader(f)
+        for row in reader:
+            if len(row) < 4 or row[0] == "figure":
+                continue
+            figure, series, x, value = row[0], row[1], row[2], row[3]
+            if only and not re.search(only, figure):
+                continue
+            try:
+                point = (float(x), float(value))
+            except ValueError:
+                continue  # ERROR(<why>) rows are absent in the paper too.
+            figures[figure][series].append(point)
+    return figures
+
+
+def span(values):
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 1.0
+    return max(positive) / min(positive)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--csv", default="out/figures/all_figures.csv",
+                        help="all_figures.csv from scripts/run_figures.py")
+    parser.add_argument("--out-dir", default="out/plots",
+                        help="directory the rendered plots go to")
+    parser.add_argument("--only", default="",
+                        help="regex filter on figure names")
+    parser.add_argument("--fmt", default="png", choices=["png", "svg", "pdf"],
+                        help="output format")
+    parser.add_argument("--dpi", type=int, default=140)
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")  # headless: render files, never a display
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("plot_figures.py: matplotlib is not installed; "
+              "install it (the nightly CI job does) to render plots",
+              file=sys.stderr)
+        return 2
+
+    csv_path = pathlib.Path(args.csv)
+    if not csv_path.exists():
+        print(f"plot_figures.py: {csv_path} not found "
+              "(run scripts/run_figures.py first)", file=sys.stderr)
+        return 1
+    figures = read_rows(csv_path, args.only)
+    if not figures:
+        print("plot_figures.py: no data rows matched", file=sys.stderr)
+        return 1
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    for figure, series_map in sorted(figures.items()):
+        fig, ax = plt.subplots(figsize=(7.0, 4.5))
+        all_x, all_v = [], []
+        for series, points in series_map.items():
+            points = sorted(points)
+            xs = [p[0] for p in points]
+            vs = [p[1] for p in points]
+            all_x.extend(xs)
+            all_v.extend(vs)
+            if len(points) == 1:
+                # Single-point series (e.g. per-configuration bars):
+                # render as a marker with a visible label.
+                ax.plot(xs, vs, marker="o", linestyle="none", label=series)
+            else:
+                ax.plot(xs, vs, marker="o", markersize=4, label=series)
+        # Log scales when a figure spans decades (sizes, throughputs).
+        if span(all_x) > 50 and min(all_x, default=1) > 0:
+            ax.set_xscale("log", base=2)
+        if span(all_v) > 100 and min(all_v, default=1) > 0:
+            ax.set_yscale("log")
+        ax.set_title(figure)
+        ax.set_xlabel("x (paper-nominal units)")
+        ax.set_ylabel("value")
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=8, loc="best")
+        fig.tight_layout()
+        target = out_dir / f"{figure}.{args.fmt}"
+        fig.savefig(target, dpi=args.dpi)
+        plt.close(fig)
+        print(f"WROTE {target}")
+
+    print(f"\n{len(figures)} figures -> {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,4 +85,17 @@ util::Result<JoinOutcome> Join(sim::Device* device,
   return session.result(handle).outcome;
 }
 
+util::Result<JoinOutcome> Join(sim::Topology* topology,
+                               const data::Relation& build,
+                               const data::Relation& probe,
+                               const JoinConfig& config) {
+  exec::SessionConfig session_cfg;
+  session_cfg.device_count = std::max(1, config.device_count);
+  session_cfg.placement = config.placement;
+  exec::Session session(topology, session_cfg);
+  const exec::QueryHandle handle = session.Submit(build, probe, config);
+  GJOIN_RETURN_NOT_OK(session.Run());
+  return session.result(handle).outcome;
+}
+
 }  // namespace gjoin::api

@@ -32,6 +32,7 @@
 #include "src/outofgpu/coprocess.h"
 #include "src/outofgpu/streaming_probe.h"
 #include "src/sim/device.h"
+#include "src/sim/topology.h"
 #include "src/util/status.h"
 
 namespace gjoin::api {
@@ -46,6 +47,30 @@ enum class Strategy {
 
 /// Human-readable strategy name.
 const char* StrategyName(Strategy strategy);
+
+/// \brief How a multi-device execution places work on the topology
+/// (ignored when only one device is in play).
+enum class PlacementPolicy {
+  /// Each query runs wholly on one device (greedy earliest-finish
+  /// placement); a build shared by queries on several devices is
+  /// *replicated* — the replica copy is charged once per device (over
+  /// the peer interconnect when another device already holds it) and
+  /// reused by every later query there.
+  kReplicate,
+  /// In-GPU work is *partitioned* across the devices: each device holds
+  /// a 1/N slice of the build, and every query's probe work splits into
+  /// per-device slices — no replica cost, and a single query uses all
+  /// devices at once.
+  kPartition,
+};
+
+/// \brief Order in which a session admits queued queries to the planner.
+enum class AdmissionPolicy {
+  kSubmitOrder,        ///< First come, first planned.
+  kShortestJobFirst,   ///< Ascending estimated bytes moved (build +
+                       ///< probe); ties keep submit order. Changes
+                       ///< completion order, never per-query stats.
+};
 
 /// Default CPU thread count for the co-processing partitioning phase:
 /// the paper testbed's 16, clamped to this host's
@@ -77,6 +102,16 @@ struct JoinConfig {
   /// Probe algorithm for joining co-partitions.
   gjoin::gpujoin::ProbeAlgorithm probe_algorithm =
       gjoin::gpujoin::ProbeAlgorithm::kSharedHash;
+
+  /// Devices a topology-run join may span (the Join(Topology*, ...)
+  /// overload; clamped to the topology's device count). The default of 1
+  /// keeps every join single-device — the paper's model — and the
+  /// single-device path bit-identical.
+  int device_count = 1;
+
+  /// How multi-device work is placed. Joins of a single query default to
+  /// kPartition (replication buys a lone query nothing).
+  PlacementPolicy placement = PlacementPolicy::kPartition;
 };
 
 /// \brief Join outcome: verified result stats plus the chosen strategy.
@@ -96,6 +131,15 @@ std::string Explain(const sim::Device& device, uint64_t build_bytes,
 
 /// Joins `build` and `probe` (host-resident) on the simulated device.
 util::Result<JoinOutcome> Join(sim::Device* device,
+                               const data::Relation& build,
+                               const data::Relation& probe,
+                               const JoinConfig& config);
+
+/// Joins on a device topology: the join may span
+/// config.device_count devices under config.placement (device_count 1 —
+/// the default — reproduces the single-device join on topology device 0
+/// bit-for-bit).
+util::Result<JoinOutcome> Join(sim::Topology* topology,
                                const data::Relation& build,
                                const data::Relation& probe,
                                const JoinConfig& config);

@@ -4,9 +4,22 @@
 
 namespace gjoin::exec {
 
+NodeId QueryGraph::AddNode(int query, sim::LaneId lane, double duration_s,
+                           std::vector<NodeId> deps, std::string label) {
+  QueryNode node;
+  node.query = query;
+  node.lane = lane;
+  node.duration_s = duration_s;
+  node.deps = std::move(deps);
+  node.label = std::move(label);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
 std::vector<NodeId> QueryGraph::Append(
     int query, const sim::Timeline& solo,
-    const std::map<sim::OpId, NodeId>& alias) {
+    const std::map<sim::OpId, NodeId>& alias,
+    const std::vector<sim::LaneId>* lane_map) {
   const std::vector<sim::Op>& ops = solo.ops();
   std::vector<NodeId> mapping(ops.size(), -1);
   for (size_t i = 0; i < ops.size(); ++i) {
@@ -17,7 +30,10 @@ std::vector<NodeId> QueryGraph::Append(
     }
     QueryNode node;
     node.query = query;
-    node.lane = ops[i].lane;
+    node.lane = lane_map != nullptr && static_cast<size_t>(ops[i].lane) <
+                                           lane_map->size()
+                    ? (*lane_map)[static_cast<size_t>(ops[i].lane)]
+                    : ops[i].lane;
     node.duration_s = ops[i].duration_s;
     // Built with append (not operator+) to dodge GCC 12's -Wrestrict
     // false positive on char* + std::string&& chains.

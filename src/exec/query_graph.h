@@ -40,9 +40,20 @@ class QueryGraph {
   /// Splices `solo`'s ops in for query `query`. Ops listed in `alias`
   /// map to existing nodes (the artifact's producer) instead of creating
   /// new ones; dependencies of the remaining ops are re-targeted through
-  /// the mapping. Returns the local-OpId -> NodeId mapping.
+  /// the mapping. When `lane_map` is non-null it translates the solo
+  /// DAG's engine lanes (0..kNumEngines-1) to the shared timeline's
+  /// lanes — how a query placed on device d > 0 of a multi-GPU topology
+  /// lands on that device's lanes (sim::Topology::EngineLaneMap).
+  /// Returns the local-OpId -> NodeId mapping.
   std::vector<NodeId> Append(int query, const sim::Timeline& solo,
-                             const std::map<sim::OpId, NodeId>& alias = {});
+                             const std::map<sim::OpId, NodeId>& alias = {},
+                             const std::vector<sim::LaneId>* lane_map = nullptr);
+
+  /// Appends one node directly (multi-device DAGs that have no solo
+  /// counterpart: replica copies on the peer lane, per-device slices of
+  /// a partitioned placement). Dependencies must be existing nodes.
+  NodeId AddNode(int query, sim::LaneId lane, double duration_s,
+                 std::vector<NodeId> deps, std::string label);
 
   const std::vector<QueryNode>& nodes() const { return nodes_; }
   size_t size() const { return nodes_.size(); }

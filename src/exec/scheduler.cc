@@ -5,8 +5,9 @@
 
 namespace gjoin::exec {
 
-util::Result<ScheduledBatch> ScheduleBatch(const QueryGraph& graph,
-                                           int num_queries) {
+util::Result<ScheduledBatch> ScheduleBatch(
+    const QueryGraph& graph, int num_queries,
+    const std::vector<std::string>* extra_lane_names) {
   const std::vector<QueryNode>& nodes = graph.nodes();
   const size_t n = nodes.size();
   ScheduledBatch batch;
@@ -19,6 +20,9 @@ util::Result<ScheduledBatch> ScheduleBatch(const QueryGraph& graph,
   std::vector<int> pending(n, 0);
   std::vector<std::vector<NodeId>> dependents(n);
   int max_lane = sim::kNumEngines - 1;
+  if (extra_lane_names != nullptr) {
+    max_lane += static_cast<int>(extra_lane_names->size());
+  }
   for (size_t i = 0; i < n; ++i) {
     max_lane = std::max(max_lane, nodes[i].lane);
     for (NodeId dep : nodes[i].deps) {
@@ -32,7 +36,11 @@ util::Result<ScheduledBatch> ScheduleBatch(const QueryGraph& graph,
     }
   }
   for (int lane = sim::kNumEngines; lane <= max_lane; ++lane) {
-    batch.timeline.AddLane("lane" + std::to_string(lane));
+    const size_t named = static_cast<size_t>(lane - sim::kNumEngines);
+    batch.timeline.AddLane(
+        extra_lane_names != nullptr && named < extra_lane_names->size()
+            ? (*extra_lane_names)[named]
+            : "lane" + std::to_string(lane));
   }
 
   // Greedy list scheduling: issue the ready op with the earliest

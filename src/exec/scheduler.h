@@ -15,6 +15,7 @@
 #ifndef GJOIN_EXEC_SCHEDULER_H_
 #define GJOIN_EXEC_SCHEDULER_H_
 
+#include <string>
 #include <vector>
 
 #include "src/exec/query_graph.h"
@@ -34,9 +35,15 @@ struct ScheduledBatch {
 };
 
 /// Greedily schedules `graph` (see file comment). `num_queries` sizes
-/// query_finish_s. Returns Invalid on malformed graphs (dangling deps).
-util::Result<ScheduledBatch> ScheduleBatch(const QueryGraph& graph,
-                                           int num_queries);
+/// query_finish_s. `extra_lane_names`, when given, names the lanes
+/// beyond the predefined engines (AddLane order — a multi-device session
+/// passes sim::Topology::ExtraLaneNames so utilization reports read
+/// "dev1:h2d" instead of "lane5"); all named lanes are created even if
+/// unused, fixing the lane layout independently of which devices got
+/// work. Returns Invalid on malformed graphs (dangling deps).
+util::Result<ScheduledBatch> ScheduleBatch(
+    const QueryGraph& graph, int num_queries,
+    const std::vector<std::string>* extra_lane_names = nullptr);
 
 }  // namespace gjoin::exec
 

@@ -2,31 +2,45 @@
 // gjoin::Join API and the strategy implementations.
 //
 // A Session accepts many enqueued join requests, plans them as one
-// batch, and executes them on a single simulated device timeline:
+// batch, and executes them on a device topology (one or more simulated
+// GPUs sharing a host):
 //
 //   1. per query, the strategy is chosen from data placement exactly as
 //      a standalone gjoin::Join chooses it (in-GPU / streaming-probe /
 //      co-processing);
-//   2. device uploads of relations shared between queries are
-//      deduplicated through a refcounted, device-memory-budgeted
-//      UploadCache, and all probes against a common build side reuse
-//      one partitioned build (PreparePartitionedBuild);
-//   3. every query's solo op DAG is spliced into one QueryGraph and
-//      list-scheduled onto the shared engine lanes, so one query's PCIe
-//      transfers overlap another query's kernel time — the cross-query
-//      generalization of the paper's Figure 2-4 intra-query overlap.
+//   2. queries are admitted in submit order or shortest-job-first
+//      (AdmissionPolicy) and *placed* onto devices: under
+//      PlacementPolicy::kReplicate each query runs wholly on the device
+//      with the greedy earliest estimated finish — builds shared across
+//      devices are replicated over the peer interconnect and the
+//      replica is charged once per device; under kPartition the in-GPU
+//      work is sliced 1/N across all devices (the build lives
+//      partitioned over the group, probe work splits);
+//   3. device uploads of relations shared between queries are
+//      deduplicated through per-device refcounted, memory-budgeted
+//      UploadCaches; all probes against a common build side reuse one
+//      partitioned build per device (PreparePartitionedBuild), and
+//      co-processing queries of a common relation reuse its CPU
+//      pre-partitioning; pinned-buffer staging placement comes from the
+//      NUMA planner (hw::numa::PlacementPlanner);
+//   4. every query's op DAG is spliced into one QueryGraph over all
+//      devices' lanes and list-scheduled, so one query's PCIe transfers
+//      overlap another query's kernel time — and, with several devices,
+//      queries execute concurrently across the group.
 //
 // Per-query results are bit-identical to what a standalone gjoin::Join
-// would have returned (partitioning and probing are deterministic, and
-// a query's solo DAG is evaluated for its own stats even when the
-// shared timeline charges deduplicated work only once); the batch-level
-// win shows up in SessionStats: makespan_s vs the sum of independent
-// execution times. gjoin::Join itself runs as a 1-query session, so
-// there is exactly one execution path.
+// would have returned regardless of batch composition, placement policy
+// or device count (partitioning and probing are deterministic, and a
+// query's solo DAG is evaluated for its own stats even when the shared
+// timeline charges deduplicated work only once or slices it across
+// devices); the batch-level win shows up in SessionStats: makespan_s vs
+// the sum of independent execution times. gjoin::Join itself runs as a
+// 1-query session, so there is exactly one execution path.
 //
 // Usage:
 //
-//   gjoin::exec::Session session(&device);
+//   sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
+//   gjoin::exec::Session session(&topo);
 //   auto q0 = session.Submit(orders, lineitem, config);
 //   auto q1 = session.Submit(orders, returns, config);   // shares build
 //   GJOIN_RETURN_NOT_OK(session.Run());
@@ -37,14 +51,17 @@
 #define GJOIN_EXEC_SESSION_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/api/gjoin.h"
+#include "src/cpu/cpu_partition.h"
 #include "src/exec/query_graph.h"
 #include "src/exec/scheduler.h"
 #include "src/exec/upload_cache.h"
 #include "src/sim/device.h"
+#include "src/sim/topology.h"
 #include "src/util/status.h"
 
 namespace gjoin::exec {
@@ -55,9 +72,20 @@ using QueryHandle = int;
 /// \brief Session-level configuration.
 struct SessionConfig {
   /// Device-memory budget for shared artifacts (raw uploads + prepared
-  /// builds). 0 = half of the device's memory; the other half stays
-  /// available for per-query working state.
+  /// builds), per device. 0 = half of each device's memory; the other
+  /// half stays available for per-query working state.
   uint64_t cache_budget_bytes = 0;
+
+  /// Devices of the topology the session schedules onto (clamped to the
+  /// topology's device count). 0 = all of them; a Session built on a
+  /// bare sim::Device always has exactly one.
+  int device_count = 0;
+
+  /// Multi-device placement (ignored with one device).
+  api::PlacementPolicy placement = api::PlacementPolicy::kReplicate;
+
+  /// Order in which queued queries are admitted to the planner.
+  api::AdmissionPolicy admission = api::AdmissionPolicy::kSubmitOrder;
 };
 
 /// \brief Outcome of one query of a batch.
@@ -69,25 +97,45 @@ struct QueryResult {
   double solo_seconds = 0;
   /// Completion time of the query within the shared batch timeline.
   double finish_s = 0;
+  /// Home device the query was placed on (0 with one device; the
+  /// functional-execution device of a kPartition-split query).
+  int device = 0;
+  /// True when the query's in-GPU work was sliced across all devices
+  /// (PlacementPolicy::kPartition with > 1 device).
+  bool split = false;
 };
 
 /// \brief Batch-level outcome.
 struct SessionStats {
   double makespan_s = 0;     ///< Shared-timeline end-to-end seconds.
   double independent_s = 0;  ///< Sum of the queries' solo makespans.
-  /// independent_s / makespan_s (1.0 for a 1-query session by
-  /// construction; > 1 from sharing and cross-query overlap).
+  /// independent_s / makespan_s (1.0 for a 1-query single-device session
+  /// by construction; > 1 from sharing, cross-query overlap and
+  /// multi-device parallelism).
   double speedup = 0;
   size_t shared_build_hits = 0;   ///< Probes that reused a partitioned build.
   size_t shared_upload_hits = 0;  ///< Deduplicated relation uploads.
+  size_t replicated_builds = 0;   ///< Shared builds materialized on an
+                                  ///< additional device (charged as a
+                                  ///< peer copy or a host re-upload,
+                                  ///< whichever is cheaper).
+  size_t coprocess_part_hits = 0; ///< CPU pre-partitionings reused across
+                                  ///< co-processing queries.
   sim::Schedule schedule;         ///< Merged schedule (utilization etc.).
-  UploadCacheStats cache;         ///< Artifact-cache counters.
+  UploadCacheStats cache;         ///< Artifact-cache counters, summed
+                                  ///< over the per-device caches.
 };
 
-/// \brief A batch of join queries executed on one device timeline.
+/// \brief A batch of join queries executed on one shared timeline over a
+/// device topology.
 class Session {
  public:
+  /// Single-device session (device_count is forced to 1).
   explicit Session(sim::Device* device, SessionConfig config = {});
+
+  /// Session over `topology` (config.device_count selects a prefix of
+  /// its devices; 0 = all).
+  explicit Session(sim::Topology* topology, SessionConfig config = {});
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -104,6 +152,9 @@ class Session {
   /// Number of submitted queries.
   size_t size() const { return queries_.size(); }
 
+  /// Devices the session schedules onto.
+  int device_count() const { return static_cast<int>(devices_.size()); }
+
   /// Result of query `handle`; valid after Run() succeeded.
   const QueryResult& result(QueryHandle handle) const {
     return results_[static_cast<size_t>(handle)];
@@ -118,23 +169,50 @@ class Session {
     const data::Relation* probe;
     api::JoinConfig config;
     api::Strategy strategy = api::Strategy::kAuto;  ///< Resolved in Run.
+    int device = 0;      ///< Home device (placement step).
+    bool split = false;  ///< Sliced across all devices (kPartition).
   };
 
-  /// Executes query `index` functionally, filling `result` and
-  /// splicing its solo DAG into `graph`.
+  sim::Device* device(int d) { return devices_[static_cast<size_t>(d)]; }
+  UploadCache& cache(int d) { return *caches_[static_cast<size_t>(d)]; }
+
+  /// Admission order of query indices under config_.admission.
+  std::vector<int> AdmissionOrder() const;
+
+  /// Assigns every query a home device (greedy earliest estimated
+  /// finish under kReplicate; split marking under kPartition) and
+  /// declares shared-artifact demand on the per-device caches.
+  void PlanPlacement(const std::vector<int>& order);
+
+  /// Executes query `index` functionally on its home device, filling
+  /// `result` and splicing its op DAG into `graph`.
   util::Status ExecuteQuery(int index, QueryGraph* graph,
                             QueryResult* result);
 
-  sim::Device* device_;
+  /// Emits the in-GPU batch DAG of query `index` sliced 1/N across all
+  /// devices (kPartition placement). `*_shared` = the artifact was a
+  /// cache hit; `*_cached` = it is resident after this query (producer
+  /// nodes may be registered for later aliasing).
+  void EmitSplitInGpu(int index, QueryGraph* graph, double build_part_s,
+                      double probe_part_s, double join_s, bool build_shared,
+                      bool build_cached, bool probe_shared, bool probe_cached);
+
+  std::vector<sim::Device*> devices_;
   SessionConfig config_;
-  UploadCache cache_;
+  std::vector<std::unique_ptr<UploadCache>> caches_;
   std::vector<Query> queries_;
   std::vector<QueryResult> results_;
   SessionStats stats_;
   bool ran_ = false;
 
-  /// key -> node ids of the resident artifact's producer ops.
+  /// key (+ "@<device>" / "#split" suffix) -> node ids of the resident
+  /// artifact's producer ops in the merged graph.
   std::map<std::string, std::vector<NodeId>> artifact_nodes_;
+  /// Device footprint of a produced artifact (sizes peer replicas).
+  std::map<std::string, uint64_t> artifact_bytes_;
+  /// Shared CPU pre-partitionings of co-processing queries, keyed by
+  /// relation identity + partitioning geometry.
+  std::map<std::string, cpu::HostPartitions> host_parts_;
 };
 
 }  // namespace gjoin::exec

@@ -46,4 +46,34 @@ double NumaModel::StagingCopyGbps(int threads) const {
   return std::min({thread_bw, cpu_.qpi_bw_gbps, cpu_.socket_mem_bw_gbps});
 }
 
+namespace numa {
+
+StagingPlan PlacementPlanner::Plan(int device_index, int cpu_threads) const {
+  StagingPlan plan;
+  plan.near_socket = SocketOf(device_index);
+
+  const double nominal_dma = spec_.pcie.bw_gbps;
+  // Staged path: CPU threads stream far-socket data into near-socket
+  // pinned buffers; the DMA then reads near memory at full rate, so the
+  // far data moves at the weaker of the staging rate and the link rate.
+  const double staging_gbps = model_.StagingCopyGbps(cpu_threads);
+  plan.staged_far_gbps = std::min(staging_gbps, nominal_dma);
+  // Direct path: DMA reads cross the inter-socket link, congested by the
+  // concurrent partitioning/coherency traffic (the Fig. 16 baseline).
+  plan.direct_far_gbps =
+      nominal_dma * model_.FarSocketDmaScale(nominal_dma, /*cpu_active=*/true);
+  plan.stage = plan.staged_far_gbps > plan.direct_far_gbps;
+
+  // Threads needed to saturate the staging path; it is bounded by the
+  // weakest of QPI, socket bandwidth and the PCIe link itself.
+  const double path_gbps = std::min(
+      {spec_.cpu.qpi_bw_gbps, spec_.cpu.socket_mem_bw_gbps, nominal_dma});
+  const double per_thread = spec_.cpu.per_thread_stream_bw_gbps;
+  int threads = static_cast<int>(path_gbps / per_thread);
+  if (static_cast<double>(threads) * per_thread < path_gbps) ++threads;
+  plan.staging_threads = std::max(1, std::min(threads, std::max(1, cpu_threads)));
+  return plan;
+}
+
+}  // namespace numa
 }  // namespace gjoin::hw

@@ -12,6 +12,8 @@
 #ifndef GJOIN_HW_NUMA_H_
 #define GJOIN_HW_NUMA_H_
 
+#include <algorithm>
+
 #include "src/hw/spec.h"
 
 namespace gjoin::hw {
@@ -57,6 +59,54 @@ class NumaModel {
   CpuSpec cpu_;
 };
 
+namespace numa {
+
+/// \brief One device's upload-path placement: which socket to pin
+/// staging buffers on and whether staging pays off.
+struct StagingPlan {
+  int near_socket = 0;       ///< Socket the device hangs off; pinned
+                             ///< staging buffers belong there.
+  bool stage = true;         ///< Staging beats direct far-socket DMA.
+  int staging_threads = 1;   ///< Threads that saturate the staging path
+                             ///< (more buys nothing: QPI/socket-bound).
+  double staged_far_gbps = 0;  ///< Far-data rate with staging.
+  double direct_far_gbps = 0;  ///< Far-data rate over the congested QPI.
+};
+
+/// \brief Picks pinned-buffer/staging placement from the topology.
+///
+/// Promotes the hand-rolled policy comparison of the Figure 16 bench
+/// into a planner: given where a device hangs off the socket fabric, it
+/// decides whether far-socket input should be staged into near-socket
+/// pinned buffers by CPU threads (Section IV-B) or DMA-read directly
+/// over the congested inter-socket link, and how many staging threads
+/// the choice needs. The session's upload path consults it per device;
+/// on the paper's testbed it picks staging (the paper's configuration),
+/// so single-device executions are unchanged.
+class PlacementPlanner {
+ public:
+  explicit PlacementPlanner(const HardwareSpec& spec)
+      : spec_(spec), model_(spec.cpu) {}
+
+  /// Socket that PCIe device `device_index` hangs off. Multi-GPU boards
+  /// spread devices round-robin over the sockets (device 0 near socket
+  /// 0, exactly the paper's single-GPU layout).
+  int SocketOf(int device_index) const {
+    return device_index % std::max(1, spec_.cpu.sockets);
+  }
+
+  /// Staging decision for `device_index`'s upload path with
+  /// `cpu_threads` available to perform staging copies.
+  StagingPlan Plan(int device_index, int cpu_threads) const;
+
+  const HardwareSpec& spec() const { return spec_; }
+
+ private:
+  HardwareSpec spec_;
+  NumaModel model_;
+};
+
+}  // namespace numa
 }  // namespace gjoin::hw
 
 #endif  // GJOIN_HW_NUMA_H_

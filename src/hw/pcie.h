@@ -55,6 +55,27 @@ class PcieModel {
   PcieSpec spec_;
 };
 
+/// \brief Times device-to-device data movement over the peer fabric.
+///
+/// Used by multi-GPU topologies to replicate device-resident artifacts
+/// (partitioned builds, shared uploads) without round-tripping through
+/// host memory or occupying the destination device's H2D engine.
+class InterconnectModel {
+ public:
+  explicit InterconnectModel(const InterconnectSpec& spec) : spec_(spec) {}
+
+  /// Seconds for one peer-to-peer DMA copy of `bytes`.
+  double PeerCopySeconds(uint64_t bytes) const {
+    return spec_.peer_latency_us * 1e-6 +
+           static_cast<double>(bytes) / (spec_.peer_bw_gbps * 1e9);
+  }
+
+  const InterconnectSpec& spec() const { return spec_; }
+
+ private:
+  InterconnectSpec spec_;
+};
+
 }  // namespace gjoin::hw
 
 #endif  // GJOIN_HW_PCIE_H_

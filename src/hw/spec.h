@@ -90,6 +90,22 @@ struct PcieSpec {
   double um_migration_bw_gbps = 6.0;  ///< Sustained migration throughput.
 };
 
+/// \brief Inter-device interconnect parameters (defaults: peer-to-peer
+/// DMA through the PCIe switch, the only path available on the paper's
+/// testbed generation; an NVLink-class machine raises peer_bw_gbps).
+///
+/// Multi-GPU topologies use this link to replicate device-resident
+/// artifacts (e.g. a partitioned build) device-to-device instead of
+/// re-uploading them from the host: the copy rides the peer fabric, so
+/// it neither occupies the destination's H2D engine nor re-runs the
+/// partitioning kernels.
+struct InterconnectSpec {
+  double peer_bw_gbps = 11.0;   ///< P2P DMA bandwidth (slightly below
+                                ///< host DMA: both endpoints traverse
+                                ///< the switch).
+  double peer_latency_us = 12.0;  ///< Per-copy setup latency.
+};
+
 /// \brief Host CPU and memory-system parameters
 /// (defaults: 2x Xeon E5-2650L v3, DDR4).
 struct CpuSpec {
@@ -125,6 +141,7 @@ struct HardwareSpec {
   GpuSpec gpu;
   PcieSpec pcie;
   CpuSpec cpu;
+  InterconnectSpec interconnect;
 
   /// The paper's testbed (GTX 1080 + 2x E5-2650L v3). Default-constructed
   /// members already describe it; this named factory documents intent.

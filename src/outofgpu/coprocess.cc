@@ -1,6 +1,7 @@
 #include "src/outofgpu/coprocess.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/hw/numa.h"
 #include "src/hw/pcie.h"
@@ -36,16 +37,34 @@ util::Result<CoProcessPlan> PlanCoProcessJoin(sim::Device* device,
                                               const data::Relation& build,
                                               const data::Relation& probe,
                                               const CoProcessConfig& config) {
+  return PlanCoProcessJoinShared(device, build, probe, config, nullptr,
+                                 nullptr, nullptr, nullptr);
+}
+
+util::Result<CoProcessPlan> PlanCoProcessJoinShared(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe, const CoProcessConfig& config,
+    const cpu::HostPartitions* build_parts,
+    const cpu::HostPartitions* probe_parts,
+    cpu::HostPartitions* out_build_parts,
+    cpu::HostPartitions* out_probe_parts) {
   const hw::HardwareSpec& spec = device->spec();
   const hw::CpuCostModel cpu_model(spec.cpu);
 
-  // ---- 1. Host partitioning (functional) ----
-  GJOIN_ASSIGN_OR_RETURN(
-      cpu::HostPartitions r_parts,
-      cpu::CpuRadixPartition(build, config.cpu, cpu_model));
-  GJOIN_ASSIGN_OR_RETURN(
-      cpu::HostPartitions s_parts,
-      cpu::CpuRadixPartition(probe, config.cpu, cpu_model));
+  // ---- 1. Host partitioning (functional), shared when precomputed ----
+  cpu::HostPartitions r_local, s_local;
+  if (build_parts == nullptr) {
+    GJOIN_ASSIGN_OR_RETURN(
+        r_local, cpu::CpuRadixPartition(build, config.cpu, cpu_model));
+    build_parts = &r_local;
+  }
+  if (probe_parts == nullptr) {
+    GJOIN_ASSIGN_OR_RETURN(
+        s_local, cpu::CpuRadixPartition(probe, config.cpu, cpu_model));
+    probe_parts = &s_local;
+  }
+  const cpu::HostPartitions& r_parts = *build_parts;
+  const cpu::HostPartitions& s_parts = *probe_parts;
 
   // ---- 2. Working sets from the build side's partition sizes ----
   WorkingSetConfig packing = config.packing;
@@ -111,6 +130,14 @@ util::Result<CoProcessPlan> PlanCoProcessJoin(sim::Device* device,
     run.transfer_bytes = r_ws.bytes() + s_ws.bytes() * restreams;
     run.set_index = set_index;
     plan.runs.push_back(run);
+  }
+
+  // Hand freshly-computed partitions to the caller's cache.
+  if (out_build_parts != nullptr && build_parts == &r_local) {
+    *out_build_parts = std::move(r_local);
+  }
+  if (out_probe_parts != nullptr && probe_parts == &s_local) {
+    *out_probe_parts = std::move(s_local);
   }
   return plan;
 }
@@ -190,7 +217,9 @@ util::Result<CoProcessRun> CoProcessExecutePlanned(
     // is the chunk partitioning of the *entire* input; afterwards it is
     // the staging copy of this set's transfer bytes.
     const uint64_t cpu_phase_bytes =
-        first_set ? plan.total_input_bytes
+        first_set ? plan.total_input_bytes -
+                        std::min(config.prepartitioned_bytes,
+                                 plan.total_input_bytes)
                   : (config.staging
                          ? static_cast<uint64_t>(
                                static_cast<double>(run.transfer_bytes) *

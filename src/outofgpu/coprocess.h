@@ -60,6 +60,13 @@ struct CoProcessConfig {
 
   /// Fraction of the input resident on the far socket.
   double far_socket_fraction = 0.5;
+
+  /// Input bytes whose CPU pre-partitioning an earlier query of the same
+  /// session already performed on a shared relation (subtracted from the
+  /// first working set's CPU phase when timing the pipeline). Timing
+  /// only: functional sharing is the caller passing precomputed
+  /// HostPartitions to PlanCoProcessJoinShared.
+  uint64_t prepartitioned_bytes = 0;
 };
 
 /// Runs the co-processing join over two host relations.
@@ -97,6 +104,21 @@ util::Result<CoProcessPlan> PlanCoProcessJoin(sim::Device* device,
                                               const data::Relation& build,
                                               const data::Relation& probe,
                                               const CoProcessConfig& config);
+
+/// Plans with host partitions shared across queries: when
+/// `build_parts`/`probe_parts` is non-null it must be
+/// CpuRadixPartition(build/probe, config.cpu) and is reused instead of
+/// re-partitioning (CPU pre-partitioning is deterministic, so one
+/// partitioned form serves every query over the relation). When an input
+/// *was* partitioned here and the matching `out_*` pointer is non-null,
+/// the fresh partitions are moved out for the caller to cache. The
+/// returned plan is identical to PlanCoProcessJoin's.
+util::Result<CoProcessPlan> PlanCoProcessJoinShared(
+    sim::Device* device, const data::Relation& build,
+    const data::Relation& probe, const CoProcessConfig& config,
+    const cpu::HostPartitions* build_parts,
+    const cpu::HostPartitions* probe_parts,
+    cpu::HostPartitions* out_build_parts, cpu::HostPartitions* out_probe_parts);
 
 /// \brief A timed co-processing pipeline: finalized stats plus the op
 /// DAG they were timed on (consumed by the multi-query session

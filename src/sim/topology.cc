@@ -1,0 +1,31 @@
+#include "src/sim/topology.h"
+
+#include <cassert>
+
+namespace gjoin::sim {
+
+Topology::Topology(const hw::HardwareSpec& spec, int device_count,
+                   util::ThreadPool* pool)
+    : spec_(spec) {
+  assert(device_count >= 1);
+  devices_.reserve(static_cast<size_t>(device_count));
+  for (int d = 0; d < device_count; ++d) {
+    devices_.push_back(std::make_unique<Device>(spec, pool));
+  }
+}
+
+std::vector<std::string> Topology::ExtraLaneNames(int device_count) {
+  std::vector<std::string> names;
+  for (int d = 1; d < device_count; ++d) {
+    std::string prefix = "dev";
+    prefix += std::to_string(d);
+    prefix += ':';
+    names.push_back(prefix + "gpu");
+    names.push_back(prefix + "h2d");
+    names.push_back(prefix + "d2h");
+  }
+  if (device_count > 1) names.push_back("peer");
+  return names;
+}
+
+}  // namespace gjoin::sim

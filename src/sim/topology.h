@@ -1,0 +1,117 @@
+// Device topology: N simulated GPUs behind one host.
+//
+// The paper's co-processing model treats the GPU as one fixed device
+// behind one PCIe link. A Topology makes the device count a first-class
+// dimension instead: it owns N sim::Device instances — each with its own
+// DeviceMemory, its own compute engine and its own pair of DMA engines —
+// plus one modeled peer-interconnect lane (hw::InterconnectSpec) over
+// which device-resident artifacts replicate device-to-device.
+//
+// A multi-device schedule lives on one sim::Timeline whose lane layout
+// is fixed by this class:
+//
+//   lane 0..3                    device 0's engines + the shared host
+//                                thread team (the predefined engines, so
+//                                a 1-device topology is lane-for-lane
+//                                identical to the single-device layout);
+//   lane 4 + 3*(d-1) + {0,1,2}   device d's {compute, h2d, d2h} lanes
+//                                for d >= 1;
+//   last lane                    the peer interconnect (only present
+//                                when device_count > 1).
+//
+// The host thread team (Engine::kCpu, lane 3) is deliberately shared:
+// CPU pre-partitioning and staging serve all devices from one socket
+// pair, which is exactly the contention the NUMA placement planner
+// (src/hw/numa.h) arbitrates.
+
+#ifndef GJOIN_SIM_TOPOLOGY_H_
+#define GJOIN_SIM_TOPOLOGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/spec.h"
+#include "src/sim/device.h"
+#include "src/sim/timeline.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace gjoin::sim {
+
+/// \brief A group of identical simulated GPUs sharing one host.
+class Topology {
+ public:
+  /// \param spec per-device hardware description (all devices identical,
+  ///        as in the homogeneous multi-GPU servers the extension
+  ///        models); also carries the interconnect.
+  /// \param device_count number of GPUs (>= 1).
+  /// \param pool host threads for functional execution, shared by all
+  ///        devices; defaults to the process-wide pool.
+  explicit Topology(const hw::HardwareSpec& spec, int device_count = 1,
+                    util::ThreadPool* pool = nullptr);
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Number of devices in the group.
+  int device_count() const { return static_cast<int>(devices_.size()); }
+
+  /// Device `d` (0 <= d < device_count()).
+  Device& device(int d) { return *devices_[static_cast<size_t>(d)]; }
+  const Device& device(int d) const { return *devices_[static_cast<size_t>(d)]; }
+
+  /// The (shared) machine description.
+  const hw::HardwareSpec& spec() const { return spec_; }
+
+  // ---- Lane layout for a shared multi-device timeline ----
+  // Device 0 maps onto the four predefined engines, so single-device
+  // schedules are unchanged; the helpers below are pure functions of the
+  // layout, usable without a Topology instance.
+
+  /// Compute lane of device `d`.
+  static LaneId ComputeLane(int d) {
+    return d == 0 ? static_cast<LaneId>(Engine::kComputeGpu)
+                  : kNumEngines + 3 * (d - 1);
+  }
+  /// Host-to-device DMA lane of device `d`.
+  static LaneId H2dLane(int d) {
+    return d == 0 ? static_cast<LaneId>(Engine::kCopyH2D)
+                  : kNumEngines + 3 * (d - 1) + 1;
+  }
+  /// Device-to-host DMA lane of device `d`.
+  static LaneId D2hLane(int d) {
+    return d == 0 ? static_cast<LaneId>(Engine::kCopyD2H)
+                  : kNumEngines + 3 * (d - 1) + 2;
+  }
+  /// The shared host thread team.
+  static LaneId CpuLane() { return static_cast<LaneId>(Engine::kCpu); }
+  /// The peer-interconnect lane of a `device_count`-device layout
+  /// (present only when device_count > 1).
+  static LaneId PeerLane(int device_count) {
+    return kNumEngines + 3 * (device_count - 1);
+  }
+  /// Total lanes of a `device_count`-device layout.
+  static int NumLanes(int device_count) {
+    return device_count == 1 ? kNumEngines
+                             : kNumEngines + 3 * (device_count - 1) + 1;
+  }
+  /// Engine-lane (0..3) -> shared-timeline lane map for device `d`
+  /// (identity for device 0). Solo op DAGs are emitted per device
+  /// through this map.
+  static std::vector<LaneId> EngineLaneMap(int d) {
+    return {ComputeLane(d), H2dLane(d), D2hLane(d), CpuLane()};
+  }
+  /// Names of every lane of a `device_count`-device layout, AddLane
+  /// order (i.e. names for lanes kNumEngines and up; the predefined
+  /// engines keep their built-in names).
+  static std::vector<std::string> ExtraLaneNames(int device_count);
+
+ private:
+  hw::HardwareSpec spec_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace gjoin::sim
+
+#endif  // GJOIN_SIM_TOPOLOGY_H_

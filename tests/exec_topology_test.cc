@@ -1,0 +1,401 @@
+// Tests for the multi-GPU execution layer (sim::Topology through
+// exec::Session).
+//
+// Invariant 1 (single-device bit-identity): a device_count=1 session on
+// a Topology must reproduce the PR 3 exec_session_test goldens exactly —
+// the topology refactor is not allowed to move a single bit of the
+// single-device path. The golden numbers below are copied verbatim from
+// tests/exec_session_test.cc (captured from the PR 2 tree with a %.17g
+// harness).
+//
+// Invariant 2 (placement never changes results): per-query stats are
+// bit-identical to standalone runs at any device count, under either
+// placement policy and either admission order. Placement/admission only
+// move completion times.
+//
+// Plus: 2-device scheduling determinism, replica accounting, partitioned
+// placement speedup, shortest-job-first ordering, and the shared CPU
+// pre-partitioning cache of co-processing queries.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/api/gjoin.h"
+#include "src/data/generator.h"
+#include "src/exec/session.h"
+#include "src/sim/topology.h"
+
+namespace gjoin {
+namespace {
+
+using exec::Session;
+using exec::SessionConfig;
+
+void ExpectStatsBitIdentical(const gpujoin::JoinStats& a,
+                             const gpujoin::JoinStats& b) {
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.payload_sum, b.payload_sum);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_DOUBLE_EQ(a.partition_s, b.partition_s);
+  EXPECT_DOUBLE_EQ(a.join_s, b.join_s);
+  EXPECT_DOUBLE_EQ(a.transfer_s, b.transfer_s);
+  EXPECT_DOUBLE_EQ(a.cpu_s, b.cpu_s);
+}
+
+class ExecTopologyTest : public ::testing::Test {
+ protected:
+  ExecTopologyTest()
+      : r_(data::MakeUniqueUniform(100000, 21)),
+        s_(data::MakeUniformProbe(200000, 100000, 22)) {}
+
+  data::Relation r_;
+  data::Relation s_;
+};
+
+// ---------------------------------------------------------------------------
+// Invariant 1: device_count=1 topology sessions reproduce the goldens.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecTopologyTest, OneDeviceTopologyMatchesInGpuGolden) {
+  sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 1);
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  auto out = api::Join(&topo, r_, s_, cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->strategy, api::Strategy::kInGpu);
+  // Golden from exec_session_test.OneQueryInGpuAggregateMatchesGolden.
+  EXPECT_EQ(out->stats.matches, 200000u);
+  EXPECT_EQ(out->stats.payload_sum, 30006356267ull);
+  EXPECT_DOUBLE_EQ(out->stats.seconds, 0.00012578700876018098);
+  EXPECT_DOUBLE_EQ(out->stats.partition_s, 0.00010094888376018099);
+  EXPECT_DOUBLE_EQ(out->stats.join_s, 2.4838125e-05);
+  EXPECT_DOUBLE_EQ(out->stats.transfer_s, 0.00021512195121951218);
+}
+
+TEST_F(ExecTopologyTest, OneDeviceTopologyMatchesCoProcessingGolden) {
+  sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 1);
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  cfg.strategy = api::Strategy::kCoProcessing;
+  cfg.cpu_threads = 4;  // pin: the default clamps to the host
+  auto out = api::Join(&topo, r_, s_, cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Golden from exec_session_test.OneQueryCoProcessingMatchesGolden.
+  EXPECT_EQ(out->stats.matches, 200000u);
+  EXPECT_EQ(out->stats.payload_sum, 30006356267ull);
+  EXPECT_DOUBLE_EQ(out->stats.seconds, 0.00057678844397969324);
+  EXPECT_DOUBLE_EQ(out->stats.partition_s, 0.00010204836776018099);
+  EXPECT_DOUBLE_EQ(out->stats.join_s, 2.9618124999999999e-05);
+  EXPECT_DOUBLE_EQ(out->stats.transfer_s, 0.0002051219512195122);
+  EXPECT_DOUBLE_EQ(out->stats.cpu_s, 0.00024000000000000001);
+}
+
+TEST_F(ExecTopologyTest, MultiDeviceTopologyOnOneDeviceIsUnchanged) {
+  // A 4-device topology used with device_count=1 schedules exactly like
+  // a single device: extra devices exist but receive no work.
+  sim::Device solo_device{hw::HardwareSpec::Icde2019Testbed()};
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  Session solo(&solo_device);
+  solo.Submit(r_, s_, cfg);
+  ASSERT_TRUE(solo.Run().ok());
+
+  sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 4);
+  SessionConfig session_cfg;
+  session_cfg.device_count = 1;
+  Session session(&topo, session_cfg);
+  session.Submit(r_, s_, cfg);
+  ASSERT_TRUE(session.Run().ok());
+
+  ExpectStatsBitIdentical(session.result(0).outcome.stats,
+                          solo.result(0).outcome.stats);
+  EXPECT_DOUBLE_EQ(session.stats().makespan_s, solo.stats().makespan_s);
+  EXPECT_EQ(session.result(0).device, 0);
+  EXPECT_FALSE(session.result(0).split);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 2 + multi-device behavior.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecTopologyTest, TwoDeviceReplicateKeepsStatsAndBeatsOneDevice) {
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  std::vector<data::Relation> builds, probes;
+  for (int i = 0; i < 4; ++i) {
+    builds.push_back(data::MakeUniqueUniform(100000, 71 + i));
+    probes.push_back(data::MakeUniformProbe(200000, 100000, 81 + i));
+  }
+
+  // Standalone runs for the bit-identity check.
+  std::vector<gpujoin::JoinStats> solo;
+  for (int i = 0; i < 4; ++i) {
+    sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+    auto out = api::Join(&device, builds[i], probes[i], cfg);
+    ASSERT_TRUE(out.ok()) << out.status();
+    solo.push_back(out->stats);
+  }
+
+  auto run_with = [&](int device_count) {
+    auto topo = std::make_unique<sim::Topology>(
+        hw::HardwareSpec::Icde2019Testbed(), device_count);
+    SessionConfig session_cfg;
+    session_cfg.placement = api::PlacementPolicy::kReplicate;
+    auto session = std::make_unique<Session>(topo.get(), session_cfg);
+    for (int i = 0; i < 4; ++i) session->Submit(builds[i], probes[i], cfg);
+    EXPECT_TRUE(session->Run().ok());
+    return std::make_pair(std::move(topo), std::move(session));
+  };
+
+  auto [topo1, one] = run_with(1);
+  auto [topo2, two] = run_with(2);
+
+  // Per-query stats are bit-identical to standalone at both counts.
+  for (int i = 0; i < 4; ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    ExpectStatsBitIdentical(one->result(i).outcome.stats, solo[i]);
+    ExpectStatsBitIdentical(two->result(i).outcome.stats, solo[i]);
+  }
+  // Two devices split four independent queries and finish sooner.
+  EXPECT_LT(two->stats().makespan_s, one->stats().makespan_s);
+  // Both devices got work.
+  bool used[2] = {false, false};
+  for (int i = 0; i < 4; ++i) used[two->result(i).device] = true;
+  EXPECT_TRUE(used[0]);
+  EXPECT_TRUE(used[1]);
+}
+
+TEST_F(ExecTopologyTest, SharedBuildReplicatesAcrossDevices) {
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  std::vector<data::Relation> probes;
+  for (uint64_t seed : {22, 23, 24, 25}) {
+    probes.push_back(data::MakeUniformProbe(200000, 100000, seed));
+  }
+
+  {
+    sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
+    Session session(&topo);
+    for (const auto& probe : probes) session.Submit(r_, probe, cfg);
+    ASSERT_TRUE(session.Run().ok());
+
+    // The build is materialized once per device that probes it: one
+    // original + one replica; later queries on each device hit. On the
+    // testbed's PCIe switch a host re-upload beats a peer copy of the
+    // larger partitioned artifact, so the peer lane stays idle.
+    EXPECT_EQ(session.stats().replicated_builds, 1u);
+    EXPECT_EQ(session.stats().shared_build_hits, 2u);
+    const sim::LaneId peer = sim::Topology::PeerLane(2);
+    EXPECT_DOUBLE_EQ(session.stats().schedule.LaneUtilization(peer), 0.0);
+  }
+  {
+    // On an NVLink-class fabric the peer copy wins and the replica
+    // rides the interconnect lane instead of the H2D engine.
+    hw::HardwareSpec nvlink = hw::HardwareSpec::Icde2019Testbed();
+    nvlink.interconnect.peer_bw_gbps = 50.0;
+    nvlink.interconnect.peer_latency_us = 5.0;
+    sim::Topology topo(nvlink, 2);
+    Session session(&topo);
+    for (const auto& probe : probes) session.Submit(r_, probe, cfg);
+    ASSERT_TRUE(session.Run().ok());
+    EXPECT_EQ(session.stats().replicated_builds, 1u);
+    const sim::LaneId peer = sim::Topology::PeerLane(2);
+    EXPECT_GT(session.stats().schedule.LaneUtilization(peer), 0.0);
+  }
+}
+
+TEST_F(ExecTopologyTest, TwoDeviceSchedulingIsDeterministic) {
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  std::vector<data::Relation> probes;
+  for (uint64_t seed : {22, 23, 24, 25}) {
+    probes.push_back(data::MakeUniformProbe(200000, 100000, seed));
+  }
+
+  auto run_once = [&](api::PlacementPolicy placement) {
+    sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
+    SessionConfig session_cfg;
+    session_cfg.placement = placement;
+    Session session(&topo, session_cfg);
+    session.Submit(r_, s_, cfg);
+    for (const auto& probe : probes) session.Submit(r_, probe, cfg);
+    EXPECT_TRUE(session.Run().ok());
+    std::vector<double> times{session.stats().makespan_s};
+    for (int q = 0; q < static_cast<int>(session.size()); ++q) {
+      times.push_back(session.result(q).finish_s);
+    }
+    return times;
+  };
+
+  for (const api::PlacementPolicy placement :
+       {api::PlacementPolicy::kReplicate, api::PlacementPolicy::kPartition}) {
+    const auto a = run_once(placement);
+    const auto b = run_once(placement);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[i], b[i]) << "entry " << i;
+    }
+  }
+}
+
+TEST_F(ExecTopologyTest, PartitionedPlacementSplitsOneQuery) {
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  auto solo = api::Join(&device, r_, s_, cfg);
+  ASSERT_TRUE(solo.ok()) << solo.status();
+
+  sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
+  SessionConfig session_cfg;
+  session_cfg.placement = api::PlacementPolicy::kPartition;
+  Session session(&topo, session_cfg);
+  session.Submit(r_, s_, cfg);
+  ASSERT_TRUE(session.Run().ok());
+
+  // Results and stats are placement-invariant...
+  ExpectStatsBitIdentical(session.result(0).outcome.stats, solo->stats);
+  EXPECT_TRUE(session.result(0).split);
+  // ...but the sliced work finishes faster than the solo run would.
+  EXPECT_LT(session.stats().makespan_s, session.result(0).solo_seconds);
+  EXPECT_GT(session.stats().speedup, 1.2);
+}
+
+TEST_F(ExecTopologyTest, PartitionApiOverloadSplitsViaJoinConfig) {
+  sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  cfg.device_count = 2;  // placement defaults to kPartition
+  auto out = api::Join(&topo, r_, s_, cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->stats.matches, 200000u);
+  EXPECT_EQ(out->stats.payload_sum, 30006356267ull);
+}
+
+TEST_F(ExecTopologyTest, MixedSplitAndWholeQueriesShareOneBuild) {
+  // kPartition slices in-GPU queries but places streaming queries
+  // whole; both kinds sharing one build exercises the cross-slicing
+  // artifact paths (a whole query hitting a "#split"-charged artifact
+  // re-charges its own gather and registers it).
+  api::JoinConfig ingpu_cfg;
+  ingpu_cfg.pass_bits = {6, 5};
+  api::JoinConfig stream_cfg = ingpu_cfg;
+  stream_cfg.strategy = api::Strategy::kStreamingProbe;
+  const auto s2 = data::MakeUniformProbe(200000, 100000, 96);
+
+  std::vector<gpujoin::JoinStats> solo;
+  for (const auto& [cfg, probe] :
+       {std::pair<const api::JoinConfig&, const data::Relation&>{ingpu_cfg,
+                                                                 s_},
+        {stream_cfg, s2}}) {
+    sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+    auto out = api::Join(&device, r_, probe, cfg);
+    ASSERT_TRUE(out.ok()) << out.status();
+    solo.push_back(out->stats);
+  }
+
+  sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
+  SessionConfig session_cfg;
+  session_cfg.placement = api::PlacementPolicy::kPartition;
+  Session session(&topo, session_cfg);
+  const auto h0 = session.Submit(r_, s_, ingpu_cfg);
+  const auto h1 = session.Submit(r_, s2, stream_cfg);
+  ASSERT_TRUE(session.Run().ok());
+
+  EXPECT_TRUE(session.result(h0).split);
+  EXPECT_FALSE(session.result(h1).split);
+  ExpectStatsBitIdentical(session.result(h0).outcome.stats, solo[0]);
+  ExpectStatsBitIdentical(session.result(h1).outcome.stats, solo[1]);
+  EXPECT_GT(session.stats().makespan_s, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Admission policy: SJF reorders completions, never stats.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecTopologyTest, ShortestJobFirstReordersCompletionOnly) {
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  const auto big_build = data::MakeUniqueUniform(100000, 91);
+  const auto big_probe = data::MakeUniformProbe(200000, 100000, 92);
+  const auto small_build = data::MakeUniqueUniform(60000, 93);
+  const auto small_probe = data::MakeUniformProbe(120000, 60000, 94);
+
+  struct RunOut {
+    gpujoin::JoinStats stats[2];
+    double finish[2];
+  };
+  auto run_with = [&](api::AdmissionPolicy admission) {
+    sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+    SessionConfig session_cfg;
+    session_cfg.admission = admission;
+    Session session(&device, session_cfg);
+    session.Submit(big_build, big_probe, cfg);      // query 0: big
+    session.Submit(small_build, small_probe, cfg);  // query 1: small
+    EXPECT_TRUE(session.Run().ok());
+    RunOut out;
+    for (int q = 0; q < 2; ++q) {
+      out.stats[q] = session.result(q).outcome.stats;
+      out.finish[q] = session.result(q).finish_s;
+    }
+    return out;
+  };
+
+  const RunOut fifo = run_with(api::AdmissionPolicy::kSubmitOrder);
+  const RunOut sjf = run_with(api::AdmissionPolicy::kShortestJobFirst);
+
+  // Stats are admission-invariant, bit for bit.
+  for (int q = 0; q < 2; ++q) {
+    SCOPED_TRACE("query " + std::to_string(q));
+    ExpectStatsBitIdentical(fifo.stats[q], sjf.stats[q]);
+  }
+  // Under submit order the big query's ops are issued first and the
+  // small query queues behind its transfers; SJF flips the issue order,
+  // so the small query completes strictly earlier than before...
+  EXPECT_LT(sjf.finish[1], fifo.finish[1]);
+  // ...and the completion order changes: FIFO finishes the big query
+  // first, SJF the small one.
+  EXPECT_LT(fifo.finish[0], fifo.finish[1]);
+  EXPECT_LT(sjf.finish[1], sjf.finish[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Shared CPU pre-partitioning across co-processing queries.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecTopologyTest, CoProcessingQueriesShareCpuPrepartitioning) {
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  cfg.strategy = api::Strategy::kCoProcessing;
+  cfg.cpu_threads = 4;
+  const auto r2 = data::MakeUniqueUniform(100000, 95);
+
+  // Standalone runs (fresh device each).
+  std::vector<gpujoin::JoinStats> solo;
+  for (const data::Relation* build :
+       std::initializer_list<const data::Relation*>{&r_, &r2}) {
+    sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+    auto out = api::Join(&device, *build, s_, cfg);
+    ASSERT_TRUE(out.ok()) << out.status();
+    solo.push_back(out->stats);
+  }
+
+  // Two co-processing queries over a common probe relation: the probe's
+  // CPU pre-partitioning is computed once.
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  Session session(&device);
+  const auto h0 = session.Submit(r_, s_, cfg);
+  const auto h1 = session.Submit(r2, s_, cfg);
+  ASSERT_TRUE(session.Run().ok());
+
+  ExpectStatsBitIdentical(session.result(h0).outcome.stats, solo[0]);
+  ExpectStatsBitIdentical(session.result(h1).outcome.stats, solo[1]);
+  EXPECT_EQ(session.stats().coprocess_part_hits, 1u);
+  // The second query's batch pipeline skips the shared phase: the batch
+  // beats two independent runs by more than overlap alone would buy.
+  EXPECT_LT(session.stats().makespan_s, session.stats().independent_s);
+}
+
+}  // namespace
+}  // namespace gjoin

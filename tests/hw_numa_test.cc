@@ -73,5 +73,54 @@ TEST_F(NumaTest, StagingBeatsCongestedDirectCopy) {
   EXPECT_GT(staging_gbps, direct_gbps);
 }
 
+// ---------------------------------------------------------------------------
+// numa::PlacementPlanner: the Figure 16 policy choice as a planner.
+// ---------------------------------------------------------------------------
+
+TEST(NumaPlannerTest, TestbedPlanStages) {
+  // On the paper's testbed, staging always beats direct far-socket DMA
+  // — the planner reproduces the paper's chosen configuration, which
+  // also keeps the session's default co-processing path unchanged.
+  const numa::PlacementPlanner planner(HardwareSpec::Icde2019Testbed());
+  const numa::StagingPlan plan = planner.Plan(/*device_index=*/0,
+                                              /*cpu_threads=*/16);
+  EXPECT_TRUE(plan.stage);
+  EXPECT_GT(plan.staged_far_gbps, plan.direct_far_gbps);
+  EXPECT_EQ(plan.near_socket, 0);
+  // Even a single staging thread (5.5 GB/s) beats the congested QPI
+  // path (~4.95 GB/s).
+  EXPECT_TRUE(planner.Plan(0, 1).stage);
+}
+
+TEST(NumaPlannerTest, DevicesSpreadRoundRobinOverSockets) {
+  const numa::PlacementPlanner planner(HardwareSpec::Icde2019Testbed());
+  EXPECT_EQ(planner.SocketOf(0), 0);
+  EXPECT_EQ(planner.SocketOf(1), 1);
+  EXPECT_EQ(planner.SocketOf(2), 0);
+  EXPECT_EQ(planner.SocketOf(3), 1);
+}
+
+TEST(NumaPlannerTest, StagingThreadsSaturateTheWeakestPath) {
+  const HardwareSpec spec = HardwareSpec::Icde2019Testbed();
+  const numa::PlacementPlanner planner(spec);
+  const numa::StagingPlan plan = planner.Plan(0, 16);
+  // ceil(min(qpi=9, socket=55, pcie=12.3) / 5.5 per thread) = 2.
+  EXPECT_EQ(plan.staging_threads, 2);
+  // Never more threads than the caller has.
+  EXPECT_EQ(planner.Plan(0, 1).staging_threads, 1);
+}
+
+TEST(NumaPlannerTest, FastInterSocketLinkPrefersDirectCopies) {
+  // A hypothetical machine whose inter-socket link outruns PCIe (e.g.
+  // UPI-class): direct far-socket DMA loses nothing, so the planner
+  // skips the staging threads.
+  HardwareSpec spec = HardwareSpec::Icde2019Testbed();
+  spec.cpu.qpi_bw_gbps = 40.0;
+  spec.cpu.qpi_congestion_factor = 0.9;
+  const numa::PlacementPlanner planner(spec);
+  const numa::StagingPlan plan = planner.Plan(0, 16);
+  EXPECT_FALSE(plan.stage);
+}
+
 }  // namespace
 }  // namespace gjoin::hw

@@ -1,0 +1,92 @@
+// Tests for sim::Topology: device ownership/independence, the fixed
+// multi-device lane layout, and the peer-interconnect model.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/pcie.h"
+#include "src/sim/topology.h"
+
+namespace gjoin {
+namespace {
+
+using sim::Topology;
+
+TEST(TopologyTest, OwnsIndependentDevices) {
+  Topology topo(hw::HardwareSpec::Icde2019Testbed(), 3);
+  ASSERT_EQ(topo.device_count(), 3);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(topo.device(d).memory().used(), 0u);
+    EXPECT_EQ(topo.device(d).spec().gpu.device_memory_bytes, 8ull << 30);
+  }
+
+  // Allocations on one device do not touch the others' capacity.
+  auto buf = topo.device(1).memory().Allocate<uint64_t>(1024);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_GT(topo.device(1).memory().used(), 0u);
+  EXPECT_EQ(topo.device(0).memory().used(), 0u);
+  EXPECT_EQ(topo.device(2).memory().used(), 0u);
+}
+
+TEST(TopologyTest, SingleDeviceLayoutIsThePredefinedEngines) {
+  // Device 0 maps onto the predefined engines, so a 1-device topology
+  // is lane-for-lane identical to the single-device layout.
+  EXPECT_EQ(Topology::ComputeLane(0),
+            static_cast<sim::LaneId>(sim::Engine::kComputeGpu));
+  EXPECT_EQ(Topology::H2dLane(0),
+            static_cast<sim::LaneId>(sim::Engine::kCopyH2D));
+  EXPECT_EQ(Topology::D2hLane(0),
+            static_cast<sim::LaneId>(sim::Engine::kCopyD2H));
+  EXPECT_EQ(Topology::CpuLane(), static_cast<sim::LaneId>(sim::Engine::kCpu));
+  EXPECT_EQ(Topology::NumLanes(1), sim::kNumEngines);
+  EXPECT_TRUE(Topology::ExtraLaneNames(1).empty());
+}
+
+TEST(TopologyTest, MultiDeviceLaneLayout) {
+  // 3 devices: engines 0-3, then {gpu,h2d,d2h} per extra device, then
+  // the peer lane.
+  EXPECT_EQ(Topology::ComputeLane(1), 4);
+  EXPECT_EQ(Topology::H2dLane(1), 5);
+  EXPECT_EQ(Topology::D2hLane(1), 6);
+  EXPECT_EQ(Topology::ComputeLane(2), 7);
+  EXPECT_EQ(Topology::H2dLane(2), 8);
+  EXPECT_EQ(Topology::D2hLane(2), 9);
+  EXPECT_EQ(Topology::PeerLane(3), 10);
+  EXPECT_EQ(Topology::NumLanes(3), 11);
+
+  const auto names = Topology::ExtraLaneNames(3);
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names[0], "dev1:gpu");
+  EXPECT_EQ(names[1], "dev1:h2d");
+  EXPECT_EQ(names[2], "dev1:d2h");
+  EXPECT_EQ(names[3], "dev2:gpu");
+  EXPECT_EQ(names[4], "dev2:h2d");
+  EXPECT_EQ(names[5], "dev2:d2h");
+  EXPECT_EQ(names[6], "peer");
+
+  // All lanes distinct, CPU shared.
+  EXPECT_EQ(Topology::CpuLane(), 3);
+  const auto map0 = Topology::EngineLaneMap(0);
+  const auto map1 = Topology::EngineLaneMap(1);
+  EXPECT_EQ(map0, (std::vector<sim::LaneId>{0, 1, 2, 3}));
+  EXPECT_EQ(map1, (std::vector<sim::LaneId>{4, 5, 6, 3}));
+}
+
+TEST(TopologyTest, InterconnectModelCharges) {
+  hw::InterconnectSpec spec;
+  spec.peer_bw_gbps = 10.0;
+  spec.peer_latency_us = 5.0;
+  const hw::InterconnectModel peer(spec);
+  EXPECT_DOUBLE_EQ(peer.PeerCopySeconds(0), 5e-6);
+  EXPECT_DOUBLE_EQ(peer.PeerCopySeconds(10'000'000'000ull), 5e-6 + 1.0);
+}
+
+TEST(TopologyTest, DefaultInterconnectIsPcieP2p) {
+  // The testbed generation has no NVLink: peer copies ride the PCIe
+  // switch slightly below host-DMA bandwidth.
+  const hw::HardwareSpec spec = hw::HardwareSpec::Icde2019Testbed();
+  EXPECT_LT(spec.interconnect.peer_bw_gbps, spec.pcie.bw_gbps);
+  EXPECT_GT(spec.interconnect.peer_bw_gbps, 0.5 * spec.pcie.bw_gbps);
+}
+
+}  // namespace
+}  // namespace gjoin
