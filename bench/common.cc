@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "src/util/bits.h"
+#include "src/util/probe_pipeline.h"
 
 namespace gjoin::bench {
 
@@ -24,6 +25,15 @@ BenchContext BenchContext::Create(int argc, char** argv, const char* figure,
       util::NextPowerOfTwo(static_cast<uint64_t>(divisor)));
   ctx.divisor_ = divisor;
   ctx.log2_divisor_ = util::Log2Floor(static_cast<uint64_t>(divisor));
+
+  // Host-side probe-pipeline depth for every functional probe loop in
+  // this process (wall-clock only — emitted figures are identical at
+  // any depth; 1 = scalar reference loops).
+  if (ctx.flags_.Has("probe_pipeline_depth")) {
+    util::SetDefaultProbePipelineDepth(static_cast<int>(
+        ctx.flags_.GetInt("probe_pipeline_depth",
+                          util::DefaultProbePipelineDepth())));
+  }
 
   // Scale the memory hierarchy and fixed overheads (see header).
   hw::HardwareSpec spec;

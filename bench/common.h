@@ -37,8 +37,10 @@ namespace gjoin::bench {
 class BenchContext {
  public:
   /// Parses flags (--divisor overrides the figure's default; the
-  /// GJOIN_FULL_SCALE=1 environment variable forces divisor 1).
-  /// Aborts on malformed flags.
+  /// GJOIN_FULL_SCALE=1 environment variable forces divisor 1;
+  /// --probe_pipeline_depth sets the process-wide host probe-pipeline
+  /// depth — wall-clock only, emitted figures are identical at any
+  /// depth). Aborts on malformed flags.
   static BenchContext Create(int argc, char** argv, const char* figure,
                              const char* title, int64_t default_divisor);
 

@@ -16,6 +16,8 @@
 #include "src/gpujoin/nonpartitioned.h"
 #include "src/gpujoin/partitioned_join.h"
 #include "src/sim/topology.h"
+#include "src/util/bits.h"
+#include "src/util/probe_pipeline.h"
 
 namespace {
 
@@ -118,6 +120,128 @@ void BM_CpuProJoinFunctional(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_CpuProJoinFunctional)->Arg(1 << 18);
+
+/// Probe-pipeline gate inputs: large enough that the chained table
+/// (heads + packed nodes, ~384 MB at 16M build tuples) exceeds even a
+/// 260 MB LLC — the regime the pipeline exists for. Shared across the
+/// depth entries so generation cost is paid once per process.
+const data::Relation& PipelineBuild() {
+  static const data::Relation r = data::MakeUniqueUniform(16 << 20, 31);
+  return r;
+}
+const data::Relation& PipelineProbe() {
+  static const data::Relation s =
+      data::MakeUniformProbe(16 << 20, 16 << 20, 32);
+  return s;
+}
+
+void BM_ProbePipelineChained(benchmark::State& state) {
+  // Chained-probe pipeline gate: probe-only wall-clock of the AMAC
+  // engine over a global chained table (the non-partitioned join's
+  // probe loop shape) at pipeline depth range(0). Depth 1 is the
+  // scalar reference loop; the speedup of the deeper entries is the
+  // memory-latency tolerance the knob buys. The table is built once,
+  // outside the timing loop.
+  const data::Relation& r = PipelineBuild();
+  const data::Relation& s = PipelineProbe();
+  const size_t n = r.size();
+  const size_t slots = n * 2;  // slots_per_tuple default
+  static std::vector<int32_t> heads;
+  static std::vector<util::PackedHashNode> nodes;
+  if (heads.empty()) {
+    heads.assign(slots, -1);
+    nodes.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t slot = util::Mix32(r.keys[i]) & (slots - 1);
+      nodes[i] = {r.keys[i], r.payloads[i], heads[slot], 0};
+      heads[slot] = static_cast<int32_t>(i);
+    }
+  }
+  const int depth = static_cast<int>(state.range(0));
+  uint64_t total = 0;
+  for (auto _ : state) {
+    uint64_t matches = 0, checksum = 0;
+    struct Probe {
+      uint32_t key;
+      uint32_t pay;
+      int32_t cur;
+      uint32_t stage;
+    };
+    util::ProbePipeline<Probe>(
+        s.size(), depth,
+        [&](size_t i, Probe& p) {
+          const uint32_t key = s.keys[i];
+          const uint32_t slot = util::Mix32(key) & (slots - 1);
+          p = {key, s.payloads[i], static_cast<int32_t>(slot), 0};
+          util::PrefetchRead(&heads[slot]);
+        },
+        [&](size_t /*i*/, Probe& p) {
+          if (p.stage == 0) {
+            const int32_t e = heads[p.cur];
+            if (e < 0) return false;
+            p.cur = e;
+            p.stage = 1;
+            util::PrefetchRead(&nodes[e]);
+            return true;
+          }
+          const util::PackedHashNode& node = nodes[p.cur];
+          if (node.key == p.key) {
+            ++matches;
+            checksum += static_cast<uint64_t>(node.pay) + p.pay;
+          }
+          if (node.next < 0) return false;
+          p.cur = node.next;
+          util::PrefetchRead(&nodes[node.next]);
+          return true;
+        });
+    benchmark::DoNotOptimize(checksum);
+    total += matches;
+  }
+  if (total != state.iterations() * s.size()) state.SkipWithError("bad sum");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.size()));
+}
+BENCHMARK(BM_ProbePipelineChained)->Arg(1)->Arg(4)->Arg(32);
+
+void BM_ProbePipelineDense(benchmark::State& state) {
+  // Dense-probe pipeline gate: the perfect-hash shape — one
+  // *independent* access per probe into a dense array, which
+  // out-of-order execution already overlaps, so the depth entries
+  // document the (much smaller) benefit on the paper's best-case
+  // table.
+  const data::Relation& r = PipelineBuild();
+  const data::Relation& s = PipelineProbe();
+  const size_t n = r.size();
+  static std::vector<uint32_t> dense;
+  if (dense.empty()) {
+    dense.assign(n + 1, 0);
+    for (size_t i = 0; i < n; ++i) dense[r.keys[i]] = r.payloads[i] + 1;
+  }
+  const uint32_t max_key = static_cast<uint32_t>(n);
+  const int depth = static_cast<int>(state.range(0));
+  uint64_t total = 0;
+  for (auto _ : state) {
+    uint64_t matches = 0, checksum = 0;
+    util::GroupProbe<uint32_t>(
+        s.size(), depth,
+        [&](size_t i, uint32_t& key) {
+          key = s.keys[i];
+          if (key <= max_key) util::PrefetchRead(&dense[key]);
+        },
+        [&](size_t i, uint32_t& key) {
+          if (key <= max_key && dense[key] != 0) {
+            ++matches;
+            checksum += static_cast<uint64_t>(dense[key] - 1) + s.payloads[i];
+          }
+        });
+    benchmark::DoNotOptimize(checksum);
+    total += matches;
+  }
+  if (total != state.iterations() * s.size()) state.SkipWithError("bad sum");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.size()));
+}
+BENCHMARK(BM_ProbePipelineDense)->Arg(1)->Arg(4)->Arg(32);
 
 void BM_SessionSmallBatch(benchmark::State& state) {
   // Session-scheduler overhead gate: a 2-query shared-build batch of

@@ -4,6 +4,7 @@
 Usage:
   scripts/run_figures.py [--build-dir BUILD] [--out-dir OUT]
                          [--only REGEX] [--divisor N] [--strict]
+                         [--timings]
 
 Discovers bench binaries from bench/*.cc (fig*, abl_*) and runs the
 same-named executables from --build-dir sequentially (the benches are
@@ -12,16 +13,23 @@ garble timing-free output ordering). Per bench, stdout is saved to
 OUT/<name>.txt, the figure,series,x,value rows to OUT/<name>.csv, and
 everything to OUT/all_figures.csv.
 
+--timings additionally writes OUT/timings.json: per-bench wall-clock
+seconds (and the divisor each bench ran at), the measurement behind the
+README's "Full-scale timings" table. Timings are always collected; the
+flag only controls writing the JSON.
+
 Exit status: 1 if any bench exited non-zero (with --strict, benches
 themselves exit non-zero when a shape check fails), else 0.
 """
 
 import argparse
 import csv
+import json
 import pathlib
 import re
 import subprocess
 import sys
+import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -50,6 +58,9 @@ def main() -> int:
     parser.add_argument("--strict", action="store_true",
                         help="pass --strict: a failed shape check fails "
                              "the bench (and this script)")
+    parser.add_argument("--timings", action="store_true",
+                        help="write per-bench wall-clock seconds to "
+                             "OUT/timings.json")
     parser.add_argument("--timeout", type=int, default=3600,
                         help="per-bench timeout in seconds")
     args = parser.parse_args()
@@ -66,6 +77,7 @@ def main() -> int:
     all_rows = []
     failures = []
     checks_failed = 0
+    timings = {}
     for name in benches:
         binary = build_dir / name
         if not binary.exists():
@@ -78,6 +90,7 @@ def main() -> int:
         if args.strict:
             cmd.append("--strict")
         print(f"RUN  {' '.join(cmd)}", flush=True)
+        start = time.monotonic()
         try:
             proc = subprocess.run(cmd, capture_output=True, text=True,
                                   timeout=args.timeout)
@@ -96,10 +109,15 @@ def main() -> int:
             failures.append(name)
             continue
         (out_dir / f"{name}.txt").write_text(proc.stdout + proc.stderr)
+        wall_s = time.monotonic() - start
 
         rows = []
+        divisor = None
         for line in proc.stdout.splitlines():
             if line.startswith("#"):
+                m = re.match(r"# divisor=(\d+)", line)
+                if m:
+                    divisor = int(m.group(1))
                 continue
             if line.startswith("CHECK "):
                 if line.rstrip().endswith(": FAIL"):
@@ -113,11 +131,19 @@ def main() -> int:
             csv.writer(f).writerows(rows)
         all_rows.extend(rows)
 
+        timings[name] = {"wall_seconds": round(wall_s, 3),
+                         "divisor": divisor}
         if proc.returncode != 0:
             print(f"FAIL {name}: exit {proc.returncode}", file=sys.stderr)
             failures.append(name)
         else:
-            print(f"OK   {name}: {len(rows)} rows", flush=True)
+            print(f"OK   {name}: {len(rows)} rows ({wall_s:.1f}s)",
+                  flush=True)
+
+    if args.timings:
+        with open(out_dir / "timings.json", "w") as f:
+            json.dump(timings, f, indent=2, sort_keys=True)
+            f.write("\n")
 
     with open(out_dir / "all_figures.csv", "w", newline="") as f:
         writer = csv.writer(f)

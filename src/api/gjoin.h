@@ -103,6 +103,15 @@ struct JoinConfig {
   gjoin::gpujoin::ProbeAlgorithm probe_algorithm =
       gjoin::gpujoin::ProbeAlgorithm::kSharedHash;
 
+  /// Software probe-pipeline depth for the *functional* hash-probe
+  /// loops (how many probes the host keeps in flight, prefetching the
+  /// hash slot / chain node for probe i+depth while finishing probe i).
+  /// 0 = process default (util::DefaultProbePipelineDepth, initially
+  /// 32), 1 = scalar reference loop. Purely a host wall-clock knob:
+  /// join results and charged KernelStats are bit-identical at every
+  /// depth.
+  int probe_pipeline_depth = 0;
+
   /// Devices a topology-run join may span (the Join(Topology*, ...)
   /// overload; clamped to the topology's device count). The default of 1
   /// keeps every join single-device — the paper's model — and the

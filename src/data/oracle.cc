@@ -1,8 +1,35 @@
 #include "src/data/oracle.h"
 
+#include <atomic>
+
 #include "src/util/flat_table.h"
+#include "src/util/thread_pool.h"
 
 namespace gjoin::data {
+
+namespace {
+
+/// Probes [begin, end) of `probe` against `table` in parallel,
+/// accumulating into `acc`. Matches and checksums are sums (associative
+/// and commutative mod 2^64), so the worker split never changes the
+/// result.
+void ParallelProbe(const util::FlatAggTable& table, const Relation& probe,
+                   size_t begin, size_t end, OracleResult* acc) {
+  std::atomic<uint64_t> matches{0};
+  std::atomic<uint64_t> checksum{0};
+  util::ThreadPool::Default()->ParallelForRanges(
+      end - begin, [&](size_t /*worker*/, size_t lo, size_t hi) {
+        uint64_t m = 0, c = 0;
+        table.ProbeAll(probe.keys.data() + begin + lo,
+                       probe.payloads.data() + begin + lo, hi - lo, &m, &c);
+        matches.fetch_add(m, std::memory_order_relaxed);
+        checksum.fetch_add(c, std::memory_order_relaxed);
+      });
+  acc->matches += matches.load();
+  acc->payload_sum += checksum.load();
+}
+
+}  // namespace
 
 OracleResult JoinOracle(const Relation& build, const Relation& probe) {
   // Aggregate build payloads per key: (count, payload sum) suffices to
@@ -11,8 +38,7 @@ OracleResult JoinOracle(const Relation& build, const Relation& probe) {
   table.AddAll(build.keys.data(), build.payloads.data(), build.size());
 
   OracleResult result;
-  table.ProbeAll(probe.keys.data(), probe.payloads.data(), probe.size(),
-                 &result.matches, &result.payload_sum);
+  ParallelProbe(table, probe, 0, probe.size(), &result);
   return result;
 }
 
@@ -29,8 +55,7 @@ std::vector<OracleResult> JoinOraclePrefixes(
   OracleResult acc;
   size_t done = 0;
   for (const size_t upto : prefixes) {
-    table.ProbeAll(probe.keys.data() + done, probe.payloads.data() + done,
-                   upto - done, &acc.matches, &acc.payload_sum);
+    ParallelProbe(table, probe, done, upto, &acc);
     done = upto;
     results.push_back(acc);
   }

@@ -28,6 +28,7 @@ PartitionedJoinConfig MakeJoinConfig(const api::JoinConfig& config) {
   PartitionedJoinConfig join_cfg;
   join_cfg.partition.pass_bits = config.pass_bits;
   join_cfg.join.algo = config.probe_algorithm;
+  join_cfg.join.probe_pipeline_depth = config.probe_pipeline_depth;
   return join_cfg;
 }
 

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "src/util/probe_pipeline.h"
+
 namespace gjoin::gpujoin {
 
 util::Result<BucketChains> BucketChains::Allocate(
@@ -46,16 +48,24 @@ void BucketChains::PublishSegment(uint32_t partition, int32_t first,
 
 std::vector<int32_t> BucketChains::PartitionBuckets(uint32_t partition) const {
   std::vector<int32_t> buckets;
-  for (int32_t b = heads_[partition]; b != kNull; b = pool_->next()[b]) {
+  for (int32_t b = heads_[partition]; b != kNull;) {
+    const int32_t nb = pool_->next()[b];
+    // Start the successor's successor-link load while this entry is
+    // appended — one step of lookahead in the dependent walk.
+    if (nb != kNull) util::PrefetchRead(&pool_->next()[nb]);
     buckets.push_back(b);
+    b = nb;
   }
   return buckets;
 }
 
 uint64_t BucketChains::PartitionSize(uint32_t partition) const {
   uint64_t total = 0;
-  for (int32_t b = heads_[partition]; b != kNull; b = pool_->next()[b]) {
+  for (int32_t b = heads_[partition]; b != kNull;) {
+    const int32_t nb = pool_->next()[b];
+    if (nb != kNull) util::PrefetchRead(&pool_->next()[nb]);
     total += pool_->fill()[b];
+    b = nb;
   }
   return total;
 }
@@ -65,6 +75,12 @@ std::vector<std::pair<uint32_t, uint32_t>> BucketChains::GatherPartition(
   std::vector<std::pair<uint32_t, uint32_t>> out;
   const uint32_t cap = pool_->bucket_capacity();
   for (int32_t b = heads_[partition]; b != kNull; b = pool_->next()[b]) {
+    const int32_t nb = pool_->next()[b];
+    if (nb != kNull) {
+      // Hide the next bucket's first-line miss behind this copy.
+      util::PrefetchRead(pool_->keys() + static_cast<size_t>(nb) * cap);
+      util::PrefetchRead(pool_->payloads() + static_cast<size_t>(nb) * cap);
+    }
     const size_t base = static_cast<size_t>(b) * cap;
     for (uint32_t i = 0; i < pool_->fill()[b]; ++i) {
       out.emplace_back(pool_->keys()[base + i], pool_->payloads()[base + i]);

@@ -74,6 +74,15 @@ struct CoPartitionJoinConfig {
   int build_extra_payload_bytes = 0;
   int probe_extra_payload_bytes = 0;
 
+  /// Probe-pipeline depth for the functional probe loops (0 = process
+  /// default, 1 = scalar reference loop). Host wall-clock only; results
+  /// and charged stats are identical at every depth. Device-memory
+  /// tables use the out-of-order/ordered pipelines; shared-memory table
+  /// probes use the in-order batched head resolution (their host copy
+  /// is cache-resident, but batching still overlaps the per-probe
+  /// dependence chains).
+  int probe_pipeline_depth = 0;
+
   // --- Ablation switches (bench/abl_*) ---
 
   /// kNestedLoop only: false degrades Listing 1's warp-cooperative

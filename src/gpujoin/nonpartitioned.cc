@@ -6,12 +6,14 @@
 #include <vector>
 
 #include "src/util/bits.h"
+#include "src/util/probe_pipeline.h"
 
 namespace gjoin::gpujoin {
 
 namespace {
 
 using util::CeilDiv;
+using util::PackedHashNode;
 
 /// Work split helper: [begin, end) range of block `b` out of `nb`.
 std::pair<size_t, size_t> BlockRange(size_t n, int b, int nb) {
@@ -30,6 +32,7 @@ util::Result<JoinStats> NonPartitionedJoin(
       config.num_blocks != 0
           ? config.num_blocks
           : device->spec().gpu.num_sms * device->spec().gpu.blocks_per_sm;
+  const int depth = util::ResolveProbePipelineDepth(config.probe_pipeline_depth);
 
   OutputRing ring;
   OutputRing* out = nullptr;
@@ -66,11 +69,17 @@ util::Result<JoinStats> NonPartitionedJoin(
           block.ChargeCoalescedRead(8ull * (end - begin));
           block.ChargeRandomAccess(end - begin, table_bytes);
           block.ChargeCycles((end - begin) * 3 / 32 + 1);
-          for (size_t i = begin; i < end; ++i) {
-            const uint32_t key = build.keys[i];
-            if (dense[key] != 0) duplicate.store(true);
-            dense[key] = build.payloads[i] + 1;  // 0 marks empty
-          }
+          // In-order batches; the scatter store is the dependent access.
+          util::GroupProbe<uint32_t>(
+              end - begin, depth,
+              [&](size_t i, uint32_t& key) {
+                key = build.keys[begin + i];
+                util::PrefetchWrite(&dense[key]);
+              },
+              [&](size_t i, uint32_t& key) {
+                if (dense[key] != 0) duplicate.store(true);
+                dense[key] = build.payloads[begin + i] + 1;  // 0 marks empty
+              });
         }));
     if (duplicate.load()) {
       return util::Status::ExecutionError(
@@ -91,16 +100,25 @@ util::Result<JoinStats> NonPartitionedJoin(
           // One random access per probe: the best case.
           block.ChargeRandomAccess(end - begin, table_bytes);
           block.ChargeCycles((end - begin) * 3 / 32 + 1);
-          for (size_t i = begin; i < end; ++i) {
-            const uint32_t key = probe.keys[i];
-            if (key <= max_key && dense[key] != 0) {
-              const uint32_t rpay = dense[key] - 1;
-              ++matches;
-              checksum += static_cast<uint64_t>(rpay) + probe.payloads[i];
-              if (out != nullptr) out->Write(out->Claim(1), rpay,
-                                             probe.payloads[i]);
-            }
-          }
+          // One dependent access per probe; in-order batches keep ring
+          // emission identical to the scalar loop.
+          util::GroupProbe<uint32_t>(
+              end - begin, depth,
+              [&](size_t i, uint32_t& key) {
+                key = probe.keys[begin + i];
+                if (key <= max_key) util::PrefetchRead(&dense[key]);
+              },
+              [&](size_t i, uint32_t& key) {
+                if (key <= max_key && dense[key] != 0) {
+                  const uint32_t rpay = dense[key] - 1;
+                  ++matches;
+                  checksum += static_cast<uint64_t>(rpay) +
+                              probe.payloads[begin + i];
+                  if (out != nullptr) {
+                    out->Write(out->Claim(1), rpay, probe.payloads[begin + i]);
+                  }
+                }
+              });
           if (out != nullptr && matches > 0) {
             // Warp-buffered writes: shared staging + flush traffic.
             block.ChargeShared(16ull * matches);
@@ -132,8 +150,16 @@ util::Result<JoinStats> NonPartitionedJoin(
         std::max<size_t>(n * config.slots_per_tuple, 64));
     GJOIN_ASSIGN_OR_RETURN(sim::DeviceBuffer<int32_t> heads,
                            device->memory().Allocate<int32_t>(slots));
+    // Models the device-resident per-tuple next pointers (the real
+    // kernel's only per-tuple table storage — keys stay in the resident
+    // relation). The host-side walk goes through `nodes`, a packed
+    // 16-byte-per-tuple functional mirror (key, payload, next in one
+    // record) that costs one host cache miss per chain step instead of
+    // three; like the co-partition kernels' functional scratch indices
+    // it is not device-accounted.
     GJOIN_ASSIGN_OR_RETURN(sim::DeviceBuffer<int32_t> next,
                            device->memory().Allocate<int32_t>(n));
+    std::vector<PackedHashNode> nodes(n);
     for (size_t s = 0; s < slots; ++s) heads[s] = -1;
     const uint64_t table_bytes = slots * 4 + n * 12;  // heads + next + keys
 
@@ -150,12 +176,17 @@ util::Result<JoinStats> NonPartitionedJoin(
           block.ChargeRandomAccess(end - begin, table_bytes);  // node write
           block.ChargeCycles((end - begin) * 4 / 32 + 1);
           std::lock_guard<std::mutex> lock(table_mu);
-          for (size_t i = begin; i < end; ++i) {
-            const uint32_t slot =
-                util::Mix32(build.keys[i]) & (slots - 1);
-            next[i] = heads[slot];
-            heads[slot] = static_cast<int32_t>(i);
-          }
+          util::GroupProbe<uint32_t>(
+              end - begin, depth,
+              [&](size_t i, uint32_t& slot) {
+                slot = util::Mix32(build.keys[begin + i]) & (slots - 1);
+                util::PrefetchWrite(&heads[slot]);
+              },
+              [&](size_t i, uint32_t& slot) {
+                nodes[begin + i] = {build.keys[begin + i],
+                                    build.payloads[begin + i], heads[slot], 0};
+                heads[slot] = static_cast<int32_t>(begin + i);
+              });
         }));
 
     sim::LaunchConfig probe_launch{"nonpartitioned_probe_chain", num_blocks,
@@ -169,21 +200,75 @@ util::Result<JoinStats> NonPartitionedJoin(
           if (begin >= end) return;
           uint64_t matches = 0, checksum = 0, steps = 0;
           block.ChargeCoalescedRead(8ull * (end - begin));
-          for (size_t i = begin; i < end; ++i) {
-            const uint32_t skey = probe.keys[i];
-            const uint32_t slot = util::Mix32(skey) & (slots - 1);
-            for (int32_t e = heads[slot]; e >= 0; e = next[e]) {
-              ++steps;
-              if (build.keys[e] == skey) {
-                ++matches;
-                checksum += static_cast<uint64_t>(build.payloads[e]) +
-                            probe.payloads[i];
-                if (out != nullptr) {
-                  out->Write(out->Claim(1), build.payloads[e],
-                             probe.payloads[i]);
-                }
-              }
-            }
+          if (out == nullptr) {
+            // Aggregate mode: matches/checksum/steps are sums, so the
+            // out-of-order AMAC engine is safe and fastest.
+            struct Probe {
+              uint32_t key;
+              uint32_t pay;
+              int32_t cur;   // slot (stage 0) or node index (stage 1)
+              uint32_t stage;
+            };
+            util::ProbePipeline<Probe>(
+                end - begin, depth,
+                [&](size_t i, Probe& p) {
+                  const uint32_t key = probe.keys[begin + i];
+                  const uint32_t slot = util::Mix32(key) & (slots - 1);
+                  p = {key, probe.payloads[begin + i],
+                       static_cast<int32_t>(slot), 0};
+                  util::PrefetchRead(&heads[slot]);
+                },
+                [&](size_t /*i*/, Probe& p) {
+                  if (p.stage == 0) {
+                    const int32_t e = heads[p.cur];
+                    if (e < 0) return false;
+                    p.cur = e;
+                    p.stage = 1;
+                    util::PrefetchRead(&nodes[e]);
+                    return true;
+                  }
+                  const PackedHashNode& node = nodes[p.cur];
+                  ++steps;
+                  if (node.key == p.key) {
+                    ++matches;
+                    checksum += static_cast<uint64_t>(node.pay) + p.pay;
+                  }
+                  if (node.next < 0) return false;
+                  p.cur = node.next;
+                  util::PrefetchRead(&nodes[node.next]);
+                  return true;
+                });
+          } else {
+            // Materialization consumes matches in probe order (the ring
+            // wrap behavior is observable): the two-stage in-order
+            // pipeline prefetches ahead but finishes each probe in turn.
+            util::OrderedProbePipeline<int32_t>(
+                end - begin, depth,
+                [&](size_t i, int32_t& st) {
+                  st = static_cast<int32_t>(
+                      util::Mix32(probe.keys[begin + i]) & (slots - 1));
+                  util::PrefetchRead(&heads[st]);
+                },
+                [&](size_t /*i*/, int32_t& st) {
+                  st = heads[st];
+                  if (st >= 0) util::PrefetchRead(&nodes[st]);
+                },
+                [&](size_t i, int32_t& st) {
+                  const uint32_t skey = probe.keys[begin + i];
+                  for (int32_t e = st; e >= 0;) {
+                    const PackedHashNode& node = nodes[e];
+                    if (node.next >= 0) util::PrefetchRead(&nodes[node.next]);
+                    ++steps;
+                    if (node.key == skey) {
+                      ++matches;
+                      checksum += static_cast<uint64_t>(node.pay) +
+                                  probe.payloads[begin + i];
+                      out->Write(out->Claim(1), node.pay,
+                                 probe.payloads[begin + i]);
+                    }
+                    e = node.next;
+                  }
+                });
           }
           // "Three to four random memory accesses" per probe: one for the
           // table head, one per chain node (key, next pointer and payload

@@ -14,10 +14,17 @@
 #include <vector>
 
 #include "src/util/bits.h"
+#include "src/util/probe_pipeline.h"
 
 namespace gjoin::util {
 
 /// \brief Linear-probing aggregate table with batch fold/probe ops.
+///
+/// Both batch ops take a probe-pipeline depth (0 = process default,
+/// 1 = scalar): slots for a batch of tuples are hashed and prefetched
+/// before any is visited, hiding the one dependent miss per tuple.
+/// Visits stay in input order at every depth, so the table contents
+/// (AddAll) and the accumulated sums (ProbeAll) are depth-invariant.
 class FlatAggTable {
  public:
   /// Sizes the table at ~50% max load for `expected_keys` distinct keys.
@@ -29,36 +36,48 @@ class FlatAggTable {
   }
 
   /// Folds `n` build tuples into the aggregate.
-  void AddAll(const uint32_t* keys, const uint32_t* pays, size_t n) {
-    for (size_t i = 0; i < n; ++i) {
-      size_t slot = Mix32(keys[i]) & mask_;
-      while (entries_[slot].count != 0 && entries_[slot].key != keys[i]) {
-        slot = (slot + 1) & mask_;
-      }
-      Entry& e = entries_[slot];
-      e.key = keys[i];
-      ++e.count;
-      e.sum += pays[i];
-    }
+  void AddAll(const uint32_t* keys, const uint32_t* pays, size_t n,
+              int pipeline_depth = 0) {
+    GroupProbe<size_t>(
+        n, ResolveProbePipelineDepth(pipeline_depth),
+        [&](size_t i, size_t& slot) {
+          slot = Mix32(keys[i]) & mask_;
+          PrefetchWrite(&entries_[slot]);
+        },
+        [&](size_t i, size_t& slot) {
+          while (entries_[slot].count != 0 && entries_[slot].key != keys[i]) {
+            slot = (slot + 1) & mask_;
+          }
+          Entry& e = entries_[slot];
+          e.key = keys[i];
+          ++e.count;
+          e.sum += pays[i];
+        });
   }
 
   /// Probes `n` tuples, accumulating the join aggregate: each probe with
   /// key k scores count(k) matches and count(k) * pay + paysum(k)
   /// checksum — the same fold every aggregate-mode join kernel computes.
   void ProbeAll(const uint32_t* keys, const uint32_t* pays, size_t n,
-                uint64_t* matches, uint64_t* checksum) const {
+                uint64_t* matches, uint64_t* checksum,
+                int pipeline_depth = 0) const {
     uint64_t m = 0, c = 0;
-    for (size_t i = 0; i < n; ++i) {
-      size_t slot = Mix32(keys[i]) & mask_;
-      while (entries_[slot].count != 0 && entries_[slot].key != keys[i]) {
-        slot = (slot + 1) & mask_;
-      }
-      const Entry& e = entries_[slot];
-      if (e.count != 0) {
-        m += e.count;
-        c += e.sum + static_cast<uint64_t>(e.count) * pays[i];
-      }
-    }
+    GroupProbe<size_t>(
+        n, ResolveProbePipelineDepth(pipeline_depth),
+        [&](size_t i, size_t& slot) {
+          slot = Mix32(keys[i]) & mask_;
+          PrefetchRead(&entries_[slot]);
+        },
+        [&](size_t i, size_t& slot) {
+          while (entries_[slot].count != 0 && entries_[slot].key != keys[i]) {
+            slot = (slot + 1) & mask_;
+          }
+          const Entry& e = entries_[slot];
+          if (e.count != 0) {
+            m += e.count;
+            c += e.sum + static_cast<uint64_t>(e.count) * pays[i];
+          }
+        });
     *matches += m;
     *checksum += c;
   }

@@ -1,0 +1,31 @@
+#include "src/util/probe_pipeline.h"
+
+#include <atomic>
+
+namespace gjoin::util {
+
+namespace {
+
+std::atomic<int> g_default_depth{32};
+
+int Clamp(int depth) {
+  if (depth < 1) return 1;
+  if (depth > kMaxProbePipelineDepth) return kMaxProbePipelineDepth;
+  return depth;
+}
+
+}  // namespace
+
+int DefaultProbePipelineDepth() {
+  return g_default_depth.load(std::memory_order_relaxed);
+}
+
+void SetDefaultProbePipelineDepth(int depth) {
+  g_default_depth.store(Clamp(depth), std::memory_order_relaxed);
+}
+
+int ResolveProbePipelineDepth(int requested) {
+  return requested == 0 ? DefaultProbePipelineDepth() : Clamp(requested);
+}
+
+}  // namespace gjoin::util

@@ -16,10 +16,14 @@
 
 #include <vector>
 
+#include "src/cpu/cpu_joins.h"
 #include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/gpujoin/nonpartitioned.h"
 #include "src/gpujoin/partitioned_join.h"
 #include "src/gpujoin/radix_partition.h"
 #include "src/outofgpu/streaming_probe.h"
+#include "src/util/probe_pipeline.h"
 
 namespace gjoin {
 namespace {
@@ -192,6 +196,169 @@ TEST_F(StatInvarianceTest, StreamingProbeAggregate) {
   EXPECT_DOUBLE_EQ(st->partition_s, 0.00014845304476018099);
   EXPECT_DOUBLE_EQ(st->join_s, 9.6983750000000001e-05);
   EXPECT_DOUBLE_EQ(st->transfer_s, 0.00024512195121951217);
+}
+
+// ---- Pipeline-depth invariance ----
+// The probe pipeline (src/util/probe_pipeline.h) is a host wall-clock
+// knob: at every depth the functional results (match counts, checksums,
+// materialized ring bytes) and every charged KernelStats counter must
+// be byte-identical — the modeled GPU cost is independent of how the
+// host computes the answer. Depths {1, 4, 16} cover the scalar
+// reference loop, a shallow ring and a deep ring. These tests extend
+// the golden suite above without touching its values: each depth is
+// compared against the depth-1 run of the same workload.
+
+/// Everything observable from one run: results, full launch profile and
+/// (when materializing) the raw ring bytes.
+struct DepthRunCapture {
+  uint64_t matches = 0;
+  uint64_t payload_sum = 0;
+  std::vector<sim::ProfileEntry> profile;
+  std::vector<uint64_t> ring;
+};
+
+void ExpectSameRun(const DepthRunCapture& ref, const DepthRunCapture& got,
+                   int depth) {
+  SCOPED_TRACE("pipeline depth " + std::to_string(depth));
+  EXPECT_EQ(got.matches, ref.matches);
+  EXPECT_EQ(got.payload_sum, ref.payload_sum);
+  ASSERT_EQ(got.profile.size(), ref.profile.size());
+  for (size_t i = 0; i < ref.profile.size(); ++i) {
+    SCOPED_TRACE("launch " + std::to_string(i) + " (" + ref.profile[i].name +
+                 ")");
+    const hw::KernelStats& a = ref.profile[i].stats;
+    const hw::KernelStats& b = got.profile[i].stats;
+    EXPECT_EQ(got.profile[i].name, ref.profile[i].name);
+    EXPECT_EQ(b.coalesced_read_bytes, a.coalesced_read_bytes);
+    EXPECT_EQ(b.coalesced_write_bytes, a.coalesced_write_bytes);
+    EXPECT_EQ(b.scatter_write_bytes, a.scatter_write_bytes);
+    EXPECT_EQ(b.random_transactions, a.random_transactions);
+    EXPECT_EQ(b.random_working_set_bytes, a.random_working_set_bytes);
+    EXPECT_EQ(b.shared_bytes, a.shared_bytes);
+    EXPECT_EQ(b.shared_atomics, a.shared_atomics);
+    EXPECT_EQ(b.device_atomics, a.device_atomics);
+    EXPECT_EQ(b.total_cycles, a.total_cycles);
+    EXPECT_EQ(b.max_block_cycles, a.max_block_cycles);
+    EXPECT_EQ(b.num_blocks, a.num_blocks);
+    EXPECT_DOUBLE_EQ(got.profile[i].seconds, ref.profile[i].seconds);
+  }
+  ASSERT_EQ(got.ring.size(), ref.ring.size());
+  for (size_t i = 0; i < ref.ring.size(); ++i) {
+    ASSERT_EQ(got.ring[i], ref.ring[i]) << "ring byte mismatch at " << i;
+  }
+}
+
+constexpr int kDepths[] = {1, 4, 16};
+
+TEST_F(StatInvarianceTest, DepthInvariantPartitionedSharedHash) {
+  DepthRunCapture ref;
+  for (const int depth : kDepths) {
+    sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+    gpujoin::PartitionedJoinConfig cfg;
+    cfg.partition.pass_bits = {6, 5};
+    cfg.join.probe_pipeline_depth = depth;
+    auto st = gpujoin::PartitionedJoinFromHost(&device, r_, s_, cfg);
+    ASSERT_TRUE(st.ok()) << st.status();
+    DepthRunCapture run{st->matches, st->payload_sum, device.profile(), {}};
+    if (depth == kDepths[0]) {
+      ref = std::move(run);
+    } else {
+      ExpectSameRun(ref, run, depth);
+    }
+  }
+}
+
+TEST_F(StatInvarianceTest, DepthInvariantDeviceHashMaterializedRing) {
+  // Materialization through a caller-owned ring: the pipeline must
+  // preserve the exact match emission order, pinned here byte-for-byte.
+  DepthRunCapture ref;
+  for (const int depth : kDepths) {
+    sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+    gpujoin::RadixPartitionConfig part_cfg;
+    part_cfg.pass_bits = {6, 5};
+    auto rd = gpujoin::DeviceRelation::Upload(&device, r_);
+    auto sd = gpujoin::DeviceRelation::Upload(&device, s_);
+    ASSERT_TRUE(rd.ok() && sd.ok());
+    auto rp = gpujoin::RadixPartition(&device, *rd, part_cfg);
+    auto sp = gpujoin::RadixPartition(&device, *sd, part_cfg);
+    ASSERT_TRUE(rp.ok() && sp.ok());
+    gpujoin::CoPartitionJoinConfig cfg;
+    cfg.algo = gpujoin::ProbeAlgorithm::kDeviceHash;
+    cfg.output = gpujoin::OutputMode::kMaterialize;
+    cfg.key_bits = 17;
+    cfg.probe_pipeline_depth = depth;
+    auto ring_result = gpujoin::OutputRing::Allocate(&device.memory(),
+                                                     s_.size() + 1);
+    ASSERT_TRUE(ring_result.ok());
+    gpujoin::OutputRing ring = std::move(ring_result).ValueOrDie();
+    auto st = gpujoin::JoinCoPartitions(&device, *rp, *sp, cfg, &ring);
+    ASSERT_TRUE(st.ok()) << st.status();
+    DepthRunCapture run{st->matches, st->payload_sum, device.profile(), {}};
+    ASSERT_FALSE(ring.wrapped());
+    run.ring.reserve(ring.total_written());
+    for (uint64_t i = 0; i < ring.total_written(); ++i) {
+      run.ring.push_back(ring.pair(i));
+    }
+    if (depth == kDepths[0]) {
+      ref = std::move(run);
+    } else {
+      ExpectSameRun(ref, run, depth);
+    }
+  }
+}
+
+TEST_F(StatInvarianceTest, DepthInvariantNonPartitioned) {
+  for (const bool materialize : {false, true}) {
+    for (const auto variant : {gpujoin::NonPartitionedVariant::kChaining,
+                               gpujoin::NonPartitionedVariant::kPerfectHash}) {
+      DepthRunCapture ref;
+      for (const int depth : kDepths) {
+        sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+        auto rd = gpujoin::DeviceRelation::Upload(&device, r_);
+        auto sd = gpujoin::DeviceRelation::Upload(&device, s_);
+        ASSERT_TRUE(rd.ok() && sd.ok());
+        gpujoin::NonPartitionedJoinConfig cfg;
+        cfg.variant = variant;
+        cfg.output = materialize ? gpujoin::OutputMode::kMaterialize
+                                 : gpujoin::OutputMode::kAggregate;
+        cfg.probe_pipeline_depth = depth;
+        auto st = gpujoin::NonPartitionedJoin(&device, *rd, *sd, cfg);
+        ASSERT_TRUE(st.ok()) << st.status();
+        DepthRunCapture run{st->matches, st->payload_sum, device.profile(),
+                            {}};
+        if (depth == kDepths[0]) {
+          ref = std::move(run);
+        } else {
+          ExpectSameRun(ref, run, depth);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(StatInvarianceTest, DepthInvariantCpuJoinAndOracle) {
+  const int saved = util::DefaultProbePipelineDepth();
+  uint64_t ref_matches = 0, ref_sum = 0;
+  for (const int depth : kDepths) {
+    cpu::CpuJoinConfig cfg;
+    cfg.probe_pipeline_depth = depth;
+    const hw::CpuCostModel model{hw::CpuSpec{}};
+    auto st = cpu::NpoJoin(r_, s_, cfg, model);
+    ASSERT_TRUE(st.ok());
+    // The oracle takes the process-wide default depth.
+    util::SetDefaultProbePipelineDepth(depth);
+    const data::OracleResult oracle = data::JoinOracle(r_, s_);
+    EXPECT_EQ(st->matches, oracle.matches);
+    EXPECT_EQ(st->payload_sum, oracle.payload_sum);
+    if (depth == kDepths[0]) {
+      ref_matches = st->matches;
+      ref_sum = st->payload_sum;
+    } else {
+      EXPECT_EQ(st->matches, ref_matches);
+      EXPECT_EQ(st->payload_sum, ref_sum);
+    }
+  }
+  util::SetDefaultProbePipelineDepth(saved);
 }
 
 TEST_F(StatInvarianceTest, StreamingProbeMaterialize) {
