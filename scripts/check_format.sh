@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: runs clang-format in dry-run mode over all
+# C++ sources and fails if any file would be rewritten. Never modifies
+# the tree (CI must not push formatting commits); to fix locally, run
+#   clang-format -i $(scripts/check_format.sh --list)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mapfile -t files < <(git ls-files 'src/*.cc' 'src/*.h' 'tests/*.cc' \
+  'bench/*.cc' 'examples/*.cc')
+
+if [[ "${1:-}" == "--list" ]]; then
+  printf '%s\n' "${files[@]}"
+  exit 0
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping (CI installs it)" >&2
+  exit 0
+fi
+
+clang-format --dry-run --Werror "${files[@]}"
+echo "check_format: ${#files[@]} files clean"

@@ -139,6 +139,7 @@ std::string Explain(const sim::Device& device, uint64_t build_bytes,
                     uint64_t probe_bytes);
 
 /// Joins `build` and `probe` (host-resident) on the simulated device.
+[[nodiscard]]
 util::Result<JoinOutcome> Join(sim::Device* device,
                                const data::Relation& build,
                                const data::Relation& probe,
@@ -148,6 +149,7 @@ util::Result<JoinOutcome> Join(sim::Device* device,
 /// config.device_count devices under config.placement (device_count 1 —
 /// the default — reproduces the single-device join on topology device 0
 /// bit-for-bit).
+[[nodiscard]]
 util::Result<JoinOutcome> Join(sim::Topology* topology,
                                const data::Relation& build,
                                const data::Relation& probe,

@@ -50,6 +50,7 @@ struct CpuJoinConfig {
 };
 
 /// Non-partitioned hash join (NPO).
+[[nodiscard]]
 util::Result<CpuJoinResult> NpoJoin(const data::Relation& build,
                                     const data::Relation& probe,
                                     const CpuJoinConfig& config,
@@ -57,6 +58,7 @@ util::Result<CpuJoinResult> NpoJoin(const data::Relation& build,
                                     util::ThreadPool* pool = nullptr);
 
 /// Parallel radix join (PRO).
+[[nodiscard]]
 util::Result<CpuJoinResult> ProJoin(const data::Relation& build,
                                     const data::Relation& probe,
                                     const CpuJoinConfig& config,

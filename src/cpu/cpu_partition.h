@@ -44,6 +44,7 @@ struct CpuPartitionConfig {
 };
 
 /// Partitions `rel` on the low `radix_bits` key bits.
+[[nodiscard]]
 util::Result<HostPartitions> CpuRadixPartition(const data::Relation& rel,
                                                const CpuPartitionConfig& config,
                                                const hw::CpuCostModel& model,

@@ -41,6 +41,7 @@ struct ScheduledBatch {
 /// "dev1:h2d" instead of "lane5"); all named lanes are created even if
 /// unused, fixing the lane layout independently of which devices got
 /// work. Returns Invalid on malformed graphs (dangling deps).
+[[nodiscard]]
 util::Result<ScheduledBatch> ScheduleBatch(
     const QueryGraph& graph, int num_queries,
     const std::vector<std::string>* extra_lane_names = nullptr);

@@ -147,6 +147,7 @@ class Session {
                      const api::JoinConfig& config = {});
 
   /// Plans and executes every submitted query. Call once.
+  [[nodiscard]]
   util::Status Run();
 
   /// Number of submitted queries.
@@ -186,6 +187,7 @@ class Session {
 
   /// Executes query `index` functionally on its home device, filling
   /// `result` and splicing its op DAG into `graph`.
+  [[nodiscard]]
   util::Status ExecuteQuery(int index, QueryGraph* graph,
                             QueryResult* result);
 

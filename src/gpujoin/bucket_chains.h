@@ -36,12 +36,14 @@ class BucketChains {
   BucketChains() = default;
 
   /// Creates chains for `num_partitions` partitions over `pool`.
+  [[nodiscard]]
   static util::Result<BucketChains> Allocate(sim::DeviceMemory* memory,
                                              uint32_t num_partitions,
                                              std::shared_ptr<BucketPool> pool);
 
   /// Convenience: creates a dedicated pool of `num_buckets` x
   /// `bucket_capacity` and chains over it.
+  [[nodiscard]]
   static util::Result<BucketChains> Allocate(sim::DeviceMemory* memory,
                                              uint32_t num_partitions,
                                              uint32_t num_buckets,

@@ -28,7 +28,7 @@ util::Result<std::shared_ptr<BucketPool>> BucketPool::Allocate(
 }
 
 int32_t BucketPool::AllocateBucket() {
-  std::lock_guard<std::mutex> lock(free_mu_);
+  util::MutexLock lock(&free_mu_);
   if (free_list_.empty()) return kNull;
   const int32_t b = free_list_.back();
   free_list_.pop_back();
@@ -38,12 +38,12 @@ int32_t BucketPool::AllocateBucket() {
 }
 
 void BucketPool::FreeBucket(int32_t bucket) {
-  std::lock_guard<std::mutex> lock(free_mu_);
+  util::MutexLock lock(&free_mu_);
   free_list_.push_back(bucket);
 }
 
 uint32_t BucketPool::free_buckets() const {
-  std::lock_guard<std::mutex> lock(free_mu_);
+  util::MutexLock lock(&free_mu_);
   return static_cast<uint32_t>(free_list_.size());
 }
 

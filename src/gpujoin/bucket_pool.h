@@ -14,11 +14,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/sim/device_memory.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace gjoin::gpujoin {
 
@@ -30,6 +31,7 @@ class BucketPool {
 
   /// Allocates a pool of `num_buckets` buckets of `bucket_capacity`
   /// tuples each; all buckets start on the free list.
+  [[nodiscard]]
   static util::Result<std::shared_ptr<BucketPool>> Allocate(
       sim::DeviceMemory* memory, uint32_t num_buckets,
       uint32_t bucket_capacity);
@@ -68,8 +70,8 @@ class BucketPool {
   sim::DeviceBuffer<uint32_t> payloads_;
   sim::DeviceBuffer<int32_t> next_;
   sim::DeviceBuffer<uint32_t> fill_;
-  mutable std::mutex free_mu_;
-  std::vector<int32_t> free_list_;
+  mutable util::Mutex free_mu_;
+  std::vector<int32_t> free_list_ GJOIN_GUARDED_BY(free_mu_);
 };
 
 }  // namespace gjoin::gpujoin

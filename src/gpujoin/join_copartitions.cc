@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <vector>
 
 #include "src/util/bits.h"
@@ -54,24 +55,36 @@ struct JoinSharedArea {
   }
 };
 
+/// A block's materialized output, recorded during the body and replayed
+/// onto the shared ring by the launch epilogue: `pairs` holds the packed
+/// result pairs, `claims` the size of every ring reservation the kernel
+/// made, in order. Replaying claims per block in ascending id keeps ring
+/// content and wrap behavior independent of host-worker interleaving.
+struct BlockEmits {
+  std::vector<uint64_t> pairs;
+  std::vector<uint32_t> claims;
+  uint64_t ring_capacity = 0;  ///< Charge footprint of the direct path.
+};
+
 /// Accumulates a block's results and flushes them to the global counters
-/// (and the output ring when materializing).
+/// (and the per-block emission buffer when materializing).
 struct BlockJoinState {
   uint64_t matches = 0;
   uint64_t checksum = 0;
+  BlockEmits* emits = nullptr;
 
   void Match(sim::Block* block, const CoPartitionJoinConfig& cfg,
-             JoinSharedArea* area, OutputRing* ring, uint32_t rpay,
-             uint32_t spay) {
+             JoinSharedArea* area, uint32_t rpay, uint32_t spay) {
     ++matches;
     checksum += static_cast<uint64_t>(rpay) + spay;
     if (cfg.output == OutputMode::kMaterialize) {
       if (!cfg.buffered_output) {
         // Ablation: direct per-thread write — one global-offset atomic
         // and one uncoalesced transaction per result pair.
-        ring->Write(ring->Claim(1), rpay, spay);
+        emits->pairs.push_back((static_cast<uint64_t>(rpay) << 32) | spay);
+        emits->claims.push_back(1);
         block->ChargeDeviceAtomic(1);
-        block->ChargeRandomAccess(1, 8ull * ring->capacity());
+        block->ChargeRandomAccess(1, 8ull * emits->ring_capacity);
         return;
       }
       // Warp-buffered write: claim a slot in the shared buffer.
@@ -80,20 +93,17 @@ struct BlockJoinState {
       block->ChargeShared(8);
       block->ChargeSharedAtomic(1);
       if (area->out_fill == cfg.out_stage_pairs) {
-        FlushOut(block, area, ring);
+        FlushOut(block, area);
       }
     }
   }
 
-  void FlushOut(sim::Block* block, JoinSharedArea* area, OutputRing* ring) {
+  void FlushOut(sim::Block* block, JoinSharedArea* area) {
     if (area->out_fill == 0) return;
-    const uint64_t base = ring->Claim(area->out_fill);
     block->ChargeDeviceAtomic(1);  // global offset
-    for (uint32_t i = 0; i < area->out_fill; ++i) {
-      const uint64_t pair = area->out_stage[i];
-      ring->Write(base + i, static_cast<uint32_t>(pair >> 32),
-                  static_cast<uint32_t>(pair));
-    }
+    emits->pairs.insert(emits->pairs.end(), area->out_stage,
+                        area->out_stage + area->out_fill);
+    emits->claims.push_back(area->out_fill);
     block->ChargeShared(8ull * area->out_fill);
     block->ChargeCoalescedWrite(8ull * area->out_fill);
     area->out_fill = 0;
@@ -311,6 +321,29 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
   launch.threads_per_block = config.threads_per_block;
   launch.shared_mem_bytes = device->spec().gpu.shared_mem_per_block;
 
+  std::vector<BlockEmits> emits(
+      need_out ? static_cast<size_t>(num_blocks) : 0);
+  std::function<void(sim::Block&)> ring_epilogue;
+  if (need_out) {
+    ring_epilogue = [&](sim::Block& block) {
+        // Replay this block's ring reservations in recorded order; blocks
+        // replay in ascending id, so ring content and wrap behavior are
+        // canonical regardless of how the bodies interleaved.
+        BlockEmits& e = emits[static_cast<size_t>(block.block_id())];
+        size_t off = 0;
+        for (const uint32_t count : e.claims) {
+          const uint64_t base = out->Claim(count);
+          for (uint32_t i = 0; i < count; ++i) {
+            const uint64_t pair = e.pairs[off + i];
+            out->Write(base + i, static_cast<uint32_t>(pair >> 32),
+                       static_cast<uint32_t>(pair));
+          }
+          off += count;
+        }
+        e = BlockEmits();
+    };
+  }
+
   GJOIN_ASSIGN_OR_RETURN(
       sim::LaunchResult result,
       device->Launch(launch, [&](sim::Block& block) {
@@ -318,6 +351,10 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
         const bool shared_table = config.algo == ProbeAlgorithm::kSharedHash;
         if (!area.Alloc(&block, config, shared_table, need_out)) return;
         BlockJoinState state;
+        if (need_out) {
+          state.emits = &emits[static_cast<size_t>(block.block_id())];
+          state.emits->ring_capacity = out->capacity();
+        }
 
         // Device-memory table scratch (kDeviceHash); reused across
         // items. The functional table packs each slot's chunk epoch
@@ -572,7 +609,7 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
                         for (uint32_t j = 0; j < r_lanes; ++j) {
                           if (rkeys[r0 + j] == skey) {
                             state.Match(
-                                &block, config, &area, out, rpays[r0 + j],
+                                &block, config, &area, rpays[r0 + j],
                                 probe.chains.payloads()[s_base + s0 + l]);
                           }
                         }
@@ -593,7 +630,7 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
                         util::Mix32(skey) & (nh.size() - 1);
                     for (int32_t e = nh[slot]; e >= 0; e = nn[e]) {
                       if (rkeys[e] == skey) {
-                        state.Match(&block, config, &area, out, rpays[e],
+                        state.Match(&block, config, &area, rpays[e],
                                     probe.chains.payloads()[s_base + i]);
                       }
                     }
@@ -630,7 +667,7 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
                       for (uint16_t e = head; e != kEmpty16; e = n16[e]) {
                         ++steps;
                         if (rkeys[e] == skey) {
-                          state.Match(&block, config, &area, out, rpays[e],
+                          state.Match(&block, config, &area, rpays[e],
                                       spays[i]);
                         }
                       }
@@ -726,7 +763,7 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
                           }
                           ++steps;
                           if (node.key == skeys[i]) {
-                            state.Match(&block, config, &area, out, node.pay,
+                            state.Match(&block, config, &area, node.pay,
                                         spays[i]);
                           }
                           e = node.next;
@@ -747,7 +784,7 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
           }
         }
 
-        if (need_out) state.FlushOut(&block, &area, out);
+        if (need_out) state.FlushOut(&block, &area);
         // Aggregation epilogue: threads pre-reduce within their warp
         // (shuffle tree), then one device atomic per warp folds into the
         // global aggregate.
@@ -755,7 +792,8 @@ util::Result<CoPartitionJoinResult> JoinCoPartitions(
         block.ChargeDeviceAtomic(static_cast<uint64_t>(block.num_warps()));
         g_matches.fetch_add(state.matches, std::memory_order_relaxed);
         g_checksum.fetch_add(state.checksum, std::memory_order_relaxed);
-      }));
+      },
+      ring_epilogue));
 
   CoPartitionJoinResult join_result;
   join_result.matches = g_matches.load();

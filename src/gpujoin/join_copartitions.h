@@ -108,6 +108,7 @@ struct CoPartitionJoinResult {
 /// written to `out` (required non-null), wrapping when full — the
 /// paper's methodology for isolating in-GPU performance under output
 /// explosion (Section V-E).
+[[nodiscard]]
 util::Result<CoPartitionJoinResult> JoinCoPartitions(
     sim::Device* device, const PartitionedRelation& build,
     const PartitionedRelation& probe, const CoPartitionJoinConfig& config,

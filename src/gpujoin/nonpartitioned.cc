@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
+#include <functional>
 #include <vector>
 
 #include "src/util/bits.h"
@@ -20,6 +20,19 @@ std::pair<size_t, size_t> BlockRange(size_t n, int b, int nb) {
   const size_t chunk = CeilDiv(n, static_cast<size_t>(nb));
   const size_t begin = static_cast<size_t>(b) * chunk;
   return {std::min(begin, n), std::min(begin + chunk, n)};
+}
+
+/// Per-block result pairs recorded during the probe body and replayed
+/// onto the shared ring by the launch epilogue (ascending block id), so
+/// ring content and wrap behavior are independent of how host workers
+/// interleave the blocks. Every pair was claimed individually by the
+/// kernel, so the replay claims one slot per pair.
+void ReplayRingEmits(OutputRing* out, std::vector<uint64_t>* pairs) {
+  for (const uint64_t pair : *pairs) {
+    out->Write(out->Claim(1), static_cast<uint32_t>(pair >> 32),
+               static_cast<uint32_t>(pair));
+  }
+  std::vector<uint64_t>().swap(*pairs);
 }
 
 }  // namespace
@@ -77,8 +90,15 @@ util::Result<JoinStats> NonPartitionedJoin(
                 util::PrefetchWrite(&dense[key]);
               },
               [&](size_t i, uint32_t& key) {
-                if (dense[key] != 0) duplicate.store(true);
-                dense[key] = build.payloads[begin + i] + 1;  // 0 marks empty
+                // atomicExch, like the real kernel: blocks build
+                // concurrently, and on the unique-key fast path every
+                // slot is touched exactly once, so the table content is
+                // deterministic; any duplicate aborts the join below.
+                const uint32_t prev =
+                    std::atomic_ref<uint32_t>(dense[key]).exchange(
+                        build.payloads[begin + i] + 1,  // 0 marks empty
+                        std::memory_order_relaxed);
+                if (prev != 0) duplicate.store(true);
               });
         }));
     if (duplicate.load()) {
@@ -89,6 +109,14 @@ util::Result<JoinStats> NonPartitionedJoin(
     sim::LaunchConfig probe_launch{"nonpartitioned_probe_perfect", num_blocks,
                                    config.threads_per_block,
                                    out != nullptr ? size_t{8192} : size_t{1024}};
+    std::vector<std::vector<uint64_t>> emit(
+        out != nullptr ? static_cast<size_t>(num_blocks) : 0);
+    std::function<void(sim::Block&)> epilogue;
+    if (out != nullptr) {
+      epilogue = [&](sim::Block& block) {
+        ReplayRingEmits(out, &emit[static_cast<size_t>(block.block_id())]);
+      };
+    }
     GJOIN_ASSIGN_OR_RETURN(
         sim::LaunchResult probe_result,
         device->Launch(probe_launch, [&](sim::Block& block) {
@@ -115,7 +143,9 @@ util::Result<JoinStats> NonPartitionedJoin(
                   checksum += static_cast<uint64_t>(rpay) +
                               probe.payloads[begin + i];
                   if (out != nullptr) {
-                    out->Write(out->Claim(1), rpay, probe.payloads[begin + i]);
+                    emit[static_cast<size_t>(block.block_id())].push_back(
+                        (static_cast<uint64_t>(rpay) << 32) |
+                        probe.payloads[begin + i]);
                   }
                 }
               });
@@ -142,7 +172,8 @@ util::Result<JoinStats> NonPartitionedJoin(
               static_cast<uint64_t>(block.num_threads() / 32));
           g_matches.fetch_add(matches, std::memory_order_relaxed);
           g_checksum.fetch_add(checksum, std::memory_order_relaxed);
-        }));
+        },
+        epilogue));
     stats.join_s = build_result.seconds + probe_result.seconds;
   } else {
     // ---- Chaining: global table with offset-linked chains ----
@@ -163,35 +194,54 @@ util::Result<JoinStats> NonPartitionedJoin(
     for (size_t s = 0; s < slots; ++s) heads[s] = -1;
     const uint64_t table_bytes = slots * 4 + n * 12;  // heads + next + keys
 
-    std::mutex table_mu;  // models per-slot atomicity of atomicExch
     sim::LaunchConfig build_launch{"nonpartitioned_build_chain", num_blocks,
                                    config.threads_per_block, 1024};
     GJOIN_ASSIGN_OR_RETURN(
         sim::LaunchResult build_result,
-        device->Launch(build_launch, [&](sim::Block& block) {
-          auto [begin, end] = BlockRange(n, block.block_id(), num_blocks);
-          if (begin >= end) return;
-          block.ChargeCoalescedRead(8ull * (end - begin));
-          block.ChargeDeviceAtomic(end - begin);          // atomicExch
-          block.ChargeRandomAccess(end - begin, table_bytes);  // node write
-          block.ChargeCycles((end - begin) * 4 / 32 + 1);
-          std::lock_guard<std::mutex> lock(table_mu);
-          util::GroupProbe<uint32_t>(
-              end - begin, depth,
-              [&](size_t i, uint32_t& slot) {
-                slot = util::Mix32(build.keys[begin + i]) & (slots - 1);
-                util::PrefetchWrite(&heads[slot]);
-              },
-              [&](size_t i, uint32_t& slot) {
-                nodes[begin + i] = {build.keys[begin + i],
-                                    build.payloads[begin + i], heads[slot], 0};
-                heads[slot] = static_cast<int32_t>(begin + i);
-              });
-        }));
+        device->Launch(
+            build_launch,
+            [&](sim::Block& block) {
+              auto [begin, end] = BlockRange(n, block.block_id(), num_blocks);
+              if (begin >= end) return;
+              block.ChargeCoalescedRead(8ull * (end - begin));
+              block.ChargeDeviceAtomic(end - begin);          // atomicExch
+              block.ChargeRandomAccess(end - begin, table_bytes);  // node
+              block.ChargeCycles((end - begin) * 4 / 32 + 1);
+            },
+            [&](sim::Block& block) {
+              // The front-insertions themselves run in the epilogue:
+              // concurrent inline inserts would order each slot's chain
+              // by host-worker interleaving, while ascending-block-id
+              // replay gives every chain the canonical (serialized
+              // block-order) structure the probe goldens pin down. The
+              // charges above are per-tuple counts and stay in the body.
+              auto [begin, end] = BlockRange(n, block.block_id(), num_blocks);
+              if (begin >= end) return;
+              util::GroupProbe<uint32_t>(
+                  end - begin, depth,
+                  [&](size_t i, uint32_t& slot) {
+                    slot = util::Mix32(build.keys[begin + i]) & (slots - 1);
+                    util::PrefetchWrite(&heads[slot]);
+                  },
+                  [&](size_t i, uint32_t& slot) {
+                    nodes[begin + i] = {build.keys[begin + i],
+                                        build.payloads[begin + i],
+                                        heads[slot], 0};
+                    heads[slot] = static_cast<int32_t>(begin + i);
+                  });
+            }));
 
     sim::LaunchConfig probe_launch{"nonpartitioned_probe_chain", num_blocks,
                                    config.threads_per_block,
                                    out != nullptr ? size_t{8192} : size_t{1024}};
+    std::vector<std::vector<uint64_t>> emit(
+        out != nullptr ? static_cast<size_t>(num_blocks) : 0);
+    std::function<void(sim::Block&)> epilogue;
+    if (out != nullptr) {
+      epilogue = [&](sim::Block& block) {
+        ReplayRingEmits(out, &emit[static_cast<size_t>(block.block_id())]);
+      };
+    }
     GJOIN_ASSIGN_OR_RETURN(
         sim::LaunchResult probe_result,
         device->Launch(probe_launch, [&](sim::Block& block) {
@@ -263,8 +313,9 @@ util::Result<JoinStats> NonPartitionedJoin(
                       ++matches;
                       checksum += static_cast<uint64_t>(node.pay) +
                                   probe.payloads[begin + i];
-                      out->Write(out->Claim(1), node.pay,
-                                 probe.payloads[begin + i]);
+                      emit[static_cast<size_t>(block.block_id())].push_back(
+                          (static_cast<uint64_t>(node.pay) << 32) |
+                          probe.payloads[begin + i]);
                     }
                     e = node.next;
                   }
@@ -298,7 +349,8 @@ util::Result<JoinStats> NonPartitionedJoin(
               static_cast<uint64_t>(block.num_threads() / 32));
           g_matches.fetch_add(matches, std::memory_order_relaxed);
           g_checksum.fetch_add(checksum, std::memory_order_relaxed);
-        }));
+        },
+        epilogue));
     stats.join_s = build_result.seconds + probe_result.seconds;
   }
 

@@ -48,6 +48,7 @@ struct NonPartitionedJoinConfig {
 };
 
 /// Runs the non-partitioned hash join over device-resident relations.
+[[nodiscard]]
 util::Result<JoinStats> NonPartitionedJoin(
     sim::Device* device, const DeviceRelation& build,
     const DeviceRelation& probe, const NonPartitionedJoinConfig& config);

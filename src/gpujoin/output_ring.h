@@ -23,6 +23,7 @@ namespace gjoin::gpujoin {
 class OutputRing {
  public:
   /// Allocates a ring of `capacity` pairs (8 bytes each).
+  [[nodiscard]]
   static util::Result<OutputRing> Allocate(sim::DeviceMemory* memory,
                                            size_t capacity) {
     if (capacity == 0) return util::Status::Invalid("OutputRing: capacity 0");

@@ -27,6 +27,7 @@ struct PartitionedJoinConfig {
 /// Runs the partitioned join over two device-resident relations and
 /// returns verified counts plus modeled per-phase timing. The config's
 /// join.key_bits is auto-derived from the key domain when 0.
+[[nodiscard]]
 util::Result<JoinStats> PartitionedJoin(sim::Device* device,
                                         const DeviceRelation& build,
                                         const DeviceRelation& probe,
@@ -36,6 +37,7 @@ util::Result<JoinStats> PartitionedJoin(sim::Device* device,
 /// relation's raw columns as soon as its partitioned form exists — the
 /// standard device-memory discipline of real implementations, and what
 /// lets the larger build:probe ratios of Fig. 8 fit in device memory.
+[[nodiscard]]
 util::Result<JoinStats> PartitionedJoinConsuming(
     sim::Device* device, DeviceRelation build, DeviceRelation probe,
     const PartitionedJoinConfig& config);
@@ -45,6 +47,7 @@ util::Result<JoinStats> PartitionedJoinConsuming(
 /// fits device memory) so large build:probe ratios remain feasible.
 /// Upload *timing* is not charged (in-GPU experiments assume resident
 /// data; out-of-GPU strategies time transfers explicitly).
+[[nodiscard]]
 util::Result<JoinStats> PartitionedJoinFromHost(
     sim::Device* device, const data::Relation& build,
     const data::Relation& probe, const PartitionedJoinConfig& config,
@@ -60,6 +63,7 @@ struct PreparedBuild {
 };
 
 /// Uploads and partitions `build` as PartitionedJoinFromHost would.
+[[nodiscard]]
 util::Result<PreparedBuild> PreparePartitionedBuild(
     sim::Device* device, const data::Relation& build,
     const PartitionedJoinConfig& config);
@@ -68,6 +72,7 @@ util::Result<PreparedBuild> PreparePartitionedBuild(
 /// PartitionedJoinFromHost(device, build, probe, config) — partitioning
 /// is deterministic, so the prepared form's seconds stand in for a
 /// fresh run's.
+[[nodiscard]]
 util::Result<JoinStats> PartitionedJoinFromHostWithBuild(
     sim::Device* device, const PreparedBuild& build,
     const data::Relation& probe, const PartitionedJoinConfig& config,

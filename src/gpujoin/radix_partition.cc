@@ -1,7 +1,6 @@
 #include "src/gpujoin/radix_partition.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "src/util/bits.h"
 
@@ -97,6 +96,17 @@ class GroupScratch {
   std::vector<uint32_t> counts_;
   std::vector<uint32_t> starts_;
   std::vector<uint32_t> touched_;
+};
+
+/// A chain segment recorded during a block's body and spliced onto the
+/// global partition lists in the launch epilogue. Deferring the splice
+/// makes the published chain order a function of block id, not of how
+/// host workers interleave — the head-exchange charge is still paid at
+/// record time, where the kernel performs it.
+struct PendingSegment {
+  uint32_t partition;
+  int32_t first;
+  int32_t last;
 };
 
 /// Per-block partitioning state for block-private chains (pass 1 and
@@ -198,13 +208,15 @@ struct BlockLocalChains {
     }
   }
 
-  /// Publishes every non-empty segment onto the global partition lists.
-  /// Local partition lp publishes as global partition gp_base + lp.
-  void Finish(sim::Block* block, BucketChains* out, uint32_t gp_base) {
+  /// Closes every non-empty segment and records it for the epilogue's
+  /// deterministic publish. Local partition lp publishes as global
+  /// partition gp_base + lp.
+  void Finish(sim::Block* block, BucketChains* out, uint32_t gp_base,
+              std::vector<PendingSegment>* pending) {
     for (uint32_t lp = 0; lp < fanout; ++lp) {
       if (cur_bucket[lp] != BucketChains::kNull) {
         out->fill()[cur_bucket[lp]] = cur_fill[lp];
-        out->PublishSegment(gp_base + lp, seg_first[lp], seg_last[lp]);
+        pending->push_back({gp_base + lp, seg_first[lp], seg_last[lp]});
         block->ChargeDeviceAtomic(1);  // head exchange
       }
     }
@@ -222,20 +234,23 @@ size_t BlockLocalSharedBytes(uint32_t fanout, uint32_t stage_elems) {
 /// all producing blocks (the bucket-at-a-time mode of later passes:
 /// several blocks feed the same children concurrently, so their current-
 /// bucket state cannot live in block-local shared memory — the paper's
-/// "accessing data in the GPU memory" cost). Appends are serialized per
-/// child with striped locks modeling the device-atomic claim protocol
-/// (one mutex per child would cost megabytes at 2^15 children).
+/// "accessing data in the GPU memory" cost).
+///
+/// Concurrent appends to a shared chain would land in host-scheduling
+/// order, so each block instead records its runs into a private buffer
+/// (AppendBulk, lock-free) and the launch epilogue replays them in block
+/// order (Replay). The replay packs tuples and allocates buckets exactly
+/// as serialized block-order execution would, so chain structure and the
+/// per-block bucket-allocation atomics are bit-identical from 1 host
+/// thread to N. Order-independent charges (stage flushes and their
+/// metadata atomics) are paid at record time, where the kernel performs
+/// them.
 class GlobalChains {
  public:
-  static constexpr size_t kLockStripes = 256;
-
-  /// `concurrent` is false when a single host worker executes all blocks
-  /// (no lock needed; the modeled device-atomic charges are unchanged).
-  GlobalChains(BucketChains* out, bool concurrent)
+  explicit GlobalChains(BucketChains* out, int num_blocks)
       : out_(out),
-        concurrent_(concurrent),
         cur_(out->num_partitions(), BucketChains::kNull),
-        locks_(std::make_unique<std::mutex[]>(kLockStripes)) {}
+        per_block_(static_cast<size_t>(num_blocks)) {}
 
   /// Appends a pre-grouped run of `count` staged tuples to child
   /// partition `child`. `flush_events` is how many stage flushes the
@@ -247,44 +262,69 @@ class GlobalChains {
                   const uint32_t* pays, uint32_t count,
                   uint32_t flush_events) {
     if (count == 0 && flush_events == 0) return;
-    std::unique_lock<std::mutex> lock(locks_[child % kLockStripes],
-                                      std::defer_lock);
-    if (concurrent_) lock.lock();
     block->ChargeDeviceAtomic(flush_events);
     block->ChargeRandomAccess(flush_events, 16ull * out_->num_partitions());
     block->ChargeStageFlush(count);
+    if (count == 0) return;
+    PerBlock& pb = per_block_[static_cast<size_t>(block->block_id())];
+    pb.runs.push_back({child, count});
+    pb.keys.insert(pb.keys.end(), keys, keys + count);
+    pb.pays.insert(pb.pays.end(), pays, pays + count);
+  }
+
+  /// Epilogue half: drains this block's recorded runs onto the shared
+  /// chains, charging it one device atomic per bucket it draws from the
+  /// pool — the same allocations it would have performed inline under
+  /// serialized block-order execution.
+  void Replay(sim::Block* block) {
+    PerBlock& pb = per_block_[static_cast<size_t>(block->block_id())];
     const uint32_t cap = out_->bucket_capacity();
-    uint32_t done = 0;
-    while (done < count) {
-      int32_t b = cur_[child];
-      if (b == BucketChains::kNull || out_->fill()[b] == cap) {
-        const int32_t nb = out_->AllocateBucket();
-        block->ChargeDeviceAtomic(1);
-        if (nb == BucketChains::kNull) {
-          std::fprintf(stderr, "gjoin: bucket pool exhausted\n");
-          std::abort();
+    size_t off = 0;
+    for (const Run& run : pb.runs) {
+      uint32_t done = 0;
+      while (done < run.count) {
+        int32_t b = cur_[run.child];
+        if (b == BucketChains::kNull || out_->fill()[b] == cap) {
+          const int32_t nb = out_->AllocateBucket();
+          block->ChargeDeviceAtomic(1);
+          if (nb == BucketChains::kNull) {
+            // Pool exhausted: an internal sizing bug; make it loud.
+            std::fprintf(stderr, "gjoin: bucket pool exhausted\n");
+            std::abort();
+          }
+          // Prepend to the child's list (blocks replay in ascending id,
+          // so the order is canonical).
+          out_->next()[nb] = out_->heads()[run.child];
+          out_->heads()[run.child] = nb;
+          cur_[run.child] = nb;
+          b = nb;
         }
-        // Prepend to the child's list; chain order is irrelevant.
-        out_->next()[nb] = out_->heads()[child];
-        out_->heads()[child] = nb;
-        cur_[child] = nb;
-        b = nb;
+        const uint32_t room = cap - out_->fill()[b];
+        const uint32_t batch = std::min(room, run.count - done);
+        const size_t dst = static_cast<size_t>(b) * cap + out_->fill()[b];
+        std::copy_n(pb.keys.data() + off + done, batch, out_->keys() + dst);
+        std::copy_n(pb.pays.data() + off + done, batch,
+                    out_->payloads() + dst);
+        out_->fill()[b] += batch;
+        done += batch;
       }
-      const uint32_t room = cap - out_->fill()[b];
-      const uint32_t batch = std::min(room, count - done);
-      const size_t dst = static_cast<size_t>(b) * cap + out_->fill()[b];
-      std::copy_n(keys + done, batch, out_->keys() + dst);
-      std::copy_n(pays + done, batch, out_->payloads() + dst);
-      out_->fill()[b] += batch;
-      done += batch;
+      off += run.count;
     }
+    pb = PerBlock();  // the buffered copy is dead weight from here
   }
 
  private:
+  struct Run {
+    uint32_t child;
+    uint32_t count;
+  };
+  struct PerBlock {
+    std::vector<Run> runs;
+    std::vector<uint32_t> keys, pays;
+  };
   BucketChains* out_;
-  bool concurrent_;
   std::vector<int32_t> cur_;
-  std::unique_ptr<std::mutex[]> locks_;
+  std::vector<PerBlock> per_block_;
 };
 
 /// Block-local staging only (no chain metadata) for producers that feed
@@ -408,35 +448,46 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
   launch.threads_per_block = config.threads_per_block;
   launch.shared_mem_bytes = device->spec().gpu.shared_mem_per_block;
 
+  std::vector<std::vector<PendingSegment>> pending(
+      static_cast<size_t>(num_blocks));
   GJOIN_ASSIGN_OR_RETURN(
       sim::LaunchResult result,
-      device->Launch(launch, [&](sim::Block& block) {
-        const size_t begin = static_cast<size_t>(block.block_id()) * chunk;
-        const size_t end = std::min(n, begin + chunk);
-        if (begin >= end) return;
-        BlockLocalChains local;
-        if (!local.Alloc(&block, fanout, config.stage_elems)) return;
-        local.ResetMeta(&block);
-        block.ChargeCoalescedRead(8ull * (end - begin));
-        block.ChargeCycles(static_cast<uint64_t>(
-            static_cast<double>(end - begin) * kCyclesPerElement));
-        // Two-phase batched execution: radix-decode and group a batch,
-        // then one bulk chain append per touched partition.
-        GroupScratch scratch;
-        scratch.Init(fanout, kGroupBatch);
-        for (size_t base = begin; base < end; base += kGroupBatch) {
-          const uint32_t count = static_cast<uint32_t>(
-              std::min<size_t>(kGroupBatch, end - base));
-          scratch.Group(keys + base, pays + base, count, shift, bits);
-          for (const uint32_t p : scratch.touched()) {
-            const GroupScratch::RunView run = scratch.Run(p);
-            local.AppendRun(&block, &chains, p, run.keys, run.pays,
-                            run.count);
-          }
-          scratch.ResetCounts();
-        }
-        local.Finish(&block, &chains, /*gp_base=*/0);
-      }));
+      device->Launch(
+          launch,
+          [&](sim::Block& block) {
+            const size_t begin = static_cast<size_t>(block.block_id()) * chunk;
+            const size_t end = std::min(n, begin + chunk);
+            if (begin >= end) return;
+            BlockLocalChains local;
+            if (!local.Alloc(&block, fanout, config.stage_elems)) return;
+            local.ResetMeta(&block);
+            block.ChargeCoalescedRead(8ull * (end - begin));
+            block.ChargeCycles(static_cast<uint64_t>(
+                static_cast<double>(end - begin) * kCyclesPerElement));
+            // Two-phase batched execution: radix-decode and group a
+            // batch, then one bulk chain append per touched partition.
+            GroupScratch scratch;
+            scratch.Init(fanout, kGroupBatch);
+            for (size_t base = begin; base < end; base += kGroupBatch) {
+              const uint32_t count = static_cast<uint32_t>(
+                  std::min<size_t>(kGroupBatch, end - base));
+              scratch.Group(keys + base, pays + base, count, shift, bits);
+              for (const uint32_t p : scratch.touched()) {
+                const GroupScratch::RunView run = scratch.Run(p);
+                local.AppendRun(&block, &chains, p, run.keys, run.pays,
+                                run.count);
+              }
+              scratch.ResetCounts();
+            }
+            local.Finish(&block, &chains, /*gp_base=*/0,
+                         &pending[static_cast<size_t>(block.block_id())]);
+          },
+          [&](sim::Block& block) {
+            for (const PendingSegment& seg :
+                 pending[static_cast<size_t>(block.block_id())]) {
+              chains.PublishSegment(seg.partition, seg.first, seg.last);
+            }
+          }));
 
   out.tuples += n;
   out.seconds += result.seconds;
@@ -521,9 +572,11 @@ util::Result<PartitionedRelation> RadixPartitionNextPass(
   launch.threads_per_block = config.threads_per_block;
   launch.shared_mem_bytes = device->spec().gpu.shared_mem_per_block;
 
-  GlobalChains global(&chains, device->functional_parallelism() > 1);
+  GlobalChains global(&chains, num_blocks);
   const bool bucket_mode =
       config.assignment == WorkAssignment::kBucketAtATime;
+  std::vector<std::vector<PendingSegment>> pending(
+      static_cast<size_t>(num_blocks));
 
   GJOIN_ASSIGN_OR_RETURN(
       sim::LaunchResult result,
@@ -658,7 +711,18 @@ util::Result<PartitionedRelation> RadixPartitionNextPass(
               b = next_b;
             }
             drain();
-            local.Finish(&block, &chains, item.parent << bits);
+            local.Finish(&block, &chains, item.parent << bits,
+                         &pending[static_cast<size_t>(block.block_id())]);
+          }
+        }
+      },
+      [&](sim::Block& block) {
+        if (bucket_mode) {
+          global.Replay(&block);
+        } else {
+          for (const PendingSegment& seg :
+               pending[static_cast<size_t>(block.block_id())]) {
+            chains.PublishSegment(seg.partition, seg.first, seg.last);
           }
         }
       }));

@@ -87,12 +87,14 @@ struct PartitionedRelation {
 /// base_shift, pass i consuming its bits above the bits of passes < i.
 /// All passes share one bucket pool; later passes recycle consumed
 /// buckets, so the footprint stays near the data size.
+[[nodiscard]]
 util::Result<PartitionedRelation> RadixPartition(
     sim::Device* device, const DeviceRelation& input,
     const RadixPartitionConfig& config);
 
 /// Like RadixPartition but takes ownership of the input and frees its
 /// raw columns as soon as the first pass has consumed them.
+[[nodiscard]]
 util::Result<PartitionedRelation> RadixPartitionConsuming(
     sim::Device* device, DeviceRelation input,
     const RadixPartitionConfig& config);
@@ -103,6 +105,7 @@ util::Result<PartitionedRelation> RadixPartitionConsuming(
 /// partitioned form — how implementations fit large probe sides next to
 /// an already-partitioned build side. Transfer timing is the caller's
 /// concern (as with DeviceRelation::Upload).
+[[nodiscard]]
 util::Result<PartitionedRelation> RadixPartitionSegmented(
     sim::Device* device, const data::Relation& input,
     const RadixPartitionConfig& config, int segments);
@@ -111,6 +114,7 @@ util::Result<PartitionedRelation> RadixPartitionSegmented(
 /// the radix field. When `append_to` is non-null, tuples are published
 /// into its existing chains (same layout, shared pool) instead of fresh
 /// ones, and the updated relation is returned.
+[[nodiscard]]
 util::Result<PartitionedRelation> RadixPartitionFirstPass(
     sim::Device* device, const DeviceRelation& input, int shift, int bits,
     const RadixPartitionConfig& config,
@@ -121,6 +125,7 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
 /// Takes `prev` by value: the pass consumes the input chains, recycling
 /// their buckets into the shared pool as it drains them (callers that
 /// kept a handle would otherwise observe half-drained chains).
+[[nodiscard]]
 util::Result<PartitionedRelation> RadixPartitionNextPass(
     sim::Device* device, PartitionedRelation prev, int shift, int bits,
     const RadixPartitionConfig& config);

@@ -28,11 +28,13 @@ struct DeviceRelation {
   /// Transfer *time* is not charged here — data-movement costs belong to
   /// the execution strategies (in-GPU joins assume resident data; the
   /// out-of-GPU strategies time every transfer explicitly).
+  [[nodiscard]]
   static util::Result<DeviceRelation> Upload(sim::Device* device,
                                              const data::Relation& rel);
 
   /// Uploads a view (a slice of a host relation) without an intermediate
   /// host copy — the segmented/chunked pipelines' path.
+  [[nodiscard]]
   static util::Result<DeviceRelation> Upload(sim::Device* device,
                                              const data::RelationView& view);
 };

@@ -70,6 +70,7 @@ struct CoProcessConfig {
 };
 
 /// Runs the co-processing join over two host relations.
+[[nodiscard]]
 util::Result<gjoin::gpujoin::JoinStats> CoProcessJoin(
     sim::Device* device, const data::Relation& build,
     const data::Relation& probe, const CoProcessConfig& config);
@@ -100,6 +101,7 @@ struct CoProcessPlan {
 /// Executes the functional phase once (config's pipeline parameters are
 /// ignored except cpu partitioning geometry, packing and the GPU join
 /// config).
+[[nodiscard]]
 util::Result<CoProcessPlan> PlanCoProcessJoin(sim::Device* device,
                                               const data::Relation& build,
                                               const data::Relation& probe,
@@ -113,6 +115,7 @@ util::Result<CoProcessPlan> PlanCoProcessJoin(sim::Device* device,
 /// *was* partitioned here and the matching `out_*` pointer is non-null,
 /// the fresh partitions are moved out for the caller to cache. The
 /// returned plan is identical to PlanCoProcessJoin's.
+[[nodiscard]]
 util::Result<CoProcessPlan> PlanCoProcessJoinShared(
     sim::Device* device, const data::Relation& build,
     const data::Relation& probe, const CoProcessConfig& config,
@@ -130,6 +133,7 @@ struct CoProcessRun {
 
 /// Times the pipeline of a prepared plan under `config` and returns the
 /// stats together with the op DAG.
+[[nodiscard]]
 util::Result<CoProcessRun> CoProcessExecutePlanned(
     sim::Device* device, const CoProcessPlan& plan,
     const CoProcessConfig& config);
@@ -137,6 +141,7 @@ util::Result<CoProcessRun> CoProcessExecutePlanned(
 /// Times the pipeline of a prepared plan under `config`. Equals
 /// CoProcessJoin(device, build, probe, config) when the plan was built
 /// with the same partitioning/packing/join configuration.
+[[nodiscard]]
 util::Result<gjoin::gpujoin::JoinStats> CoProcessJoinPlanned(
     sim::Device* device, const CoProcessPlan& plan,
     const CoProcessConfig& config);

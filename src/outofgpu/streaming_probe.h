@@ -57,6 +57,7 @@ struct StreamingProbeRun {
 /// partitioned build is reused instead of re-uploading/re-partitioning,
 /// while the returned stats and DAG remain identical to a standalone run
 /// (partitioning is deterministic).
+[[nodiscard]]
 util::Result<StreamingProbeRun> StreamingProbeExecute(
     sim::Device* device, const data::Relation& build,
     const data::Relation& probe, const StreamingProbeConfig& config,
@@ -66,6 +67,7 @@ util::Result<StreamingProbeRun> StreamingProbeExecute(
 /// `probe` streams from the host. Returns verified counts and modeled
 /// pipeline timing (seconds = makespan; transfer_s / join_s = engine
 /// busy times).
+[[nodiscard]]
 util::Result<gpujoin::JoinStats> StreamingProbeJoin(
     sim::Device* device, const data::Relation& build,
     const data::Relation& probe, const StreamingProbeConfig& config);

@@ -54,6 +54,7 @@ struct MechanismJoinConfig {
 /// Inputs larger than device memory are supported for kUvaJoin and
 /// kUnifiedMemory (that is their purpose); the resident/load variants
 /// return OutOfMemory exactly like the real system.
+[[nodiscard]]
 util::Result<gjoin::gpujoin::JoinStats> MechanismJoin(
     sim::Device* device, const data::Relation& build,
     const data::Relation& probe, const MechanismJoinConfig& config);

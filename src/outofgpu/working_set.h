@@ -46,6 +46,7 @@ struct WorkingSetConfig {
 /// budget is placed alone in its own set (the caller sub-partitions it
 /// on the GPU, Section IV-B: "If the aggregate size of two co-partitions
 /// is larger than the GPU memory, they are further partitioned").
+[[nodiscard]]
 util::Result<std::vector<WorkingSet>> PackWorkingSets(
     const std::vector<uint64_t>& partition_bytes,
     const WorkingSetConfig& config);

@@ -14,7 +14,6 @@
 #define GJOIN_SIM_DEVICE_H_
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,7 +21,9 @@
 #include "src/hw/spec.h"
 #include "src/sim/block.h"
 #include "src/sim/device_memory.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace gjoin::sim {
@@ -65,8 +66,20 @@ class Device {
   /// Launches a kernel: `body` runs once per block. Returns Invalid if
   /// the launch configuration violates device limits (block size, shared
   /// memory) — the same errors CUDA reports at launch time.
-  util::Result<LaunchResult> Launch(const LaunchConfig& config,
-                                    const std::function<void(Block&)>& body);
+  ///
+  /// When `epilogue` is provided, every block stays alive after its body
+  /// returns and `epilogue(block)` then runs sequentially in ascending
+  /// block id on the calling thread, charging into the same per-block
+  /// stats. Kernels route cross-block side effects (chain publishes,
+  /// shared-table inserts, result-ring claims) through the epilogue so
+  /// the functional outcome — and every charged counter, including
+  /// max_block_cycles — is independent of how blocks interleave across
+  /// host workers: at one host thread the epilogue order equals the
+  /// inline execution order, and at N threads it reproduces it.
+  [[nodiscard]]
+  util::Result<LaunchResult> Launch(
+      const LaunchConfig& config, const std::function<void(Block&)>& body,
+      const std::function<void(Block&)>& epilogue = nullptr);
 
   /// Simulated device memory (capacity-accounted allocations).
   DeviceMemory& memory() { return memory_; }
@@ -97,8 +110,8 @@ class Device {
   DeviceMemory memory_;
   util::ThreadPool* pool_;
 
-  mutable std::mutex profile_mu_;
-  std::vector<ProfileEntry> profile_;
+  mutable util::Mutex profile_mu_;
+  std::vector<ProfileEntry> profile_ GJOIN_GUARDED_BY(profile_mu_);
 };
 
 }  // namespace gjoin::sim

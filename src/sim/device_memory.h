@@ -90,6 +90,7 @@ class DeviceMemory {
   /// would exceed the device capacity. Contents are zero-initialized
   /// (unlike cudaMalloc) so kernels start deterministic.
   template <typename T>
+  [[nodiscard]]
   util::Result<DeviceBuffer<T>> Allocate(size_t count) {
     const size_t bytes = count * sizeof(T);
     GJOIN_RETURN_NOT_OK(Reserve(bytes));
@@ -109,6 +110,7 @@ class DeviceMemory {
   template <typename T>
   friend class DeviceBuffer;
 
+  [[nodiscard]]
   util::Status Reserve(size_t bytes);
   void Release(size_t bytes);
 

@@ -116,6 +116,7 @@ class Timeline {
   /// dependencies have finished. Returns Invalid if a dependency id is
   /// out of range or refers to a later op, or an op names an unknown
   /// lane.
+  [[nodiscard]]
   util::Result<Schedule> Run() const;
 
   /// Convenience: makespan of Run() (aborts on malformed timelines —

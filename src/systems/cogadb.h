@@ -36,6 +36,7 @@ struct CoGaDbConfig {
 /// run an operator-at-a-time non-partitioned join materializing tid
 /// lists, and gather results. Errors when data cannot be GPU-resident or
 /// exceeds the loader's container limit.
+[[nodiscard]]
 util::Result<gjoin::gpujoin::JoinStats> CoGaDbJoin(
     sim::Device* device, const data::Relation& build,
     const data::Relation& probe, const CoGaDbConfig& config = CoGaDbConfig());

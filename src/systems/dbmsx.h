@@ -39,6 +39,7 @@ struct DbmsXConfig {
 /// Executes a join the way DBMS-X would. Returns ExecutionError when the
 /// key domain exceeds the engine's integer limits (the SF100 orders
 /// failure).
+[[nodiscard]]
 util::Result<gjoin::gpujoin::JoinStats> DbmsXJoin(
     sim::Device* device, const data::Relation& build,
     const data::Relation& probe, const DbmsXConfig& config = DbmsXConfig());

@@ -17,6 +17,7 @@ namespace gjoin::util {
 class Flags {
  public:
   /// Parses argv; returns Invalid on malformed arguments.
+  [[nodiscard]]
   static Result<Flags> Parse(int argc, char** argv);
 
   /// True iff --name was provided.

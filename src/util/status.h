@@ -52,24 +52,30 @@ class Status {
   Status& operator=(Status&&) = default;
 
   /// Returns an OK status.
+  [[nodiscard]]
   static Status OK() { return Status(); }
   /// Returns an error with code kInvalid.
+  [[nodiscard]]
   static Status Invalid(std::string msg) {
     return Status(StatusCode::kInvalid, std::move(msg));
   }
   /// Returns an error with code kOutOfMemory.
+  [[nodiscard]]
   static Status OutOfMemory(std::string msg) {
     return Status(StatusCode::kOutOfMemory, std::move(msg));
   }
   /// Returns an error with code kUnsupported.
+  [[nodiscard]]
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
   /// Returns an error with code kInternal.
+  [[nodiscard]]
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
   /// Returns an error with code kExecutionError.
+  [[nodiscard]]
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
   }

@@ -1,6 +1,9 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
 
 namespace gjoin::util {
 
@@ -14,41 +17,56 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    MutexLock lock(&mu_);
+    while (in_flight_ != 0) cv_done_.Wait(&mu_);
+    error = std::exchange(task_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_task_.Wait(&mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      // The library itself is exception-free (util::Status), but user
+      // callbacks (test assertions, std::bad_alloc) may throw; letting
+      // that escape the worker would std::terminate the process.
+      // Capture the first one and surface it from Wait().
+      error = std::current_exception();
+    }
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) cv_done_.notify_all();
+      MutexLock lock(&mu_);
+      if (error && !task_error_) task_error_ = error;
+      if (--in_flight_ == 0) cv_done_.NotifyAll();
     }
   }
 }
@@ -74,8 +92,14 @@ void ThreadPool::ParallelForRanges(
 }
 
 ThreadPool* ThreadPool::Default() {
-  static ThreadPool* pool =
-      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()));
+  static ThreadPool* pool = [] {
+    size_t threads = std::max(1u, std::thread::hardware_concurrency());
+    if (const char* env = std::getenv("GJOIN_CPU_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1 && parsed <= 256) threads = static_cast<size_t>(parsed);
+    }
+    return new ThreadPool(threads);
+  }();
   return pool;
 }
 

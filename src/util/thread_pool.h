@@ -8,13 +8,15 @@
 #ifndef GJOIN_UTIL_THREAD_POOL_H_
 #define GJOIN_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace gjoin::util {
 
@@ -32,11 +34,15 @@ class ThreadPool {
   /// Number of worker threads.
   size_t num_threads() const { return threads_.size(); }
 
-  /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for asynchronous execution. Safe to call from
+  /// worker threads (nested submission); such tasks are covered by the
+  /// next Wait().
+  void Submit(std::function<void()> task) GJOIN_EXCLUDES(mu_);
 
-  /// Blocks until every submitted task has finished.
-  void Wait();
+  /// Blocks until every submitted task has finished. If any task exited
+  /// with an exception, rethrows the first one here (the pool itself
+  /// stays usable). Must not be called from a worker thread.
+  void Wait() GJOIN_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n), distributing contiguous chunks over the
   /// workers and blocking until all iterations complete. fn must be safe
@@ -51,19 +57,24 @@ class ThreadPool {
   void ParallelForRanges(
       size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
 
-  /// Process-wide default pool sized to the hardware concurrency.
+  /// Process-wide default pool. Sized to the hardware concurrency, or to
+  /// the GJOIN_CPU_THREADS environment variable when set (the TSan CI
+  /// lane forces >1 workers on 1-CPU runners so concurrent code paths
+  /// are actually interleaved; results are identical either way).
   static ThreadPool* Default();
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_done_;
+  std::queue<std::function<void()>> queue_ GJOIN_GUARDED_BY(mu_);
+  size_t in_flight_ GJOIN_GUARDED_BY(mu_) = 0;
+  bool stop_ GJOIN_GUARDED_BY(mu_) = false;
+  /// First exception thrown by a task since the last Wait().
+  std::exception_ptr task_error_ GJOIN_GUARDED_BY(mu_);
 };
 
 }  // namespace gjoin::util

@@ -1,0 +1,257 @@
+// Concurrency stress tests: the ThreadPool edge cases and, more
+// importantly, the determinism contract of the two-phase launch path —
+// every join result, every charged KernelStats counter, and every byte
+// of a materialized output ring must be identical whether the simulated
+// blocks execute on 1 host worker or interleave across 8. The CI thread
+// lane runs this suite under TSan with GJOIN_CPU_THREADS=8; here the
+// pools are constructed explicitly so the test is deterministic even on
+// a single-CPU machine without the environment override.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "src/data/generator.h"
+#include "src/gpujoin/nonpartitioned.h"
+#include "src/gpujoin/output_ring.h"
+#include "src/gpujoin/partitioned_join.h"
+#include "src/util/thread_pool.h"
+
+namespace gjoin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool edge cases
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolStressTest, WaitWithZeroTasksIsImmediate) {
+  util::ThreadPool pool(8);
+  pool.Wait();  // Nothing submitted: must not hang or throw.
+  pool.Wait();  // And again: Wait with an empty queue stays reusable.
+}
+
+TEST(ThreadPoolStressTest, NestedSubmitIsCoveredByWait) {
+  util::ThreadPool pool(8);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] {
+      ++count;
+      // Submission from a worker thread: the new task belongs to the
+      // same Wait() epoch as its parent.
+      pool.Submit([&] { ++count; });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 128);
+}
+
+TEST(ThreadPoolStressTest, WorkerExceptionRethrownFromWait) {
+  util::ThreadPool pool(8);
+  std::atomic<int> survivors{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&, i] {
+      if (i == 7) throw std::runtime_error("task 7 failed");
+      ++survivors;
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The failure is consumed by Wait; the pool stays usable afterwards.
+  pool.Submit([&] { ++survivors; });
+  pool.Wait();
+  EXPECT_EQ(survivors.load(), 16);
+}
+
+TEST(ThreadPoolStressTest, ManySmallTasksAllRun) {
+  util::ThreadPool pool(8);
+  constexpr int kTasks = 4000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&hits, i] { ++hits[i]; });
+  }
+  pool.Wait();
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolStressTest, ParallelForRangesWorkerIndexIsDense) {
+  util::ThreadPool pool(8);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> visited(kN);
+  std::atomic<size_t> max_worker{0};
+  pool.ParallelForRanges(kN, [&](size_t worker, size_t begin, size_t end) {
+    size_t seen = max_worker.load();
+    while (worker > seen && !max_worker.compare_exchange_weak(seen, worker)) {
+    }
+    for (size_t i = begin; i < end; ++i) ++visited[i];
+  });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(visited[i].load(), 1);
+  EXPECT_LT(max_worker.load(), pool.num_threads());
+}
+
+// ---------------------------------------------------------------------------
+// Launch determinism: 1 worker vs 8 workers, bit-identical everything
+// ---------------------------------------------------------------------------
+
+/// Asserts two launch profiles charged exactly the same stats.
+void ExpectSameProfile(const sim::Device& a, const sim::Device& b) {
+  const auto pa = a.profile();
+  const auto pb = b.profile();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    SCOPED_TRACE("launch " + std::to_string(i) + " (" + pa[i].name + ")");
+    EXPECT_EQ(pa[i].name, pb[i].name);
+    const auto& sa = pa[i].stats;
+    const auto& sb = pb[i].stats;
+    EXPECT_EQ(sa.coalesced_read_bytes, sb.coalesced_read_bytes);
+    EXPECT_EQ(sa.coalesced_write_bytes, sb.coalesced_write_bytes);
+    EXPECT_EQ(sa.scatter_write_bytes, sb.scatter_write_bytes);
+    EXPECT_EQ(sa.random_transactions, sb.random_transactions);
+    EXPECT_EQ(sa.random_working_set_bytes, sb.random_working_set_bytes);
+    EXPECT_EQ(sa.shared_bytes, sb.shared_bytes);
+    EXPECT_EQ(sa.shared_atomics, sb.shared_atomics);
+    EXPECT_EQ(sa.device_atomics, sb.device_atomics);
+    EXPECT_EQ(sa.total_cycles, sb.total_cycles);
+    EXPECT_EQ(sa.max_block_cycles, sb.max_block_cycles);
+    EXPECT_EQ(sa.num_blocks, sb.num_blocks);
+    EXPECT_DOUBLE_EQ(pa[i].seconds, pb[i].seconds);
+  }
+}
+
+class LaunchDeterminismTest : public ::testing::Test {
+ protected:
+  LaunchDeterminismTest()
+      : r_(data::MakeReplicated(40000, 2.0, 31)),
+        s_(data::MakeZipf(80000, 20000, 0.75, 32, 7)) {}
+
+  data::Relation r_;
+  data::Relation s_;
+  util::ThreadPool pool1_{1};
+  util::ThreadPool pool8_{8};
+};
+
+TEST_F(LaunchDeterminismTest, PartitionedJoinIdenticalAcrossPoolWidths) {
+  gpujoin::PartitionedJoinConfig cfg;
+  cfg.partition.pass_bits = {5, 4};
+  sim::Device d1{hw::HardwareSpec::Icde2019Testbed(), &pool1_};
+  auto ref = gpujoin::PartitionedJoinFromHost(&d1, r_, s_, cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  // Several repetitions: before the two-phase launch epilogue, failures
+  // here were interleaving-dependent and intermittent.
+  for (int rep = 0; rep < 3; ++rep) {
+    SCOPED_TRACE("rep " + std::to_string(rep));
+    sim::Device d8{hw::HardwareSpec::Icde2019Testbed(), &pool8_};
+    auto got = gpujoin::PartitionedJoinFromHost(&d8, r_, s_, cfg);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->matches, ref->matches);
+    EXPECT_EQ(got->payload_sum, ref->payload_sum);
+    EXPECT_DOUBLE_EQ(got->seconds, ref->seconds);
+    ExpectSameProfile(d1, d8);
+  }
+}
+
+TEST_F(LaunchDeterminismTest, PartitionAtATimeSecondPassIdentical) {
+  // The default (bucket-at-a-time) second pass runs in the test above
+  // through the GlobalChains ordered replay; this covers the
+  // partition-at-a-time assignment, whose deferred segment publishes
+  // replay through the same epilogue.
+  gpujoin::PartitionedJoinConfig cfg;
+  cfg.partition.pass_bits = {4, 4};
+  cfg.partition.assignment = gpujoin::WorkAssignment::kPartitionAtATime;
+  sim::Device d1{hw::HardwareSpec::Icde2019Testbed(), &pool1_};
+  auto ref = gpujoin::PartitionedJoinFromHost(&d1, r_, s_, cfg);
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  for (int rep = 0; rep < 3; ++rep) {
+    SCOPED_TRACE("rep " + std::to_string(rep));
+    sim::Device d8{hw::HardwareSpec::Icde2019Testbed(), &pool8_};
+    auto got = gpujoin::PartitionedJoinFromHost(&d8, r_, s_, cfg);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->matches, ref->matches);
+    EXPECT_EQ(got->payload_sum, ref->payload_sum);
+    EXPECT_DOUBLE_EQ(got->seconds, ref->seconds);
+    ExpectSameProfile(d1, d8);
+  }
+}
+
+TEST_F(LaunchDeterminismTest, MaterializedRingBytesIdenticalEvenWrapped) {
+  // A ring smaller than the result set forces wrap-around overwrites, so
+  // even the *order* of ring claims is observable. The epilogue replay
+  // must reproduce the single-worker order exactly.
+  const auto run = [&](sim::Device* dev, std::vector<uint64_t>* ring_bytes) {
+    gpujoin::RadixPartitionConfig pc;
+    pc.pass_bits = {4};
+    auto pr = gpujoin::RadixPartition(
+        dev, std::move(gpujoin::DeviceRelation::Upload(dev, r_)).ValueOrDie(),
+        pc);
+    ASSERT_TRUE(pr.ok()) << pr.status();
+    auto ps = gpujoin::RadixPartition(
+        dev, std::move(gpujoin::DeviceRelation::Upload(dev, s_)).ValueOrDie(),
+        pc);
+    ASSERT_TRUE(ps.ok()) << ps.status();
+    auto ring = gpujoin::OutputRing::Allocate(&dev->memory(), 4096);
+    ASSERT_TRUE(ring.ok()) << ring.status();
+    gpujoin::OutputRing out = std::move(ring).ValueOrDie();
+    gpujoin::CoPartitionJoinConfig jcfg;
+    jcfg.output = gpujoin::OutputMode::kMaterialize;
+    auto stats = gpujoin::JoinCoPartitions(dev, *pr, *ps, jcfg, &out);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    ASSERT_TRUE(out.wrapped());  // the interesting case
+    ring_bytes->resize(out.capacity());
+    for (size_t i = 0; i < out.capacity(); ++i) (*ring_bytes)[i] = out.pair(i);
+  };
+
+  std::vector<uint64_t> ref;
+  sim::Device d1{hw::HardwareSpec::Icde2019Testbed(), &pool1_};
+  run(&d1, &ref);
+  for (int rep = 0; rep < 3; ++rep) {
+    SCOPED_TRACE("rep " + std::to_string(rep));
+    std::vector<uint64_t> got;
+    sim::Device d8{hw::HardwareSpec::Icde2019Testbed(), &pool8_};
+    run(&d8, &got);
+    EXPECT_EQ(got, ref);
+    ExpectSameProfile(d1, d8);
+  }
+}
+
+TEST_F(LaunchDeterminismTest, NonPartitionedVariantsIdentical) {
+  for (const auto variant : {gpujoin::NonPartitionedVariant::kChaining,
+                             gpujoin::NonPartitionedVariant::kPerfectHash}) {
+    SCOPED_TRACE(static_cast<int>(variant));
+    const data::Relation build =
+        variant == gpujoin::NonPartitionedVariant::kPerfectHash
+            ? data::MakeUniqueUniform(30000, 33)  // perfect hash: unique keys
+            : r_;
+    gpujoin::NonPartitionedJoinConfig cfg;
+    cfg.variant = variant;
+    cfg.output = gpujoin::OutputMode::kMaterialize;
+    cfg.out_capacity = 2048;  // force ring wrap here too
+
+    const auto run = [&](sim::Device* dev, gpujoin::JoinStats* stats_out) {
+      auto ub = gpujoin::DeviceRelation::Upload(dev, build);
+      auto us = gpujoin::DeviceRelation::Upload(dev, s_);
+      ASSERT_TRUE(ub.ok() && us.ok());
+      auto stats = gpujoin::NonPartitionedJoin(dev, *ub, *us, cfg);
+      ASSERT_TRUE(stats.ok()) << stats.status();
+      *stats_out = *stats;
+    };
+
+    sim::Device d1{hw::HardwareSpec::Icde2019Testbed(), &pool1_};
+    gpujoin::JoinStats ref;
+    run(&d1, &ref);
+    for (int rep = 0; rep < 3; ++rep) {
+      SCOPED_TRACE("rep " + std::to_string(rep));
+      sim::Device d8{hw::HardwareSpec::Icde2019Testbed(), &pool8_};
+      gpujoin::JoinStats got;
+      run(&d8, &got);
+      EXPECT_EQ(got.matches, ref.matches);
+      EXPECT_EQ(got.payload_sum, ref.payload_sum);
+      EXPECT_DOUBLE_EQ(got.seconds, ref.seconds);
+      ExpectSameProfile(d1, d8);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gjoin

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace gjoin::util {
 namespace {
 
@@ -38,6 +40,29 @@ TEST(StatusTest, CopyPreservesState) {
 TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfMemory), "OutOfMemory");
+}
+
+TEST(StatusTest, OkCodeWithMessageIsStillOk) {
+  // The (code, msg) constructor drops the message for kOk: OK carries no
+  // allocated state, so a message there would be silently unreachable.
+  Status st(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(st.ok());
+  EXPECT_TRUE(st.message().empty());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, StreamInsertionUsesToString) {
+  std::ostringstream os;
+  os << Status::OutOfMemory("pool exhausted");
+  EXPECT_EQ(os.str(), "OutOfMemory: pool exhausted");
+}
+
+TEST(StatusTest, CheckOKPassesOnSuccess) {
+  Status::OK().CheckOK();  // must not abort
+}
+
+TEST(StatusDeathTest, CheckOKAbortsWithMessage) {
+  EXPECT_DEATH(Status::ExecutionError("engine died").CheckOK(), "engine died");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -98,6 +123,19 @@ TEST(MacroTest, AssignOrReturnUnwrapsAndPropagates) {
 TEST(ResultDeathTest, ValueOrDieAbortsOnError) {
   Result<int> r = Status::Invalid("fatal");
   EXPECT_DEATH({ (void)r.ValueOrDie(); }, "fatal");
+}
+
+TEST(ResultTest, ConstructedFromOkStatusBecomesInternalError) {
+  // Returning OK where a value is required is a caller bug; Result
+  // refuses to encode "success without a value".
+  Result<int> r{Status::OK()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ArrowOperatorReachesValue) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
 }
 
 }  // namespace
