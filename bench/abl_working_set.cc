@@ -32,7 +32,7 @@ int Run(int argc, char** argv) {
     cfg.chunk_tuples = std::max<size_t>(ctx.Scale(4 * bench::kM), 4096);
     cfg.packing.knapsack_first_set = v == 0;
     auto stats = outofgpu::CoProcessJoin(&device, r, s, cfg);
-    stats.status().CheckOK();
+    util::ExitOnError(stats.status(), "abl_working_set");
     if (stats->matches != oracle.matches) {
       std::fprintf(stderr, "abl_working_set: result mismatch\n");
       return 1;

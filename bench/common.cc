@@ -14,8 +14,8 @@ BenchContext BenchContext::Create(int argc, char** argv, const char* figure,
   BenchContext ctx;
   ctx.figure_ = figure;
   auto flags = util::Flags::Parse(argc, argv);
-  flags.status().CheckOK();
-  ctx.flags_ = std::move(flags).ValueOrDie();
+  util::ExitOnError(flags.status(), "common");
+  ctx.flags_ = util::ValueOrExit(std::move(flags), "common");
 
   int64_t divisor = ctx.flags_.GetInt("divisor", default_divisor);
   const char* full = std::getenv("GJOIN_FULL_SCALE");

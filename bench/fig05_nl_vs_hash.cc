@@ -57,11 +57,11 @@ int Run(int argc, char** argv) {
       cfg.join.shared_elems = 4096;  // >= 2x partition size headroom
       cfg.join.hash_slots = 256;
       auto r_dev =
-          std::move(gpujoin::DeviceRelation::Upload(&device, r)).ValueOrDie();
+          util::ValueOrExit(std::move(gpujoin::DeviceRelation::Upload(&device, r)), "fig05");
       auto s_dev =
-          std::move(gpujoin::DeviceRelation::Upload(&device, s)).ValueOrDie();
+          util::ValueOrExit(std::move(gpujoin::DeviceRelation::Upload(&device, s)), "fig05");
       const auto stats = gpujoin::PartitionedJoin(&device, r_dev, s_dev, cfg);
-      stats.status().CheckOK();
+      util::ExitOnError(stats.status(), "fig05");
       if (stats->matches != oracle.matches) {
         std::fprintf(stderr, "fig05: result mismatch\n");
         return 1;

@@ -57,7 +57,7 @@ int Run(int argc, char** argv) {
     gpujoin::PartitionedJoinConfig part_cfg = bench::ScaledJoinConfig(ctx);
     auto prepared =
         gpujoin::PreparePartitionedBuild(&device, r, part_cfg);
-    prepared.status().CheckOK();
+    util::ExitOnError(prepared.status(), "fig08");
 
     // Ratios run descending so the probe relation never exists twice:
     // 1:4 borrows s_full itself, 1:2 copies its prefix once, and 1:1
@@ -90,7 +90,7 @@ int Run(int argc, char** argv) {
       {
         auto stats = gpujoin::PartitionedJoinFromHostWithBuild(
             &device, *prepared, s, part_cfg);
-        stats.status().CheckOK();
+        util::ExitOnError(stats.status(), "fig08");
         bench::VerifyJoin(stats->matches, stats->payload_sum, oracle,
                           "fig08 partitioned join");
         const double t = bench::Tput(n, probe_n, stats->seconds);
@@ -126,7 +126,7 @@ int Run(int argc, char** argv) {
         double seconds;
         if (ratio == 1) {
           auto stats = cpu::ProJoin(r, s, cfg, cpu_model);
-          stats.status().CheckOK();
+          util::ExitOnError(stats.status(), "fig08");
           bench::VerifyJoin(stats->matches, stats->payload_sum, oracle,
                             "fig08 CPU PRO");
           seconds = stats->seconds;
@@ -146,7 +146,7 @@ int Run(int argc, char** argv) {
         double seconds;
         if (ratio == 1) {
           auto stats = cpu::NpoJoin(r, s, cfg, cpu_model);
-          stats.status().CheckOK();
+          util::ExitOnError(stats.status(), "fig08");
           bench::VerifyJoin(stats->matches, stats->payload_sum, oracle,
                             "fig08 CPU NPO");
           seconds = stats->seconds;

@@ -57,7 +57,7 @@ int Run(int argc, char** argv) {
       cfg.join = bench::ScaledJoinConfig(ctx);
       cfg.materialize_to_host = materialize;
       auto stats = outofgpu::StreamingProbeJoin(&device, r, s, cfg);
-      stats.status().CheckOK();
+      util::ExitOnError(stats.status(), "fig11");
       if (stats->matches != oracle.matches) {
         std::fprintf(stderr, "fig11: result mismatch\n");
         return 1;
@@ -77,7 +77,7 @@ int Run(int argc, char** argv) {
       double seconds;
       if (point == 0) {
         auto stats = cpu::ProJoin(r, s, cfg, cpu_model);
-        stats.status().CheckOK();
+        util::ExitOnError(stats.status(), "fig11");
         bench::VerifyJoin(stats->matches, stats->payload_sum, oracle,
                           "fig11 CPU PRO");
         seconds = stats->seconds;

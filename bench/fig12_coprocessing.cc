@@ -76,7 +76,7 @@ int Run(int argc, char** argv) {
         cfg.join = bench::ScaledJoinConfig(ctx);
         cfg.chunk_tuples = std::max<size_t>(ctx.Scale(4 * bench::kM), 4096);
         auto stats = outofgpu::CoProcessJoin(&device, r, s, cfg);
-        stats.status().CheckOK();
+        util::ExitOnError(stats.status(), "fig12");
         if (stats->matches != oracle.matches) {
           std::fprintf(stderr, "fig12: result mismatch\n");
           return 1;
@@ -94,7 +94,7 @@ int Run(int argc, char** argv) {
         double seconds;
         if (ratio == 1) {
           auto stats = cpu::ProJoin(r, s, cfg, cpu_model);
-          stats.status().CheckOK();
+          util::ExitOnError(stats.status(), "fig12");
           bench::VerifyJoin(stats->matches, stats->payload_sum, oracle,
                             "fig12 CPU PRO");
           seconds = stats->seconds;
@@ -113,7 +113,7 @@ int Run(int argc, char** argv) {
         double seconds;
         if (ratio == 1) {
           auto stats = cpu::NpoJoin(r, s, cfg, cpu_model);
-          stats.status().CheckOK();
+          util::ExitOnError(stats.status(), "fig12");
           bench::VerifyJoin(stats->matches, stats->payload_sum, oracle,
                             "fig12 CPU NPO");
           seconds = stats->seconds;

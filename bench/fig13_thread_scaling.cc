@@ -39,14 +39,14 @@ int Run(int argc, char** argv) {
   coproc_cfg.join = bench::ScaledJoinConfig(ctx);
   coproc_cfg.chunk_tuples = std::max<size_t>(ctx.Scale(4 * bench::kM), 4096);
   auto coproc_plan = outofgpu::PlanCoProcessJoin(&device, r, s, coproc_cfg);
-  coproc_plan.status().CheckOK();
+  util::ExitOnError(coproc_plan.status(), "fig13");
   for (int threads = 2; threads <= 46; threads += 4) {
     threads_axis.push_back(threads);
     {
       outofgpu::CoProcessConfig cfg = coproc_cfg;
       cfg.cpu.threads = threads;
       auto stats = outofgpu::CoProcessJoinPlanned(&device, *coproc_plan, cfg);
-      stats.status().CheckOK();
+      util::ExitOnError(stats.status(), "fig13");
       if (stats->matches != oracle.matches) {
         std::fprintf(stderr, "fig13: result mismatch\n");
         return 1;
@@ -64,7 +64,7 @@ int Run(int argc, char** argv) {
       double seconds;
       if (threads == 2) {
         auto stats = cpu::ProJoin(r, s, cfg, cpu_model);
-        stats.status().CheckOK();
+        util::ExitOnError(stats.status(), "fig13");
         bench::VerifyJoin(stats->matches, stats->payload_sum, oracle,
                           "fig13 CPU PRO");
         seconds = stats->seconds;

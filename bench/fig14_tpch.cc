@@ -55,7 +55,7 @@ int Run(int argc, char** argv) {
         api::JoinConfig cfg;
         cfg.pass_bits = ctx.ScalePassBits({8, 7});
         auto outcome = api::Join(&device, *c.build, *c.probe, cfg);
-        outcome.status().CheckOK();
+        util::ExitOnError(outcome.status(), "fig14");
         if (outcome->stats.matches != oracle.matches) {
           std::fprintf(stderr, "fig14: result mismatch\n");
           return 1;

@@ -44,7 +44,7 @@ int Run(int argc, char** argv) {
       api::JoinConfig cfg;
       cfg.pass_bits = ctx.ScalePassBits({8, 7});
       auto outcome = api::Join(&device, r, s, cfg);
-      outcome.status().CheckOK();
+      util::ExitOnError(outcome.status(), "fig15");
       if (outcome->stats.matches != oracle.matches) {
         std::fprintf(stderr, "fig15: result mismatch\n");
         return 1;

@@ -32,12 +32,12 @@ int Run(int argc, char** argv) {
     base_cfg.join = bench::ScaledJoinConfig(ctx);
     base_cfg.chunk_tuples = std::max<size_t>(ctx.Scale(4 * bench::kM), 4096);
     auto plan = outofgpu::PlanCoProcessJoin(&device, r, s, base_cfg);
-    plan.status().CheckOK();
+    util::ExitOnError(plan.status(), "fig16");
     for (bool staging : {true, false}) {
       outofgpu::CoProcessConfig cfg = base_cfg;
       cfg.staging = staging;
       auto stats = outofgpu::CoProcessJoinPlanned(&device, *plan, cfg);
-      stats.status().CheckOK();
+      util::ExitOnError(stats.status(), "fig16");
       // Effective end-to-end data rate: all input bytes over total time.
       const double rate =
           static_cast<double>(r.bytes() + s.bytes()) / stats->seconds / 1e9;

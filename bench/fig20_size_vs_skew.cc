@@ -38,7 +38,7 @@ int Run(int argc, char** argv) {
         cfg.chunk_tuples = std::max<size_t>(ctx.Scale(4 * bench::kM), 4096);
         cfg.materialize_to_host = materialize;
         auto stats = outofgpu::CoProcessJoin(&device, r, s, cfg);
-        stats.status().CheckOK();
+        util::ExitOnError(stats.status(), "fig20");
         if (stats->matches != oracle.matches) {
           std::fprintf(stderr, "fig20: result mismatch\n");
           return 1;

@@ -34,7 +34,7 @@ int Run(int argc, char** argv) {
     cfg.join = bench::ScaledJoinConfig(ctx);
     cfg.mechanism = mech;
     auto stats = outofgpu::MechanismJoin(&device, r, s, cfg);
-    stats.status().CheckOK();
+    util::ExitOnError(stats.status(), "fig21");
     if (stats->matches != oracle.matches) {
       std::fprintf(stderr, "fig21: result mismatch\n");
       return 1;

@@ -30,7 +30,7 @@ int Run(int argc, char** argv) {
     cfg.join = bench::ScaledJoinConfig(ctx);
     cfg.mechanism = outofgpu::TransferMechanism::kUnifiedMemory;
     auto stats = outofgpu::MechanismJoin(&device, r, s, cfg);
-    stats.status().CheckOK();
+    util::ExitOnError(stats.status(), "fig22");
     um = bench::Tput(n, n, stats->seconds);
     ctx.Emit("UM", 0, um);
   }
@@ -39,7 +39,7 @@ int Run(int argc, char** argv) {
     cfg.join = bench::ScaledJoinConfig(ctx);
     cfg.mechanism = outofgpu::TransferMechanism::kUvaJoin;
     auto stats = outofgpu::MechanismJoin(&device, r, s, cfg);
-    stats.status().CheckOK();
+    util::ExitOnError(stats.status(), "fig22");
     uva = bench::Tput(n, n, stats->seconds);
     ctx.Emit("UVA", 0, uva);
   }
@@ -48,7 +48,7 @@ int Run(int argc, char** argv) {
     cfg.join = bench::ScaledJoinConfig(ctx);
     cfg.chunk_tuples = std::max<size_t>(ctx.Scale(4 * bench::kM), 4096);
     auto stats = outofgpu::CoProcessJoin(&device, r, s, cfg);
-    stats.status().CheckOK();
+    util::ExitOnError(stats.status(), "fig22");
     if (stats->matches != oracle.matches) {
       std::fprintf(stderr, "fig22: result mismatch\n");
       return 1;

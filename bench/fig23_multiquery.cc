@@ -70,7 +70,7 @@ int Run(int argc, char** argv) {
         query_builds.push_back(&build);
         session.Submit(build, probes[static_cast<size_t>(q)], cfg);
       }
-      session.Run().CheckOK();
+      util::ExitOnError(session.Run(), "fig23");
       for (int q = 0; q < batch; ++q) {
         const auto& outcome = session.result(q).outcome;
         if (outcome.strategy != api::Strategy::kInGpu) {

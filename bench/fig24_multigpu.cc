@@ -82,7 +82,7 @@ int Run(int argc, char** argv) {
       query_builds.push_back(&build);
       session.Submit(build, probes[static_cast<size_t>(q)], cfg);
     }
-    session.Run().CheckOK();
+    util::ExitOnError(session.Run(), "fig24");
     for (int q = 0; q < kBatch; ++q) {
       const auto& outcome = session.result(q).outcome;
       if (outcome.strategy != api::Strategy::kInGpu) {

@@ -42,10 +42,9 @@ void BM_RadixPartitionFunctional(benchmark::State& state) {
   gpujoin::RadixPartitionConfig cfg;
   cfg.pass_bits = {6, 5};
   for (auto _ : state) {
-    auto dev = std::move(gpujoin::DeviceRelation::Upload(&device, rel))
-                   .ValueOrDie();
+    auto dev = util::ValueOrExit(std::move(gpujoin::DeviceRelation::Upload(&device, rel)), "micro_kernels");
     auto parted =
-        std::move(gpujoin::RadixPartition(&device, dev, cfg)).ValueOrDie();
+        util::ValueOrExit(std::move(gpujoin::RadixPartition(&device, dev, cfg)), "micro_kernels");
     benchmark::DoNotOptimize(parted.tuples);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
@@ -62,8 +61,7 @@ void BM_PartitionedJoinFunctional(benchmark::State& state) {
   cfg.partition.pass_bits = {6, 5};
   for (auto _ : state) {
     auto stats =
-        std::move(gpujoin::PartitionedJoinFromHost(&device, r, s, cfg))
-            .ValueOrDie();
+        util::ValueOrExit(std::move(gpujoin::PartitionedJoinFromHost(&device, r, s, cfg)), "micro_kernels");
     benchmark::DoNotOptimize(stats.matches);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
@@ -77,14 +75,11 @@ void BM_NonPartitionedJoinFunctional(benchmark::State& state) {
   const auto r = data::MakeUniqueUniform(n, 5);
   const auto s = data::MakeUniformProbe(n, n, 6);
   for (auto _ : state) {
-    auto rd = std::move(gpujoin::DeviceRelation::Upload(&device, r))
-                  .ValueOrDie();
-    auto sd = std::move(gpujoin::DeviceRelation::Upload(&device, s))
-                  .ValueOrDie();
-    auto stats = std::move(gpujoin::NonPartitionedJoin(
+    auto rd = util::ValueOrExit(std::move(gpujoin::DeviceRelation::Upload(&device, r)), "micro_kernels");
+    auto sd = util::ValueOrExit(std::move(gpujoin::DeviceRelation::Upload(&device, s)), "micro_kernels");
+    auto stats = util::ValueOrExit(std::move(gpujoin::NonPartitionedJoin(
                                &device, rd, sd,
-                               gpujoin::NonPartitionedJoinConfig{}))
-                     .ValueOrDie();
+                               gpujoin::NonPartitionedJoinConfig{})), "micro_kernels");
     benchmark::DoNotOptimize(stats.matches);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
@@ -112,8 +107,7 @@ void BM_CpuProJoinFunctional(benchmark::State& state) {
   const hw::CpuCostModel model{hw::CpuSpec{}};
   for (auto _ : state) {
     auto stats =
-        std::move(cpu::ProJoin(r, s, cpu::CpuJoinConfig{}, model))
-            .ValueOrDie();
+        util::ValueOrExit(std::move(cpu::ProJoin(r, s, cpu::CpuJoinConfig{}, model)), "micro_kernels");
     benchmark::DoNotOptimize(stats.matches);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
@@ -258,7 +252,7 @@ void BM_SessionSmallBatch(benchmark::State& state) {
     exec::Session session(&device);
     session.Submit(r, s1, cfg);
     session.Submit(r, s2, cfg);
-    session.Run().CheckOK();
+    util::ExitOnError(session.Run(), "micro_kernels");
     benchmark::DoNotOptimize(session.stats().makespan_s);
     device.ClearProfile();
   }
@@ -284,7 +278,7 @@ void BM_TopologyPlacement(benchmark::State& state) {
   for (auto _ : state) {
     exec::Session session(&topo);
     for (const auto& probe : probes) session.Submit(r, probe, cfg);
-    session.Run().CheckOK();
+    util::ExitOnError(session.Run(), "micro_kernels");
     benchmark::DoNotOptimize(session.stats().makespan_s);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 9 *

@@ -44,9 +44,9 @@ gpujoin::JoinStats MustPartitionedJoin(
     const data::Relation& probe, const gpujoin::PartitionedJoinConfig& config,
     const std::optional<data::OracleResult>& oracle) {
   auto stats = gpujoin::PartitionedJoinFromHost(device, build, probe, config);
-  stats.status().CheckOK();
+  util::ExitOnError(stats.status(), "runner");
   VerifyOrDie(*stats, oracle, "partitioned join");
-  return std::move(stats).ValueOrDie();
+  return util::ValueOrExit(std::move(stats), "runner");
 }
 
 gpujoin::JoinStats MustNonPartitionedJoin(
@@ -55,13 +55,13 @@ gpujoin::JoinStats MustNonPartitionedJoin(
     const gpujoin::NonPartitionedJoinConfig& config,
     const std::optional<data::OracleResult>& oracle) {
   auto r_dev =
-      std::move(gpujoin::DeviceRelation::Upload(device, build)).ValueOrDie();
+      util::ValueOrExit(std::move(gpujoin::DeviceRelation::Upload(device, build)), "runner");
   auto s_dev =
-      std::move(gpujoin::DeviceRelation::Upload(device, probe)).ValueOrDie();
+      util::ValueOrExit(std::move(gpujoin::DeviceRelation::Upload(device, probe)), "runner");
   auto stats = gpujoin::NonPartitionedJoin(device, r_dev, s_dev, config);
-  stats.status().CheckOK();
+  util::ExitOnError(stats.status(), "runner");
   VerifyOrDie(*stats, oracle, "non-partitioned join");
-  return std::move(stats).ValueOrDie();
+  return util::ValueOrExit(std::move(stats), "runner");
 }
 
 }  // namespace gjoin::bench

@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace gjoin;
-  auto flags = std::move(util::Flags::Parse(argc, argv)).ValueOrDie();
+  auto flags = util::ValueOrExit(std::move(util::Flags::Parse(argc, argv)), "out_of_gpu_pipeline");
   const size_t build_n =
       static_cast<size_t>(flags.GetInt("build", 2'000'000));
   const size_t probe_n = build_n * static_cast<size_t>(flags.GetInt("ratio", 2));
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     outofgpu::StreamingProbeConfig cfg;
     cfg.join.partition.pass_bits = {6, 5};  // sized for a few M tuples
     auto stats = outofgpu::StreamingProbeJoin(&device, r, s, cfg);
-    stats.status().CheckOK();
+    util::ExitOnError(stats.status(), "out_of_gpu_pipeline");
     std::printf("streaming probe (build resident, Section IV-A):\n");
     std::printf("  %.2f ms, %.2f Btps, transfers busy %.0f%% of makespan, "
                 "%s\n\n",
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     cfg.cpu.threads = threads;
     cfg.chunk_tuples = build_n / 4;
     auto stats = outofgpu::CoProcessJoin(&device, r, s, cfg);
-    stats.status().CheckOK();
+    util::ExitOnError(stats.status(), "out_of_gpu_pipeline");
     std::printf("co-processing (nothing resident, Section IV-B, %d CPU "
                 "threads):\n", threads);
     std::printf("  %.2f ms, %.2f Btps, CPU busy %.2f ms, transfers %.2f ms, "

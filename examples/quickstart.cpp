@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace gjoin;
-  auto flags = std::move(util::Flags::Parse(argc, argv)).ValueOrDie();
+  auto flags = util::ValueOrExit(std::move(util::Flags::Parse(argc, argv)), "quickstart");
   const size_t tuples =
       static_cast<size_t>(flags.GetInt("tuples", 4'000'000));
   const int ratio = static_cast<int>(flags.GetInt("ratio", 2));
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   api::JoinConfig config;
   config.materialize = flags.GetBool("materialize", false);
   auto outcome = api::Join(&device, build, probe, config);
-  outcome.status().CheckOK();
+  util::ExitOnError(outcome.status(), "quickstart");
 
   // 5. Verify and report.
   const data::OracleResult oracle = data::JoinOracle(build, probe);

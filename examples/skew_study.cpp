@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace gjoin;
-  auto flags = std::move(util::Flags::Parse(argc, argv)).ValueOrDie();
+  auto flags = util::ValueOrExit(std::move(util::Flags::Parse(argc, argv)), "skew_study");
   const size_t n = static_cast<size_t>(flags.GetInt("tuples", 1'000'000));
   sim::Device device(hw::HardwareSpec::Icde2019Testbed());
 
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     gpujoin::PartitionedJoinConfig cfg;
     cfg.partition.pass_bits = {5, 5};
     auto stats = gpujoin::PartitionedJoinFromHost(&device, r, s, cfg);
-    stats.status().CheckOK();
+    util::ExitOnError(stats.status(), "skew_study");
     if (stats->matches != data::JoinOracle(r, s).matches) {
       std::printf("verification failed!\n");
       return 1;
@@ -52,13 +52,12 @@ int main(int argc, char** argv) {
   const auto skewed = data::MakeZipf(n, n, 1.0, 33);
   const hw::CpuCostModel cpu_model{hw::CpuSpec{}};
   cpu::CpuPartitionConfig pcfg;
-  auto parts = std::move(cpu::CpuRadixPartition(skewed, pcfg, cpu_model))
-                   .ValueOrDie();
+  auto parts = util::ValueOrExit(std::move(cpu::CpuRadixPartition(skewed, pcfg, cpu_model)), "skew_study");
   std::vector<uint64_t> sizes;
   for (const auto& p : parts.parts) sizes.push_back(p.bytes());
   outofgpu::WorkingSetConfig wcfg;
   wcfg.budget_bytes = 64 << 20;
-  auto sets = std::move(outofgpu::PackWorkingSets(sizes, wcfg)).ValueOrDie();
+  auto sets = util::ValueOrExit(std::move(outofgpu::PackWorkingSets(sizes, wcfg)), "skew_study");
   for (size_t i = 0; i < sets.size(); ++i) {
     std::printf("  set %zu: %zu partitions, %.2f MB%s\n", i,
                 sets[i].partitions.size(),

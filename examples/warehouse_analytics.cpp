@@ -27,7 +27,7 @@ void RunJoin(gjoin::sim::Device* device, const char* name,
               name, build.size());
 
   auto outcome = api::Join(device, build, probe, api::JoinConfig());
-  outcome.status().CheckOK();
+  util::ExitOnError(outcome.status(), "warehouse_analytics");
   const auto oracle = data::JoinOracle(build, probe);
   if (outcome->stats.matches != oracle.matches) {
     std::printf("   RESULT MISMATCH\n");
@@ -42,10 +42,8 @@ void RunJoin(gjoin::sim::Device* device, const char* name,
 
   const hw::CpuCostModel cpu_model{hw::CpuSpec{}};
   cpu::CpuJoinConfig cpu_cfg;  // all 48 threads
-  auto pro = std::move(cpu::ProJoin(build, probe, cpu_cfg, cpu_model))
-                 .ValueOrDie();
-  auto npo = std::move(cpu::NpoJoin(build, probe, cpu_cfg, cpu_model))
-                 .ValueOrDie();
+  auto pro = util::ValueOrExit(std::move(cpu::ProJoin(build, probe, cpu_cfg, cpu_model)), "warehouse_analytics");
+  auto npo = util::ValueOrExit(std::move(cpu::NpoJoin(build, probe, cpu_cfg, cpu_model)), "warehouse_analytics");
   std::printf("   CPU PRO (48 thr): %.2f Btps | CPU NPO: %.2f Btps | "
               "GPU speedup over PRO: %.1fx\n",
               pro.Throughput(build.size(), probe.size()) / 1e9,
@@ -57,7 +55,7 @@ void RunJoin(gjoin::sim::Device* device, const char* name,
 
 int main(int argc, char** argv) {
   using namespace gjoin;
-  auto flags = std::move(util::Flags::Parse(argc, argv)).ValueOrDie();
+  auto flags = util::ValueOrExit(std::move(util::Flags::Parse(argc, argv)), "warehouse_analytics");
   const double sf = flags.GetDouble("sf", 1.0);
 
   sim::Device device(hw::HardwareSpec::Icde2019Testbed());

@@ -7,11 +7,14 @@ pinned dynamically by the stat-invariance goldens. This linter enforces
 the *preconditions* of that contract statically, so a violation is
 caught in review instead of as a golden diff three PRs later:
 
-  nondeterminism    src/sim/ and src/gpujoin/ (the layers whose behavior
-                    is charged) must not read wall clocks, OS randomness,
-                    or iterate hash-ordered containers: std::rand/srand,
-                    time(), ::now(), std::random_device, and
-                    std::unordered_{map,set} are banned there.
+  nondeterminism    src/sim/, src/gpujoin/, and src/exec/ (the layers
+                    whose behavior is charged — src/exec since the PR-7
+                    fault/recovery paths) must not read wall clocks, OS
+                    randomness, or iterate hash-ordered containers:
+                    std::rand/srand, time(), ::now(),
+                    std::random_device, and std::unordered_{map,set} are
+                    banned there. Fault randomness must come from a
+                    seeded sim::FaultInjector stream.
   timeline-mutation computed Schedule lane fields (busy_s, lane_busy_s,
                     start_s, finish_s) may only be written inside
                     src/sim/; everyone else builds DAGs through
@@ -46,8 +49,10 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Directories whose sources are linted.
 LINT_DIRS = ("src", "bench", "tests", "examples")
-# Layers under the determinism contract (charged stats computed here).
-CHARGED_DIRS = ("src/sim", "src/gpujoin")
+# Layers under the determinism contract (charged stats computed here;
+# src/exec joined with the fault/recovery layer — injected faults must
+# draw from seeded FaultInjector streams, never ambient entropy).
+CHARGED_DIRS = ("src/sim", "src/gpujoin", "src/exec")
 
 SOURCE_EXTS = (".h", ".cc", ".cpp")
 
@@ -302,6 +307,18 @@ FIXTURES = {
         "  s->lane_busy_s[2] += 1.5;\n"
         "}\n",
         {"timeline-mutation"},
+    ),
+    "src/exec/bad_fault_entropy.cc": (
+        # Fault paths must draw from the plan's seeded PRNG stream, not
+        # ambient entropy: charged retry/penalty seconds would differ
+        # run to run.
+        "#include <cstdlib>\n"
+        "#include <random>\n"
+        "bool FlakyTransfer() {\n"
+        "  std::random_device entropy;\n"
+        "  return (entropy() ^ static_cast<unsigned>(rand())) & 1u;\n"
+        "}\n",
+        {"nondeterminism"},
     ),
     "src/util/bad_missing_nodiscard.h": (
         "#include \"src/util/status.h\"\n"

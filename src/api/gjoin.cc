@@ -34,6 +34,8 @@ const char* StrategyName(Strategy strategy) {
       return "streaming-probe";
     case Strategy::kCoProcessing:
       return "co-processing";
+    case Strategy::kCpuOnly:
+      return "cpu-only";
   }
   return "?";
 }
@@ -67,6 +69,9 @@ std::string Explain(const sim::Device& device, uint64_t build_bytes,
     case Strategy::kCoProcessing:
       os << " (neither side fits; CPU pre-partitioning + working sets)";
       break;
+    case Strategy::kCpuOnly:
+      os << " (host-only CPU radix join)";
+      break;
     case Strategy::kAuto:
       break;
   }
@@ -82,6 +87,9 @@ util::Result<JoinOutcome> Join(sim::Device* device,
   exec::Session session(device);
   const exec::QueryHandle handle = session.Submit(build, probe, config);
   GJOIN_RETURN_NOT_OK(session.Run());
+  // The session isolates failures per query; a 1-query session's only
+  // query propagates its own status.
+  GJOIN_RETURN_NOT_OK(session.result(handle).status);
   return session.result(handle).outcome;
 }
 
@@ -95,6 +103,7 @@ util::Result<JoinOutcome> Join(sim::Topology* topology,
   exec::Session session(topology, session_cfg);
   const exec::QueryHandle handle = session.Submit(build, probe, config);
   GJOIN_RETURN_NOT_OK(session.Run());
+  GJOIN_RETURN_NOT_OK(session.result(handle).status);
   return session.result(handle).outcome;
 }
 

@@ -43,6 +43,10 @@ enum class Strategy {
   kInGpu,           ///< Section III: fully GPU-resident.
   kStreamingProbe,  ///< Section IV-A: build resident, probe streamed.
   kCoProcessing,    ///< Section IV-B: CPU-GPU co-processing.
+  kCpuOnly,         ///< Host-only fallback: the CPU radix join (PRO,
+                    ///< Balkesen et al.), modeled by hw::CpuCostModel.
+                    ///< The recovery ladder's last rung; never picked
+                    ///< by kAuto (the paper always engages the GPU).
 };
 
 /// Human-readable strategy name.

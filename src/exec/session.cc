@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 #include <utility>
+#include <vector>
 
+#include "src/cpu/cpu_joins.h"
 #include "src/gpujoin/join_copartitions.h"
 #include "src/gpujoin/output_ring.h"
+#include "src/hw/cpu_cost.h"
 #include "src/hw/numa.h"
 #include "src/hw/pcie.h"
 #include "src/outofgpu/coprocess.h"
 #include "src/outofgpu/streaming_probe.h"
+#include "src/sim/fault.h"
 
 namespace gjoin::exec {
 
@@ -53,6 +58,67 @@ std::string HostPartsKey(const data::Relation& rel,
   key += ":ck";
   key += std::to_string(cpu_cfg.chunk_tuples);
   return key;
+}
+
+/// The next rung down the paper's strategy lattice; kAuto = exhausted.
+api::Strategy NextRung(api::Strategy strategy) {
+  switch (strategy) {
+    case api::Strategy::kInGpu:
+      return api::Strategy::kStreamingProbe;
+    case api::Strategy::kStreamingProbe:
+      return api::Strategy::kCoProcessing;
+    case api::Strategy::kCoProcessing:
+      return api::Strategy::kCpuOnly;
+    case api::Strategy::kCpuOnly:
+    case api::Strategy::kAuto:
+      return api::Strategy::kAuto;
+  }
+  return api::Strategy::kAuto;
+}
+
+/// Releases every cache lease it holds when the attempt scope ends —
+/// error returns included, so a failed attempt never leaves an artifact
+/// pinned in its device's cache.
+class LeaseGuard {
+ public:
+  explicit LeaseGuard(UploadCache* cache) : cache_(cache) {}
+  LeaseGuard(const LeaseGuard&) = delete;
+  LeaseGuard& operator=(const LeaseGuard&) = delete;
+  ~LeaseGuard() {
+    for (const std::string& key : keys_) cache_->Release(key);
+  }
+  void Add(std::string key) { keys_.push_back(std::move(key)); }
+
+ private:
+  UploadCache* cache_;
+  std::vector<std::string> keys_;
+};
+
+/// Draws the transient-fault count of one logical transfer from the
+/// armed plan's PRNG stream and charges its retries (one re-send of the
+/// transfer plus an exponentially growing backoff each) into `result`.
+/// Returns ExecutionError when every bounded attempt faulted.
+[[nodiscard]]
+util::Status ChargeTransferFaults(sim::FaultInjector* injector,
+                                  double transfer_s, const char* what,
+                                  QueryResult* result) {
+  if (injector == nullptr || injector->plan().transfer_fault_p <= 0) {
+    return util::Status::OK();
+  }
+  const sim::FaultPlan& plan = injector->plan();
+  const int failures = injector->DrawTransferFailures();
+  double backoff_s = plan.transfer_backoff_base_s;
+  for (int i = 0; i < failures; ++i) {
+    result->fault_penalty_s += transfer_s + backoff_s;
+    backoff_s *= 2;
+  }
+  result->transfer_retries += failures;
+  if (failures >= plan.max_transfer_attempts) {
+    return util::Status::ExecutionError(
+        std::string(what) + " transfer failed after " +
+        std::to_string(plan.max_transfer_attempts) + " attempts");
+  }
+  return util::Status::OK();
 }
 
 }  // namespace
@@ -119,6 +185,17 @@ void Session::PlanPlacement(const std::vector<int>& order) {
   // Estimate-time build residency: key -> devices assumed to hold it.
   std::map<std::string, std::vector<bool>> build_on;
 
+  // A device with a planned death (armed FaultPlan) is only eligible
+  // for work its estimate says finishes before the death; queued work
+  // is re-placed onto survivors.
+  auto death_time = [&](int d) {
+    const sim::FaultInjector* inj = devices_[static_cast<size_t>(d)]->faults();
+    return (inj != nullptr && inj->DeathPlanned()) ? inj->death_time_s()
+                                                   : -1.0;
+  };
+  bool any_death = false;
+  for (int d = 0; d < n_dev; ++d) any_death = any_death || death_time(d) >= 0;
+
   for (int qi : order) {
     Query& query = queries_[static_cast<size_t>(qi)];
     const PartitionedJoinConfig join_cfg = MakeJoinConfig(query.config);
@@ -134,9 +211,11 @@ void Session::PlanPlacement(const std::vector<int>& order) {
             : std::string();
 
     // Partitioned placement slices every in-GPU query across the whole
-    // group; its functional artifacts live on device 0.
+    // group; its functional artifacts live on device 0. Under a death
+    // plan a slice would strand on the dying device, so split placement
+    // is disabled and queries place whole onto survivors.
     if (config_.placement == api::PlacementPolicy::kPartition && n_dev > 1 &&
-        query.strategy == api::Strategy::kInGpu) {
+        query.strategy == api::Strategy::kInGpu && !any_death) {
       query.split = true;
       query.device = 0;
       const double total = compute_est(build_bytes + probe_bytes) +
@@ -151,9 +230,11 @@ void Session::PlanPlacement(const std::vector<int>& order) {
     // Whole-query placement: greedy earliest estimated finish,
     // respecting where the query's build already lives (a device that
     // holds it skips the replica charge).
-    int best = 0;
+    int best = -1;
     double best_finish = 0;
     double best_cost = 0;
+    int best_any = -1;  // Ignoring planned deaths, to count failovers.
+    double best_any_finish = 0;
     for (int d = 0; d < n_dev; ++d) {
       double cost = 0;
       switch (query.strategy) {
@@ -167,6 +248,10 @@ void Session::PlanPlacement(const std::vector<int>& order) {
                  compute_est(build_bytes + probe_bytes) +
                  static_cast<double>(build_bytes + probe_bytes) /
                      (spec.cpu.socket_mem_bw_gbps * 1e9);
+          break;
+        case api::Strategy::kCpuOnly:
+          // Host-resident: no device lanes occupied; the least-busy
+          // device becomes the nominal home.
           break;
         case api::Strategy::kAuto:
           break;
@@ -191,12 +276,34 @@ void Session::PlanPlacement(const std::vector<int>& order) {
         }
       }
       const double finish = est_busy[static_cast<size_t>(d)] + cost;
-      if (d == 0 || finish < best_finish) {
+      if (best_any < 0 || finish < best_any_finish) {
+        best_any = d;
+        best_any_finish = finish;
+      }
+      const double death = death_time(d);
+      if (death >= 0 && finish > death) continue;  // dies before finishing
+      if (best < 0 || finish < best_finish) {
         best = d;
         best_finish = finish;
         best_cost = cost;
       }
     }
+    if (best < 0) {
+      // Every device dies before this query could finish. Recovery
+      // re-plans it onto the host CPU rung; otherwise it fails cleanly
+      // at execution while its siblings proceed.
+      ++stats_.device_failovers;
+      query.device = 0;
+      if (recovery_enabled_) {
+        query.strategy = api::Strategy::kCpuOnly;
+      } else {
+        query.doomed = true;
+      }
+      continue;
+    }
+    // Without planned deaths both scans agree; a disagreement means the
+    // preferred device was excluded by its death — a failover.
+    if (best != best_any) ++stats_.device_failovers;
     query.device = best;
     est_busy[static_cast<size_t>(best)] += best_cost;
     if (has_build_artifact) {
@@ -218,6 +325,7 @@ void Session::PlanPlacement(const std::vector<int>& order) {
         if (!query.build->empty()) cache(best).AddDemand(build_key);
         break;
       case api::Strategy::kCoProcessing:
+      case api::Strategy::kCpuOnly:
       case api::Strategy::kAuto:
         break;  // Host-resident pipeline; no device artifacts to share.
     }
@@ -231,6 +339,10 @@ util::Status Session::Run() {
   ran_ = true;
 
   // ---- Plan: resolve strategies, place queries, declare demand ----
+  recovery_enabled_ = config_.recovery;
+  for (const sim::Device* d : devices_) {
+    if (d->faults() != nullptr) recovery_enabled_ = true;
+  }
   for (Query& query : queries_) {
     query.strategy = query.config.strategy;
     if (query.strategy == api::Strategy::kAuto) {
@@ -245,11 +357,19 @@ util::Status Session::Run() {
   PlanPlacement(order);
 
   // ---- Execute: functional runs + op DAGs spliced into the batch ----
+  // Failures are isolated per query: an error lands in that query's
+  // QueryResult::status (with its outcome zeroed) and its siblings
+  // proceed; Run() itself only fails on batch-level errors.
   QueryGraph graph;
   results_.assign(queries_.size(), QueryResult());
   for (int q : order) {
-    GJOIN_RETURN_NOT_OK(
-        ExecuteQuery(q, &graph, &results_[static_cast<size_t>(q)]));
+    QueryResult& result = results_[static_cast<size_t>(q)];
+    result.status = ExecuteQuery(q, &graph, &result);
+    if (!result.status.ok()) {
+      ++stats_.failed_queries;
+      result.outcome.stats = JoinStats();
+      result.solo_seconds = 0;
+    }
   }
 
   // ---- Schedule the merged DAG on the shared device timelines ----
@@ -276,6 +396,12 @@ util::Status Session::Run() {
     stats_.cache.misses += c.misses;
     stats_.cache.evictions += c.evictions;
     stats_.cache.insert_failures += c.insert_failures;
+  }
+  for (const sim::Device* d : devices_) {
+    if (const sim::FaultInjector* inj = d->faults()) {
+      stats_.injected_alloc_faults += inj->allocation_faults();
+      stats_.injected_transfer_faults += inj->transfer_faults();
+    }
   }
   return util::Status::OK();
 }
@@ -357,15 +483,77 @@ void Session::EmitSplitInGpu(int index, QueryGraph* graph, double build_part_s,
 util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
                                    QueryResult* result) {
   const Query& query = queries_[static_cast<size_t>(index)];
+  if (query.doomed) {
+    return util::Status::ExecutionError(
+        "every session device dies before this query could finish "
+        "(planned device death; enable SessionConfig::recovery for a "
+        "host-CPU fallback)");
+  }
+  result->planned_strategy = query.strategy;
+  sim::Device* dev = device(query.device);
+  const hw::PcieModel pcie(dev->spec().pcie);
+
+  // Degradation ladder: on a simulated device OOM with recovery armed,
+  // tear down whatever the failed attempt staged (charged as one DMA of
+  // the staged bytes — the modeled cost of having uploaded it for
+  // nothing) and retry one rung down the strategy lattice. Any other
+  // error — or OOM without recovery — propagates to this query's
+  // QueryResult::status and never aborts its siblings.
+  api::Strategy rung = query.strategy;
+  util::Status attempt_status;
+  for (;;) {
+    const uint64_t staged_before = dev->memory().total_reserved();
+    attempt_status = ExecuteAttempt(index, rung, graph, result);
+    if (attempt_status.ok() || !recovery_enabled_ ||
+        attempt_status.code() != util::StatusCode::kOutOfMemory) {
+      break;
+    }
+    const uint64_t staged = dev->memory().total_reserved() - staged_before;
+    result->fault_penalty_s += pcie.DmaSeconds(staged);
+    const api::Strategy next = NextRung(rung);
+    if (next == api::Strategy::kAuto) break;  // lattice exhausted
+    ++result->degradations;
+    ++stats_.degradations;
+    rung = next;
+  }
+  stats_.transfer_retries += result->transfer_retries;
+  if (result->fault_penalty_s > 0) {
+    // Retry and teardown costs occupy the home device's upload engine on
+    // the shared timeline, and lengthen the query run standalone. They
+    // are charged even when the query ultimately failed: its doomed
+    // attempts consumed the engine all the same.
+    std::string label = "q";
+    label += std::to_string(index);
+    label += ":fault:penalty";
+    graph->AddNode(index, sim::Topology::H2dLane(query.device),
+                   result->fault_penalty_s, {}, std::move(label));
+    result->solo_seconds += result->fault_penalty_s;
+    stats_.fault_penalty_s += result->fault_penalty_s;
+  }
+  GJOIN_RETURN_NOT_OK(attempt_status);
+  if (rung == api::Strategy::kCpuOnly &&
+      query.strategy != api::Strategy::kCpuOnly) {
+    ++stats_.cpu_fallbacks;
+  }
+  return util::Status::OK();
+}
+
+util::Status Session::ExecuteAttempt(int index, api::Strategy strategy,
+                                     QueryGraph* graph, QueryResult* result) {
+  const Query& query = queries_[static_cast<size_t>(index)];
   const data::Relation& build = *query.build;
   const data::Relation& probe = *query.probe;
-  result->outcome.strategy = query.strategy;
+  result->outcome.stats = JoinStats();  // drop any failed attempt's partials
+  result->outcome.strategy = strategy;
   result->device = query.device;
-  result->split = query.split;
+  const bool split = query.split && strategy == api::Strategy::kInGpu;
+  result->split = split;
   JoinStats& stats = result->outcome.stats;
 
   sim::Device* dev = device(query.device);
   UploadCache& dcache = cache(query.device);
+  LeaseGuard leases(&dcache);
+  sim::FaultInjector* injector = dev->faults();
   const int n_dev = device_count();
   const hw::PcieModel pcie(dev->spec().pcie);
   const hw::InterconnectModel peer(dev->spec().interconnect);
@@ -461,7 +649,7 @@ util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
     }
   };
 
-  switch (query.strategy) {
+  switch (strategy) {
     case api::Strategy::kInGpu: {
       PartitionedJoinConfig cfg = join_cfg;
       cfg.join.output = query.config.materialize ? OutputMode::kMaterialize
@@ -470,6 +658,7 @@ util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
       // Build side: one partitioned form serves every probe against it.
       const std::string build_key =
           UploadCache::BuildKey(build, cfg.partition);
+      leases.Add(build_key);
       PreparedBuild local_build;
       const PreparedBuild* prepared = dcache.AcquireBuild(build_key);
       const bool build_shared = prepared != nullptr;
@@ -482,14 +671,22 @@ util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
             local_build,
             gjoin::gpujoin::PreparePartitionedBuild(dev, build, cfg));
         build_artifact_bytes = dev->memory().used() - before;
-        prepared = dcache.InsertBuild(build_key, &local_build,
-                                      build_artifact_bytes);
-        if (prepared == nullptr) prepared = &local_build;  // uncached
+        util::Result<const PreparedBuild*> cached = dcache.InsertBuild(
+            build_key, &local_build, build_artifact_bytes);
+        if (!cached.ok()) {
+          if (config_.strict_cache_budget) return cached.status();
+          prepared = &local_build;  // over-budget artifact stays private
+        } else {
+          prepared = *cached != nullptr ? *cached : &local_build;
+        }
+        GJOIN_RETURN_NOT_OK(ChargeTransferFaults(
+            injector, pcie.DmaSeconds(build.bytes()), "build", result));
       }
       if (cfg.join.key_bits == 0) cfg.join.key_bits = prepared->key_bits;
 
       // Probe side: deduplicated raw upload, partitioned per query.
       const std::string probe_key = UploadCache::UploadKey(probe);
+      leases.Add(probe_key);
       DeviceRelation local_probe;
       const DeviceRelation* s_dev = dcache.AcquireUpload(probe_key);
       const bool probe_shared = s_dev != nullptr;
@@ -500,8 +697,16 @@ util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
         GJOIN_ASSIGN_OR_RETURN(local_probe,
                                DeviceRelation::Upload(dev, probe));
         const uint64_t bytes = dev->memory().used() - before;
-        s_dev = dcache.InsertUpload(probe_key, &local_probe, bytes);
-        if (s_dev == nullptr) s_dev = &local_probe;  // uncached
+        util::Result<const DeviceRelation*> cached =
+            dcache.InsertUpload(probe_key, &local_probe, bytes);
+        if (!cached.ok()) {
+          if (config_.strict_cache_budget) return cached.status();
+          s_dev = &local_probe;  // over-budget artifact stays private
+        } else {
+          s_dev = *cached != nullptr ? *cached : &local_probe;
+        }
+        GJOIN_RETURN_NOT_OK(ChargeTransferFaults(
+            injector, pcie.DmaSeconds(probe.bytes()), "probe", result));
       }
 
       GJOIN_ASSIGN_OR_RETURN(
@@ -548,14 +753,12 @@ util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
       solo.Add(sim::Engine::kComputeGpu, join_result.seconds,
                {part_r, part_s}, "join");
 
-      if (query.split) {
+      if (split) {
         EmitSplitInGpu(index, graph, prepared->parted.seconds,
                        s_parted.seconds, join_result.seconds, build_shared,
                        dcache.Contains(build_key), probe_shared,
                        dcache.Contains(probe_key));
         split_emitted = true;
-        dcache.Release(build_key);
-        dcache.Release(probe_key);
         break;
       }
 
@@ -571,8 +774,6 @@ util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
         // (see link_build_artifact): register this query's charged op.
         produced.push_back({probe_key + device_tag, {h2d_s}});
       }
-      dcache.Release(build_key);
-      dcache.Release(probe_key);
       break;
     }
 
@@ -588,6 +789,7 @@ util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
       uint64_t build_artifact_bytes = 0;
       if (!build.empty()) {
         build_key = UploadCache::BuildKey(build, stream_cfg.join.partition);
+        leases.Add(build_key);
         prepared = dcache.AcquireBuild(build_key);
         build_shared = prepared != nullptr;
         if (build_shared) {
@@ -598,9 +800,16 @@ util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
                                  gjoin::gpujoin::PreparePartitionedBuild(
                                      dev, build, stream_cfg.join));
           build_artifact_bytes = dev->memory().used() - before;
-          prepared = dcache.InsertBuild(build_key, &local_build,
-                                        build_artifact_bytes);
-          if (prepared == nullptr) prepared = &local_build;  // uncached
+          util::Result<const PreparedBuild*> cached = dcache.InsertBuild(
+              build_key, &local_build, build_artifact_bytes);
+          if (!cached.ok()) {
+            if (config_.strict_cache_budget) return cached.status();
+            prepared = &local_build;  // over-budget artifact stays private
+          } else {
+            prepared = *cached != nullptr ? *cached : &local_build;
+          }
+          GJOIN_RETURN_NOT_OK(ChargeTransferFaults(
+              injector, pcie.DmaSeconds(build.bytes()), "build", result));
         }
       }
 
@@ -616,7 +825,6 @@ util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
                             pcie.DmaSeconds(build.bytes()) +
                                 prepared->parted.seconds,
                             build_artifact_bytes);
-        dcache.Release(build_key);
       }
       break;
     }
@@ -680,6 +888,29 @@ util::Status Session::ExecuteQuery(int index, QueryGraph* graph,
         batch_override = std::move(batch_run.timeline);
         batch_dag = &batch_override;
       }
+      break;
+    }
+
+    case api::Strategy::kCpuOnly: {
+      // The recovery ladder's last rung (or an explicit request): the
+      // paper's CPU radix join (PRO), entirely host-resident. No device
+      // memory is touched, so it cannot OOM on simulated device faults.
+      cpu::CpuJoinConfig cpu_cfg;
+      cpu_cfg.threads = query.config.cpu_threads;
+      if (query.config.probe_pipeline_depth > 0) {
+        cpu_cfg.probe_pipeline_depth = query.config.probe_pipeline_depth;
+      }
+      GJOIN_ASSIGN_OR_RETURN(
+          cpu::CpuJoinResult run,
+          cpu::ProJoin(build, probe, cpu_cfg,
+                       hw::CpuCostModel(dev->spec().cpu)));
+      stats.matches = run.matches;
+      stats.payload_sum = run.payload_sum;
+      stats.partition_s = run.cost.partition_s;
+      stats.join_s = run.cost.build_s + run.cost.probe_s;
+      stats.cpu_s = run.seconds;
+      stats.seconds = run.seconds;
+      solo.Add(sim::Engine::kCpu, run.seconds, {}, "cpu-join");
       break;
     }
 

@@ -28,6 +28,22 @@
 //      overlap another query's kernel time — and, with several devices,
 //      queries execute concurrently across the group.
 //
+// Failures are isolated per query: a query that errors reports its own
+// QueryResult::status while its siblings complete. With recovery enabled
+// (SessionConfig::recovery, or implicitly when a sim::FaultPlan is armed
+// on a session device), a simulated device OOM re-plans the query down
+// the paper's strategy lattice — in-GPU → streaming-probe →
+// co-processing → CPU-only — charging the aborted attempt's staged bytes
+// as wasted modeled seconds; transient transfer faults retry with
+// modeled exponential backoff; and a device with a planned death is
+// excluded from placement for work that would outlive it, so its queued
+// work lands on survivors. All fault decisions draw from the plan's
+// seeded PRNG stream on the session thread, keeping results and charged
+// stats bit-identical across runs and host pool widths; the executed
+// strategy's JoinStats stay its clean no-fault numbers, with every
+// fault cost charged separately (QueryResult::fault_penalty_s,
+// SessionStats counters, and a per-query fault-penalty timeline op).
+//
 // Per-query results are bit-identical to what a standalone gjoin::Join
 // would have returned regardless of batch composition, placement policy
 // or device count (partitioning and probing are deterministic, and a
@@ -86,6 +102,21 @@ struct SessionConfig {
 
   /// Order in which queued queries are admitted to the planner.
   api::AdmissionPolicy admission = api::AdmissionPolicy::kSubmitOrder;
+
+  /// Recovery ladder: when true, a query that fails with kOutOfMemory is
+  /// re-planned down the paper's strategy lattice (in-GPU →
+  /// streaming-probe → co-processing → CPU-only), with the aborted
+  /// attempt's staged device bytes charged as wasted modeled seconds.
+  /// Off by default so genuine capacity errors stay visible; arming
+  /// fault injection on any session device (sim::Device::ArmFaults)
+  /// enables the ladder implicitly.
+  bool recovery = false;
+
+  /// Treat an artifact larger than the whole cache budget as a device
+  /// OOM: the UploadCache's typed kOutOfMemory refusal becomes the
+  /// query's error (and a degradation-ladder trigger under `recovery`)
+  /// instead of silently running with a private, uncached copy.
+  bool strict_cache_budget = false;
 };
 
 /// \brief Outcome of one query of a batch.
@@ -103,6 +134,23 @@ struct QueryResult {
   /// True when the query's in-GPU work was sliced across all devices
   /// (PlacementPolicy::kPartition with > 1 device).
   bool split = false;
+  /// Per-query completion status: a failed query reports its error here
+  /// while its siblings complete (Run() itself only fails on
+  /// batch-level errors). outcome/solo_seconds are zero when not ok().
+  util::Status status;
+  /// Strategy the planner first selected (== outcome.strategy unless
+  /// the recovery ladder degraded the query).
+  api::Strategy planned_strategy = api::Strategy::kAuto;
+  /// Times the recovery ladder stepped this query down a strategy.
+  int degradations = 0;
+  /// Transient transfer faults this query retried through.
+  int transfer_retries = 0;
+  /// Modeled seconds charged to fault handling: wasted staging of
+  /// aborted attempts plus retry re-transfers and exponential backoff.
+  /// Charged on the home device's H2D lane and included in
+  /// solo_seconds; outcome.stats stays the executed strategy's clean
+  /// numbers.
+  double fault_penalty_s = 0;
 };
 
 /// \brief Batch-level outcome.
@@ -121,6 +169,16 @@ struct SessionStats {
                                   ///< whichever is cheaper).
   size_t coprocess_part_hits = 0; ///< CPU pre-partitionings reused across
                                   ///< co-processing queries.
+  // ---- Fault/recovery counters (all zero without a FaultPlan) ----
+  size_t injected_alloc_faults = 0;     ///< Allocation faults injected on
+                                        ///< the session's devices.
+  size_t injected_transfer_faults = 0;  ///< Transfer-attempt faults drawn.
+  size_t transfer_retries = 0;    ///< Transient transfer retries absorbed.
+  size_t degradations = 0;        ///< Recovery-ladder strategy downgrades.
+  size_t cpu_fallbacks = 0;       ///< Queries that landed on the CPU rung.
+  size_t failed_queries = 0;      ///< Queries with a non-OK per-query status.
+  size_t device_failovers = 0;    ///< Queries re-placed off a dying device.
+  double fault_penalty_s = 0;     ///< Modeled seconds charged to recovery.
   sim::Schedule schedule;         ///< Merged schedule (utilization etc.).
   UploadCacheStats cache;         ///< Artifact-cache counters, summed
                                   ///< over the per-device caches.
@@ -172,6 +230,8 @@ class Session {
     api::Strategy strategy = api::Strategy::kAuto;  ///< Resolved in Run.
     int device = 0;      ///< Home device (placement step).
     bool split = false;  ///< Sliced across all devices (kPartition).
+    bool doomed = false; ///< No surviving device can take it (death plan,
+                         ///< recovery off): fails cleanly at execution.
   };
 
   sim::Device* device(int d) { return devices_[static_cast<size_t>(d)]; }
@@ -185,11 +245,22 @@ class Session {
   /// declares shared-artifact demand on the per-device caches.
   void PlanPlacement(const std::vector<int>& order);
 
-  /// Executes query `index` functionally on its home device, filling
-  /// `result` and splicing its op DAG into `graph`.
+  /// Executes query `index`, driving the recovery ladder: attempts run
+  /// down the strategy lattice on simulated OOM (when recovery is
+  /// enabled), with teardown + retry costs accumulated into `result`
+  /// and charged onto `graph` as a fault-penalty op. Returns the final
+  /// per-query status.
   [[nodiscard]]
   util::Status ExecuteQuery(int index, QueryGraph* graph,
                             QueryResult* result);
+
+  /// One execution attempt of query `index` under `strategy`: functional
+  /// run on its home device, filling `result` and splicing its op DAG
+  /// into `graph` on success. A failed attempt releases every cache
+  /// lease it took and leaves `graph` untouched.
+  [[nodiscard]]
+  util::Status ExecuteAttempt(int index, api::Strategy strategy,
+                              QueryGraph* graph, QueryResult* result);
 
   /// Emits the in-GPU batch DAG of query `index` sliced 1/N across all
   /// devices (kPartition placement). `*_shared` = the artifact was a
@@ -206,6 +277,8 @@ class Session {
   std::vector<QueryResult> results_;
   SessionStats stats_;
   bool ran_ = false;
+  /// config_.recovery, or any session device with an armed FaultPlan.
+  bool recovery_enabled_ = false;
 
   /// key (+ "@<device>" / "#split" suffix) -> node ids of the resident
   /// artifact's producer ops in the merged graph.

@@ -90,12 +90,16 @@ bool UploadCache::MakeRoom(uint64_t bytes) {
   return true;
 }
 
+void UploadCache::ConsumeDeclaredUse(const std::string& key) {
+  auto demand = demand_.find(key);
+  if (demand != demand_.end() && demand->second > 0) --demand->second;
+}
+
 UploadCache::Entry* UploadCache::PrepareSlot(const std::string& key,
                                              uint64_t bytes) {
   // The inserting query consumes one declared use whether or not the
   // artifact ends up cached.
-  auto demand = demand_.find(key);
-  if (demand != demand_.end() && demand->second > 0) --demand->second;
+  ConsumeDeclaredUse(key);
   auto existing = entries_.find(key);
   if (existing != entries_.end()) {
     if (existing->second.in_use > 0) {
@@ -115,31 +119,52 @@ UploadCache::Entry* UploadCache::PrepareSlot(const std::string& key,
   entry.bytes = bytes;
   entry.in_use = 1;
   entry.last_use = ++use_clock_;
-  entry.future_uses = demand != demand_.end() ? demand->second : 0;
+  entry.future_uses = DemandOf(key);
   bytes_cached_ += bytes;
   auto [it, inserted] = entries_.insert_or_assign(key, std::move(entry));
   (void)inserted;
   return &it->second;
 }
 
-const gjoin::gpujoin::DeviceRelation* UploadCache::InsertUpload(
+util::Result<const gjoin::gpujoin::DeviceRelation*> UploadCache::InsertUpload(
     const std::string& key, gjoin::gpujoin::DeviceRelation* relation,
     uint64_t bytes) {
+  if (bytes > budget_bytes_) {
+    ConsumeDeclaredUse(key);
+    ++stats_.insert_failures;
+    return util::Status::OutOfMemory(
+        "artifact '" + key + "' (" + std::to_string(bytes) +
+        " bytes) exceeds the device artifact-cache budget (" +
+        std::to_string(budget_bytes_) + " bytes)");
+  }
   Entry* slot = PrepareSlot(key, bytes);
-  if (slot == nullptr) return nullptr;
+  if (slot == nullptr) {
+    return static_cast<const gjoin::gpujoin::DeviceRelation*>(nullptr);
+  }
   slot->upload = std::make_unique<gjoin::gpujoin::DeviceRelation>(
       std::move(*relation));
-  return slot->upload.get();
+  return static_cast<const gjoin::gpujoin::DeviceRelation*>(
+      slot->upload.get());
 }
 
-const gjoin::gpujoin::PreparedBuild* UploadCache::InsertBuild(
+util::Result<const gjoin::gpujoin::PreparedBuild*> UploadCache::InsertBuild(
     const std::string& key, gjoin::gpujoin::PreparedBuild* build,
     uint64_t bytes) {
+  if (bytes > budget_bytes_) {
+    ConsumeDeclaredUse(key);
+    ++stats_.insert_failures;
+    return util::Status::OutOfMemory(
+        "artifact '" + key + "' (" + std::to_string(bytes) +
+        " bytes) exceeds the device artifact-cache budget (" +
+        std::to_string(budget_bytes_) + " bytes)");
+  }
   Entry* slot = PrepareSlot(key, bytes);
-  if (slot == nullptr) return nullptr;
+  if (slot == nullptr) {
+    return static_cast<const gjoin::gpujoin::PreparedBuild*>(nullptr);
+  }
   slot->build =
       std::make_unique<gjoin::gpujoin::PreparedBuild>(std::move(*build));
-  return slot->build.get();
+  return static_cast<const gjoin::gpujoin::PreparedBuild*>(slot->build.get());
 }
 
 void UploadCache::Release(const std::string& key) {

@@ -33,6 +33,7 @@
 
 #include "src/data/relation.h"
 #include "src/gpujoin/partitioned_join.h"
+#include "src/util/status.h"
 
 namespace gjoin::exec {
 
@@ -74,13 +75,23 @@ class UploadCache {
   /// Inserts the artifact a miss forced the caller to create; consumes
   /// one declared use. `bytes` is its device-memory footprint. On
   /// success the artifact is moved out of `*relation` / `*build` and the
-  /// cached copy (in use) returned; nullptr when it does not fit the
-  /// budget even after evicting every idle entry — the caller's object
-  /// is left untouched and serves as a private, uncached copy.
-  const gjoin::gpujoin::DeviceRelation* InsertUpload(
+  /// cached copy (in use) returned. Two refusal shapes, both leaving the
+  /// caller's object untouched as a private, uncached copy:
+  ///
+  ///   - a typed kOutOfMemory status when the artifact is larger than
+  ///     the whole budget and can never be cached (the session's
+  ///     strict-budget mode turns this into a degradation-ladder
+  ///     trigger; the default mode treats it like a transient refusal);
+  ///   - an OK result holding nullptr for a transient refusal (budget
+  ///     occupied by pinned entries, or a raced pinned duplicate).
+  ///
+  /// Both refusals count stats().insert_failures.
+  [[nodiscard]]
+  util::Result<const gjoin::gpujoin::DeviceRelation*> InsertUpload(
       const std::string& key, gjoin::gpujoin::DeviceRelation* relation,
       uint64_t bytes);
-  const gjoin::gpujoin::PreparedBuild* InsertBuild(
+  [[nodiscard]]
+  util::Result<const gjoin::gpujoin::PreparedBuild*> InsertBuild(
       const std::string& key, gjoin::gpujoin::PreparedBuild* build,
       uint64_t bytes);
 
@@ -115,6 +126,8 @@ class UploadCache {
   };
 
   Entry* Lookup(const std::string& key);
+  /// Consumes one declared use of `key` if any remain.
+  void ConsumeDeclaredUse(const std::string& key);
   /// Evicts idle entries until `bytes` fit the budget; false if impossible.
   bool MakeRoom(uint64_t bytes);
   /// Consumes a declared use, evicts for room, and installs an empty

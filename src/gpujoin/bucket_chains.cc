@@ -19,7 +19,8 @@ util::Result<BucketChains> BucketChains::Allocate(
   chains.num_partitions_ = num_partitions;
   chains.pool_ = std::move(pool);
   GJOIN_ASSIGN_OR_RETURN(chains.heads_,
-                         memory->Allocate<int32_t>(num_partitions));
+                         memory->Allocate<int32_t>(num_partitions,
+                                                   "bucket-chains:heads"));
   for (uint32_t p = 0; p < num_partitions; ++p) chains.heads_[p] = kNull;
   return chains;
 }

@@ -13,10 +13,16 @@ util::Result<std::shared_ptr<BucketPool>> BucketPool::Allocate(
   pool->bucket_capacity_ = bucket_capacity;
   const size_t slots =
       static_cast<size_t>(num_buckets) * static_cast<size_t>(bucket_capacity);
-  GJOIN_ASSIGN_OR_RETURN(pool->keys_, memory->Allocate<uint32_t>(slots));
-  GJOIN_ASSIGN_OR_RETURN(pool->payloads_, memory->Allocate<uint32_t>(slots));
-  GJOIN_ASSIGN_OR_RETURN(pool->next_, memory->Allocate<int32_t>(num_buckets));
-  GJOIN_ASSIGN_OR_RETURN(pool->fill_, memory->Allocate<uint32_t>(num_buckets));
+  GJOIN_ASSIGN_OR_RETURN(pool->keys_,
+                         memory->Allocate<uint32_t>(slots, "bucket-pool:keys"));
+  GJOIN_ASSIGN_OR_RETURN(
+      pool->payloads_,
+      memory->Allocate<uint32_t>(slots, "bucket-pool:payloads"));
+  GJOIN_ASSIGN_OR_RETURN(
+      pool->next_, memory->Allocate<int32_t>(num_buckets, "bucket-pool:next"));
+  GJOIN_ASSIGN_OR_RETURN(
+      pool->fill_,
+      memory->Allocate<uint32_t>(num_buckets, "bucket-pool:fill"));
   pool->free_list_.reserve(num_buckets);
   // LIFO free list; popping from the back reuses recently-freed (hot)
   // buckets first.

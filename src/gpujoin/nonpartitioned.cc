@@ -68,7 +68,8 @@ util::Result<JoinStats> NonPartitionedJoin(
     for (size_t i = 0; i < n; ++i) max_key = std::max(max_key, build.keys[i]);
     GJOIN_ASSIGN_OR_RETURN(
         sim::DeviceBuffer<uint32_t> dense,
-        device->memory().Allocate<uint32_t>(static_cast<size_t>(max_key) + 1));
+        device->memory().Allocate<uint32_t>(static_cast<size_t>(max_key) + 1,
+                                            "npj:perfect-table"));
     const uint64_t table_bytes = (static_cast<uint64_t>(max_key) + 1) * 4;
 
     std::atomic<bool> duplicate{false};
@@ -180,7 +181,8 @@ util::Result<JoinStats> NonPartitionedJoin(
     const size_t slots = util::NextPowerOfTwo(
         std::max<size_t>(n * config.slots_per_tuple, 64));
     GJOIN_ASSIGN_OR_RETURN(sim::DeviceBuffer<int32_t> heads,
-                           device->memory().Allocate<int32_t>(slots));
+                           device->memory().Allocate<int32_t>(slots,
+                                                              "npj:heads"));
     // Models the device-resident per-tuple next pointers (the real
     // kernel's only per-tuple table storage — keys stay in the resident
     // relation). The host-side walk goes through `nodes`, a packed
@@ -189,7 +191,7 @@ util::Result<JoinStats> NonPartitionedJoin(
     // three; like the co-partition kernels' functional scratch indices
     // it is not device-accounted.
     GJOIN_ASSIGN_OR_RETURN(sim::DeviceBuffer<int32_t> next,
-                           device->memory().Allocate<int32_t>(n));
+                           device->memory().Allocate<int32_t>(n, "npj:next"));
     std::vector<PackedHashNode> nodes(n);
     for (size_t s = 0; s < slots; ++s) heads[s] = -1;
     const uint64_t table_bytes = slots * 4 + n * 12;  // heads + next + keys

@@ -28,7 +28,8 @@ class OutputRing {
                                            size_t capacity) {
     if (capacity == 0) return util::Status::Invalid("OutputRing: capacity 0");
     OutputRing ring;
-    GJOIN_ASSIGN_OR_RETURN(ring.pairs_, memory->Allocate<uint64_t>(capacity));
+    GJOIN_ASSIGN_OR_RETURN(
+        ring.pairs_, memory->Allocate<uint64_t>(capacity, "output-ring"));
     ring.cursor_ = std::make_unique<std::atomic<uint64_t>>(0);
     return ring;
   }

@@ -17,10 +17,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "src/hw/cost_model.h"
 #include "src/hw/spec.h"
 #include "src/sim/block.h"
 #include "src/sim/device_memory.h"
+#include "src/sim/fault.h"
 #include "src/util/mutex.h"
 #include "src/util/status.h"
 #include "src/util/thread_annotations.h"
@@ -84,6 +87,24 @@ class Device {
   /// Simulated device memory (capacity-accounted allocations).
   DeviceMemory& memory() { return memory_; }
 
+  /// Arms seeded fault injection on this device: allocation faults,
+  /// transfer flakes and a planned death per `plan` (see sim/fault.h).
+  /// Replaces any previously armed plan (counters reset).
+  void ArmFaults(const FaultPlan& plan, int device_index = 0) {
+    injector_ = std::make_unique<FaultInjector>(plan, device_index);
+    memory_.set_fault_injector(injector_.get());
+  }
+
+  /// Disarms fault injection; the device is fault-free again.
+  void DisarmFaults() {
+    memory_.set_fault_injector(nullptr);
+    injector_.reset();
+  }
+
+  /// The armed fault injector, or nullptr when none is armed.
+  FaultInjector* faults() { return injector_.get(); }
+  const FaultInjector* faults() const { return injector_.get(); }
+
   /// Host threads executing simulated blocks concurrently. Kernels with
   /// host-side shared state may skip their locking when this is 1.
   size_t functional_parallelism() const { return pool_->num_threads(); }
@@ -109,6 +130,7 @@ class Device {
   hw::CostModel cost_model_;
   DeviceMemory memory_;
   util::ThreadPool* pool_;
+  std::unique_ptr<FaultInjector> injector_;
 
   mutable util::Mutex profile_mu_;
   std::vector<ProfileEntry> profile_ GJOIN_GUARDED_BY(profile_mu_);

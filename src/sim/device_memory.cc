@@ -1,18 +1,25 @@
 #include "src/sim/device_memory.h"
 
+#include "src/sim/fault.h"
+
 namespace gjoin::sim {
 
-util::Status DeviceMemory::Reserve(size_t bytes) {
+util::Status DeviceMemory::Reserve(size_t bytes, const char* site) {
+  if (injector_ != nullptr) {
+    GJOIN_RETURN_NOT_OK(injector_->OnAllocation(bytes, site));
+  }
   size_t current = used_.load(std::memory_order_relaxed);
   while (true) {
     if (current + bytes > capacity_) {
       return util::Status::OutOfMemory(
-          "device memory exhausted: requested " + std::to_string(bytes) +
-          " bytes, " + std::to_string(capacity_ - current) + " of " +
-          std::to_string(capacity_) + " available");
+          "device memory exhausted at " + std::string(site) + ": requested " +
+          std::to_string(bytes) + " bytes, " +
+          std::to_string(capacity_ - current) + " bytes free of " +
+          std::to_string(capacity_));
     }
     if (used_.compare_exchange_weak(current, current + bytes,
                                     std::memory_order_relaxed)) {
+      total_reserved_.fetch_add(bytes, std::memory_order_relaxed);
       return util::Status::OK();
     }
   }

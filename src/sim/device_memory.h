@@ -24,6 +24,7 @@
 namespace gjoin::sim {
 
 class DeviceMemory;
+class FaultInjector;
 
 /// \brief Move-only typed allocation in simulated device memory.
 ///
@@ -87,13 +88,15 @@ class DeviceMemory {
   DeviceMemory& operator=(const DeviceMemory&) = delete;
 
   /// Allocates `count` elements of T; OutOfMemory when the reservation
-  /// would exceed the device capacity. Contents are zero-initialized
+  /// would exceed the device capacity (the message names `site`, the
+  /// requested and the free bytes). Contents are zero-initialized
   /// (unlike cudaMalloc) so kernels start deterministic.
   template <typename T>
   [[nodiscard]]
-  util::Result<DeviceBuffer<T>> Allocate(size_t count) {
+  util::Result<DeviceBuffer<T>> Allocate(size_t count,
+                                         const char* site = "unlabeled") {
     const size_t bytes = count * sizeof(T);
-    GJOIN_RETURN_NOT_OK(Reserve(bytes));
+    GJOIN_RETURN_NOT_OK(Reserve(bytes, site));
     // value-initialization zeroes the array.
     auto data = std::make_unique<T[]>(count);
     return DeviceBuffer<T>(std::move(data), count, this);
@@ -105,17 +108,30 @@ class DeviceMemory {
   size_t capacity() const { return capacity_; }
   /// Bytes still available.
   size_t available() const { return capacity_ - used(); }
+  /// Cumulative bytes ever successfully reserved (monotonic; the
+  /// recovery ladder charges the delta of an aborted attempt as wasted
+  /// staging work).
+  size_t total_reserved() const {
+    return total_reserved_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms (or with nullptr disarms) fault injection: every Reserve first
+  /// asks `injector` whether this allocation ordinal fails. Not owned;
+  /// callers go through sim::Device::ArmFaults, which owns the injector.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
  private:
   template <typename T>
   friend class DeviceBuffer;
 
   [[nodiscard]]
-  util::Status Reserve(size_t bytes);
+  util::Status Reserve(size_t bytes, const char* site = "unlabeled");
   void Release(size_t bytes);
 
   size_t capacity_;
   std::atomic<size_t> used_{0};
+  std::atomic<size_t> total_reserved_{0};
+  FaultInjector* injector_ = nullptr;
 };
 
 template <typename T>

@@ -1,0 +1,183 @@
+#include "src/sim/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gjoin::sim {
+
+namespace {
+
+/// Splits `s` on `sep` (empty pieces dropped).
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string piece;
+  std::istringstream is(s);
+  while (std::getline(is, piece, sep)) {
+    if (!piece.empty()) out.push_back(piece);
+  }
+  return out;
+}
+
+[[nodiscard]]
+util::Status ParseU64(const std::string& s, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return util::Status::Invalid("expected integer, got '" + s + "'");
+  }
+  return util::Status::OK();
+}
+
+[[nodiscard]]
+util::Status ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return util::Status::Invalid("expected number, got '" + s + "'");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<FaultPlan> FaultPlan::FromString(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& field : Split(spec, ';')) {
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return util::Status::Invalid("fault plan field '" + field +
+                                   "' is not key=value");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "alloc") {
+      const std::vector<std::string> ordinals = Split(value, ',');
+      if (ordinals.empty()) {
+        return util::Status::Invalid("fault plan alloc needs >= 1 ordinal");
+      }
+      for (const std::string& n : ordinals) {
+        uint64_t ordinal = 0;
+        GJOIN_RETURN_NOT_OK(ParseU64(n, &ordinal));
+        if (ordinal == 0) {
+          return util::Status::Invalid(
+              "fault plan alloc ordinals are 1-based; got 0");
+        }
+        plan.fail_allocations.push_back(ordinal);
+      }
+    } else if (key == "p") {
+      GJOIN_RETURN_NOT_OK(ParseDouble(value, &plan.transfer_fault_p));
+      if (plan.transfer_fault_p < 0 || plan.transfer_fault_p > 1) {
+        return util::Status::Invalid("fault plan p must be in [0, 1]; got " +
+                                     value);
+      }
+    } else if (key == "attempts") {
+      uint64_t attempts = 0;
+      GJOIN_RETURN_NOT_OK(ParseU64(value, &attempts));
+      if (attempts == 0) {
+        return util::Status::Invalid("fault plan attempts must be >= 1");
+      }
+      plan.max_transfer_attempts = static_cast<int>(attempts);
+    } else if (key == "backoff_us") {
+      double us = 0;
+      GJOIN_RETURN_NOT_OK(ParseDouble(value, &us));
+      plan.transfer_backoff_base_s = us * 1e-6;
+    } else if (key == "death") {
+      // "<seconds>@<device>"
+      const size_t at = value.find('@');
+      if (at == std::string::npos) {
+        return util::Status::Invalid(
+            "fault plan death must be <seconds>@<device>; got '" + value +
+            "'");
+      }
+      GJOIN_RETURN_NOT_OK(
+          ParseDouble(value.substr(0, at), &plan.device_death_s));
+      uint64_t dev = 0;
+      GJOIN_RETURN_NOT_OK(ParseU64(value.substr(at + 1), &dev));
+      plan.dead_device = static_cast<int>(dev);
+      if (plan.device_death_s < 0) {
+        return util::Status::Invalid("fault plan death time must be >= 0");
+      }
+    } else if (key == "seed") {
+      GJOIN_RETURN_NOT_OK(ParseU64(value, &plan.seed));
+    } else {
+      return util::Status::Invalid("unknown fault plan key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  if (!fail_allocations.empty()) {
+    os << "alloc=";
+    for (size_t i = 0; i < fail_allocations.size(); ++i) {
+      if (i > 0) os << ',';
+      os << fail_allocations[i];
+    }
+    os << ';';
+  }
+  if (transfer_fault_p > 0) {
+    os << "p=" << transfer_fault_p << ";attempts=" << max_transfer_attempts
+       << ";backoff_us=" << transfer_backoff_base_s * 1e6 << ';';
+  }
+  if (device_death_s >= 0) {
+    os << "death=" << device_death_s << '@' << dead_device << ';';
+  }
+  os << "seed=" << seed;
+  return os.str();
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int device_index)
+    : plan_(plan),
+      device_index_(device_index),
+      // SplitMix64-style stream separation: each device draws from an
+      // independent sequence of the same seeded plan.
+      rng_(plan.seed ^
+           (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(device_index) + 1))) {
+}
+
+util::Status FaultInjector::OnAllocation(size_t bytes, const char* site) {
+  util::MutexLock lock(&mu_);
+  const uint64_t ordinal = ++alloc_count_;
+  for (uint64_t fail : plan_.fail_allocations) {
+    if (fail == ordinal) {
+      ++alloc_faults_;
+      return util::Status::OutOfMemory(
+          "injected allocation fault at " + std::string(site) +
+          ": allocation #" + std::to_string(ordinal) + " of " +
+          std::to_string(bytes) + " bytes on device " +
+          std::to_string(device_index_));
+    }
+  }
+  return util::Status::OK();
+}
+
+int FaultInjector::DrawTransferFailures() {
+  util::MutexLock lock(&mu_);
+  int failures = 0;
+  while (failures < plan_.max_transfer_attempts &&
+         rng_.NextDouble() < plan_.transfer_fault_p) {
+    ++failures;
+    ++transfer_faults_;
+  }
+  return failures;
+}
+
+uint64_t FaultInjector::allocations_observed() const {
+  util::MutexLock lock(&mu_);
+  return alloc_count_;
+}
+
+uint64_t FaultInjector::allocation_faults() const {
+  util::MutexLock lock(&mu_);
+  return alloc_faults_;
+}
+
+uint64_t FaultInjector::transfer_faults() const {
+  util::MutexLock lock(&mu_);
+  return transfer_faults_;
+}
+
+}  // namespace gjoin::sim

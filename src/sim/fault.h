@@ -1,0 +1,157 @@
+// Seeded, deterministic fault injection for the simulated device layer.
+//
+// A FaultPlan describes *what* goes wrong — the Nth device-memory
+// allocation fails, a host<->device transfer flakes with probability p,
+// a whole device dies at modeled time T — and a FaultInjector (owned by
+// the sim::Device it is armed on) decides *when*, drawing every random
+// decision from one seedable util::Rng stream per device. Because all
+// allocation and transfer-accounting calls happen on the session thread
+// (kernel bodies never allocate; cross-block effects route through the
+// Device::Launch epilogue), the injected fault sequence — and therefore
+// every result and every charged modeled second — is bit-identical
+// across runs and across host thread-pool widths.
+//
+// With no plan armed the injector simply does not exist: DeviceMemory
+// checks one null pointer and the execution layer takes no recovery
+// branches, so all fault-free goldens stay bit-identical.
+//
+// exec::Session consumes the injector: allocation faults surface as
+// typed kOutOfMemory and drive the strategy-degradation ladder, transfer
+// flakes are retried with modeled exponential backoff, and a planned
+// device death excludes the device from placement so its queued work
+// lands on survivors (see src/exec/session.h).
+
+#ifndef GJOIN_SIM_FAULT_H_
+#define GJOIN_SIM_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+
+namespace gjoin::sim {
+
+/// \brief Declarative description of the faults to inject.
+///
+/// One plan arms every device of a topology identically (each device
+/// draws from its own seed-derived stream); `dead_device` selects which
+/// device a planned death applies to.
+struct FaultPlan {
+  /// 1-based ordinals of device-memory allocations that fail with a
+  /// simulated OutOfMemory (counted per device, in allocation order).
+  std::vector<uint64_t> fail_allocations;
+
+  /// Probability in [0, 1] that one attempt of a host<->device transfer
+  /// faults transiently. Each logical transfer is retried up to
+  /// `max_transfer_attempts` times; every retry re-sends the data and
+  /// waits an exponentially growing backoff, all charged as modeled
+  /// seconds.
+  double transfer_fault_p = 0;
+
+  /// Attempts per logical transfer before the fault is permanent.
+  int max_transfer_attempts = 4;
+
+  /// Backoff before the first retry; doubles per subsequent retry.
+  double transfer_backoff_base_s = 100e-6;
+
+  /// Modeled time at which `dead_device` fails permanently; negative
+  /// means no planned death.
+  double device_death_s = -1;
+
+  /// Device index the death applies to.
+  int dead_device = 0;
+
+  /// Seed of the per-plan PRNG stream (per device: seed ^ f(index)).
+  uint64_t seed = 0x5eedfa17ULL;
+
+  /// True iff the plan injects anything.
+  bool enabled() const {
+    return !fail_allocations.empty() || transfer_fault_p > 0 ||
+           device_death_s >= 0;
+  }
+
+  /// Parses a plan from a compact spec string of ';'-separated fields:
+  ///
+  ///   alloc=3,7,11        fail the 3rd, 7th and 11th allocation
+  ///   p=0.05              transfer-fault probability
+  ///   attempts=5          max transfer attempts
+  ///   backoff_us=100      first-retry backoff in microseconds
+  ///   death=0.0005@1      device 1 dies at modeled t=0.0005s
+  ///   seed=42             PRNG seed
+  ///
+  /// Example: "alloc=3;p=0.05;seed=42;death=0.0005@1". The same format
+  /// is accepted from the GJOIN_FAULT_PLAN environment variable by the
+  /// fault tests and bench/fig25_faults.
+  [[nodiscard]]
+  static util::Result<FaultPlan> FromString(const std::string& spec);
+
+  /// Round-trips through FromString.
+  std::string ToString() const;
+};
+
+/// \brief Per-device fault decision engine (thread-safe, deterministic).
+class FaultInjector {
+ public:
+  /// \param plan what to inject.
+  /// \param device_index this device's index (selects the death and
+  ///        derives an independent PRNG stream per device).
+  explicit FaultInjector(const FaultPlan& plan, int device_index = 0);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Accounts one device-memory allocation of `bytes` at `site`;
+  /// returns an injected OutOfMemory when the plan fails this ordinal.
+  [[nodiscard]]
+  util::Status OnAllocation(size_t bytes, const char* site);
+
+  /// Draws the transient-failure count of one logical transfer from the
+  /// plan's PRNG stream: the number of faulted attempts before the
+  /// transfer succeeds, in [0, max_transfer_attempts]. A return value of
+  /// max_transfer_attempts means every attempt faulted — the failure is
+  /// permanent.
+  int DrawTransferFailures();
+
+  /// True iff the plan kills *this* device at some modeled time.
+  bool DeathPlanned() const {
+    return plan_.device_death_s >= 0 && device_index_ == plan_.dead_device;
+  }
+
+  /// The modeled death time of this device (valid when DeathPlanned()).
+  double death_time_s() const { return plan_.device_death_s; }
+
+  /// The armed plan.
+  const FaultPlan& plan() const { return plan_; }
+
+  /// This device's index within its topology.
+  int device_index() const { return device_index_; }
+
+  // ---- Counters (for SessionStats and the fault tests) ----
+
+  /// Allocations observed since arming.
+  uint64_t allocations_observed() const;
+  /// Allocations failed by injection.
+  uint64_t allocation_faults() const;
+  /// Transient transfer faults drawn (permanent failures count all of
+  /// their faulted attempts).
+  uint64_t transfer_faults() const;
+
+ private:
+  const FaultPlan plan_;
+  const int device_index_;
+
+  mutable util::Mutex mu_;
+  util::Rng rng_ GJOIN_GUARDED_BY(mu_);
+  uint64_t alloc_count_ GJOIN_GUARDED_BY(mu_) = 0;
+  uint64_t alloc_faults_ GJOIN_GUARDED_BY(mu_) = 0;
+  uint64_t transfer_faults_ GJOIN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace gjoin::sim
+
+#endif  // GJOIN_SIM_FAULT_H_

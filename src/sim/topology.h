@@ -64,6 +64,17 @@ class Topology {
   /// The (shared) machine description.
   const hw::HardwareSpec& spec() const { return spec_; }
 
+  /// Arms one FaultPlan across all devices (each draws an independent
+  /// seed-derived stream; plan.dead_device selects the death victim).
+  void ArmFaults(const FaultPlan& plan) {
+    for (int d = 0; d < device_count(); ++d) device(d).ArmFaults(plan, d);
+  }
+
+  /// Disarms fault injection on every device.
+  void DisarmFaults() {
+    for (int d = 0; d < device_count(); ++d) device(d).DisarmFaults();
+  }
+
   // ---- Lane layout for a shared multi-device timeline ----
   // Device 0 maps onto the four predefined engines, so single-device
   // schedules are unchanged; the helpers below are pure functions of the

@@ -28,4 +28,10 @@ void Status::CheckOK() const {
   std::abort();
 }
 
+void ExitOnError(const Status& status, const char* context) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "%s: %s\n", context, status.ToString().c_str());
+  std::exit(1);
+}
+
 }  // namespace gjoin::util

@@ -167,6 +167,20 @@ class Result {
   std::optional<T> value_;
 };
 
+/// Prints `context: <status>` to stderr and exits the process with a
+/// nonzero code when `status` is an error; no-op otherwise. The leaf-
+/// binary (bench/example) error path: a clean diagnostic and exit(1)
+/// instead of CheckOK()'s abort + core dump.
+void ExitOnError(const Status& status, const char* context);
+
+/// Returns the Result's value, or prints `context: <status>` and exits
+/// nonzero. ExitOnError's companion for value-producing calls.
+template <typename T>
+T ValueOrExit(Result<T>&& result, const char* context) {
+  ExitOnError(result.status(), context);
+  return std::move(result).ValueOrDie();
+}
+
 }  // namespace gjoin::util
 
 /// Propagates a non-OK Status to the caller.

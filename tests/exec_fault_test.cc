@@ -1,0 +1,364 @@
+// Fault-injection and error-path tests for the execution layer.
+//
+// The contract under test (see src/sim/fault.h, src/exec/session.h):
+//
+//   - an injected device-OOM degrades the query down the strategy
+//     ladder instead of failing it, charging teardown + re-upload as
+//     modeled seconds;
+//   - transient transfer faults are absorbed by charged retries with
+//     exponential backoff; exhausting the bounded attempts yields a
+//     clean per-query ExecutionError;
+//   - one query's failure never aborts its batch siblings;
+//   - a planned device death re-places queued work onto survivors;
+//   - everything is seeded and deterministic: the same plan gives
+//     bit-identical results and charged stats at any host pool width.
+//
+// The CI fault-matrix lane re-runs this binary under several plans via
+// the GJOIN_FAULT_PLAN environment variable (EnvPlanBatchSurvives).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/api/gjoin.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/exec/scheduler.h"
+#include "src/exec/session.h"
+#include "src/hw/spec.h"
+#include "src/sim/fault.h"
+#include "src/sim/topology.h"
+#include "src/util/thread_pool.h"
+
+namespace gjoin {
+namespace {
+
+using exec::Session;
+using exec::SessionConfig;
+
+class ExecFaultTest : public ::testing::Test {
+ protected:
+  static constexpr int kBatch = 3;
+
+  ExecFaultTest() {
+    for (int i = 0; i < kBatch; ++i) {
+      builds_.push_back(data::MakeUniqueUniform(40000, 31 + i));
+      probes_.push_back(data::MakeUniformProbe(80000, 40000, 41 + i));
+      oracles_.push_back(data::JoinOracle(builds_.back(), probes_.back()));
+    }
+  }
+
+  void SubmitBatch(Session* session, api::Strategy strategy) {
+    api::JoinConfig cfg;
+    cfg.strategy = strategy;
+    for (int i = 0; i < kBatch; ++i) {
+      session->Submit(builds_[static_cast<size_t>(i)],
+                      probes_[static_cast<size_t>(i)], cfg);
+    }
+  }
+
+  void ExpectMatchesOracle(const exec::QueryResult& result, int i) {
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.outcome.stats.matches,
+              oracles_[static_cast<size_t>(i)].matches);
+    EXPECT_EQ(result.outcome.stats.payload_sum,
+              oracles_[static_cast<size_t>(i)].payload_sum);
+  }
+
+  std::vector<data::Relation> builds_;
+  std::vector<data::Relation> probes_;
+  std::vector<data::OracleResult> oracles_;
+};
+
+TEST_F(ExecFaultTest, AllocFaultDegradesQueryAndSparesSiblings) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  sim::FaultPlan plan;
+  plan.fail_allocations = {1};  // the first query's in-GPU build upload
+  device.ArmFaults(plan);
+
+  Session session(&device);
+  SubmitBatch(&session, api::Strategy::kInGpu);
+  ASSERT_TRUE(session.Run().ok());
+
+  // Query 0 completed one rung down; its result still matches.
+  const exec::QueryResult& degraded = session.result(0);
+  ExpectMatchesOracle(degraded, 0);
+  EXPECT_EQ(degraded.planned_strategy, api::Strategy::kInGpu);
+  EXPECT_EQ(degraded.outcome.strategy, api::Strategy::kStreamingProbe);
+  EXPECT_EQ(degraded.degradations, 1);
+  EXPECT_GT(degraded.fault_penalty_s, 0);
+
+  // Siblings ran in-GPU, untouched.
+  for (int i = 1; i < kBatch; ++i) {
+    ExpectMatchesOracle(session.result(i), i);
+    EXPECT_EQ(session.result(i).outcome.strategy, api::Strategy::kInGpu);
+  }
+  EXPECT_EQ(session.stats().failed_queries, 0u);
+  EXPECT_EQ(session.stats().degradations, 1u);
+  EXPECT_EQ(session.stats().injected_alloc_faults, 1u);
+  EXPECT_GT(session.stats().fault_penalty_s, 0);
+}
+
+TEST_F(ExecFaultTest, StrictCacheBudgetFeedsTheLadder) {
+  // A 1-byte cache budget makes every artifact over-whole-budget; in
+  // strict mode that typed kOutOfMemory drives the ladder: in-GPU and
+  // streaming both need the cached build, so the query lands on
+  // co-processing (which shares host partitions, not device artifacts).
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  SessionConfig config;
+  config.cache_budget_bytes = 1;
+  config.strict_cache_budget = true;
+  config.recovery = true;
+  Session session(&device, config);
+  SubmitBatch(&session, api::Strategy::kInGpu);
+  ASSERT_TRUE(session.Run().ok());
+
+  for (int i = 0; i < kBatch; ++i) {
+    ExpectMatchesOracle(session.result(i), i);
+    EXPECT_EQ(session.result(i).outcome.strategy,
+              api::Strategy::kCoProcessing);
+    EXPECT_EQ(session.result(i).degradations, 2);
+  }
+  EXPECT_EQ(session.stats().degradations, 2u * kBatch);
+  EXPECT_EQ(session.stats().failed_queries, 0u);
+}
+
+TEST_F(ExecFaultTest, PermanentTransferFaultIsIsolatedInMixedBatch) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  sim::FaultPlan plan;
+  plan.transfer_fault_p = 1.0;  // every transfer attempt faults
+  device.ArmFaults(plan);
+
+  Session session(&device);
+  api::JoinConfig in_gpu, cpu_only, coproc;
+  in_gpu.strategy = api::Strategy::kInGpu;
+  cpu_only.strategy = api::Strategy::kCpuOnly;
+  coproc.strategy = api::Strategy::kCoProcessing;
+  session.Submit(builds_[0], probes_[0], in_gpu);
+  session.Submit(builds_[1], probes_[1], cpu_only);
+  session.Submit(builds_[2], probes_[2], coproc);
+  ASSERT_TRUE(session.Run().ok());  // the batch itself never aborts
+
+  // The in-GPU query exhausts its bounded attempts: clean typed error,
+  // zeroed outcome — and the wasted retries are still on the clock.
+  const exec::QueryResult& failed = session.result(0);
+  ASSERT_FALSE(failed.status.ok());
+  EXPECT_EQ(failed.status.code(), util::StatusCode::kExecutionError);
+  EXPECT_NE(failed.status.ToString().find("transfer failed"),
+            std::string::npos);
+  EXPECT_EQ(failed.outcome.stats.matches, 0u);
+  EXPECT_EQ(failed.solo_seconds, 0);
+  EXPECT_GT(failed.fault_penalty_s, 0);
+
+  // Host-resident strategies draw no transfer faults and complete.
+  ExpectMatchesOracle(session.result(1), 1);
+  EXPECT_EQ(session.result(1).outcome.strategy, api::Strategy::kCpuOnly);
+  ExpectMatchesOracle(session.result(2), 2);
+
+  EXPECT_EQ(session.stats().failed_queries, 1u);
+  EXPECT_GT(session.stats().injected_transfer_faults, 0u);
+  EXPECT_GT(session.stats().makespan_s, 0);
+}
+
+TEST_F(ExecFaultTest, TransientTransferFaultsAreRetriedAndCharged) {
+  auto run_once = [&](const sim::FaultPlan* plan) {
+    sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+    if (plan != nullptr) device.ArmFaults(*plan);
+    Session session(&device);
+    SubmitBatch(&session, api::Strategy::kInGpu);
+    EXPECT_TRUE(session.Run().ok());
+    for (int i = 0; i < kBatch; ++i) ExpectMatchesOracle(session.result(i), i);
+    return session.stats();
+  };
+
+  const exec::SessionStats clean = run_once(nullptr);
+
+  sim::FaultPlan plan;
+  plan.transfer_fault_p = 0.5;
+  plan.max_transfer_attempts = 30;  // retries, not permanent failures
+  const exec::SessionStats faulted = run_once(&plan);
+
+  EXPECT_EQ(faulted.failed_queries, 0u);
+  EXPECT_GT(faulted.transfer_retries, 0u);
+  EXPECT_GT(faulted.fault_penalty_s, 0);
+  EXPECT_GT(faulted.makespan_s, clean.makespan_s);
+  // The retry cost on the timeline is exactly what was billed: the
+  // fault-free makespan plus the penalty is an upper bound (penalties
+  // may overlap compute on other lanes).
+  EXPECT_LE(faulted.makespan_s, clean.makespan_s + faulted.fault_penalty_s);
+
+  // Zero-probability plans are charge-free: bit-identical to unarmed.
+  sim::FaultPlan noop;
+  noop.transfer_fault_p = 0;
+  const exec::SessionStats quiet = run_once(&noop);
+  EXPECT_EQ(quiet.makespan_s, clean.makespan_s);
+  EXPECT_EQ(quiet.fault_penalty_s, 0);
+  EXPECT_EQ(quiet.transfer_retries, 0u);
+}
+
+TEST_F(ExecFaultTest, FaultChargesAreBitIdenticalAcrossPoolWidths) {
+  sim::FaultPlan plan;
+  plan.fail_allocations = {2};
+  plan.transfer_fault_p = 0.5;
+  plan.max_transfer_attempts = 30;
+  plan.seed = 1234;
+
+  auto run_with_pool = [&](size_t width) {
+    util::ThreadPool pool(width);
+    sim::Device device(hw::HardwareSpec::Icde2019Testbed(), &pool);
+    device.ArmFaults(plan);
+    Session session(&device);
+    SubmitBatch(&session, api::Strategy::kInGpu);
+    EXPECT_TRUE(session.Run().ok());
+    struct Snapshot {
+      exec::SessionStats stats;
+      std::vector<exec::QueryResult> results;
+    } snap;
+    snap.stats = session.stats();
+    for (int i = 0; i < kBatch; ++i) snap.results.push_back(session.result(i));
+    return snap;
+  };
+
+  const auto narrow = run_with_pool(1);
+  const auto wide = run_with_pool(8);
+
+  EXPECT_EQ(narrow.stats.makespan_s, wide.stats.makespan_s);
+  EXPECT_EQ(narrow.stats.fault_penalty_s, wide.stats.fault_penalty_s);
+  EXPECT_EQ(narrow.stats.transfer_retries, wide.stats.transfer_retries);
+  EXPECT_EQ(narrow.stats.degradations, wide.stats.degradations);
+  EXPECT_EQ(narrow.stats.injected_transfer_faults,
+            wide.stats.injected_transfer_faults);
+  for (int i = 0; i < kBatch; ++i) {
+    const exec::QueryResult& a = narrow.results[static_cast<size_t>(i)];
+    const exec::QueryResult& b = wide.results[static_cast<size_t>(i)];
+    EXPECT_EQ(a.outcome.stats.matches, b.outcome.stats.matches);
+    EXPECT_EQ(a.outcome.stats.payload_sum, b.outcome.stats.payload_sum);
+    EXPECT_EQ(a.outcome.stats.seconds, b.outcome.stats.seconds);
+    EXPECT_EQ(a.fault_penalty_s, b.fault_penalty_s);
+    EXPECT_EQ(a.transfer_retries, b.transfer_retries);
+    EXPECT_EQ(a.outcome.strategy, b.outcome.strategy);
+  }
+}
+
+TEST_F(ExecFaultTest, DeviceDeathFailsOverToSurvivors) {
+  sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
+  sim::FaultPlan plan;
+  plan.device_death_s = 1e-9;  // device 1 dies before any query finishes
+  plan.dead_device = 1;
+  topo.ArmFaults(plan);
+
+  Session session(&topo);
+  SubmitBatch(&session, api::Strategy::kInGpu);
+  ASSERT_TRUE(session.Run().ok());
+
+  for (int i = 0; i < kBatch; ++i) {
+    ExpectMatchesOracle(session.result(i), i);
+    EXPECT_EQ(session.result(i).device, 0) << "query " << i
+                                           << " placed on the dead device";
+  }
+  EXPECT_GT(session.stats().device_failovers, 0u);
+  EXPECT_EQ(session.stats().failed_queries, 0u);
+}
+
+TEST_F(ExecFaultTest, AllDevicesDeadFallsBackToTheCpuRung) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  sim::FaultPlan plan;
+  plan.device_death_s = 1e-9;  // the only device dies immediately
+  plan.dead_device = 0;
+  device.ArmFaults(plan);
+
+  Session session(&device);
+  SubmitBatch(&session, api::Strategy::kInGpu);
+  ASSERT_TRUE(session.Run().ok());
+
+  for (int i = 0; i < kBatch; ++i) {
+    ExpectMatchesOracle(session.result(i), i);
+    EXPECT_EQ(session.result(i).outcome.strategy, api::Strategy::kCpuOnly);
+  }
+  EXPECT_EQ(session.stats().device_failovers, static_cast<size_t>(kBatch));
+  EXPECT_EQ(session.stats().failed_queries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Error paths that predate faults: misuse and malformed graphs.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecFaultTest, RunningASessionTwiceIsAnError) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  Session session(&device);
+  session.Submit(builds_[0], probes_[0], api::JoinConfig());
+  ASSERT_TRUE(session.Run().ok());
+  const util::Status again = session.Run();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), util::StatusCode::kInternal);
+  EXPECT_NE(again.ToString().find("twice"), std::string::npos);
+}
+
+TEST(ExecSchedulerErrorTest, ScheduleBatchRejectsDependencyCycles) {
+  // Graph nodes are topologically indexed, so any cycle must contain a
+  // self- or forward-pointing edge; the scheduler's upfront dependency
+  // validation is therefore its cycle detector. A self-loop — the
+  // smallest cycle — must be rejected with a typed Invalid, never
+  // deadlock the list scheduler.
+  exec::QueryGraph graph;
+  graph.AddNode(0, sim::LaneId{0}, 1e-3, {exec::NodeId{0}}, "self-loop");
+  const auto batch = exec::ScheduleBatch(graph, 1);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), util::StatusCode::kInvalid);
+  EXPECT_NE(batch.status().ToString().find("invalid or later node"),
+            std::string::npos)
+      << batch.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// CI fault-matrix entry point: the GJOIN_FAULT_PLAN environment variable
+// carries a plan spec; whatever it injects, a batch must either complete
+// every query (possibly degraded) or fail it cleanly — and do so
+// deterministically.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecFaultTest, EnvPlanBatchSurvives) {
+  const char* env = std::getenv("GJOIN_FAULT_PLAN");
+  const std::string spec = env != nullptr ? env : "alloc=1;p=0.3;seed=7";
+  const auto plan = sim::FaultPlan::FromString(spec);
+  ASSERT_TRUE(plan.ok()) << "GJOIN_FAULT_PLAN: " << plan.status().ToString();
+
+  auto run_once = [&]() {
+    sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
+    topo.ArmFaults(*plan);
+    Session session(&topo);
+    SubmitBatch(&session, api::Strategy::kInGpu);
+    EXPECT_TRUE(session.Run().ok());  // batch-level Run never aborts
+    int completed = 0;
+    for (int i = 0; i < kBatch; ++i) {
+      const exec::QueryResult& result = session.result(i);
+      if (result.status.ok()) {
+        ExpectMatchesOracle(result, i);
+        ++completed;
+      } else {
+        // Clean, typed per-query failure with zeroed outcome.
+        EXPECT_TRUE(result.status.code() ==
+                        util::StatusCode::kExecutionError ||
+                    result.status.code() == util::StatusCode::kOutOfMemory)
+            << result.status.ToString();
+        EXPECT_EQ(result.outcome.stats.matches, 0u);
+      }
+    }
+    EXPECT_EQ(session.stats().failed_queries,
+              static_cast<size_t>(kBatch - completed));
+    return session.stats();
+  };
+
+  const exec::SessionStats first = run_once();
+  const exec::SessionStats second = run_once();
+  EXPECT_EQ(first.makespan_s, second.makespan_s);
+  EXPECT_EQ(first.fault_penalty_s, second.fault_penalty_s);
+  EXPECT_EQ(first.transfer_retries, second.transfer_retries);
+  EXPECT_EQ(first.degradations, second.degradations);
+  EXPECT_EQ(first.failed_queries, second.failed_queries);
+}
+
+}  // namespace
+}  // namespace gjoin

@@ -366,7 +366,9 @@ TEST_F(UploadCacheTest, HitConsumesDemandAndRefcounts) {
 
   EXPECT_EQ(cache.AcquireUpload(key), nullptr);  // miss
   auto [uploaded, bytes] = MakeUpload(rel);
-  const auto* cached = cache.InsertUpload(key, &uploaded, bytes);
+  const auto inserted = cache.InsertUpload(key, &uploaded, bytes);
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  const auto* cached = *inserted;
   ASSERT_NE(cached, nullptr);
   EXPECT_EQ(cached->size, rel.size());
   EXPECT_EQ(cache.DemandOf(key), 1);
@@ -391,9 +393,9 @@ TEST_F(UploadCacheTest, LruEvictionUnderBudget) {
 
   // Budget holds exactly one of them.
   UploadCache cache(bytes_a);
-  ASSERT_NE(cache.InsertUpload(key_a, &up_a, bytes_a), nullptr);
+  ASSERT_NE(*cache.InsertUpload(key_a, &up_a, bytes_a), nullptr);
   cache.Release(key_a);
-  ASSERT_NE(cache.InsertUpload(key_b, &up_b, bytes_b), nullptr);
+  ASSERT_NE(*cache.InsertUpload(key_b, &up_b, bytes_b), nullptr);
   cache.Release(key_b);
 
   EXPECT_FALSE(cache.Contains(key_a));  // evicted (LRU, undemanded)
@@ -411,9 +413,13 @@ TEST_F(UploadCacheTest, PinnedEntriesAreNeverEvicted) {
   const std::string key_b = UploadCache::UploadKey(rel_b);
 
   UploadCache cache(bytes_a);
-  ASSERT_NE(cache.InsertUpload(key_a, &up_a, bytes_a), nullptr);
-  // key_a still in use: key_b cannot fit and must NOT displace it.
-  EXPECT_EQ(cache.InsertUpload(key_b, &up_b, bytes_b), nullptr);
+  ASSERT_NE(*cache.InsertUpload(key_a, &up_a, bytes_a), nullptr);
+  // key_a still in use: key_b cannot fit and must NOT displace it. The
+  // budget could hold key_b in principle, so this is the transient
+  // refusal shape — an OK result carrying nullptr, not an error.
+  const auto refused = cache.InsertUpload(key_b, &up_b, bytes_b);
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  EXPECT_EQ(*refused, nullptr);
   EXPECT_TRUE(cache.Contains(key_a));
   EXPECT_EQ(cache.stats().insert_failures, 1u);
   // The refused artifact stays with the caller as a private copy.
@@ -436,16 +442,37 @@ TEST_F(UploadCacheTest, EvictionPrefersUndemandedEntries) {
   // not — so inserting key_c must evict key_b despite LRU order.
   cache.AddDemand(key_a);
   cache.AddDemand(key_a);
-  ASSERT_NE(cache.InsertUpload(key_a, &up_a, bytes_a), nullptr);
+  ASSERT_NE(*cache.InsertUpload(key_a, &up_a, bytes_a), nullptr);
   cache.Release(key_a);
-  ASSERT_NE(cache.InsertUpload(key_b, &up_b, bytes_b), nullptr);
+  ASSERT_NE(*cache.InsertUpload(key_b, &up_b, bytes_b), nullptr);
   cache.Release(key_b);
-  ASSERT_NE(cache.InsertUpload(key_c, &up_c, bytes_c), nullptr);
+  ASSERT_NE(*cache.InsertUpload(key_c, &up_c, bytes_c), nullptr);
   cache.Release(key_c);
 
   EXPECT_TRUE(cache.Contains(key_a));
   EXPECT_FALSE(cache.Contains(key_b));
   EXPECT_TRUE(cache.Contains(key_c));
+}
+
+TEST_F(UploadCacheTest, OversizeArtifactReturnsTypedOutOfMemory) {
+  const auto rel = data::MakeUniqueUniform(1000, 7);
+  auto [uploaded, bytes] = MakeUpload(rel);
+  const std::string key = UploadCache::UploadKey(rel);
+
+  // Budget smaller than the artifact itself: it can NEVER be cached,
+  // and the refusal is a typed kOutOfMemory (the session's strict
+  // budget mode feeds it to the degradation ladder).
+  UploadCache cache(bytes - 1);
+  cache.AddDemand(key);
+  const auto refused = cache.InsertUpload(key, &uploaded, bytes);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kOutOfMemory);
+  EXPECT_NE(refused.status().ToString().find("exceeds"), std::string::npos);
+  EXPECT_EQ(cache.stats().insert_failures, 1u);
+  EXPECT_EQ(cache.DemandOf(key), 0);  // the declared use was consumed
+  // The caller keeps the artifact as a private, uncached copy.
+  EXPECT_TRUE(uploaded.keys.allocated());
+  EXPECT_EQ(cache.bytes_cached(), 0u);
 }
 
 TEST_F(UploadCacheTest, BuildAndUploadKeysAreDistinct) {

@@ -32,6 +32,21 @@ TEST(DeviceMemoryTest, ExhaustionReturnsOutOfMemory) {
   EXPECT_EQ(fail.status().code(), util::StatusCode::kOutOfMemory);
 }
 
+TEST(DeviceMemoryTest, ExhaustionMessageNamesSiteAndByteCounts) {
+  DeviceMemory mem(1024);
+  auto base = mem.Allocate<uint8_t>(1000, "test:base");
+  ASSERT_TRUE(base.ok());  // held live so the capacity stays reserved
+  auto fail = mem.Allocate<uint8_t>(100, "test:overflow");
+  ASSERT_FALSE(fail.ok());
+  const std::string msg = fail.status().ToString();
+  // The message carries everything needed to diagnose the placement
+  // decision: the allocation site, the request, and the free/capacity
+  // headroom at the moment of failure.
+  EXPECT_NE(msg.find("test:overflow"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("requested 100 bytes"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("24 bytes free of 1024"), std::string::npos) << msg;
+}
+
 TEST(DeviceMemoryTest, ExactFitSucceeds) {
   DeviceMemory mem(4096);
   auto buf = mem.Allocate<uint32_t>(1024);

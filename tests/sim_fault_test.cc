@@ -1,0 +1,158 @@
+// Unit tests for the seeded fault-injection layer: FaultPlan parsing,
+// allocation-ordinal faults, deterministic transfer draws, death plans,
+// and the DeviceMemory/Device arming plumbing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/hw/spec.h"
+#include "src/sim/device.h"
+#include "src/sim/fault.h"
+#include "src/sim/topology.h"
+
+namespace gjoin::sim {
+namespace {
+
+TEST(FaultPlanTest, FromStringParsesEveryField) {
+  const auto plan = FaultPlan::FromString(
+      "alloc=3,7;p=0.05;attempts=5;backoff_us=250;death=0.0005@1;seed=42");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->fail_allocations, (std::vector<uint64_t>{3, 7}));
+  EXPECT_DOUBLE_EQ(plan->transfer_fault_p, 0.05);
+  EXPECT_EQ(plan->max_transfer_attempts, 5);
+  EXPECT_DOUBLE_EQ(plan->transfer_backoff_base_s, 250e-6);
+  EXPECT_DOUBLE_EQ(plan->device_death_s, 0.0005);
+  EXPECT_EQ(plan->dead_device, 1);
+  EXPECT_EQ(plan->seed, 42u);
+  EXPECT_TRUE(plan->enabled());
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  const auto plan = FaultPlan::FromString("alloc=1;p=0.2;death=0.001@0");
+  ASSERT_TRUE(plan.ok());
+  const auto again = FaultPlan::FromString(plan->ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->fail_allocations, plan->fail_allocations);
+  EXPECT_DOUBLE_EQ(again->transfer_fault_p, plan->transfer_fault_p);
+  EXPECT_DOUBLE_EQ(again->device_death_s, plan->device_death_s);
+  EXPECT_EQ(again->dead_device, plan->dead_device);
+  EXPECT_EQ(again->seed, plan->seed);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"p=nope", "p=1.5", "alloc=", "alloc=0", "attempts=0", "death=1",
+        "death=0.1@x", "bogus=1"}) {
+    const auto plan = FaultPlan::FromString(bad);
+    EXPECT_FALSE(plan.ok()) << "accepted: " << bad;
+    EXPECT_EQ(plan.status().code(), util::StatusCode::kInvalid) << bad;
+  }
+}
+
+TEST(FaultPlanTest, EmptySpecIsDisabled) {
+  const auto plan = FaultPlan::FromString("");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE(plan->enabled());
+}
+
+TEST(FaultInjectorTest, FailsExactlyThePlannedOrdinals) {
+  FaultPlan plan;
+  plan.fail_allocations = {2, 4};
+  FaultInjector injector(plan);
+  EXPECT_TRUE(injector.OnAllocation(64, "a").ok());   // #1
+  const util::Status second = injector.OnAllocation(64, "b");  // #2
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), util::StatusCode::kOutOfMemory);
+  // The message names the site and the ordinal.
+  EXPECT_NE(second.ToString().find("b"), std::string::npos);
+  EXPECT_NE(second.ToString().find("#2"), std::string::npos);
+  EXPECT_TRUE(injector.OnAllocation(64, "c").ok());   // #3
+  EXPECT_FALSE(injector.OnAllocation(64, "d").ok());  // #4
+  EXPECT_TRUE(injector.OnAllocation(64, "e").ok());   // #5
+  EXPECT_EQ(injector.allocations_observed(), 5u);
+  EXPECT_EQ(injector.allocation_faults(), 2u);
+}
+
+TEST(FaultInjectorTest, TransferDrawsAreSeedDeterministic) {
+  FaultPlan plan;
+  plan.transfer_fault_p = 0.3;
+  plan.seed = 99;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.DrawTransferFailures(), b.DrawTransferFailures()) << i;
+  }
+  EXPECT_EQ(a.transfer_faults(), b.transfer_faults());
+  EXPECT_GT(a.transfer_faults(), 0u);  // p=0.3 over 200 draws must fault
+}
+
+TEST(FaultInjectorTest, DevicesDrawIndependentStreams) {
+  FaultPlan plan;
+  plan.transfer_fault_p = 0.5;
+  FaultInjector dev0(plan, 0);
+  FaultInjector dev1(plan, 1);
+  bool differs = false;
+  for (int i = 0; i < 64 && !differs; ++i) {
+    differs = dev0.DrawTransferFailures() != dev1.DrawTransferFailures();
+  }
+  EXPECT_TRUE(differs);  // same plan, distinct per-device streams
+}
+
+TEST(FaultInjectorTest, DrawsAreBoundedByMaxAttempts) {
+  FaultPlan plan;
+  plan.transfer_fault_p = 1.0;  // every attempt faults
+  plan.max_transfer_attempts = 3;
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.DrawTransferFailures(), 3);  // permanent failure
+  EXPECT_EQ(injector.transfer_faults(), 3u);
+}
+
+TEST(FaultInjectorTest, DeathAppliesOnlyToTheDeadDevice) {
+  FaultPlan plan;
+  plan.device_death_s = 0.25;
+  plan.dead_device = 1;
+  FaultInjector dev0(plan, 0);
+  FaultInjector dev1(plan, 1);
+  EXPECT_FALSE(dev0.DeathPlanned());
+  ASSERT_TRUE(dev1.DeathPlanned());
+  EXPECT_DOUBLE_EQ(dev1.death_time_s(), 0.25);
+}
+
+TEST(FaultInjectorTest, ArmedDeviceMemoryFailsThePlannedAllocation) {
+  Device device(hw::HardwareSpec::Icde2019Testbed());
+  FaultPlan plan;
+  plan.fail_allocations = {1};
+  device.ArmFaults(plan);
+  auto fail = device.memory().Allocate<uint32_t>(16, "test:first");
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), util::StatusCode::kOutOfMemory);
+  EXPECT_NE(fail.status().ToString().find("test:first"), std::string::npos);
+  auto ok = device.memory().Allocate<uint32_t>(16, "test:second");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(device.faults()->allocation_faults(), 1u);
+
+  device.DisarmFaults();
+  EXPECT_EQ(device.faults(), nullptr);
+  EXPECT_TRUE(device.memory().Allocate<uint32_t>(16, "test:third").ok());
+}
+
+TEST(FaultInjectorTest, TopologyArmsEachDeviceWithItsIndex) {
+  Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
+  FaultPlan plan;
+  plan.device_death_s = 0.1;
+  plan.dead_device = 1;
+  topo.ArmFaults(plan);
+  ASSERT_NE(topo.device(0).faults(), nullptr);
+  ASSERT_NE(topo.device(1).faults(), nullptr);
+  EXPECT_EQ(topo.device(0).faults()->device_index(), 0);
+  EXPECT_EQ(topo.device(1).faults()->device_index(), 1);
+  EXPECT_FALSE(topo.device(0).faults()->DeathPlanned());
+  EXPECT_TRUE(topo.device(1).faults()->DeathPlanned());
+  topo.DisarmFaults();
+  EXPECT_EQ(topo.device(0).faults(), nullptr);
+  EXPECT_EQ(topo.device(1).faults(), nullptr);
+}
+
+}  // namespace
+}  // namespace gjoin::sim

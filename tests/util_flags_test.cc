@@ -63,5 +63,17 @@ TEST(FlagsTest, UnparsableNumberFallsBackToDefault) {
   EXPECT_EQ(f.GetInt("n", 5), 5);
 }
 
+TEST(FlagsTest, MalformedArgumentsReportTypedErrorNamingTheToken) {
+  for (const char* bad : {"-x", "positional", "tuples=1000", "-"}) {
+    std::vector<const char*> args = {"binary", bad};
+    auto result = Flags::Parse(2, const_cast<char**>(args.data()));
+    ASSERT_FALSE(result.ok()) << "accepted: " << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalid) << bad;
+    // The message names the offending token so a bench invocation error
+    // is diagnosable from the exit line alone.
+    EXPECT_NE(result.status().ToString().find(bad), std::string::npos) << bad;
+  }
+}
+
 }  // namespace
 }  // namespace gjoin::util
