@@ -35,6 +35,10 @@ BenchContext BenchContext::Create(int argc, char** argv, const char* figure,
                           util::DefaultProbePipelineDepth())));
   }
 
+  // Chrome-trace dump directory (empty = tracing off). Purely
+  // observational: emitted figure rows are identical either way.
+  ctx.trace_dir_ = ctx.flags_.GetString("trace_dir", "");
+
   // Scale the memory hierarchy and fixed overheads (see header).
   hw::HardwareSpec spec;
   const double inv = 1.0 / static_cast<double>(divisor);

@@ -67,6 +67,13 @@ class BenchContext {
   /// Parsed command-line flags.
   const util::Flags& flags() const { return flags_; }
 
+  /// The figure tag ("fig23", ...) — filenames of per-figure artifacts.
+  const std::string& figure() const { return figure_; }
+
+  /// Directory for Chrome-trace JSON dumps (--trace_dir flag; empty =
+  /// tracing off). See MaybeDumpSessionTrace in bench/runner.h.
+  const std::string& trace_dir() const { return trace_dir_; }
+
   /// Emits one data row: figure,series,x,value.
   void Emit(const std::string& series, double x_nominal, double value);
 
@@ -84,6 +91,7 @@ class BenchContext {
 
  private:
   std::string figure_;
+  std::string trace_dir_;
   int64_t divisor_ = 1;
   int log2_divisor_ = 0;
   hw::HardwareSpec spec_;

@@ -19,6 +19,8 @@
 #include "src/data/generator.h"
 #include "src/data/oracle.h"
 #include "src/exec/session.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 
 namespace gjoin {
 namespace {
@@ -56,13 +58,23 @@ int Run(int argc, char** argv) {
   std::map<std::pair<int, int>, double> speedup;  // (batch, f%) -> value
   double h2d_util_shared8 = 0;
 
+  // Observability (charge-free): every cell's session publishes into one
+  // registry; the batch-8 shared-build cell also dumps a Chrome trace
+  // when --trace_dir is set.
+  obs::MetricsRegistry registry;
+  obs::HostProfiler profiler;
+  int queries_run = 0;
+
   for (const double f : {0.0, 0.5, 1.0}) {
     const int f_pct = static_cast<int>(f * 100);
     for (const int batch : {1, 2, 4, 8}) {
       const int n_shared =
           static_cast<int>(std::lround(f * static_cast<double>(batch)));
       sim::Device device(ctx.spec());
-      exec::Session session(&device);
+      exec::SessionConfig session_cfg;
+      session_cfg.metrics = &registry;
+      session_cfg.profiler = &profiler;
+      exec::Session session(&device, session_cfg);
       std::vector<const data::Relation*> query_builds;
       for (int q = 0; q < batch; ++q) {
         const data::Relation& build =
@@ -82,16 +94,31 @@ int Run(int argc, char** argv) {
         bench::VerifyJoin(outcome.stats.matches, outcome.stats.payload_sum,
                           oracle, "fig23 session query");
       }
+      queries_run += batch;
       speedup[{batch, f_pct}] = session.stats().speedup;
       ctx.Emit("Speedup shared=" + std::to_string(f_pct) + "%", batch,
                session.stats().speedup);
       if (batch == kMaxBatch && f_pct == 100) {
         h2d_util_shared8 =
             session.stats().schedule.Utilization(sim::Engine::kCopyH2D);
+        bench::MaybeDumpSessionTrace(ctx, session, "batch8_shared100");
       }
     }
   }
   ctx.Emit("H2D utilization shared=100%", kMaxBatch, h2d_util_shared8);
+
+  // Modeled per-query latency over every session of the sweep, from the
+  // registry's histogram (comment line: CSV extraction skips it).
+  const obs::Histogram::Snapshot latency =
+      registry
+          .GetHistogram("gjoin_query_latency_modeled_seconds",
+                        obs::MetricsRegistry::LatencyBuckets())
+          ->TakeSnapshot();
+  std::printf(
+      "# fig23 modeled per-query latency: n=%llu p50=%.6g p95=%.6g "
+      "max=%.6g seconds\n",
+      static_cast<unsigned long long>(latency.count), latency.Quantile(0.5),
+      latency.Quantile(0.95), latency.max);
 
   ctx.Check("a 1-query session adds zero overhead (speedup == 1)",
             std::abs(speedup[{1, 0}] - 1.0) < 1e-9 &&
@@ -107,6 +134,9 @@ int Run(int argc, char** argv) {
   ctx.Check("half-shared lands between unshared and fully shared",
             speedup[{8, 50}] >= speedup[{8, 0}] &&
                 speedup[{8, 50}] <= speedup[{8, 100}]);
+  ctx.Check("metrics registry observed every query exactly once",
+            latency.count == static_cast<uint64_t>(queries_run) &&
+                latency.max > 0);
   return ctx.Finish();
 }
 

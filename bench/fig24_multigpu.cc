@@ -94,6 +94,12 @@ int Run(int argc, char** argv) {
                         oracle_of(*query_builds[static_cast<size_t>(q)], q),
                         "fig24 session query");
     }
+    // Multi-device trace: 4 GPUs under sliced placement is the richest
+    // lane layout (per-device gpu/h2d/d2h lanes + the peer lane).
+    if (policy == api::PlacementPolicy::kPartition && devices == 4 &&
+        shared_fraction == 1.0) {
+      bench::MaybeDumpSessionTrace(ctx, session, "dev4_partition_shared100");
+    }
     return RunStats{session.stats().makespan_s,
                     session.stats().replicated_builds};
   };

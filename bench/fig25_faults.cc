@@ -25,6 +25,7 @@
 #include "src/data/generator.h"
 #include "src/data/oracle.h"
 #include "src/exec/session.h"
+#include "src/obs/metrics.h"
 #include "src/sim/fault.h"
 #include "src/sim/topology.h"
 
@@ -65,13 +66,19 @@ int Run(int argc, char** argv) {
     oracles.push_back(data::JoinOracle(builds.back(), probes.back()));
   }
 
+  // Every cell's session publishes into one metrics registry (attaching
+  // it is charge-free — the rate-0 bit-identity check below pins that).
+  obs::MetricsRegistry registry;
+
   // Runs the batch on one device armed with `plan` (or unarmed when
   // null); verifies every completed query against its oracle.
   auto run_cell = [&](api::Strategy strategy, const sim::FaultPlan* plan,
                       const char* what) {
     sim::Device device(ctx.spec());
     if (plan != nullptr) device.ArmFaults(*plan);
-    exec::Session session(&device);
+    exec::SessionConfig session_cfg;
+    session_cfg.metrics = &registry;
+    exec::Session session(&device, session_cfg);
     api::JoinConfig cfg = base_cfg;
     cfg.strategy = strategy;
     for (int q = 0; q < kBatch; ++q) {
@@ -201,7 +208,9 @@ int Run(int argc, char** argv) {
     plan.dead_device = 1;
     sim::Topology topo(ctx.spec(), 2);
     topo.ArmFaults(plan);
-    exec::Session session(&topo);
+    exec::SessionConfig session_cfg;
+    session_cfg.metrics = &registry;
+    exec::Session session(&topo, session_cfg);
     api::JoinConfig cfg = base_cfg;
     cfg.strategy = api::Strategy::kInGpu;
     for (int q = 0; q < kBatch; ++q) {
@@ -229,7 +238,23 @@ int Run(int argc, char** argv) {
              static_cast<double>(session.stats().device_failovers));
     ctx.Check("a planned device death re-places queued work onto survivors",
               completed == kBatch && session.stats().device_failovers >= 1);
+    bench::MaybeDumpSessionTrace(ctx, session, "device_death");
   }
+
+  // Modeled per-query latency over every completed query of the sweep
+  // (comment line: CSV extraction skips it).
+  const obs::Histogram::Snapshot latency =
+      registry
+          .GetHistogram("gjoin_query_latency_modeled_seconds",
+                        obs::MetricsRegistry::LatencyBuckets())
+          ->TakeSnapshot();
+  std::printf(
+      "# fig25 modeled per-query latency: n=%llu p50=%.6g p95=%.6g "
+      "max=%.6g seconds\n",
+      static_cast<unsigned long long>(latency.count), latency.Quantile(0.5),
+      latency.Quantile(0.95), latency.max);
+  ctx.Check("metrics registry observed the completed queries",
+            latency.count > 0 && latency.max > 0);
 
   ctx.Check("a rate-0 fault plan is charge-free (bit-identical to unarmed)",
             zero_rate_charge_free);

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <string>
 
 namespace gjoin::bench {
 
@@ -62,6 +64,36 @@ gpujoin::JoinStats MustNonPartitionedJoin(
   util::ExitOnError(stats.status(), "runner");
   VerifyOrDie(*stats, oracle, "non-partitioned join");
   return util::ValueOrExit(std::move(stats), "runner");
+}
+
+void MaybeDumpSessionTrace(const BenchContext& ctx,
+                           const exec::Session& session,
+                           const std::string& name) {
+  if (ctx.trace_dir().empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(ctx.trace_dir(), ec);
+  if (ec) {
+    std::fprintf(stderr, "bench: cannot create trace dir %s: %s\n",
+                 ctx.trace_dir().c_str(), ec.message().c_str());
+    std::abort();
+  }
+  const std::string json =
+      util::ValueOrExit(session.TraceJson(), "trace");
+  std::string path = ctx.trace_dir();
+  path += '/';
+  path += ctx.figure();
+  path += '_';
+  path += name;
+  path += ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr || std::fwrite(json.data(), 1, json.size(), f) !=
+                          json.size() ||
+      std::fclose(f) != 0) {
+    std::fprintf(stderr, "bench: cannot write trace %s\n", path.c_str());
+    std::abort();
+  }
+  std::printf("# trace: %s\n", path.c_str());
+  std::fflush(stdout);
 }
 
 }  // namespace gjoin::bench

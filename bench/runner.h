@@ -6,9 +6,11 @@
 #define GJOIN_BENCH_RUNNER_H_
 
 #include <optional>
+#include <string>
 
 #include "src/data/oracle.h"
 #include "src/data/relation.h"
+#include "src/exec/session.h"
 #include "src/gpujoin/nonpartitioned.h"
 #include "src/gpujoin/partitioned_join.h"
 #include "src/sim/device.h"
@@ -45,6 +47,15 @@ gpujoin::JoinStats MustNonPartitionedJoin(
 void VerifyJoin(uint64_t matches, uint64_t payload_sum,
                 const std::optional<data::OracleResult>& oracle,
                 const char* what);
+
+/// Dumps `session`'s executed batch as Chrome-trace JSON to
+/// `<trace_dir>/<figure>_<name>.json` when the bench was run with
+/// --trace_dir=<dir> (creates the directory; aborts on I/O errors). A
+/// no-op without the flag — figure output is byte-identical either way.
+/// `session` must have completed Run().
+void MaybeDumpSessionTrace(const BenchContext& ctx,
+                           const exec::Session& session,
+                           const std::string& name);
 
 }  // namespace gjoin::bench
 

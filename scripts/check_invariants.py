@@ -19,6 +19,12 @@ caught in review instead of as a golden diff three PRs later:
                     start_s, finish_s) may only be written inside
                     src/sim/; everyone else builds DAGs through
                     Timeline::Add and reads the evaluated Schedule.
+  obs-read-only     src/obs/ (tracing + metrics) is a charge-free
+                    consumer of executed timelines: it must not build or
+                    extend them (Timeline::Add / AddLane calls are
+                    banned there) and must not include the charged
+                    execution layers (src/exec/, src/gpujoin/) — those
+                    layers publish *into* obs, never the reverse.
   nodiscard         function declarations in src/ headers returning
                     util::Status or util::Result<...> must be
                     [[nodiscard]]: a silently dropped Status is how a
@@ -76,6 +82,15 @@ NONDET_PATTERNS = [
 SCHEDULE_WRITE_RE = re.compile(
     r"(\.|->)(busy_s|lane_busy_s|start_s|finish_s)\s*\[[^\]]*\]\s*"
     r"(=[^=]|\+=|-=|\*=|/=)")
+
+# Timeline-building calls: forbidden in src/obs/, which only serializes
+# timelines it is handed. (Method-call syntax only — obs' own AddHostSpan
+# and friends are not Timeline mutators.)
+OBS_MUTATOR_RE = re.compile(r"(\.|->)(Add|AddLane)\s*\(")
+# Charged execution layers src/obs/ must never include: dependencies run
+# exec -> obs, so a reverse include would make observability load-bearing
+# (and a cycle).
+OBS_BANNED_INCLUDE_PREFIXES = ("src/exec/", "src/gpujoin/")
 
 # A function declaration returning Status/Result. Google-style names:
 # functions are CamelCase, so an uppercase identifier after the return
@@ -165,6 +180,7 @@ def lint_file(root, path):
 
     in_charged = relpath.startswith(tuple(d + "/" for d in CHARGED_DIRS))
     in_sim = relpath.startswith("src/sim/")
+    in_obs = relpath.startswith("src/obs/")
     is_header = relpath.startswith("src/") and relpath.endswith(".h")
 
     for idx, raw in enumerate(lines):
@@ -183,6 +199,13 @@ def lint_file(root, path):
                     relpath, idx + 1, "timeline-mutation",
                     "computed Schedule lane fields may only be written "
                     "inside src/sim/"))
+
+        if in_obs and OBS_MUTATOR_RE.search(code):
+            if not suppressed(lines, idx, "obs-read-only"):
+                findings.append(Finding(
+                    relpath, idx + 1, "obs-read-only",
+                    "src/obs/ serializes executed timelines; it must not "
+                    "build or extend them (Timeline::Add/AddLane)"))
 
         if is_header:
             m = NODISCARD_DECL_RE.match(code)
@@ -209,6 +232,13 @@ def lint_file(root, path):
                 findings.append(Finding(
                     relpath, idx + 1, "include-convention",
                     f'#include "{inc}" {why}'))
+            if in_obs and inc.startswith(OBS_BANNED_INCLUDE_PREFIXES) \
+                    and not suppressed(lines, idx, "obs-read-only"):
+                findings.append(Finding(
+                    relpath, idx + 1, "obs-read-only",
+                    f'#include "{inc}" reverses the exec -> obs '
+                    "dependency: charged layers publish into obs, "
+                    "never the other way"))
 
     return findings
 
@@ -342,6 +372,25 @@ FIXTURES = {
         "}\n",
         set(),
     ),
+    "src/obs/bad_mutating_exporter.cc": (
+        # An exporter that extends the timeline it was handed — and pulls
+        # in the execution layer to do it — is load-bearing, not
+        # observability.
+        "#include \"src/exec/session.h\"\n"
+        "#include \"src/sim/timeline.h\"\n"
+        "void Pad(gjoin::sim::Timeline* t) {\n"
+        "  const int lane = t->AddLane(\"obs\");\n"
+        "  t->Add(lane, 1.0, {}, \"padding\");\n"
+        "}\n",
+        {"obs-read-only"},
+    ),
+    "src/obs/clean_reader.cc": (
+        "#include \"src/sim/timeline.h\"\n"
+        "size_t CountOps(const gjoin::sim::Timeline& t) {\n"
+        "  return t.size();\n"
+        "}\n",
+        set(),
+    ),
 }
 
 
@@ -349,7 +398,8 @@ def self_test():
     failures = []
     with tempfile.TemporaryDirectory(prefix="gjoin_lint_selftest_") as tmp:
         # Real files referenced by fixtures must resolve.
-        for needed in ("src/sim/timeline.h", "src/util/status.h"):
+        for needed in ("src/sim/timeline.h", "src/util/status.h",
+                       "src/exec/session.h"):
             dst = os.path.join(tmp, needed)
             os.makedirs(os.path.dirname(dst), exist_ok=True)
             with open(dst, "w", encoding="utf-8") as f:

@@ -4,7 +4,7 @@
 Usage:
   scripts/run_figures.py [--build-dir BUILD] [--out-dir OUT]
                          [--only REGEX] [--divisor N] [--strict]
-                         [--timings]
+                         [--timings] [--trace-dir DIR]
 
 Discovers bench binaries from bench/*.cc (fig*, abl_*) and runs the
 same-named executables from --build-dir sequentially (the benches are
@@ -17,6 +17,10 @@ everything to OUT/all_figures.csv.
 seconds (and the divisor each bench ran at), the measurement behind the
 README's "Full-scale timings" table. Timings are always collected; the
 flag only controls writing the JSON.
+
+--trace-dir DIR passes --trace_dir=DIR to every bench: session benches
+dump Chrome-trace JSON timelines there (viewable at ui.perfetto.dev).
+Tracing is charge-free — CSV rows are byte-identical with or without it.
 
 Exit status: 1 if any bench exited non-zero (with --strict, benches
 themselves exit non-zero when a shape check fails), else 0.
@@ -61,6 +65,9 @@ def main() -> int:
     parser.add_argument("--timings", action="store_true",
                         help="write per-bench wall-clock seconds to "
                              "OUT/timings.json")
+    parser.add_argument("--trace-dir", default="",
+                        help="dump Chrome-trace JSON session timelines "
+                             "into this directory")
     parser.add_argument("--timeout", type=int, default=3600,
                         help="per-bench timeout in seconds")
     args = parser.parse_args()
@@ -68,6 +75,8 @@ def main() -> int:
     build_dir = pathlib.Path(args.build_dir)
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+    if args.trace_dir:
+        pathlib.Path(args.trace_dir).mkdir(parents=True, exist_ok=True)
 
     benches = discover_benches(args.only)
     if not benches:
@@ -89,6 +98,8 @@ def main() -> int:
             cmd.append(f"--divisor={args.divisor}")
         if args.strict:
             cmd.append("--strict")
+        if args.trace_dir:
+            cmd.append(f"--trace_dir={args.trace_dir}")
         print(f"RUN  {' '.join(cmd)}", flush=True)
         start = time.monotonic()
         try:

@@ -1,11 +1,15 @@
 #include "src/exec/query_graph.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace gjoin::exec {
 
 NodeId QueryGraph::AddNode(int query, sim::LaneId lane, double duration_s,
                            std::vector<NodeId> deps, std::string label) {
+  // Anonymous ops make traces useless: every session-built op must be
+  // query-attributable (obs::TraceExporter names events by label).
+  assert(!label.empty() && "session-built ops must carry a label");
   QueryNode node;
   node.query = query;
   node.lane = lane;
@@ -28,6 +32,9 @@ std::vector<NodeId> QueryGraph::Append(
       mapping[i] = aliased->second;
       continue;
     }
+    // Spliced solo DAGs must label every op too (strategy timelines all
+    // do; a new strategy that forgets shows up here in Debug builds).
+    assert(!ops[i].label.empty() && "solo-DAG ops must carry a label");
     QueryNode node;
     node.query = query;
     node.lane = lane_map != nullptr && static_cast<size_t>(ops[i].lane) <

@@ -12,6 +12,9 @@
 #include "src/hw/cpu_cost.h"
 #include "src/hw/numa.h"
 #include "src/hw/pcie.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile.h"
+#include "src/obs/trace.h"
 #include "src/outofgpu/coprocess.h"
 #include "src/outofgpu/streaming_probe.h"
 #include "src/sim/fault.h"
@@ -339,56 +342,69 @@ util::Status Session::Run() {
   ran_ = true;
 
   // ---- Plan: resolve strategies, place queries, declare demand ----
-  recovery_enabled_ = config_.recovery;
-  for (const sim::Device* d : devices_) {
-    if (d->faults() != nullptr) recovery_enabled_ = true;
-  }
-  for (Query& query : queries_) {
-    query.strategy = query.config.strategy;
-    if (query.strategy == api::Strategy::kAuto) {
-      query.strategy = api::ChooseStrategy(*devices_[0], query.build->bytes(),
-                                           query.probe->bytes());
+  std::vector<int> order;
+  {
+    obs::ProfileSpan plan_span(config_.profiler, "session:plan");
+    recovery_enabled_ = config_.recovery;
+    for (const sim::Device* d : devices_) {
+      if (d->faults() != nullptr) recovery_enabled_ = true;
     }
-    if (query.strategy == api::Strategy::kAuto) {
-      return util::Status::Internal("unresolved auto strategy");
+    for (Query& query : queries_) {
+      query.strategy = query.config.strategy;
+      if (query.strategy == api::Strategy::kAuto) {
+        query.strategy = api::ChooseStrategy(
+            *devices_[0], query.build->bytes(), query.probe->bytes());
+      }
+      if (query.strategy == api::Strategy::kAuto) {
+        return util::Status::Internal("unresolved auto strategy");
+      }
     }
+    order = AdmissionOrder();
+    PlanPlacement(order);
   }
-  const std::vector<int> order = AdmissionOrder();
-  PlanPlacement(order);
 
   // ---- Execute: functional runs + op DAGs spliced into the batch ----
   // Failures are isolated per query: an error lands in that query's
   // QueryResult::status (with its outcome zeroed) and its siblings
   // proceed; Run() itself only fails on batch-level errors.
-  QueryGraph graph;
   results_.assign(queries_.size(), QueryResult());
-  for (int q : order) {
-    QueryResult& result = results_[static_cast<size_t>(q)];
-    result.status = ExecuteQuery(q, &graph, &result);
-    if (!result.status.ok()) {
-      ++stats_.failed_queries;
-      result.outcome.stats = JoinStats();
-      result.solo_seconds = 0;
+  {
+    obs::ProfileSpan execute_span(config_.profiler, "session:execute");
+    for (int q : order) {
+      std::string span_name = "execute:q";
+      span_name += std::to_string(q);
+      obs::ProfileSpan query_span(config_.profiler, std::move(span_name));
+      QueryResult& result = results_[static_cast<size_t>(q)];
+      result.status = ExecuteQuery(q, &graph_, &result);
+      if (!result.status.ok()) {
+        ++stats_.failed_queries;
+        result.outcome.stats = JoinStats();
+        result.solo_seconds = 0;
+      }
     }
   }
 
   // ---- Schedule the merged DAG on the shared device timelines ----
-  const std::vector<std::string> extra_lanes =
-      sim::Topology::ExtraLaneNames(device_count());
-  GJOIN_ASSIGN_OR_RETURN(
-      ScheduledBatch batch,
-      ScheduleBatch(graph, static_cast<int>(queries_.size()),
-                    extra_lanes.empty() ? nullptr : &extra_lanes));
-  stats_.makespan_s = batch.schedule.makespan_s;
+  {
+    obs::ProfileSpan schedule_span(config_.profiler, "session:schedule");
+    const std::vector<std::string> extra_lanes =
+        sim::Topology::ExtraLaneNames(device_count());
+    GJOIN_ASSIGN_OR_RETURN(
+        ScheduledBatch batch,
+        ScheduleBatch(graph_, static_cast<int>(queries_.size()),
+                      extra_lanes.empty() ? nullptr : &extra_lanes));
+    batch_ = std::move(batch);
+  }
+  stats_.makespan_s = batch_.schedule.makespan_s;
   stats_.independent_s = 0;
   for (size_t q = 0; q < queries_.size(); ++q) {
-    results_[q].finish_s = batch.query_finish_s[q];
+    results_[q].finish_s = batch_.query_finish_s[q];
     stats_.independent_s += results_[q].solo_seconds;
   }
   stats_.speedup = stats_.makespan_s > 0
                        ? stats_.independent_s / stats_.makespan_s
                        : 1.0;
-  stats_.schedule = std::move(batch.schedule);
+  stats_.schedule = batch_.schedule;
   stats_.cache = UploadCacheStats();
   for (const auto& device_cache : caches_) {
     const UploadCacheStats& c = device_cache->stats();
@@ -403,7 +419,121 @@ util::Status Session::Run() {
       stats_.injected_transfer_faults += inj->transfer_faults();
     }
   }
+  // Peak simulated memory pressure per device: pure observation of the
+  // allocator's high-water mark, always collected.
+  stats_.device_peak_bytes.clear();
+  for (const sim::Device* d : devices_) {
+    stats_.device_peak_bytes.push_back(
+        static_cast<uint64_t>(d->memory().peak_used()));
+  }
+  PublishMetrics();
   return util::Status::OK();
+}
+
+void Session::PublishMetrics() {
+  obs::MetricsRegistry* registry = config_.metrics;
+  if (registry == nullptr) return;
+
+  obs::Histogram* latency = registry->GetHistogram(
+      "gjoin_query_latency_modeled_seconds",
+      obs::MetricsRegistry::LatencyBuckets(),
+      "Modeled end-to-end per-query latency within the batch schedule.");
+  for (const QueryResult& result : results_) {
+    if (result.status.ok()) {
+      std::string name = "gjoin_queries_completed_total{strategy=\"";
+      name += api::StrategyName(result.outcome.strategy);
+      name += "\"}";
+      registry
+          ->GetCounter(name, "Queries completed, by executed strategy.")
+          ->Increment();
+      latency->Observe(result.finish_s);
+    } else {
+      registry
+          ->GetCounter("gjoin_queries_failed_total",
+                       "Queries that finished with a non-OK status.")
+          ->Increment();
+    }
+    if (result.degradations > 0) {
+      registry
+          ->GetCounter("gjoin_queries_degraded_total",
+                       "Queries the recovery ladder stepped down at least "
+                       "one strategy rung.")
+          ->Increment();
+    }
+  }
+  registry
+      ->GetCounter("gjoin_query_degradations_total",
+                   "Recovery-ladder strategy downgrades.")
+      ->Increment(stats_.degradations);
+  registry
+      ->GetCounter("gjoin_transfer_retries_total",
+                   "Transient transfer faults absorbed by retries.")
+      ->Increment(stats_.transfer_retries);
+  registry
+      ->GetCounter("gjoin_cpu_fallbacks_total",
+                   "Queries that landed on the host-CPU recovery rung.")
+      ->Increment(stats_.cpu_fallbacks);
+  registry
+      ->GetCounter("gjoin_upload_cache_hits_total",
+                   "Shared-artifact cache hits across session devices.")
+      ->Increment(stats_.cache.hits);
+  registry
+      ->GetCounter("gjoin_upload_cache_misses_total",
+                   "Shared-artifact cache misses across session devices.")
+      ->Increment(stats_.cache.misses);
+  registry
+      ->GetCounter("gjoin_upload_cache_evictions_total",
+                   "Shared artifacts evicted to make room.")
+      ->Increment(stats_.cache.evictions);
+  for (size_t d = 0; d < stats_.device_peak_bytes.size(); ++d) {
+    std::string name = "gjoin_device_memory_peak_bytes{device=\"";
+    name += std::to_string(d);
+    name += "\"}";
+    registry
+        ->GetGauge(name,
+                   "High-water mark of simulated device-memory usage.")
+        ->UpdateMax(static_cast<double>(stats_.device_peak_bytes[d]));
+  }
+  registry
+      ->GetGauge("gjoin_batch_makespan_modeled_seconds",
+                 "Modeled makespan of the most recent session batch.")
+      ->Set(stats_.makespan_s);
+}
+
+util::Result<std::string> Session::TraceJson() const {
+  if (!ran_) {
+    return util::Status::Invalid("Session::TraceJson called before Run()");
+  }
+  if (batch_.node_to_op.size() != graph_.size()) {
+    return util::Status::Invalid(
+        "Session::TraceJson: batch was never scheduled (Run() failed)");
+  }
+  obs::TraceExporter exporter;
+  const std::vector<QueryNode>& nodes = graph_.nodes();
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    const int q = nodes[n].query;
+    if (q < 0 || static_cast<size_t>(q) >= results_.size()) continue;
+    const sim::OpId op = batch_.node_to_op[n];
+    const Query& query = queries_[static_cast<size_t>(q)];
+    const QueryResult& result = results_[static_cast<size_t>(q)];
+    exporter.Annotate(op, "query", static_cast<int64_t>(q));
+    exporter.Annotate(op, "strategy",
+                      api::StrategyName(result.outcome.strategy));
+    exporter.Annotate(op, "device", static_cast<int64_t>(result.device));
+    exporter.Annotate(op, "bytes_moved",
+                      static_cast<int64_t>(query.build->bytes() +
+                                           query.probe->bytes()));
+    exporter.Annotate(op, "transfer_retries",
+                      static_cast<int64_t>(result.transfer_retries));
+    exporter.Annotate(op, "degradations",
+                      static_cast<int64_t>(result.degradations));
+  }
+  if (config_.profiler != nullptr) {
+    for (const obs::HostProfiler::Span& span : config_.profiler->spans()) {
+      exporter.AddHostSpan(span.name, span.start_s, span.duration_s);
+    }
+  }
+  return exporter.ToJson(batch_.timeline, batch_.schedule);
 }
 
 void Session::EmitSplitInGpu(int index, QueryGraph* graph, double build_part_s,

@@ -80,6 +80,11 @@
 #include "src/sim/topology.h"
 #include "src/util/status.h"
 
+namespace gjoin::obs {
+class HostProfiler;
+class MetricsRegistry;
+}  // namespace gjoin::obs
+
 namespace gjoin::exec {
 
 /// Identifier of a submitted query within its Session.
@@ -117,6 +122,17 @@ struct SessionConfig {
   /// query's error (and a degradation-ladder trigger under `recovery`)
   /// instead of silently running with a private, uncached copy.
   bool strict_cache_budget = false;
+
+  // ---- Observability hooks (not owned; both charge-free) ----------------
+  /// When set, Run() publishes session counters, the modeled per-query
+  /// latency histogram and per-device memory peaks into this registry.
+  /// Attaching a registry changes no charged stat, result or schedule
+  /// (pinned by tests/obs_session_test.cc).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When set, the planning / per-query execution / scheduling phases
+  /// record wall-clock spans here; TraceJson() emits them on the trace's
+  /// "host" track. Wall time never feeds charged stats.
+  obs::HostProfiler* profiler = nullptr;
 };
 
 /// \brief Outcome of one query of a batch.
@@ -182,6 +198,10 @@ struct SessionStats {
   sim::Schedule schedule;         ///< Merged schedule (utilization etc.).
   UploadCacheStats cache;         ///< Artifact-cache counters, summed
                                   ///< over the per-device caches.
+  /// Simulated device-memory high-water mark per session device
+  /// (sim::DeviceMemory::peak_used at the end of Run) — the peak
+  /// pressure behind the placement and degradation decisions.
+  std::vector<uint64_t> device_peak_bytes;
 };
 
 /// \brief A batch of join queries executed on one shared timeline over a
@@ -221,6 +241,15 @@ class Session {
 
   /// Batch statistics; valid after Run() succeeded.
   const SessionStats& stats() const { return stats_; }
+
+  /// Chrome trace-event JSON of the executed batch: the merged timeline
+  /// with every op annotated with its query's metadata (id, strategy,
+  /// device, input bytes, retries, degradations), plus the profiler's
+  /// host spans when one is attached. Valid after Run() succeeded; load
+  /// the result in Perfetto or chrome://tracing. Building the trace
+  /// reads the retained schedule only — it cannot change any stat.
+  [[nodiscard]]
+  util::Result<std::string> TraceJson() const;
 
  private:
   struct Query {
@@ -270,12 +299,20 @@ class Session {
                       double probe_part_s, double join_s, bool build_shared,
                       bool build_cached, bool probe_shared, bool probe_cached);
 
+  /// Publishes batch outcome counters / gauges / the latency histogram
+  /// into config_.metrics (no-op when detached).
+  void PublishMetrics();
+
   std::vector<sim::Device*> devices_;
   SessionConfig config_;
   std::vector<std::unique_ptr<UploadCache>> caches_;
   std::vector<Query> queries_;
   std::vector<QueryResult> results_;
   SessionStats stats_;
+  /// Merged batch DAG and its schedule, retained after Run() so
+  /// TraceJson() can serialize the executed timeline.
+  QueryGraph graph_;
+  ScheduledBatch batch_;
   bool ran_ = false;
   /// config_.recovery, or any session device with an armed FaultPlan.
   bool recovery_enabled_ = false;

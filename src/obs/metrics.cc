@@ -1,0 +1,247 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace gjoin::obs {
+
+namespace {
+
+/// Formats a sample value: integral values print without a decimal
+/// point (Prometheus clients accept both; goldens stay readable),
+/// everything else round-trips through %.17g.
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // Shortest representation that round-trips (so 2.5e-4 prints as
+  // "0.00025", not a 17-digit expansion).
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+/// Splits `name` into its base name and the `{...}` label suffix (empty
+/// when unlabeled).
+std::pair<std::string, std::string> SplitLabels(const std::string& name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, std::string()};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+/// Merges an `le` label into an existing label suffix:
+///   ""                  -> {le="0.1"}
+///   {tenant="a"}        -> {tenant="a",le="0.1"}
+std::string WithLeLabel(const std::string& labels, const std::string& le) {
+  std::string out;
+  if (labels.empty()) {
+    out = "{le=\"";
+  } else {
+    out = labels.substr(0, labels.size() - 1);  // drop the closing '}'
+    out += ",le=\"";
+  }
+  out += le;
+  out += "\"}";
+  return out;
+}
+
+void AppendHeader(const std::string& base, const std::string& type,
+                  const std::map<std::string, std::string>& help,
+                  std::string* out) {
+  const auto it = help.find(base);
+  if (it != help.end() && !it->second.empty()) {
+    out->append("# HELP ");
+    out->append(base);
+    out->push_back(' ');
+    out->append(it->second);
+    out->push_back('\n');
+  }
+  out->append("# TYPE ");
+  out->append(base);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+void Histogram::Observe(double value) {
+  // Prometheus `le` buckets are inclusive upper bounds: the first bound
+  // >= value takes the observation.
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  util::MutexLock lock(&mu_);
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value > max_) max_ = value;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  util::MutexLock lock(&mu_);
+  snap.counts = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.max = max_;
+  return snap;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b >= bounds.size()) return max;  // overflow bucket: tracked max
+    const double upper = bounds[b];
+    const double lower = b > 0 ? bounds[b - 1] : 0.0;
+    if (counts[b] == 0) return upper;
+    const double into =
+        rank - static_cast<double>(cumulative - counts[b]);
+    const double frac = into / static_cast<double>(counts[b]);
+    const double estimate = lower + (upper - lower) * frac;
+    // Never report past the tracked max (tight upper bound for the
+    // common single-bucket case).
+    return std::min(estimate, max);
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  util::MutexLock lock(&mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter()))
+             .first;
+    if (!help.empty()) help_.try_emplace(SplitLabels(name).first, help);
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  util::MutexLock lock(&mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge())).first;
+    if (!help.empty()) help_.try_emplace(SplitLabels(name).first, help);
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const std::string& help) {
+  util::MutexLock lock(&mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name,
+                      std::unique_ptr<Histogram>(
+                          new Histogram(std::move(bounds))))
+             .first;
+    if (!help.empty()) help_.try_emplace(SplitLabels(name).first, help);
+  }
+  return it->second.get();
+}
+
+std::vector<double> MetricsRegistry::LatencyBuckets() {
+  // Log-spaced (x10 per decade at 1/2.5/5 steps) from 100 µs to 300 s.
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+          0.1,  0.25,   0.5,  1.0,  2.5,    5.0,  10.0, 30.0,   60.0,
+          120.0, 300.0};
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  util::MutexLock lock(&mu_);
+  std::string out;
+  std::string last_base;
+
+  for (const auto& [name, counter] : counters_) {
+    const auto [base, labels] = SplitLabels(name);
+    if (base != last_base) {
+      AppendHeader(base, "counter", help_, &out);
+      last_base = base;
+    }
+    out.append(name);
+    out.push_back(' ');
+    out.append(FormatValue(static_cast<double>(counter->value())));
+    out.push_back('\n');
+  }
+
+  last_base.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    const auto [base, labels] = SplitLabels(name);
+    if (base != last_base) {
+      AppendHeader(base, "gauge", help_, &out);
+      last_base = base;
+    }
+    out.append(name);
+    out.push_back(' ');
+    out.append(FormatValue(gauge->value()));
+    out.push_back('\n');
+  }
+
+  last_base.clear();
+  for (const auto& [name, histogram] : histograms_) {
+    const auto [base, labels] = SplitLabels(name);
+    if (base != last_base) {
+      AppendHeader(base, "histogram", help_, &out);
+      last_base = base;
+    }
+    const Histogram::Snapshot snap = histogram->TakeSnapshot();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      cumulative += snap.counts[b];
+      const std::string le =
+          b < snap.bounds.size() ? FormatValue(snap.bounds[b]) : "+Inf";
+      out.append(base);
+      out.append("_bucket");
+      out.append(WithLeLabel(labels, le));
+      out.push_back(' ');
+      out.append(FormatValue(static_cast<double>(cumulative)));
+      out.push_back('\n');
+    }
+    out.append(base);
+    out.append("_sum");
+    out.append(labels);
+    out.push_back(' ');
+    out.append(FormatValue(snap.sum));
+    out.push_back('\n');
+    out.append(base);
+    out.append("_count");
+    out.append(labels);
+    out.push_back(' ');
+    out.append(FormatValue(static_cast<double>(snap.count)));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace gjoin::obs

@@ -1,0 +1,171 @@
+// Metrics registry: thread-safe counters, gauges, and fixed-bucket
+// histograms with Prometheus text exposition.
+//
+// This is the observability half of ROADMAP open item 1: the registry a
+// future `gjoind` daemon's /metrics endpoint will serve. exec::Session
+// and the figure benches publish into it today (queries completed /
+// failed / degraded per strategy, a modeled per-query latency histogram,
+// upload-cache traffic, per-device memory high-water marks), so the
+// counter names and exposition format are exercised long before a
+// network listener exists.
+//
+// Charge-free contract: the registry only *observes*. Nothing in this
+// layer may mutate a Timeline, a Schedule, or any charged KernelStats —
+// attaching or detaching a MetricsRegistry must leave every golden and
+// figure CSV byte-identical (enforced by tests/obs_session_test.cc and
+// the `obs-read-only` linter rule).
+//
+// Thread safety: every metric type is safe for concurrent writers.
+// Counters and gauges are lock-free atomics; histograms take a
+// util::Mutex per Observe (annotated for -Wthread-safety). Metric
+// pointers returned by the registry are stable for the registry's
+// lifetime.
+//
+// Naming follows the Prometheus conventions: snake_case, base-unit
+// suffixes (_seconds, _bytes), _total for counters, and an optional
+// single `{label="value"}` suffix baked into the metric name — e.g.
+// `gjoin_queries_completed_total{strategy="InGPU"}`. Exposition groups
+// same-base-name metrics under one # HELP / # TYPE header.
+
+#ifndef GJOIN_OBS_METRICS_H_
+#define GJOIN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace gjoin::obs {
+
+class MetricsRegistry;
+
+/// \brief Monotonically increasing event count (lock-free).
+class Counter {
+ public:
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Point-in-time double value (lock-free).
+class Gauge {
+ public:
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `v` if larger (high-water-mark publishing;
+  /// concurrent UpdateMax calls never lose the maximum).
+  void UpdateMax(double v) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (v > current && !value_.compare_exchange_weak(
+                              current, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  std::atomic<double> value_{0};
+};
+
+/// \brief Fixed-bucket histogram (Prometheus-style cumulative buckets).
+class Histogram {
+ public:
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// \brief Consistent copy of a histogram's state.
+  struct Snapshot {
+    std::vector<double> bounds;    ///< Upper bounds; +Inf bucket implied.
+    std::vector<uint64_t> counts;  ///< Per-bucket (bounds.size() + 1).
+    uint64_t count = 0;            ///< Total observations.
+    double sum = 0;                ///< Sum of observed values.
+    double max = 0;                ///< Largest observed value (0 if none).
+
+    /// Quantile estimate in [0, 1] by linear interpolation within the
+    /// target bucket (the histogram_quantile() estimator); the overflow
+    /// bucket reports the tracked max instead of extrapolating.
+    double Quantile(double q) const;
+  };
+
+  /// Records one observation (thread-safe).
+  void Observe(double value) GJOIN_EXCLUDES(mu_);
+
+  /// Consistent snapshot of buckets and aggregates.
+  Snapshot TakeSnapshot() const GJOIN_EXCLUDES(mu_);
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  const std::vector<double> bounds_;  ///< Sorted, strictly increasing.
+  mutable util::Mutex mu_;
+  std::vector<uint64_t> counts_ GJOIN_GUARDED_BY(mu_);
+  uint64_t count_ GJOIN_GUARDED_BY(mu_) = 0;
+  double sum_ GJOIN_GUARDED_BY(mu_) = 0;
+  double max_ GJOIN_GUARDED_BY(mu_) = 0;
+};
+
+/// \brief Owning, name-keyed collection of metrics.
+///
+/// Get* registers the metric on first use and returns the existing one
+/// afterwards (help text and histogram bounds are fixed by the first
+/// registration). Returned pointers stay valid for the registry's
+/// lifetime. Iteration order in PrometheusText() is the lexicographic
+/// name order — deterministic, so expositions golden-test cleanly.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "")
+      GJOIN_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const std::string& help = "")
+      GJOIN_EXCLUDES(mu_);
+  /// \param bounds upper bucket bounds, sorted strictly increasing (the
+  /// +Inf overflow bucket is implicit).
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const std::string& help = "") GJOIN_EXCLUDES(mu_);
+
+  /// Prometheus text exposition (version 0.0.4) of every metric.
+  std::string PrometheusText() const GJOIN_EXCLUDES(mu_);
+
+  /// Default modeled-latency buckets: log-spaced 100 µs .. ~5 min, the
+  /// range the figure sweeps actually produce.
+  static std::vector<double> LatencyBuckets();
+
+ private:
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GJOIN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GJOIN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GJOIN_GUARDED_BY(mu_);
+  /// Base metric name (label suffix stripped) -> # HELP text.
+  std::map<std::string, std::string> help_ GJOIN_GUARDED_BY(mu_);
+};
+
+}  // namespace gjoin::obs
+
+#endif  // GJOIN_OBS_METRICS_H_

@@ -1,0 +1,20 @@
+#include "src/obs/profile.h"
+
+namespace gjoin::obs {
+
+void HostProfiler::Record(std::string name, double start_s,
+                          double duration_s) {
+  Span span;
+  span.name = std::move(name);
+  span.start_s = start_s;
+  span.duration_s = duration_s;
+  util::MutexLock lock(&mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<HostProfiler::Span> HostProfiler::spans() const {
+  util::MutexLock lock(&mu_);
+  return spans_;
+}
+
+}  // namespace gjoin::obs

@@ -1,0 +1,92 @@
+// Host wall-clock profiling spans.
+//
+// The simulator charges *modeled* seconds; this records the *real*
+// seconds the host spent computing them (planning, functional kernel
+// execution, scheduling). Spans land on the trace's "host" process
+// track (obs::TraceExporter::AddHostSpan), so modeled and wall time
+// render side by side in Perfetto.
+//
+// Wall-clock reads live here — src/obs — deliberately: the charged
+// layers (src/sim, src/gpujoin, src/exec) ban ::now() by linter rule.
+// A null HostProfiler* makes every span a no-op, which keeps the
+// instrumented code paths charge-free and cheap when profiling is
+// detached.
+//
+// Thread safety: Record/spans are mutex-guarded; ProfileSpan objects
+// are used from one thread each, but many threads may record into one
+// profiler concurrently.
+
+#ifndef GJOIN_OBS_PROFILE_H_
+#define GJOIN_OBS_PROFILE_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace gjoin::obs {
+
+/// \brief Collects named wall-clock spans relative to its construction.
+class HostProfiler {
+ public:
+  /// \brief One recorded span.
+  struct Span {
+    std::string name;
+    double start_s = 0;     ///< Seconds since the profiler's epoch.
+    double duration_s = 0;  ///< Wall-clock seconds spent.
+  };
+
+  HostProfiler() : epoch_(std::chrono::steady_clock::now()) {}
+  HostProfiler(const HostProfiler&) = delete;
+  HostProfiler& operator=(const HostProfiler&) = delete;
+
+  /// Wall-clock seconds elapsed since construction.
+  double NowSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  /// Appends a span (thread-safe).
+  void Record(std::string name, double start_s, double duration_s)
+      GJOIN_EXCLUDES(mu_);
+
+  /// Copy of every recorded span, in record order.
+  std::vector<Span> spans() const GJOIN_EXCLUDES(mu_);
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable util::Mutex mu_;
+  std::vector<Span> spans_ GJOIN_GUARDED_BY(mu_);
+};
+
+/// \brief RAII span: records [construction, destruction) into a
+/// profiler. A null profiler makes both ends no-ops (charge-free
+/// detached mode).
+class ProfileSpan {
+ public:
+  ProfileSpan(HostProfiler* profiler, std::string name)
+      : profiler_(profiler), name_(std::move(name)) {
+    if (profiler_ != nullptr) start_s_ = profiler_->NowSeconds();
+  }
+  ~ProfileSpan() {
+    if (profiler_ != nullptr) {
+      profiler_->Record(std::move(name_), start_s_,
+                        profiler_->NowSeconds() - start_s_);
+    }
+  }
+  ProfileSpan(const ProfileSpan&) = delete;
+  ProfileSpan& operator=(const ProfileSpan&) = delete;
+
+ private:
+  HostProfiler* profiler_;
+  std::string name_;
+  double start_s_ = 0;
+};
+
+}  // namespace gjoin::obs
+
+#endif  // GJOIN_OBS_PROFILE_H_

@@ -1,0 +1,206 @@
+#include "src/obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gjoin::obs {
+
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest JSON number that round-trips the double.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+/// Seconds -> trace microseconds.
+double Micros(double seconds) { return seconds * 1e6; }
+
+constexpr int kModeledPid = 1;
+constexpr int kHostPid = 2;
+
+void AppendMetadata(int pid, int tid, const char* what,
+                    const std::string& value, std::string* out) {
+  out->append("{\"ph\":\"M\",\"pid\":");
+  out->append(std::to_string(pid));
+  out->append(",\"tid\":");
+  out->append(std::to_string(tid));
+  out->append(",\"name\":\"");
+  out->append(what);
+  out->append("\",\"args\":{\"name\":\"");
+  out->append(JsonEscape(value));
+  out->append("\"}},\n");
+}
+
+void AppendSortIndex(int pid, int tid, int sort_index, std::string* out) {
+  out->append("{\"ph\":\"M\",\"pid\":");
+  out->append(std::to_string(pid));
+  out->append(",\"tid\":");
+  out->append(std::to_string(tid));
+  out->append(",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":");
+  out->append(std::to_string(sort_index));
+  out->append("}},\n");
+}
+
+}  // namespace
+
+void TraceExporter::Annotate(sim::OpId op, const std::string& key,
+                             const std::string& value) {
+  std::string encoded = "\"";
+  encoded += JsonEscape(value);
+  encoded += '"';
+  args_[op][key] = std::move(encoded);
+}
+
+void TraceExporter::Annotate(sim::OpId op, const std::string& key,
+                             int64_t value) {
+  args_[op][key] = std::to_string(value);
+}
+
+void TraceExporter::AddHostSpan(const std::string& name, double start_s,
+                                double duration_s) {
+  HostSpan span;
+  span.name = name;
+  span.start_s = start_s;
+  span.duration_s = duration_s;
+  host_spans_.push_back(std::move(span));
+}
+
+util::Result<std::string> TraceExporter::ToJson(
+    const sim::Timeline& timeline, const sim::Schedule& schedule) const {
+  if (schedule.start_s.size() != timeline.size() ||
+      schedule.finish_s.size() != timeline.size()) {
+    return util::Status::Invalid(
+        "schedule does not match timeline: " +
+        std::to_string(schedule.start_s.size()) + " scheduled starts for " +
+        std::to_string(timeline.size()) + " ops");
+  }
+
+  std::string out = "{\"traceEvents\":[\n";
+
+  // Track metadata: process names, one named thread per lane.
+  AppendMetadata(kModeledPid, 0, "process_name", "modeled timeline", &out);
+  for (int lane = 0; lane < timeline.num_lanes(); ++lane) {
+    AppendMetadata(kModeledPid, lane, "thread_name", timeline.LaneName(lane),
+                   &out);
+    AppendSortIndex(kModeledPid, lane, lane, &out);
+  }
+  if (!host_spans_.empty()) {
+    AppendMetadata(kHostPid, 0, "process_name", "host wall clock", &out);
+    AppendMetadata(kHostPid, 0, "thread_name", "host", &out);
+  }
+
+  // One complete event per op, in op-id order.
+  const std::vector<sim::Op>& ops = timeline.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const sim::Op& op = ops[i];
+    out.append("{\"ph\":\"X\",\"pid\":");
+    out.append(std::to_string(kModeledPid));
+    out.append(",\"tid\":");
+    out.append(std::to_string(op.lane));
+    out.append(",\"ts\":");
+    out.append(JsonNumber(Micros(schedule.start_s[i])));
+    out.append(",\"dur\":");
+    out.append(JsonNumber(Micros(op.duration_s)));
+    out.append(",\"name\":\"");
+    out.append(JsonEscape(op.label.empty() ? "op" + std::to_string(i)
+                                           : op.label));
+    out.append("\",\"args\":{\"lane\":\"");
+    out.append(JsonEscape(timeline.LaneName(op.lane)));
+    out.push_back('"');
+    const auto annotations = args_.find(static_cast<sim::OpId>(i));
+    if (annotations != args_.end()) {
+      for (const auto& [key, encoded] : annotations->second) {
+        out.append(",\"");
+        out.append(JsonEscape(key));
+        out.append("\":");
+        out.append(encoded);
+      }
+    }
+    out.append("}},\n");
+  }
+
+  // Host wall-clock spans on their own process track.
+  for (const HostSpan& span : host_spans_) {
+    out.append("{\"ph\":\"X\",\"pid\":");
+    out.append(std::to_string(kHostPid));
+    out.append(",\"tid\":0,\"ts\":");
+    out.append(JsonNumber(Micros(span.start_s)));
+    out.append(",\"dur\":");
+    out.append(JsonNumber(Micros(span.duration_s)));
+    out.append(",\"name\":\"");
+    out.append(JsonEscape(span.name));
+    out.append("\",\"args\":{}},\n");
+  }
+
+  // Drop the trailing ",\n" of the last event.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out.append("],\"displayTimeUnit\":\"ms\"}\n");
+  return out;
+}
+
+util::Status TraceExporter::WriteFile(const sim::Timeline& timeline,
+                                      const sim::Schedule& schedule,
+                                      const std::string& path) const {
+  GJOIN_ASSIGN_OR_RETURN(std::string json, ToJson(timeline, schedule));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::ExecutionError("cannot open trace file " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != json.size() || close_err != 0) {
+    return util::Status::ExecutionError("short write to trace file " + path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace gjoin::obs

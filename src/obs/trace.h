@@ -1,0 +1,81 @@
+// Chrome trace-event export of modeled schedules.
+//
+// A sim::Timeline plus its evaluated sim::Schedule is exactly a trace:
+// every op has a lane (track), a start, and a duration. TraceExporter
+// serializes that to the Chrome trace-event JSON format, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing — one thread
+// track per lane (named via Timeline::LaneName), one complete event per
+// op carrying its label and caller-attached args (query id, strategy,
+// bytes moved, fault retries, ...). The paper's schedule-shaped claims
+// — "the transfer unit will always be busy" (IV-A), transfer/compute
+// overlap, multi-query interleaving — become visually checkable.
+//
+// Two trace processes:
+//   pid 1 "modeled"  the simulated timeline; ts/dur are modeled seconds
+//                    scaled to trace microseconds, tid = lane id.
+//   pid 2 "host"     optional wall-clock profiling spans (AddHostSpan /
+//                    obs::HostProfiler), so modeled and real time sit
+//                    side by side in one view.
+//
+// Charge-free contract: the exporter only reads the timeline and
+// schedule it is handed; it never mutates either (enforced by the
+// `obs-read-only` linter rule).
+
+#ifndef GJOIN_OBS_TRACE_H_
+#define GJOIN_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/timeline.h"
+#include "src/util/status.h"
+
+namespace gjoin::obs {
+
+/// \brief Serializes a Timeline + Schedule to Chrome trace-event JSON.
+class TraceExporter {
+ public:
+  /// Attaches a string arg to op `op`'s trace event. Re-annotating the
+  /// same key overwrites; args render sorted by key.
+  void Annotate(sim::OpId op, const std::string& key,
+                const std::string& value);
+
+  /// Attaches an integer arg to op `op`'s trace event.
+  void Annotate(sim::OpId op, const std::string& key, int64_t value);
+
+  /// Adds a wall-clock span to the "host" track (pid 2). Seconds are
+  /// relative to an arbitrary caller-chosen epoch.
+  void AddHostSpan(const std::string& name, double start_s,
+                   double duration_s);
+
+  /// Renders the trace. `schedule` must be `timeline`'s evaluation
+  /// (Invalid when the op counts disagree). Events appear in op-id
+  /// order — stable across runs, so traces golden-test cleanly.
+  [[nodiscard]]
+  util::Result<std::string> ToJson(const sim::Timeline& timeline,
+                                   const sim::Schedule& schedule) const;
+
+  /// ToJson + write to `path` (ExecutionError on I/O failure).
+  [[nodiscard]]
+  util::Status WriteFile(const sim::Timeline& timeline,
+                         const sim::Schedule& schedule,
+                         const std::string& path) const;
+
+ private:
+  struct HostSpan {
+    std::string name;
+    double start_s = 0;
+    double duration_s = 0;
+  };
+
+  /// op -> (key -> JSON-encoded value). std::map keeps arg order
+  /// deterministic.
+  std::map<sim::OpId, std::map<std::string, std::string>> args_;
+  std::vector<HostSpan> host_spans_;
+};
+
+}  // namespace gjoin::obs
+
+#endif  // GJOIN_OBS_TRACE_H_

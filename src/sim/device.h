@@ -86,6 +86,7 @@ class Device {
 
   /// Simulated device memory (capacity-accounted allocations).
   DeviceMemory& memory() { return memory_; }
+  const DeviceMemory& memory() const { return memory_; }
 
   /// Arms seeded fault injection on this device: allocation faults,
   /// transfer flakes and a planned death per `plan` (see sim/fault.h).

@@ -20,6 +20,12 @@ util::Status DeviceMemory::Reserve(size_t bytes, const char* site) {
     if (used_.compare_exchange_weak(current, current + bytes,
                                     std::memory_order_relaxed)) {
       total_reserved_.fetch_add(bytes, std::memory_order_relaxed);
+      const size_t now_used = current + bytes;
+      size_t peak = peak_used_.load(std::memory_order_relaxed);
+      while (now_used > peak &&
+             !peak_used_.compare_exchange_weak(peak, now_used,
+                                               std::memory_order_relaxed)) {
+      }
       return util::Status::OK();
     }
   }

@@ -104,6 +104,12 @@ class DeviceMemory {
 
   /// Bytes currently allocated.
   size_t used() const { return used_.load(std::memory_order_relaxed); }
+  /// High-water mark of `used()` over the device's lifetime: the peak
+  /// simulated memory pressure. Observed (never charged) — surfaced in
+  /// SessionStats::device_peak_bytes and the metrics registry.
+  size_t peak_used() const {
+    return peak_used_.load(std::memory_order_relaxed);
+  }
   /// Total capacity in bytes.
   size_t capacity() const { return capacity_; }
   /// Bytes still available.
@@ -130,6 +136,7 @@ class DeviceMemory {
 
   size_t capacity_;
   std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_used_{0};
   std::atomic<size_t> total_reserved_{0};
   FaultInjector* injector_ = nullptr;
 };

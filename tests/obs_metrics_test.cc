@@ -1,0 +1,192 @@
+// Tests for the obs metrics layer: counter/gauge/histogram semantics,
+// the Prometheus text exposition (golden — the format a future gjoind
+// /metrics endpoint serves must not drift), and exactness under
+// concurrent publishers (the TSan CI lane runs this with a wide pool).
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace gjoin::obs {
+namespace {
+
+TEST(CounterTest, IncrementsByOneAndByDelta) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("gjoin_events_total");
+  EXPECT_EQ(counter->value(), 0u);
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->value(), 42u);
+}
+
+TEST(GaugeTest, SetOverwritesAndUpdateMaxKeepsHighWaterMark) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("gjoin_pressure_bytes");
+  gauge->Set(10.0);
+  gauge->Set(3.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 3.0);
+  gauge->UpdateMax(7.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 7.0);
+  gauge->UpdateMax(2.0);  // below the mark: no effect
+  EXPECT_DOUBLE_EQ(gauge->value(), 7.0);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStablePointersPerName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("gjoin_a_total");
+  EXPECT_EQ(registry.GetCounter("gjoin_a_total"), a);
+  EXPECT_NE(registry.GetCounter("gjoin_b_total"), a);
+  Histogram* h = registry.GetHistogram("gjoin_h_seconds", {1.0, 2.0});
+  // Re-registration keeps the first bounds; same object comes back.
+  EXPECT_EQ(registry.GetHistogram("gjoin_h_seconds", {5.0}), h);
+}
+
+TEST(HistogramTest, BucketsCountAndAggregatesAreExact) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("gjoin_latency_seconds", {1.0, 2.0, 4.0});
+  histogram->Observe(0.5);   // <= 1
+  histogram->Observe(1.5);   // <= 2
+  histogram->Observe(2.0);   // <= 2 (bounds are inclusive upper bounds)
+  histogram->Observe(8.0);   // overflow
+  const Histogram::Snapshot snap = histogram->TakeSnapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 12.0);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("gjoin_q_seconds", {1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.5, 3.0, 8.0}) histogram->Observe(v);
+  const Histogram::Snapshot snap = histogram->TakeSnapshot();
+  // rank 1 lands at the top of the first bucket [0, 1].
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.25), 1.0);
+  // rank 2 lands at the top of the second bucket (1, 2].
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 2.0);
+  // The overflow bucket reports the tracked max, not an extrapolation.
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 8.0);
+}
+
+TEST(HistogramTest, QuantileIsClampedToObservedMax) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("gjoin_c_seconds", {1.0});
+  histogram->Observe(0.3);
+  const Histogram::Snapshot snap = histogram->TakeSnapshot();
+  // Interpolation inside [0, 1] would report 0.99; the single observed
+  // value bounds it.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 0.3);
+}
+
+TEST(HistogramTest, EmptySnapshotQuantileIsZero) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("gjoin_e_seconds", {1.0});
+  const Histogram::Snapshot snap = histogram->TakeSnapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_EQ(snap.count, 0u);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextMatchesGolden) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("gjoin_queries_completed_total{strategy=\"in-gpu\"}",
+                  "Queries completed.")
+      ->Increment(3);
+  registry.GetCounter("gjoin_queries_completed_total{strategy=\"cpu-only\"}")
+      ->Increment();
+  registry
+      .GetGauge("gjoin_batch_makespan_modeled_seconds", "Batch makespan.")
+      ->Set(0.25);
+  Histogram* histogram =
+      registry.GetHistogram("gjoin_latency_seconds", {0.1, 1.0}, "Latency.");
+  histogram->Observe(0.25);
+  histogram->Observe(0.5);
+  histogram->Observe(4.0);
+
+  // Deterministic layout: lexicographic name order, counters then gauges
+  // then histograms, one HELP/TYPE header per base name, cumulative
+  // buckets, integral values without a decimal point.
+  const std::string expected =
+      "# HELP gjoin_queries_completed_total Queries completed.\n"
+      "# TYPE gjoin_queries_completed_total counter\n"
+      "gjoin_queries_completed_total{strategy=\"cpu-only\"} 1\n"
+      "gjoin_queries_completed_total{strategy=\"in-gpu\"} 3\n"
+      "# HELP gjoin_batch_makespan_modeled_seconds Batch makespan.\n"
+      "# TYPE gjoin_batch_makespan_modeled_seconds gauge\n"
+      "gjoin_batch_makespan_modeled_seconds 0.25\n"
+      "# HELP gjoin_latency_seconds Latency.\n"
+      "# TYPE gjoin_latency_seconds histogram\n"
+      "gjoin_latency_seconds_bucket{le=\"0.1\"} 0\n"
+      "gjoin_latency_seconds_bucket{le=\"1\"} 2\n"
+      "gjoin_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "gjoin_latency_seconds_sum 4.75\n"
+      "gjoin_latency_seconds_count 3\n";
+  EXPECT_EQ(registry.PrometheusText(), expected);
+}
+
+TEST(MetricsRegistryTest, LabeledHistogramMergesLeIntoLabels) {
+  MetricsRegistry registry;
+  registry.GetHistogram("gjoin_t_seconds{tenant=\"a\"}", {1.0})->Observe(0.5);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("gjoin_t_seconds_bucket{tenant=\"a\",le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gjoin_t_seconds_count{tenant=\"a\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, LatencyBucketsAreSortedStrictlyIncreasing) {
+  const std::vector<double> bounds = MetricsRegistry::LatencyBuckets();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at " << i;
+  }
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-4);
+}
+
+TEST(MetricsRegistryTest, ConcurrentPublishersLoseNothing) {
+  MetricsRegistry registry;
+  util::ThreadPool pool(8);
+  constexpr size_t kTasks = 64;
+  constexpr int kPerTask = 500;
+  pool.ParallelFor(kTasks, [&registry](size_t task) {
+    for (int i = 0; i < kPerTask; ++i) {
+      // Resolve by name every time: registration races are part of the
+      // contract under test, not just the atomics.
+      registry.GetCounter("gjoin_concurrent_total")->Increment();
+      registry.GetGauge("gjoin_concurrent_peak")
+          ->UpdateMax(static_cast<double>(task));
+      registry.GetHistogram("gjoin_concurrent_seconds", {0.25, 0.75})
+          ->Observe(task % 2 == 0 ? 0.1 : 0.9);
+    }
+  });
+  EXPECT_EQ(registry.GetCounter("gjoin_concurrent_total")->value(),
+            static_cast<uint64_t>(kTasks) * kPerTask);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("gjoin_concurrent_peak")->value(),
+                   static_cast<double>(kTasks - 1));
+  const Histogram::Snapshot snap =
+      registry.GetHistogram("gjoin_concurrent_seconds", {0.25, 0.75})
+          ->TakeSnapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kTasks) * kPerTask);
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], kTasks / 2 * kPerTask);  // the 0.1 stream
+  EXPECT_EQ(snap.counts[1], 0u);
+  EXPECT_EQ(snap.counts[2], kTasks / 2 * kPerTask);  // the 0.9 stream
+  EXPECT_DOUBLE_EQ(snap.max, 0.9);
+}
+
+}  // namespace
+}  // namespace gjoin::obs

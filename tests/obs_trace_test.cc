@@ -1,0 +1,147 @@
+// Tests for the Chrome trace-event exporter. The full-document golden
+// pins the exact serialization: event order is op-id order and every
+// number prints shortest-round-trip, so a byte-level compare is stable —
+// any drift in the format (which Perfetto et al. must keep parsing)
+// shows up as a readable string diff.
+
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/timeline.h"
+
+namespace gjoin::obs {
+namespace {
+
+TEST(TraceExporterTest, FullDocumentMatchesGolden) {
+  sim::Timeline timeline;
+  const sim::LaneId peer = timeline.AddLane("peer");
+  // Durations in whole seconds: micros stay integral in the golden.
+  const sim::OpId upload =
+      timeline.Add(sim::Engine::kCopyH2D, 2.0, {}, "h2d:R");
+  const sim::OpId join =
+      timeline.Add(sim::Engine::kComputeGpu, 1.0, {upload}, "join \"p1\"");
+  timeline.Add(peer, 0.5, {join});  // empty label -> synthesized "op2"
+  const auto schedule = timeline.Run();
+  ASSERT_TRUE(schedule.ok());
+
+  TraceExporter exporter;
+  exporter.Annotate(upload, "query", static_cast<int64_t>(0));
+  exporter.Annotate(upload, "strategy", std::string("in-gpu"));
+  exporter.AddHostSpan("session:plan", 0.25, 0.125);
+
+  const auto json = exporter.ToJson(timeline, *schedule);
+  ASSERT_TRUE(json.ok()) << json.status();
+  const std::string expected = R"({"traceEvents":[
+{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"modeled timeline"}},
+{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"gpu"}},
+{"ph":"M","pid":1,"tid":0,"name":"thread_sort_index","args":{"sort_index":0}},
+{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"h2d"}},
+{"ph":"M","pid":1,"tid":1,"name":"thread_sort_index","args":{"sort_index":1}},
+{"ph":"M","pid":1,"tid":2,"name":"thread_name","args":{"name":"d2h"}},
+{"ph":"M","pid":1,"tid":2,"name":"thread_sort_index","args":{"sort_index":2}},
+{"ph":"M","pid":1,"tid":3,"name":"thread_name","args":{"name":"cpu"}},
+{"ph":"M","pid":1,"tid":3,"name":"thread_sort_index","args":{"sort_index":3}},
+{"ph":"M","pid":1,"tid":4,"name":"thread_name","args":{"name":"peer"}},
+{"ph":"M","pid":1,"tid":4,"name":"thread_sort_index","args":{"sort_index":4}},
+{"ph":"M","pid":2,"tid":0,"name":"process_name","args":{"name":"host wall clock"}},
+{"ph":"M","pid":2,"tid":0,"name":"thread_name","args":{"name":"host"}},
+{"ph":"X","pid":1,"tid":1,"ts":0,"dur":2000000,"name":"h2d:R","args":{"lane":"h2d","query":0,"strategy":"in-gpu"}},
+{"ph":"X","pid":1,"tid":0,"ts":2000000,"dur":1000000,"name":"join \"p1\"","args":{"lane":"gpu"}},
+{"ph":"X","pid":1,"tid":4,"ts":3000000,"dur":500000,"name":"op2","args":{"lane":"peer"}},
+{"ph":"X","pid":2,"tid":0,"ts":250000,"dur":125000,"name":"session:plan","args":{}}
+],"displayTimeUnit":"ms"}
+)";
+  EXPECT_EQ(*json, expected);
+}
+
+TEST(TraceExporterTest, NoHostSpansMeansNoHostProcess) {
+  sim::Timeline timeline;
+  timeline.Add(sim::Engine::kComputeGpu, 1.0, {}, "join");
+  const auto schedule = timeline.Run();
+  ASSERT_TRUE(schedule.ok());
+  const auto json = TraceExporter().ToJson(timeline, *schedule);
+  ASSERT_TRUE(json.ok()) << json.status();
+  EXPECT_EQ(json->find("host wall clock"), std::string::npos);
+  EXPECT_NE(json->find("modeled timeline"), std::string::npos);
+}
+
+TEST(TraceExporterTest, EmptyTimelineSerializesCleanly) {
+  sim::Timeline timeline;
+  const auto schedule = timeline.Run();
+  ASSERT_TRUE(schedule.ok());
+  const auto json = TraceExporter().ToJson(timeline, *schedule);
+  ASSERT_TRUE(json.ok()) << json.status();
+  // Metadata for the four engines only, valid JSON framing.
+  EXPECT_EQ(json->find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json->find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json->find("],\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+}
+
+TEST(TraceExporterTest, ReannotatingAKeyOverwrites) {
+  sim::Timeline timeline;
+  const sim::OpId op = timeline.Add(sim::Engine::kComputeGpu, 1.0, {}, "x");
+  const auto schedule = timeline.Run();
+  ASSERT_TRUE(schedule.ok());
+  TraceExporter exporter;
+  exporter.Annotate(op, "device", static_cast<int64_t>(1));
+  exporter.Annotate(op, "device", static_cast<int64_t>(3));
+  const auto json = exporter.ToJson(timeline, *schedule);
+  ASSERT_TRUE(json.ok()) << json.status();
+  EXPECT_NE(json->find("\"device\":3"), std::string::npos);
+  EXPECT_EQ(json->find("\"device\":1"), std::string::npos);
+}
+
+TEST(TraceExporterTest, MismatchedScheduleIsInvalid) {
+  sim::Timeline timeline;
+  timeline.Add(sim::Engine::kComputeGpu, 1.0, {}, "x");
+  const sim::Schedule empty;  // evaluation of some *other* timeline
+  const auto json = TraceExporter().ToJson(timeline, empty);
+  ASSERT_FALSE(json.ok());
+  EXPECT_EQ(json.status().code(), util::StatusCode::kInvalid);
+  EXPECT_NE(json.status().ToString().find("does not match"),
+            std::string::npos);
+}
+
+TEST(TraceExporterTest, WriteFileRoundTrips) {
+  sim::Timeline timeline;
+  timeline.Add(sim::Engine::kCopyH2D, 1.0, {}, "h2d:R");
+  const auto schedule = timeline.Run();
+  ASSERT_TRUE(schedule.ok());
+  TraceExporter exporter;
+  const auto expected = exporter.ToJson(timeline, *schedule);
+  ASSERT_TRUE(expected.ok());
+
+  const std::string path = ::testing::TempDir() + "gjoin_trace_test.json";
+  const auto written = exporter.WriteFile(timeline, *schedule, path);
+  ASSERT_TRUE(written.ok()) << written;
+
+  std::string read_back;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    read_back.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(read_back, *expected);
+}
+
+TEST(TraceExporterTest, WriteFileToBadPathIsExecutionError) {
+  sim::Timeline timeline;
+  const auto schedule = timeline.Run();
+  ASSERT_TRUE(schedule.ok());
+  const auto written = TraceExporter().WriteFile(
+      timeline, *schedule, "/nonexistent-dir/trace.json");
+  ASSERT_FALSE(written.ok());
+  EXPECT_EQ(written.code(), util::StatusCode::kExecutionError);
+}
+
+}  // namespace
+}  // namespace gjoin::obs

@@ -94,6 +94,33 @@ TEST(DeviceMemoryTest, FreeingAllowsReallocation) {
   }
 }
 
+TEST(DeviceMemoryTest, PeakTracksHighWaterMarkAcrossFrees) {
+  DeviceMemory mem(1 << 20);
+  EXPECT_EQ(mem.peak_used(), 0u);
+  {
+    auto a = std::move(mem.Allocate<uint32_t>(1000)).ValueOrDie();
+    auto b = std::move(mem.Allocate<uint32_t>(500)).ValueOrDie();
+    EXPECT_EQ(mem.peak_used(), 6000u);
+  }
+  // Everything freed: usage drops, the high-water mark stands.
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_EQ(mem.peak_used(), 6000u);
+  // A smaller later allocation does not move the peak...
+  auto c = std::move(mem.Allocate<uint32_t>(100)).ValueOrDie();
+  EXPECT_EQ(mem.peak_used(), 6000u);
+  // ...a larger concurrent footprint does.
+  auto d = std::move(mem.Allocate<uint32_t>(2000)).ValueOrDie();
+  EXPECT_EQ(mem.peak_used(), 8400u);
+}
+
+TEST(DeviceMemoryTest, FailedAllocationDoesNotRaisePeak) {
+  DeviceMemory mem(1024);
+  auto held = std::move(mem.Allocate<uint8_t>(512)).ValueOrDie();
+  auto fail = mem.Allocate<uint8_t>(4096);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(mem.peak_used(), 512u);
+}
+
 TEST(DeviceMemoryTest, GpuCapacityMatchesGtx1080) {
   // The default spec's 8 GB must be representable and enforced.
   DeviceMemory mem(8ull << 30);
