@@ -4,7 +4,9 @@
 #include <cstdlib>
 
 #include "src/util/bits.h"
+#include "src/util/hostalloc.h"
 #include "src/util/probe_pipeline.h"
+#include "src/util/scatter_buffer.h"
 
 namespace gjoin::bench {
 
@@ -35,9 +37,25 @@ BenchContext BenchContext::Create(int argc, char** argv, const char* figure,
                           util::DefaultProbePipelineDepth())));
   }
 
+  // Host-side scatter-buffer size for every functional partitioning
+  // scatter in this process (wall-clock only — emitted figures are
+  // identical at any size; 1 = scalar per-tuple scatter).
+  if (ctx.flags_.Has("scatter_buffer_tuples")) {
+    util::SetDefaultScatterBufferTuples(static_cast<int>(
+        ctx.flags_.GetInt("scatter_buffer_tuples",
+                          util::DefaultScatterBufferTuples())));
+  }
+
   // Chrome-trace dump directory (empty = tracing off). Purely
   // observational: emitted figure rows are identical either way.
   ctx.trace_dir_ = ctx.flags_.GetString("trace_dir", "");
+
+  // Keep big freed blocks resident for reuse across figure points
+  // (wall-clock only; emitted rows identical). --retain_freed_blocks=0
+  // opts out for runs that measure peak RSS.
+  if (ctx.flags_.GetBool("retain_freed_blocks", true)) {
+    util::TuneHostAllocatorForThroughput();
+  }
 
   // Scale the memory hierarchy and fixed overheads (see header).
   hw::HardwareSpec spec;

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/cpu/cpu_joins.h"
+#include "src/cpu/cpu_partition.h"
 #include "src/data/generator.h"
 #include "src/data/oracle.h"
 #include "src/exec/session.h"
@@ -114,6 +115,59 @@ void BM_CpuProJoinFunctional(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_CpuProJoinFunctional)->Arg(1 << 18);
+
+/// Host radix-scatter gate: wall-clock of CpuRadixPartition at 2^10
+/// fanout with the scalar tuple-at-a-time loop (scatter_buffer_tuples=1)
+/// vs the software-managed scatter buffers (process default). Buffered
+/// regressing toward Scalar means the cache-resident staging + burst
+/// flush stopped paying for itself. Output is identical either way
+/// (gpujoin_stat_invariance_test pins that); this pair gates only speed.
+/// Registered with MeasureProcessCPUTime: the partitioner runs on pool
+/// workers, which the default per-thread CPU clock cannot see.
+void RadixScatter(benchmark::State& state, int scatter_buffer_tuples) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto rel = data::MakeUniformProbe(n, n, 15);
+  const hw::CpuCostModel model{hw::CpuSpec{}};
+  cpu::CpuPartitionConfig cfg;
+  cfg.radix_bits = 10;
+  cfg.scatter_buffer_tuples = scatter_buffer_tuples;
+  for (auto _ : state) {
+    auto parts = util::ValueOrExit(
+        std::move(cpu::CpuRadixPartition(rel, cfg, model)), "micro_kernels");
+    benchmark::DoNotOptimize(parts.tuples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_RadixScatterScalar(benchmark::State& state) {
+  RadixScatter(state, /*scatter_buffer_tuples=*/1);
+}
+BENCHMARK(BM_RadixScatterScalar)->Arg(1 << 20)->MeasureProcessCPUTime();
+
+void BM_RadixScatterBuffered(benchmark::State& state) {
+  RadixScatter(state, /*scatter_buffer_tuples=*/0);
+}
+BENCHMARK(BM_RadixScatterBuffered)->Arg(1 << 20)->MeasureProcessCPUTime();
+
+void BM_StreamingGenerate(benchmark::State& state) {
+  // Chunk-at-a-time generation gate: the streamed unique-uniform
+  // generator (fig13's no-materialization input path) against a reusable
+  // chunk buffer. Tracks the permutation + per-chunk fill cost.
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    data::StreamUniqueUniform(n, seed++, 1 << 18,
+                              [&](const data::RelationView& chunk) {
+                                checksum += chunk.keys[0] + chunk.size;
+                              });
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StreamingGenerate)->Arg(1 << 20)->MeasureProcessCPUTime();
 
 /// Probe-pipeline gate inputs: large enough that the chained table
 /// (heads + packed nodes, ~384 MB at 16M build tuples) exceeds even a

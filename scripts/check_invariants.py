@@ -25,6 +25,14 @@ caught in review instead of as a golden diff three PRs later:
                     banned there) and must not include the charged
                     execution layers (src/exec/, src/gpujoin/) — those
                     layers publish *into* obs, never the reverse.
+  nontemporal-guard non-temporal store intrinsics (_mm_stream_*,
+                    _mm_sfence, __builtin_nontemporal_*) live only in
+                    src/util/scatter_buffer.h, behind its __SSE2__
+                    guards and the StreamCopyU32/StreamFence publication
+                    protocol. A bare intrinsic elsewhere skips both: a
+                    portability break on non-SSE2 hosts and a
+                    memory-ordering hazard under threads (NT stores are
+                    not ordered by plain loads/stores).
   nodiscard         function declarations in src/ headers returning
                     util::Status or util::Result<...> must be
                     [[nodiscard]]: a silently dropped Status is how a
@@ -91,6 +99,13 @@ OBS_MUTATOR_RE = re.compile(r"(\.|->)(Add|AddLane)\s*\(")
 # exec -> obs, so a reverse include would make observability load-bearing
 # (and a cycle).
 OBS_BANNED_INCLUDE_PREFIXES = ("src/exec/", "src/gpujoin/")
+
+# Non-temporal store intrinsics: allowed only in the one audited header
+# (its StreamCopyU32/StreamFence pair is the publication protocol every
+# caller inherits).
+NONTEMPORAL_RE = re.compile(
+    r"\b(_mm(256|512)?_stream_\w+|_mm_sfence|__builtin_nontemporal_\w+)\b")
+NONTEMPORAL_ALLOWED_FILE = "src/util/scatter_buffer.h"
 
 # A function declaration returning Status/Result. Google-style names:
 # functions are CamelCase, so an uppercase identifier after the return
@@ -199,6 +214,16 @@ def lint_file(root, path):
                     relpath, idx + 1, "timeline-mutation",
                     "computed Schedule lane fields may only be written "
                     "inside src/sim/"))
+
+        if relpath != NONTEMPORAL_ALLOWED_FILE and \
+                NONTEMPORAL_RE.search(code):
+            if not suppressed(lines, idx, "nontemporal-guard"):
+                findings.append(Finding(
+                    relpath, idx + 1, "nontemporal-guard",
+                    "non-temporal intrinsics live only in "
+                    "src/util/scatter_buffer.h (use StreamCopyU32 + "
+                    "StreamFence, which carry the __SSE2__ guard and "
+                    "the publication fence)"))
 
         if in_obs and OBS_MUTATOR_RE.search(code):
             if not suppressed(lines, idx, "obs-read-only"):
@@ -349,6 +374,28 @@ FIXTURES = {
         "  return (entropy() ^ static_cast<unsigned>(rand())) & 1u;\n"
         "}\n",
         {"nondeterminism"},
+    ),
+    "src/cpu/bad_inline_stream.cc": (
+        # A hand-rolled NT store outside the audited header: no __SSE2__
+        # guard and no inherited fence protocol.
+        "#include <emmintrin.h>\n"
+        "void Flush(__m128i v, __m128i* dst) {\n"
+        "  _mm_stream_si128(dst, v);\n"
+        "  _mm_sfence();\n"
+        "}\n",
+        {"nontemporal-guard"},
+    ),
+    "src/util/scatter_buffer.h": (
+        # The one audited home of the intrinsics; must lint clean.
+        "#if defined(__SSE2__)\n"
+        "#include <emmintrin.h>\n"
+        "#endif\n"
+        "inline void StreamFence() {\n"
+        "#if defined(__SSE2__)\n"
+        "  _mm_sfence();\n"
+        "#endif\n"
+        "}\n",
+        set(),
     ),
     "src/util/bad_missing_nodiscard.h": (
         "#include \"src/util/status.h\"\n"

@@ -116,6 +116,16 @@ struct JoinConfig {
   /// depth.
   int probe_pipeline_depth = 0;
 
+  /// Software-managed scatter-buffer size, in tuples per destination,
+  /// for the *functional* partitioning scatters (host and simulated GPU
+  /// passes): tuples stage in small per-partition buffers and flush to
+  /// their destination as line-granularity non-temporal bursts. 0 =
+  /// process default (util::DefaultScatterBufferTuples, initially 64),
+  /// 1 = scalar reference loop (today's per-tuple scatter). Purely a
+  /// host wall-clock knob: join results and charged KernelStats are
+  /// bit-identical at every size.
+  int scatter_buffer_tuples = 0;
+
   /// Devices a topology-run join may span (the Join(Topology*, ...)
   /// overload; clamped to the topology's device count). The default of 1
   /// keeps every join single-device — the paper's model — and the

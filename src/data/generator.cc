@@ -1,5 +1,8 @@
 #include "src/data/generator.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/util/rng.h"
 
 namespace gjoin::data {
@@ -28,6 +31,44 @@ Relation MakeUniformProbe(size_t n, size_t distinct, uint64_t seed) {
     rel.Append(key, static_cast<uint32_t>(i));
   }
   return rel;
+}
+
+void StreamUniqueUniform(size_t n, uint64_t seed, size_t chunk_tuples,
+                         const ChunkSink& sink) {
+  chunk_tuples = std::max<size_t>(chunk_tuples, 1);
+  // The shuffle needs the whole key column; payloads are synthesized
+  // per chunk (payload of position i is i, as in MakeUniqueUniform).
+  std::vector<uint32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<uint32_t>(i + 1);
+  util::Rng rng(seed);
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = rng.Uniform(i);
+    std::swap(keys[i - 1], keys[j]);
+  }
+  std::vector<uint32_t> payloads(std::min(n, chunk_tuples));
+  for (size_t begin = 0; begin < n; begin += chunk_tuples) {
+    const size_t end = std::min(n, begin + chunk_tuples);
+    for (size_t i = begin; i < end; ++i) {
+      payloads[i - begin] = static_cast<uint32_t>(i);
+    }
+    sink(RelationView{keys.data() + begin, payloads.data(), end - begin, 4});
+  }
+}
+
+void StreamUniformProbe(size_t n, size_t distinct, uint64_t seed,
+                        size_t chunk_tuples, const ChunkSink& sink) {
+  chunk_tuples = std::max<size_t>(chunk_tuples, 1);
+  util::Rng rng(seed);
+  std::vector<uint32_t> keys(std::min(n, chunk_tuples));
+  std::vector<uint32_t> payloads(std::min(n, chunk_tuples));
+  for (size_t begin = 0; begin < n; begin += chunk_tuples) {
+    const size_t end = std::min(n, begin + chunk_tuples);
+    for (size_t i = begin; i < end; ++i) {
+      keys[i - begin] = static_cast<uint32_t>(rng.Uniform(distinct) + 1);
+      payloads[i - begin] = static_cast<uint32_t>(i);
+    }
+    sink(RelationView{keys.data(), payloads.data(), end - begin, 4});
+  }
 }
 
 Relation MakeZipf(size_t n, size_t distinct, double skew, uint64_t seed,

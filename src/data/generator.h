@@ -8,6 +8,7 @@
 #define GJOIN_DATA_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "src/data/relation.h"
 
@@ -41,6 +42,25 @@ Relation MakeZipf(size_t n, size_t distinct, double skew, uint64_t seed,
 /// distinct values, so every key appears `avg_replicas` times on average
 /// (Fig. 19).
 Relation MakeReplicated(size_t n, double avg_replicas, uint64_t seed);
+
+/// \brief Consumer of a streamed relation: called with consecutive
+/// views covering tuples [0, n) in order. Views borrow generator-owned
+/// storage and are invalidated by the next call.
+using ChunkSink = std::function<void(const RelationView&)>;
+
+/// Streams the exact tuple sequence of MakeUniqueUniform(n, seed) in
+/// chunks of at most `chunk_tuples`. Only the shuffled key column is
+/// ever materialized (the payload of position i is just i, synthesized
+/// per chunk), so peak residency is n key bytes plus one chunk instead
+/// of a full relation — what lets fig13 run at --divisor=1.
+void StreamUniqueUniform(size_t n, uint64_t seed, size_t chunk_tuples,
+                         const ChunkSink& sink);
+
+/// Streams the exact tuple sequence of MakeUniformProbe(n, distinct,
+/// seed) in chunks of at most `chunk_tuples`. Every draw is
+/// independent, so peak residency is a single chunk.
+void StreamUniformProbe(size_t n, size_t distinct, uint64_t seed,
+                        size_t chunk_tuples, const ChunkSink& sink);
 
 }  // namespace gjoin::data
 

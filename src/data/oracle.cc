@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "src/util/bits.h"
 #include "src/util/flat_table.h"
 #include "src/util/thread_pool.h"
 
@@ -39,6 +40,59 @@ OracleResult JoinOracle(const Relation& build, const Relation& probe) {
 
   OracleResult result;
   ParallelProbe(table, probe, 0, probe.size(), &result);
+  return result;
+}
+
+OracleResult JoinOraclePartitioned(const std::vector<Relation>& build_parts,
+                                   const std::vector<Relation>& probe_parts,
+                                   int consumed_bits, int sub_bits) {
+  OracleResult result;
+  for (size_t p = 0; p < build_parts.size() && p < probe_parts.size(); ++p) {
+    const Relation& build = build_parts[p];
+    const Relation& probe = probe_parts[p];
+    if (build.empty() || probe.empty()) continue;
+
+    // Auto sub-split: halve the slice until the per-slice aggregation
+    // table (2x keys, 16B entries) stays around the LLC-friendly tens
+    // of megabytes instead of scaling with the partition.
+    int bits = sub_bits;
+    if (bits == 0) {
+      while ((build.size() >> bits) > (2u << 20)) ++bits;
+    }
+    if (bits == 0) {
+      util::FlatAggTable table(build.size());
+      table.AddAll(build.keys.data(), build.payloads.data(), build.size());
+      ParallelProbe(table, probe, 0, probe.size(), &result);
+      continue;
+    }
+
+    // Stable counting split of both sides on the next `bits` key bits;
+    // equal keys agree on every bit, so each sub-slice pair is again a
+    // self-contained co-partition.
+    const uint32_t subfanout = 1u << bits;
+    auto split = [&](const Relation& rel) {
+      std::vector<Relation> subs(subfanout);
+      std::vector<size_t> counts(subfanout, 0);
+      for (uint32_t k : rel.keys) {
+        ++counts[util::RadixOf(k, consumed_bits, bits)];
+      }
+      for (uint32_t s = 0; s < subfanout; ++s) subs[s].Reserve(counts[s]);
+      for (size_t i = 0; i < rel.size(); ++i) {
+        subs[util::RadixOf(rel.keys[i], consumed_bits, bits)].Append(
+            rel.keys[i], rel.payloads[i]);
+      }
+      return subs;
+    };
+    const std::vector<Relation> build_subs = split(build);
+    const std::vector<Relation> probe_subs = split(probe);
+    for (uint32_t s = 0; s < subfanout; ++s) {
+      if (build_subs[s].empty() || probe_subs[s].empty()) continue;
+      util::FlatAggTable table(build_subs[s].size());
+      table.AddAll(build_subs[s].keys.data(), build_subs[s].payloads.data(),
+                   build_subs[s].size());
+      ParallelProbe(table, probe_subs[s], 0, probe_subs[s].size(), &result);
+    }
+  }
   return result;
 }
 

@@ -29,6 +29,20 @@ struct OracleResult {
 /// their key columns.
 OracleResult JoinOracle(const Relation& build, const Relation& probe);
 
+/// Ground truth for co-partitioned inputs: `build_parts[i]` and
+/// `probe_parts[i]` must hold exactly the tuples whose keys share radix
+/// value i on the low `consumed_bits` key bits (cpu::CpuRadixPartition's
+/// layout), so every join match falls inside one pair. Equals
+/// JoinOracle(concat(build_parts), concat(probe_parts)) — matches and
+/// checksum are sums over key groups — while the aggregation table only
+/// ever spans one partition slice: each pair is further split on the
+/// next `sub_bits` key bits (0 = auto-size so a slice stays a few
+/// million keys) to keep peak residency flat. This is how fig13
+/// verifies 512M-tuple joins without a whole-domain table.
+OracleResult JoinOraclePartitioned(const std::vector<Relation>& build_parts,
+                                   const std::vector<Relation>& probe_parts,
+                                   int consumed_bits, int sub_bits = 0);
+
 /// Ground truth for several probe *prefixes* in one pass: result[i]
 /// equals JoinOracle(build, probe[0..prefixes[i])). `prefixes` must be
 /// ascending and bounded by probe.size(). Benches that sweep a

@@ -35,42 +35,39 @@ void ReplayRingEmits(OutputRing* out, std::vector<uint64_t>* pairs) {
   std::vector<uint64_t>().swap(*pairs);
 }
 
+int ResolveNumBlocks(const sim::Device& device,
+                     const NonPartitionedJoinConfig& config) {
+  return config.num_blocks != 0
+             ? config.num_blocks
+             : device.spec().gpu.num_sms * device.spec().gpu.blocks_per_sm;
+}
+
 }  // namespace
 
-util::Result<JoinStats> NonPartitionedJoin(
+util::Result<PreparedNonPartitionedBuild> PrepareNonPartitionedBuild(
     sim::Device* device, const DeviceRelation& build,
-    const DeviceRelation& probe, const NonPartitionedJoinConfig& config) {
+    const NonPartitionedJoinConfig& config) {
   const size_t n = build.size;
-  const int num_blocks =
-      config.num_blocks != 0
-          ? config.num_blocks
-          : device->spec().gpu.num_sms * device->spec().gpu.blocks_per_sm;
-  const int depth = util::ResolveProbePipelineDepth(config.probe_pipeline_depth);
+  const int num_blocks = ResolveNumBlocks(*device, config);
+  const int depth =
+      util::ResolveProbePipelineDepth(config.probe_pipeline_depth);
 
-  OutputRing ring;
-  OutputRing* out = nullptr;
-  if (config.output == OutputMode::kMaterialize) {
-    const size_t capacity =
-        config.out_capacity != 0 ? config.out_capacity
-                                 : std::max<size_t>(probe.size, 1);
-    GJOIN_ASSIGN_OR_RETURN(ring,
-                           OutputRing::Allocate(&device->memory(), capacity));
-    out = &ring;
-  }
-
-  JoinStats stats;
-  std::atomic<uint64_t> g_matches{0};
-  std::atomic<uint64_t> g_checksum{0};
+  PreparedNonPartitionedBuild prepared;
+  prepared.variant = config.variant;
+  prepared.build_tuples = n;
 
   if (config.variant == NonPartitionedVariant::kPerfectHash) {
     // ---- Perfect hash: dense payload array indexed by key ----
     uint32_t max_key = 0;
     for (size_t i = 0; i < n; ++i) max_key = std::max(max_key, build.keys[i]);
     GJOIN_ASSIGN_OR_RETURN(
-        sim::DeviceBuffer<uint32_t> dense,
+        prepared.dense,
         device->memory().Allocate<uint32_t>(static_cast<size_t>(max_key) + 1,
                                             "npj:perfect-table"));
-    const uint64_t table_bytes = (static_cast<uint64_t>(max_key) + 1) * 4;
+    prepared.max_key = max_key;
+    prepared.table_bytes = (static_cast<uint64_t>(max_key) + 1) * 4;
+    sim::DeviceBuffer<uint32_t>& dense = prepared.dense;
+    const uint64_t table_bytes = prepared.table_bytes;
 
     std::atomic<bool> duplicate{false};
     sim::LaunchConfig build_launch{"nonpartitioned_build_perfect", num_blocks,
@@ -106,18 +103,117 @@ util::Result<JoinStats> NonPartitionedJoin(
       return util::Status::ExecutionError(
           "perfect-hash join requires unique build keys");
     }
+    prepared.build_s = build_result.seconds;
+    return prepared;
+  }
 
+  // ---- Chaining: global table with offset-linked chains ----
+  const size_t slots = util::NextPowerOfTwo(
+      std::max<size_t>(n * config.slots_per_tuple, 64));
+  GJOIN_ASSIGN_OR_RETURN(prepared.heads,
+                         device->memory().Allocate<int32_t>(slots,
+                                                            "npj:heads"));
+  // Models the device-resident per-tuple next pointers (the real
+  // kernel's only per-tuple table storage — keys stay in the resident
+  // relation). The host-side walk goes through `nodes`, a packed
+  // 16-byte-per-tuple functional mirror (key, payload, next in one
+  // record) that costs one host cache miss per chain step instead of
+  // three; like the co-partition kernels' functional scratch indices
+  // it is not device-accounted.
+  GJOIN_ASSIGN_OR_RETURN(prepared.next,
+                         device->memory().Allocate<int32_t>(n, "npj:next"));
+  prepared.nodes.resize(n);
+  prepared.slots = slots;
+  prepared.table_bytes = slots * 4 + n * 12;  // heads + next + keys
+  sim::DeviceBuffer<int32_t>& heads = prepared.heads;
+  std::vector<PackedHashNode>& nodes = prepared.nodes;
+  const uint64_t table_bytes = prepared.table_bytes;
+  for (size_t s = 0; s < slots; ++s) heads[s] = -1;
+
+  sim::LaunchConfig build_launch{"nonpartitioned_build_chain", num_blocks,
+                                 config.threads_per_block, 1024};
+  GJOIN_ASSIGN_OR_RETURN(
+      sim::LaunchResult build_result,
+      device->Launch(
+          build_launch,
+          [&](sim::Block& block) {
+            auto [begin, end] = BlockRange(n, block.block_id(), num_blocks);
+            if (begin >= end) return;
+            block.ChargeCoalescedRead(8ull * (end - begin));
+            block.ChargeDeviceAtomic(end - begin);          // atomicExch
+            block.ChargeRandomAccess(end - begin, table_bytes);  // node
+            block.ChargeCycles((end - begin) * 4 / 32 + 1);
+          },
+          [&](sim::Block& block) {
+            // The front-insertions themselves run in the epilogue:
+            // concurrent inline inserts would order each slot's chain
+            // by host-worker interleaving, while ascending-block-id
+            // replay gives every chain the canonical (serialized
+            // block-order) structure the probe goldens pin down. The
+            // charges above are per-tuple counts and stay in the body.
+            auto [begin, end] = BlockRange(n, block.block_id(), num_blocks);
+            if (begin >= end) return;
+            util::GroupProbe<uint32_t>(
+                end - begin, depth,
+                [&](size_t i, uint32_t& slot) {
+                  slot = util::Mix32(build.keys[begin + i]) & (slots - 1);
+                  util::PrefetchWrite(&heads[slot]);
+                },
+                [&](size_t i, uint32_t& slot) {
+                  nodes[begin + i] = {build.keys[begin + i],
+                                      build.payloads[begin + i],
+                                      heads[slot], 0};
+                  heads[slot] = static_cast<int32_t>(begin + i);
+                });
+          }));
+  prepared.build_s = build_result.seconds;
+  return prepared;
+}
+
+util::Result<JoinStats> NonPartitionedJoinWithBuild(
+    sim::Device* device, const PreparedNonPartitionedBuild& build,
+    const DeviceRelation& probe, const NonPartitionedJoinConfig& config) {
+  if (config.variant != build.variant) {
+    return util::Status::Invalid(
+        "NonPartitionedJoinWithBuild: config.variant does not match the "
+        "prepared build");
+  }
+  const size_t n = build.build_tuples;
+  const int num_blocks = ResolveNumBlocks(*device, config);
+  const int depth =
+      util::ResolveProbePipelineDepth(config.probe_pipeline_depth);
+  const uint64_t table_bytes = build.table_bytes;
+
+  OutputRing ring;
+  OutputRing* out = nullptr;
+  if (config.output == OutputMode::kMaterialize) {
+    const size_t capacity =
+        config.out_capacity != 0 ? config.out_capacity
+                                 : std::max<size_t>(probe.size, 1);
+    GJOIN_ASSIGN_OR_RETURN(ring,
+                           OutputRing::Allocate(&device->memory(), capacity));
+    out = &ring;
+  }
+
+  JoinStats stats;
+  std::atomic<uint64_t> g_matches{0};
+  std::atomic<uint64_t> g_checksum{0};
+
+  std::vector<std::vector<uint64_t>> emit(
+      out != nullptr ? static_cast<size_t>(num_blocks) : 0);
+  std::function<void(sim::Block&)> epilogue;
+  if (out != nullptr) {
+    epilogue = [&](sim::Block& block) {
+      ReplayRingEmits(out, &emit[static_cast<size_t>(block.block_id())]);
+    };
+  }
+
+  if (config.variant == NonPartitionedVariant::kPerfectHash) {
+    const sim::DeviceBuffer<uint32_t>& dense = build.dense;
+    const uint32_t max_key = build.max_key;
     sim::LaunchConfig probe_launch{"nonpartitioned_probe_perfect", num_blocks,
                                    config.threads_per_block,
                                    out != nullptr ? size_t{8192} : size_t{1024}};
-    std::vector<std::vector<uint64_t>> emit(
-        out != nullptr ? static_cast<size_t>(num_blocks) : 0);
-    std::function<void(sim::Block&)> epilogue;
-    if (out != nullptr) {
-      epilogue = [&](sim::Block& block) {
-        ReplayRingEmits(out, &emit[static_cast<size_t>(block.block_id())]);
-      };
-    }
     GJOIN_ASSIGN_OR_RETURN(
         sim::LaunchResult probe_result,
         device->Launch(probe_launch, [&](sim::Block& block) {
@@ -175,75 +271,14 @@ util::Result<JoinStats> NonPartitionedJoin(
           g_checksum.fetch_add(checksum, std::memory_order_relaxed);
         },
         epilogue));
-    stats.join_s = build_result.seconds + probe_result.seconds;
+    stats.join_s = build.build_s + probe_result.seconds;
   } else {
-    // ---- Chaining: global table with offset-linked chains ----
-    const size_t slots = util::NextPowerOfTwo(
-        std::max<size_t>(n * config.slots_per_tuple, 64));
-    GJOIN_ASSIGN_OR_RETURN(sim::DeviceBuffer<int32_t> heads,
-                           device->memory().Allocate<int32_t>(slots,
-                                                              "npj:heads"));
-    // Models the device-resident per-tuple next pointers (the real
-    // kernel's only per-tuple table storage — keys stay in the resident
-    // relation). The host-side walk goes through `nodes`, a packed
-    // 16-byte-per-tuple functional mirror (key, payload, next in one
-    // record) that costs one host cache miss per chain step instead of
-    // three; like the co-partition kernels' functional scratch indices
-    // it is not device-accounted.
-    GJOIN_ASSIGN_OR_RETURN(sim::DeviceBuffer<int32_t> next,
-                           device->memory().Allocate<int32_t>(n, "npj:next"));
-    std::vector<PackedHashNode> nodes(n);
-    for (size_t s = 0; s < slots; ++s) heads[s] = -1;
-    const uint64_t table_bytes = slots * 4 + n * 12;  // heads + next + keys
-
-    sim::LaunchConfig build_launch{"nonpartitioned_build_chain", num_blocks,
-                                   config.threads_per_block, 1024};
-    GJOIN_ASSIGN_OR_RETURN(
-        sim::LaunchResult build_result,
-        device->Launch(
-            build_launch,
-            [&](sim::Block& block) {
-              auto [begin, end] = BlockRange(n, block.block_id(), num_blocks);
-              if (begin >= end) return;
-              block.ChargeCoalescedRead(8ull * (end - begin));
-              block.ChargeDeviceAtomic(end - begin);          // atomicExch
-              block.ChargeRandomAccess(end - begin, table_bytes);  // node
-              block.ChargeCycles((end - begin) * 4 / 32 + 1);
-            },
-            [&](sim::Block& block) {
-              // The front-insertions themselves run in the epilogue:
-              // concurrent inline inserts would order each slot's chain
-              // by host-worker interleaving, while ascending-block-id
-              // replay gives every chain the canonical (serialized
-              // block-order) structure the probe goldens pin down. The
-              // charges above are per-tuple counts and stay in the body.
-              auto [begin, end] = BlockRange(n, block.block_id(), num_blocks);
-              if (begin >= end) return;
-              util::GroupProbe<uint32_t>(
-                  end - begin, depth,
-                  [&](size_t i, uint32_t& slot) {
-                    slot = util::Mix32(build.keys[begin + i]) & (slots - 1);
-                    util::PrefetchWrite(&heads[slot]);
-                  },
-                  [&](size_t i, uint32_t& slot) {
-                    nodes[begin + i] = {build.keys[begin + i],
-                                        build.payloads[begin + i],
-                                        heads[slot], 0};
-                    heads[slot] = static_cast<int32_t>(begin + i);
-                  });
-            }));
-
+    const sim::DeviceBuffer<int32_t>& heads = build.heads;
+    const std::vector<PackedHashNode>& nodes = build.nodes;
+    const size_t slots = build.slots;
     sim::LaunchConfig probe_launch{"nonpartitioned_probe_chain", num_blocks,
                                    config.threads_per_block,
                                    out != nullptr ? size_t{8192} : size_t{1024}};
-    std::vector<std::vector<uint64_t>> emit(
-        out != nullptr ? static_cast<size_t>(num_blocks) : 0);
-    std::function<void(sim::Block&)> epilogue;
-    if (out != nullptr) {
-      epilogue = [&](sim::Block& block) {
-        ReplayRingEmits(out, &emit[static_cast<size_t>(block.block_id())]);
-      };
-    }
     GJOIN_ASSIGN_OR_RETURN(
         sim::LaunchResult probe_result,
         device->Launch(probe_launch, [&](sim::Block& block) {
@@ -353,13 +388,21 @@ util::Result<JoinStats> NonPartitionedJoin(
           g_checksum.fetch_add(checksum, std::memory_order_relaxed);
         },
         epilogue));
-    stats.join_s = build_result.seconds + probe_result.seconds;
+    stats.join_s = build.build_s + probe_result.seconds;
   }
 
   stats.matches = g_matches.load();
   stats.payload_sum = g_checksum.load();
   stats.seconds = stats.join_s;
   return stats;
+}
+
+util::Result<JoinStats> NonPartitionedJoin(
+    sim::Device* device, const DeviceRelation& build,
+    const DeviceRelation& probe, const NonPartitionedJoinConfig& config) {
+  GJOIN_ASSIGN_OR_RETURN(PreparedNonPartitionedBuild prepared,
+                         PrepareNonPartitionedBuild(device, build, config));
+  return NonPartitionedJoinWithBuild(device, prepared, probe, config);
 }
 
 }  // namespace gjoin::gpujoin

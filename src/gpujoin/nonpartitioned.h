@@ -13,9 +13,12 @@
 #ifndef GJOIN_GPUJOIN_NONPARTITIONED_H_
 #define GJOIN_GPUJOIN_NONPARTITIONED_H_
 
+#include <vector>
+
 #include "src/gpujoin/output_ring.h"
 #include "src/gpujoin/types.h"
 #include "src/sim/device.h"
+#include "src/util/probe_pipeline.h"
 #include "src/util/status.h"
 
 namespace gjoin::gpujoin {
@@ -51,6 +54,45 @@ struct NonPartitionedJoinConfig {
 [[nodiscard]]
 util::Result<JoinStats> NonPartitionedJoin(
     sim::Device* device, const DeviceRelation& build,
+    const DeviceRelation& probe, const NonPartitionedJoinConfig& config);
+
+/// \brief A build-side hash table constructed once and probed many
+/// times — the non-partitioned analogue of PreparedBuild (multi-query
+/// sharing: queries probing a common resident relation reuse its table
+/// instead of rebuilding it). Holds the state of whichever variant the
+/// prepare call's config selected; the other variant's members stay
+/// empty.
+struct PreparedNonPartitionedBuild {
+  NonPartitionedVariant variant = NonPartitionedVariant::kChaining;
+  size_t build_tuples = 0;
+  double build_s = 0;  ///< Modeled seconds of the build launch.
+  /// kPerfectHash: dense payload array indexed by key (0 marks empty).
+  sim::DeviceBuffer<uint32_t> dense;
+  uint32_t max_key = 0;
+  /// kChaining: slot heads, device-resident next pointers, and the
+  /// packed functional mirror of the chain nodes (see the build's
+  /// comment in nonpartitioned.cc).
+  sim::DeviceBuffer<int32_t> heads;
+  sim::DeviceBuffer<int32_t> next;
+  std::vector<util::PackedHashNode> nodes;
+  size_t slots = 0;
+  uint64_t table_bytes = 0;
+};
+
+/// Builds the hash table for `config.variant` exactly as
+/// NonPartitionedJoin would (same launch, same charges).
+[[nodiscard]]
+util::Result<PreparedNonPartitionedBuild> PrepareNonPartitionedBuild(
+    sim::Device* device, const DeviceRelation& build,
+    const NonPartitionedJoinConfig& config);
+
+/// Probes against a prepared table. Stats equal a fresh
+/// NonPartitionedJoin(device, build, probe, config) run's — the build
+/// is deterministic, so the prepared form's recorded seconds stand in
+/// for rebuilding. `config.variant` must match the prepared build's.
+[[nodiscard]]
+util::Result<JoinStats> NonPartitionedJoinWithBuild(
+    sim::Device* device, const PreparedNonPartitionedBuild& build,
     const DeviceRelation& probe, const NonPartitionedJoinConfig& config);
 
 }  // namespace gjoin::gpujoin

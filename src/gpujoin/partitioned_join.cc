@@ -8,6 +8,38 @@ namespace gjoin::gpujoin {
 
 namespace {
 
+/// Join phase shared by all entry points: optional output ring sized to
+/// the probe cardinality, the co-partition join pass, and the stats
+/// roll-up over both partitioned inputs.
+util::Result<JoinStats> JoinPartedPair(sim::Device* device,
+                                       const PartitionedRelation& r_parted,
+                                       const PartitionedRelation& s_parted,
+                                       const PartitionedJoinConfig& cfg,
+                                       size_t probe_size) {
+  OutputRing ring;
+  OutputRing* ring_ptr = nullptr;
+  if (cfg.join.output == OutputMode::kMaterialize) {
+    const size_t capacity =
+        cfg.out_capacity != 0 ? cfg.out_capacity
+                              : std::max<size_t>(probe_size, 1);
+    GJOIN_ASSIGN_OR_RETURN(ring,
+                           OutputRing::Allocate(&device->memory(), capacity));
+    ring_ptr = &ring;
+  }
+
+  GJOIN_ASSIGN_OR_RETURN(
+      CoPartitionJoinResult join_result,
+      JoinCoPartitions(device, r_parted, s_parted, cfg.join, ring_ptr));
+
+  JoinStats stats;
+  stats.matches = join_result.matches;
+  stats.payload_sum = join_result.payload_sum;
+  stats.partition_s = r_parted.seconds + s_parted.seconds;
+  stats.join_s = join_result.seconds;
+  stats.seconds = stats.partition_s + stats.join_s;
+  return stats;
+}
+
 /// Shared implementation; when `consume` is set, each input's columns
 /// are released right after that relation is partitioned.
 util::Result<JoinStats> PartitionedJoinImpl(sim::Device* device,
@@ -48,28 +80,7 @@ util::Result<JoinStats> PartitionedJoinImpl(sim::Device* device,
                            RadixPartition(device, probe, cfg.partition));
   }
 
-  OutputRing ring;
-  OutputRing* ring_ptr = nullptr;
-  if (cfg.join.output == OutputMode::kMaterialize) {
-    const size_t capacity =
-        cfg.out_capacity != 0 ? cfg.out_capacity
-                              : std::max<size_t>(probe_size, 1);
-    GJOIN_ASSIGN_OR_RETURN(ring,
-                           OutputRing::Allocate(&device->memory(), capacity));
-    ring_ptr = &ring;
-  }
-
-  GJOIN_ASSIGN_OR_RETURN(
-      CoPartitionJoinResult join_result,
-      JoinCoPartitions(device, r_parted, s_parted, cfg.join, ring_ptr));
-
-  JoinStats stats;
-  stats.matches = join_result.matches;
-  stats.payload_sum = join_result.payload_sum;
-  stats.partition_s = r_parted.seconds + s_parted.seconds;
-  stats.join_s = join_result.seconds;
-  stats.seconds = stats.partition_s + stats.join_s;
-  return stats;
+  return JoinPartedPair(device, r_parted, s_parted, cfg, probe_size);
 }
 
 }  // namespace
@@ -85,6 +96,30 @@ util::Result<JoinStats> PartitionedJoinConsuming(
     sim::Device* device, DeviceRelation build, DeviceRelation probe,
     const PartitionedJoinConfig& config) {
   return PartitionedJoinImpl(device, build, probe, &build, &probe, config);
+}
+
+util::Result<JoinStats> PartitionedJoinChunkedConsuming(
+    sim::Device* device, ChunkedDeviceInput build, ChunkedDeviceInput probe,
+    const PartitionedJoinConfig& config) {
+  PartitionedJoinConfig cfg = config;
+  const size_t probe_size = probe.size();
+  if (cfg.join.key_bits == 0) {
+    // Same derivation as the contiguous path: scan before the input is
+    // consumed (keys start at 1, so the empty floor is max_key = 1).
+    const uint32_t max_key = std::max<uint32_t>(1, build.MaxKey());
+    cfg.join.key_bits = util::Log2Floor(max_key) + 1;
+  }
+
+  GJOIN_ASSIGN_OR_RETURN(
+      PartitionedRelation r_parted,
+      RadixPartitionChunkedConsuming(device, std::move(build),
+                                     cfg.partition));
+  GJOIN_ASSIGN_OR_RETURN(
+      PartitionedRelation s_parted,
+      RadixPartitionChunkedConsuming(device, std::move(probe),
+                                     cfg.partition));
+
+  return JoinPartedPair(device, r_parted, s_parted, cfg, probe_size);
 }
 
 util::Result<PreparedBuild> PreparePartitionedBuild(
@@ -138,27 +173,7 @@ util::Result<JoinStats> PartitionedJoinFromHostWithBuild(
       PartitionedRelation s_parted,
       RadixPartitionSegmented(device, probe, cfg.partition, probe_segments));
 
-  OutputRing ring;
-  OutputRing* ring_ptr = nullptr;
-  if (cfg.join.output == OutputMode::kMaterialize) {
-    const size_t capacity = cfg.out_capacity != 0
-                                ? cfg.out_capacity
-                                : std::max<size_t>(probe.size(), 1);
-    GJOIN_ASSIGN_OR_RETURN(ring,
-                           OutputRing::Allocate(&device->memory(), capacity));
-    ring_ptr = &ring;
-  }
-  GJOIN_ASSIGN_OR_RETURN(
-      CoPartitionJoinResult join_result,
-      JoinCoPartitions(device, r_parted, s_parted, cfg.join, ring_ptr));
-
-  JoinStats stats;
-  stats.matches = join_result.matches;
-  stats.payload_sum = join_result.payload_sum;
-  stats.partition_s = r_parted.seconds + s_parted.seconds;
-  stats.join_s = join_result.seconds;
-  stats.seconds = stats.partition_s + stats.join_s;
-  return stats;
+  return JoinPartedPair(device, r_parted, s_parted, cfg, probe.size());
 }
 
 }  // namespace gjoin::gpujoin

@@ -42,6 +42,16 @@ util::Result<JoinStats> PartitionedJoinConsuming(
     sim::Device* device, DeviceRelation build, DeviceRelation probe,
     const PartitionedJoinConfig& config);
 
+/// Like PartitionedJoinConsuming over the concatenation of each input's
+/// chunks (see ChunkedDeviceInput): the first partitioning pass walks
+/// and releases the staged chunks in place, so peak residency never
+/// holds raw input plus partitioned form. Stats are bit-identical to
+/// PartitionedJoin over contiguous copies of the same tuples.
+[[nodiscard]]
+util::Result<JoinStats> PartitionedJoinChunkedConsuming(
+    sim::Device* device, ChunkedDeviceInput build, ChunkedDeviceInput probe,
+    const PartitionedJoinConfig& config);
+
 /// Highest-level in-GPU entry point: uploads from host relations,
 /// partitioning the probe side in segments (0 = auto-size so everything
 /// fits device memory) so large build:probe ratios remain feasible.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
 #include "src/util/bits.h"
+#include "src/util/scatter_buffer.h"
 
 namespace gjoin::gpujoin {
 
@@ -19,84 +21,43 @@ using util::CeilDiv;
 /// time" (Section III-A).
 constexpr double kCyclesPerElement = 12.0 / 32.0 + 1.6;
 
-/// Tuples radix-decoded and grouped per batch of the two-phase fast
-/// path: a tight histogram+scatter loop over the batch, then one bulk
-/// bucket append per touched partition. Sized to keep the batch scratch
-/// L1/L2-resident on the host.
-constexpr uint32_t kGroupBatch = 4096;
+/// Host-side scatter staging, one instance per worker thread. The
+/// simulated traffic is unchanged (ChargeStagePush/ChargeStageFlush per
+/// tuple, exactly what tuple-at-a-time staging charged); what changes is
+/// how the *host* moves the bytes: tuples accumulate in per-destination
+/// buffers and flush to bucket storage in line-granularity non-temporal
+/// bursts instead of one random 8-byte write each. Thread-local because
+/// block bodies cannot carry worker-private scratch through
+/// Device::Launch; flush counters are harvested per block via
+/// TakeCounters at body end.
+util::ScatterBuffers& ScatterScratch() {
+  thread_local util::ScatterBuffers buffers;
+  return buffers;
+}
 
-/// Host-side scratch that groups a run of tuples by radix digit with a
-/// stable counting sort. This is the functional stand-in for the warp
-/// shuffle into the shared-memory staging space: the simulated traffic
-/// is still charged against the block (ChargeStagePush/ChargeStageFlush
-/// per tuple, exactly what tuple-at-a-time staging charged), but the
-/// host executes one vectorizable pass instead of per-tuple pushes.
-class GroupScratch {
- public:
-  void Init(uint32_t fanout, uint32_t max_run) {
-    digits_.resize(max_run);
-    keys_.resize(max_run);
-    pays_.resize(max_run);
-    counts_.assign(fanout, 0);
-    starts_.assign(fanout, 0);
-    touched_.reserve(fanout);
+/// Sums per-block scatter counters into the config's registry (if any),
+/// following the PR-8 naming contract. Observes only: no charges.
+void PublishScatterCounters(
+    const RadixPartitionConfig& config,
+    const std::vector<util::ScatterBuffers::Counters>& per_block) {
+  if (config.metrics == nullptr) return;
+  uint64_t tuples = 0;
+  uint64_t flushes = 0;
+  for (const util::ScatterBuffers::Counters& c : per_block) {
+    tuples += c.flushed_tuples;
+    flushes += c.flushes;
   }
-
-  /// Groups tuples [0, n) by RadixOf(key, shift, bits), offset by an
-  /// optional per-tuple base digit (used to group one batch across
-  /// several parent partitions: base = parent-slot << bits). After the
-  /// call, `touched()` lists the non-empty digits in first-seen order
-  /// and `Run(d)` returns the digit's contiguous (keys, pays, count) run.
-  void Group(const uint32_t* keys, const uint32_t* pays, uint32_t n,
-             int shift, int bits, const uint32_t* bases = nullptr) {
-    touched_.clear();
-    for (uint32_t i = 0; i < n; ++i) {
-      const uint32_t d = (bases != nullptr ? bases[i] : 0u) |
-                         util::RadixOf(keys[i], shift, bits);
-      digits_[i] = d;
-      if (counts_[d]++ == 0) touched_.push_back(d);
-    }
-    uint32_t off = 0;
-    for (const uint32_t d : touched_) {
-      starts_[d] = off;
-      off += counts_[d];
-    }
-    for (uint32_t i = 0; i < n; ++i) {
-      const uint32_t dst = starts_[digits_[i]]++;
-      keys_[dst] = keys[i];
-      pays_[dst] = pays[i];
-    }
-    // starts_ now points one past each run; rewind for Run().
-    for (const uint32_t d : touched_) starts_[d] -= counts_[d];
-  }
-
-  const std::vector<uint32_t>& touched() const { return touched_; }
-
-  struct RunView {
-    const uint32_t* keys;
-    const uint32_t* pays;
-    uint32_t count;
-  };
-  RunView Run(uint32_t d) const {
-    return {keys_.data() + starts_[d], pays_.data() + starts_[d], counts_[d]};
-  }
-
-  /// Tuples grouped under digit d by the last Group call.
-  uint32_t CountOf(uint32_t d) const { return counts_[d]; }
-
-  /// Resets the counters touched by the last Group (call once per batch
-  /// after consuming the runs).
-  void ResetCounts() {
-    for (const uint32_t d : touched_) counts_[d] = 0;
-  }
-
- private:
-  std::vector<uint32_t> digits_;
-  std::vector<uint32_t> keys_, pays_;
-  std::vector<uint32_t> counts_;
-  std::vector<uint32_t> starts_;
-  std::vector<uint32_t> touched_;
-};
+  config.metrics
+      ->GetCounter("gjoin_partition_scatter_bytes_total",
+                   "Bytes moved through the software-managed scatter "
+                   "buffers by host partitioning (8 per tuple).")
+      ->Increment(tuples * 8);
+  config.metrics
+      ->GetCounter("gjoin_partition_scatter_flushes_total",
+                   "Scatter-buffer flushes (full-buffer bursts plus "
+                   "end-of-scope drains) by host partitioning.")
+      ->Increment(flushes);
+}
 
 /// A chain segment recorded during a block's body and spliced onto the
 /// global partition lists in the launch epilogue. Deferring the splice
@@ -117,8 +78,8 @@ struct BlockLocalChains {
   uint32_t fanout = 0;
   uint32_t stage_elems = 0;
   // Shared-memory arrays (allocated from the block's scratchpad). The
-  // staging arrays model the shuffle space: the fast path groups tuples
-  // host-side (GroupScratch) but the simulated footprint and traffic are
+  // staging arrays model the shuffle space: the host stages tuples in
+  // ScatterBuffers instead, but the simulated footprint and traffic are
   // unchanged.
   int32_t* cur_bucket = nullptr;
   uint32_t* cur_fill = nullptr;
@@ -163,13 +124,15 @@ struct BlockLocalChains {
     block->ChargeShared(static_cast<uint64_t>(fanout) * 20);
   }
 
-  /// Appends a pre-grouped run of `count` tuples of local partition `lp`
+  /// Appends a staged run of `count` tuples of local partition `lp`
   /// to the block's current bucket chain, charging exactly what `count`
   /// per-tuple stage pushes plus their flushes charged: 8B staged + one
   /// stage-slot atomic per tuple, then 8B shared re-read + 8B scatter
   /// write per tuple, and one device atomic per bucket drawn from the
   /// pool. Bucket boundaries are identical to the tuple-at-a-time path
-  /// because chains fill each bucket to capacity before allocating.
+  /// because chains fill each bucket to capacity before allocating. The
+  /// host copy is non-temporal (the caller's block body / epilogue ends
+  /// with StreamFence before other threads may read the pool).
   void AppendRun(sim::Block* block, BucketChains* out, uint32_t lp,
                  const uint32_t* keys, const uint32_t* pays, uint32_t count) {
     block->ChargeStagePush(count);
@@ -201,8 +164,8 @@ struct BlockLocalChains {
       const uint32_t batch = std::min(room, count - done);
       const size_t dst =
           static_cast<size_t>(cur_bucket[lp]) * cap + cur_fill[lp];
-      std::copy_n(keys + done, batch, out->keys() + dst);
-      std::copy_n(pays + done, batch, out->payloads() + dst);
+      util::StreamCopyU32(keys + done, out->keys() + dst, batch);
+      util::StreamCopyU32(pays + done, out->payloads() + dst, batch);
       cur_fill[lp] += batch;
       done += batch;
     }
@@ -245,19 +208,30 @@ size_t BlockLocalSharedBytes(uint32_t fanout, uint32_t stage_elems) {
 /// thread to N. Order-independent charges (stage flushes and their
 /// metadata atomics) are paid at record time, where the kernel performs
 /// them.
+///
+/// With a single host worker the record/replay detour is pure overhead:
+/// ParallelForRanges hands all blocks to one worker in ascending id, so
+/// inline appends already happen in canonical block order. `direct`
+/// mode packs straight into the chains from the block body — same run
+/// sequence per child, same packing, same per-block charges (the
+/// bucket-allocation atomic moves from epilogue to body but stays on
+/// the same block's stats) — and skips a full buffered copy of every
+/// tuple. Byte-identity between the two modes is pinned by the
+/// 1-vs-8-thread cases of gpujoin_stat_invariance_test.
 class GlobalChains {
  public:
-  explicit GlobalChains(BucketChains* out, int num_blocks)
+  GlobalChains(BucketChains* out, int num_blocks, bool direct)
       : out_(out),
+        direct_(direct),
         cur_(out->num_partitions(), BucketChains::kNull),
-        per_block_(static_cast<size_t>(num_blocks)) {}
+        per_block_(direct ? 0 : static_cast<size_t>(num_blocks)) {}
 
-  /// Appends a pre-grouped run of `count` staged tuples to child
-  /// partition `child`. `flush_events` is how many stage flushes the
-  /// tuple-at-a-time path would have performed while staging this run
-  /// (each flush pays one device atomic plus one uncoalesced metadata
-  /// transaction); the caller tracks stage occupancy and passes the
-  /// exact count, keeping charged stats bit-identical.
+  /// Appends a staged run of `count` tuples to child partition `child`.
+  /// `flush_events` is how many stage flushes the tuple-at-a-time path
+  /// would have performed while staging this run (each flush pays one
+  /// device atomic plus one uncoalesced metadata transaction); the
+  /// caller tracks stage occupancy and passes the exact count, keeping
+  /// charged stats bit-identical.
   void AppendBulk(sim::Block* block, uint32_t child, const uint32_t* keys,
                   const uint32_t* pays, uint32_t count,
                   uint32_t flush_events) {
@@ -266,6 +240,10 @@ class GlobalChains {
     block->ChargeRandomAccess(flush_events, 16ull * out_->num_partitions());
     block->ChargeStageFlush(count);
     if (count == 0) return;
+    if (direct_) {
+      Pack(block, child, keys, pays, count);
+      return;
+    }
     PerBlock& pb = per_block_[static_cast<size_t>(block->block_id())];
     pb.runs.push_back({child, count});
     pb.keys.insert(pb.keys.end(), keys, keys + count);
@@ -275,45 +253,62 @@ class GlobalChains {
   /// Epilogue half: drains this block's recorded runs onto the shared
   /// chains, charging it one device atomic per bucket it draws from the
   /// pool — the same allocations it would have performed inline under
-  /// serialized block-order execution.
+  /// serialized block-order execution. No-op in direct mode (everything
+  /// was packed in the body).
   void Replay(sim::Block* block) {
+    if (direct_) return;
     PerBlock& pb = per_block_[static_cast<size_t>(block->block_id())];
-    const uint32_t cap = out_->bucket_capacity();
     size_t off = 0;
     for (const Run& run : pb.runs) {
-      uint32_t done = 0;
-      while (done < run.count) {
-        int32_t b = cur_[run.child];
-        if (b == BucketChains::kNull || out_->fill()[b] == cap) {
-          const int32_t nb = out_->AllocateBucket();
-          block->ChargeDeviceAtomic(1);
-          if (nb == BucketChains::kNull) {
-            // Pool exhausted: an internal sizing bug; make it loud.
-            std::fprintf(stderr, "gjoin: bucket pool exhausted\n");
-            std::abort();
-          }
-          // Prepend to the child's list (blocks replay in ascending id,
-          // so the order is canonical).
-          out_->next()[nb] = out_->heads()[run.child];
-          out_->heads()[run.child] = nb;
-          cur_[run.child] = nb;
-          b = nb;
-        }
-        const uint32_t room = cap - out_->fill()[b];
-        const uint32_t batch = std::min(room, run.count - done);
-        const size_t dst = static_cast<size_t>(b) * cap + out_->fill()[b];
-        std::copy_n(pb.keys.data() + off + done, batch, out_->keys() + dst);
-        std::copy_n(pb.pays.data() + off + done, batch,
-                    out_->payloads() + dst);
-        out_->fill()[b] += batch;
-        done += batch;
-      }
+      PackFrom(block, run.child, pb.keys.data() + off, pb.pays.data() + off,
+               run.count);
       off += run.count;
     }
     pb = PerBlock();  // the buffered copy is dead weight from here
+    util::StreamFence();
   }
 
  private:
+  void Pack(sim::Block* block, uint32_t child, const uint32_t* keys,
+            const uint32_t* pays, uint32_t count) {
+    PackFrom(block, child, keys, pays, count);
+  }
+
+  /// Packs one run into `child`'s chain: fills the child's current
+  /// bucket to capacity before drawing a fresh one (one device atomic
+  /// each), prepending new buckets to the child's list.
+  void PackFrom(sim::Block* block, uint32_t child, const uint32_t* keys,
+                const uint32_t* pays, uint32_t count) {
+    const uint32_t cap = out_->bucket_capacity();
+    uint32_t done = 0;
+    while (done < count) {
+      int32_t b = cur_[child];
+      if (b == BucketChains::kNull || out_->fill()[b] == cap) {
+        const int32_t nb = out_->AllocateBucket();
+        block->ChargeDeviceAtomic(1);
+        if (nb == BucketChains::kNull) {
+          // Pool exhausted: an internal sizing bug; make it loud.
+          std::fprintf(stderr, "gjoin: bucket pool exhausted\n");
+          std::abort();
+        }
+        // Prepend to the child's list (runs arrive in ascending block
+        // order — inline in direct mode, via replay otherwise — so the
+        // order is canonical).
+        out_->next()[nb] = out_->heads()[child];
+        out_->heads()[child] = nb;
+        cur_[child] = nb;
+        b = nb;
+      }
+      const uint32_t room = cap - out_->fill()[b];
+      const uint32_t batch = std::min(room, count - done);
+      const size_t dst = static_cast<size_t>(b) * cap + out_->fill()[b];
+      util::StreamCopyU32(keys + done, out_->keys() + dst, batch);
+      util::StreamCopyU32(pays + done, out_->payloads() + dst, batch);
+      out_->fill()[b] += batch;
+      done += batch;
+    }
+  }
+
   struct Run {
     uint32_t child;
     uint32_t count;
@@ -323,15 +318,15 @@ class GlobalChains {
     std::vector<uint32_t> keys, pays;
   };
   BucketChains* out_;
+  bool direct_ = false;
   std::vector<int32_t> cur_;
   std::vector<PerBlock> per_block_;
 };
 
 /// Block-local staging only (no chain metadata) for producers that feed
-/// GlobalChains. The fast path appends whole pre-grouped runs; the
-/// stage-fill counters are kept exact so the number of simulated stage
-/// flushes (and their metadata charges) matches tuple-at-a-time
-/// execution bit for bit.
+/// GlobalChains. The host appends staged runs; the stage-fill counters
+/// are kept exact so the number of simulated stage flushes (and their
+/// metadata charges) matches tuple-at-a-time execution bit for bit.
 struct StageOnly {
   uint32_t fanout = 0;
   uint32_t stage_elems = 0;
@@ -389,8 +384,121 @@ uint32_t AutoBucketCapacity(uint64_t tuples, uint32_t partitions) {
   return static_cast<uint32_t>(util::NextPowerOfTwo(clamped));
 }
 
-util::Result<PartitionedRelation> RadixPartitionFirstPass(
-    sim::Device* device, const DeviceRelation& input, int shift, int bits,
+void ChunkedDeviceInput::Add(std::vector<uint32_t> keys,
+                             std::vector<uint32_t> payloads) {
+  if (keys.empty()) return;
+  Chunk chunk;
+  chunk.begin = total_;
+  total_ += keys.size();
+  chunk.keys = std::move(keys);
+  chunk.payloads = std::move(payloads);
+  chunks_.push_back(std::move(chunk));
+}
+
+uint32_t ChunkedDeviceInput::MaxKey() const {
+  uint32_t max_key = 0;
+  for (const Chunk& chunk : chunks_) {
+    for (uint32_t k : chunk.keys) max_key = std::max(max_key, k);
+  }
+  return max_key;
+}
+
+void ChunkedDeviceInput::Cursor::Advance() {
+  // Only reached when the owning block has more tuples, so the next
+  // chunk exists and is still alive (it intersects the block's range).
+  ++chunk_;
+  const Chunk& chunk = in_->chunks_[chunk_];
+  k_ = chunk.keys.data();
+  p_ = chunk.payloads.data();
+  k_end_ = k_ + chunk.keys.size();
+}
+
+ChunkedDeviceInput::Cursor ChunkedDeviceInput::At(size_t i) const {
+  Cursor cur;
+  cur.in_ = this;
+  // Last chunk whose begin is <= i.
+  size_t lo = 0, hi = chunks_.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    (chunks_[mid].begin <= i ? lo : hi) = mid;
+  }
+  cur.chunk_ = lo;
+  const Chunk& chunk = chunks_[lo];
+  cur.k_ = chunk.keys.data() + (i - chunk.begin);
+  cur.p_ = chunk.payloads.data() + (i - chunk.begin);
+  cur.k_end_ = chunk.keys.data() + chunk.keys.size();
+  return cur;
+}
+
+void ChunkedDeviceInput::BeginConsume(size_t block_tuples) {
+  block_tuples_ = block_tuples;
+  readers_ = std::make_unique<std::atomic<int>[]>(chunks_.size());
+  if (block_tuples == 0) return;
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    const size_t lo = chunks_[c].begin;
+    const size_t hi = ChunkEnd(c);
+    // The blocks reading [lo, hi) are a contiguous, nonempty id range.
+    const size_t b0 = lo / block_tuples;
+    const size_t b1 = (hi - 1) / block_tuples;
+    readers_[c].store(static_cast<int>(b1 - b0 + 1),
+                      std::memory_order_relaxed);
+  }
+}
+
+void ChunkedDeviceInput::BlockDone(size_t begin, size_t end) {
+  if (end <= begin || readers_ == nullptr) return;
+  // First chunk containing `begin` (coverage is gap-free), then every
+  // chunk starting before `end`.
+  size_t lo = 0, hi = chunks_.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    (chunks_[mid].begin <= begin ? lo : hi) = mid;
+  }
+  for (size_t c = lo; c < chunks_.size() && chunks_[c].begin < end; ++c) {
+    if (readers_[c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last reader: release the chunk's columns.
+      std::vector<uint32_t>().swap(chunks_[c].keys);
+      std::vector<uint32_t>().swap(chunks_[c].payloads);
+    }
+  }
+}
+
+namespace {
+
+/// Pass-1 input adapters: the launch body walks its tuple range through
+/// a source-provided cursor, so the contiguous DeviceRelation path and
+/// the chunk-consuming path share one kernel. Every charge is driven by
+/// tuple values and counts alone, never by input layout, which is what
+/// keeps the two paths' stats bit-identical.
+struct FlatPassSource {
+  const uint32_t* keys;
+  const uint32_t* pays;
+  struct Cursor {
+    const uint32_t* k;
+    const uint32_t* p;
+    uint32_t key() const { return *k; }
+    uint32_t pay() const { return *p; }
+    void Next() {
+      ++k;
+      ++p;
+    }
+  };
+  Cursor At(size_t i) const { return {keys + i, pays + i}; }
+  void BeginConsume(size_t /*block_tuples*/) {}
+  void BlockDone(size_t /*begin*/, size_t /*end*/) {}
+};
+
+struct ChunkedPassSource {
+  ChunkedDeviceInput* input;
+  using Cursor = ChunkedDeviceInput::Cursor;
+  Cursor At(size_t i) const { return input->At(i); }
+  void BeginConsume(size_t block_tuples) { input->BeginConsume(block_tuples); }
+  void BlockDone(size_t begin, size_t end) { input->BlockDone(begin, end); }
+};
+
+template <typename Source>
+util::Result<PartitionedRelation> FirstPassOverSource(
+    sim::Device* device, Source src, size_t input_size, int shift, int bits,
     const RadixPartitionConfig& config, PartitionedRelation* append_to) {
   if (bits <= 0 || bits > 12) {
     return util::Status::Invalid("first pass bits out of range: " +
@@ -409,11 +517,13 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
   const uint32_t capacity =
       config.bucket_capacity != 0
           ? config.bucket_capacity
-          : AutoBucketCapacity(input.size, config.num_partitions());
+          : AutoBucketCapacity(input_size, config.num_partitions());
   const int num_blocks =
       config.num_blocks != 0
           ? config.num_blocks
           : device->spec().gpu.num_sms * device->spec().gpu.blocks_per_sm;
+  const int scatter_tuples =
+      util::ResolveScatterBufferTuples(config.scatter_buffer_tuples);
 
   PartitionedRelation out;
   if (append_to != nullptr) {
@@ -425,7 +535,7 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
     out = std::move(*append_to);
   } else {
     const uint32_t pool_buckets =
-        static_cast<uint32_t>(CeilDiv(input.size, capacity)) +
+        static_cast<uint32_t>(CeilDiv(input_size, capacity)) +
         static_cast<uint32_t>(num_blocks) * fanout + fanout;
     GJOIN_ASSIGN_OR_RETURN(
         BucketChains chains,
@@ -437,10 +547,9 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
   }
   BucketChains& chains = out.chains;
 
-  const size_t n = input.size;
+  const size_t n = input_size;
   const size_t chunk = num_blocks > 0 ? CeilDiv(n, num_blocks) : n;
-  const uint32_t* keys = input.keys.data();
-  const uint32_t* pays = input.payloads.data();
+  src.BeginConsume(chunk);
 
   sim::LaunchConfig launch;
   launch.name = "radix_partition_pass1";
@@ -449,6 +558,8 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
   launch.shared_mem_bytes = device->spec().gpu.shared_mem_per_block;
 
   std::vector<std::vector<PendingSegment>> pending(
+      static_cast<size_t>(num_blocks));
+  std::vector<util::ScatterBuffers::Counters> scatter_counters(
       static_cast<size_t>(num_blocks));
   GJOIN_ASSIGN_OR_RETURN(
       sim::LaunchResult result,
@@ -464,23 +575,36 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
             block.ChargeCoalescedRead(8ull * (end - begin));
             block.ChargeCycles(static_cast<uint64_t>(
                 static_cast<double>(end - begin) * kCyclesPerElement));
-            // Two-phase batched execution: radix-decode and group a
-            // batch, then one bulk chain append per touched partition.
-            GroupScratch scratch;
-            scratch.Init(fanout, kGroupBatch);
-            for (size_t base = begin; base < end; base += kGroupBatch) {
-              const uint32_t count = static_cast<uint32_t>(
-                  std::min<size_t>(kGroupBatch, end - base));
-              scratch.Group(keys + base, pays + base, count, shift, bits);
-              for (const uint32_t p : scratch.touched()) {
-                const GroupScratch::RunView run = scratch.Run(p);
+            // Single pass: radix-decode each tuple into its destination's
+            // scatter buffer; a full buffer flushes to the bucket chain
+            // as one non-temporal burst.
+            util::ScatterBuffers& sb = ScatterScratch();
+            sb.Init(fanout, scatter_tuples);
+            auto cur = src.At(begin);
+            // The cursor never steps past the block's last tuple (a
+            // chunked source may have freed whatever follows).
+            for (size_t i = begin;;) {
+              const uint32_t key = cur.key();
+              const uint32_t p = util::RadixOf(key, shift, bits);
+              if (sb.Push(p, key, cur.pay())) {
+                const util::ScatterBuffers::RunView run = sb.Run(p);
                 local.AppendRun(&block, &chains, p, run.keys, run.pays,
                                 run.count);
+                sb.Clear(p);
               }
-              scratch.ResetCounts();
+              if (++i == end) break;
+              cur.Next();
             }
+            sb.DrainAll([&](uint32_t p, util::ScatterBuffers::RunView run) {
+              local.AppendRun(&block, &chains, p, run.keys, run.pays,
+                              run.count);
+            });
             local.Finish(&block, &chains, /*gp_base=*/0,
                          &pending[static_cast<size_t>(block.block_id())]);
+            scatter_counters[static_cast<size_t>(block.block_id())] =
+                sb.TakeCounters();
+            util::StreamFence();
+            src.BlockDone(begin, end);
           },
           [&](sim::Block& block) {
             for (const PendingSegment& seg :
@@ -488,6 +612,7 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
               chains.PublishSegment(seg.partition, seg.first, seg.last);
             }
           }));
+  PublishScatterCounters(config, scatter_counters);
 
   out.tuples += n;
   out.seconds += result.seconds;
@@ -497,6 +622,16 @@ util::Result<PartitionedRelation> RadixPartitionFirstPass(
     out.pass_seconds[0] += result.seconds;
   }
   return out;
+}
+
+}  // namespace
+
+util::Result<PartitionedRelation> RadixPartitionFirstPass(
+    sim::Device* device, const DeviceRelation& input, int shift, int bits,
+    const RadixPartitionConfig& config, PartitionedRelation* append_to) {
+  return FirstPassOverSource(
+      device, FlatPassSource{input.keys.data(), input.payloads.data()},
+      input.size, shift, bits, config, append_to);
 }
 
 util::Result<PartitionedRelation> RadixPartitionNextPass(
@@ -524,6 +659,8 @@ util::Result<PartitionedRelation> RadixPartitionNextPass(
       config.num_blocks != 0
           ? config.num_blocks
           : device->spec().gpu.num_sms * device->spec().gpu.blocks_per_sm;
+  const int scatter_tuples =
+      util::ResolveScatterBufferTuples(config.scatter_buffer_tuples);
   // Output chains share the input's pool: consumed input buckets are
   // recycled into output buckets, keeping the footprint near the data
   // size. The pool must still have headroom for one partial bucket per
@@ -572,10 +709,13 @@ util::Result<PartitionedRelation> RadixPartitionNextPass(
   launch.threads_per_block = config.threads_per_block;
   launch.shared_mem_bytes = device->spec().gpu.shared_mem_per_block;
 
-  GlobalChains global(&chains, num_blocks);
+  GlobalChains global(&chains, num_blocks,
+                      /*direct=*/device->functional_parallelism() == 1);
   const bool bucket_mode =
       config.assignment == WorkAssignment::kBucketAtATime;
   std::vector<std::vector<PendingSegment>> pending(
+      static_cast<size_t>(num_blocks));
+  std::vector<util::ScatterBuffers::Counters> scatter_counters(
       static_cast<size_t>(num_blocks));
 
   GJOIN_ASSIGN_OR_RETURN(
@@ -592,129 +732,100 @@ util::Result<PartitionedRelation> RadixPartitionNextPass(
               static_cast<double>(count) * kCyclesPerElement));
         };
 
-        // Cross-bucket batching: consumed buckets are gathered into one
-        // batch buffer and grouped together, so each child partition
-        // sees a few long runs per batch instead of a tiny run per input
-        // bucket. The batch over-allocates by one bucket because
-        // draining is checked only at bucket granularity.
-        GroupScratch scratch;
-        std::vector<uint32_t> batch_keys(kGroupBatch + capacity);
-        std::vector<uint32_t> batch_pays(kGroupBatch + capacity);
-        uint32_t batch_fill = 0;
-
-        auto load_bucket = [&](int32_t b) {
-          const size_t base = static_cast<size_t>(b) * capacity;
-          const uint32_t count = in.fill()[b];
-          charge_bucket_scan(count);
-          std::copy_n(in.keys() + base, count, batch_keys.data() + batch_fill);
-          std::copy_n(in.payloads() + base, count,
-                      batch_pays.data() + batch_fill);
-          batch_fill += count;
-          // The input bucket is fully consumed: recycle it.
-          in.FreeBucket(b);
-          block.ChargeDeviceAtomic(1);
-        };
+        util::ScatterBuffers& sb = ScatterScratch();
+        sb.Init(subfanout, scatter_tuples);
 
         if (bucket_mode) {
           // Bucket-at-a-time: blocks share the children, so chain
           // metadata lives in device memory (GlobalChains); only the
-          // staging buffers are block-local. A block holds only a few
-          // buckets of each parent, so batches span parents: tuples are
-          // grouped by (parent slot, sub-digit) and the parent's stage
-          // drains when its last item has passed through a batch.
+          // staging buffers are block-local. Tuples route through the
+          // scatter buffers straight off each input bucket's scan; a
+          // parent's stage drains when its last item has been consumed.
           StageOnly stage;
           if (!stage.Alloc(&block, subfanout, config.stage_elems)) return;
           for (uint32_t s = 0; s < subfanout; ++s) stage.stage_fill[s] = 0;
-          constexpr uint32_t kMaxBatchParents = 64;
-          scratch.Init(kMaxBatchParents << bits, kGroupBatch + capacity);
-          std::vector<uint32_t> bases(kGroupBatch + capacity);
-          std::vector<uint32_t> batch_parents;  // parent slot -> parent id
-          std::vector<uint8_t> parent_done;     // all items loaded?
 
-          auto drain = [&] {
-            if (batch_parents.empty()) return;
-            scratch.Group(batch_keys.data(), batch_pays.data(), batch_fill,
-                          shift, bits, bases.data());
-            for (uint32_t ps = 0; ps < batch_parents.size(); ++ps) {
-              const uint32_t parent = batch_parents[ps];
-              for (uint32_t sub = 0; sub < subfanout; ++sub) {
-                const uint32_t d = (ps << bits) | sub;
-                if (scratch.CountOf(d) == 0) continue;
-                const GroupScratch::RunView run = scratch.Run(d);
-                stage.AppendRun(&block, &global, parent << bits, sub,
-                                run.keys, run.pays, run.count);
-              }
-              if (parent_done[ps] != 0) {
-                stage.FlushAll(&block, &global, parent << bits);
-              }
-            }
-            scratch.ResetCounts();
-            batch_fill = 0;
-            if (parent_done.back() == 0) {
-              // The trailing parent has more buckets coming: keep its
-              // slot (and stage occupancy) open for the next batch.
-              const uint32_t open = batch_parents.back();
-              batch_parents.assign(1, open);
-              parent_done.assign(1, 0);
-            } else {
-              batch_parents.clear();
-              parent_done.clear();
-            }
+          uint32_t open_parent = 0;
+          bool has_open = false;
+          auto close_parent = [&] {
+            if (!has_open) return;
+            sb.DrainAll([&](uint32_t sub, util::ScatterBuffers::RunView run) {
+              stage.AppendRun(&block, &global, open_parent << bits, sub,
+                              run.keys, run.pays, run.count);
+            });
+            stage.FlushAll(&block, &global, open_parent << bits);
+            has_open = false;
           };
 
           for (const WorkItem& item : items) {
-            if (batch_parents.empty() || item.parent != batch_parents.back()) {
-              if (!batch_parents.empty()) parent_done.back() = 1;
-              if (batch_parents.size() == kMaxBatchParents) drain();
-              batch_parents.push_back(item.parent);
-              parent_done.push_back(0);
+            if (!has_open || item.parent != open_parent) {
+              close_parent();
+              open_parent = item.parent;
+              has_open = true;
             }
-            const uint32_t ps =
-                static_cast<uint32_t>(batch_parents.size() - 1);
+            const size_t base =
+                static_cast<size_t>(item.bucket) * capacity;
             const uint32_t count = in.fill()[item.bucket];
-            std::fill_n(bases.begin() + batch_fill, count, ps << bits);
-            load_bucket(item.bucket);
-            if (batch_fill >= kGroupBatch) drain();
+            charge_bucket_scan(count);
+            const uint32_t* bkeys = in.keys() + base;
+            const uint32_t* bpays = in.payloads() + base;
+            for (uint32_t t = 0; t < count; ++t) {
+              const uint32_t sub = util::RadixOf(bkeys[t], shift, bits);
+              if (sb.Push(sub, bkeys[t], bpays[t])) {
+                const util::ScatterBuffers::RunView run = sb.Run(sub);
+                stage.AppendRun(&block, &global, open_parent << bits, sub,
+                                run.keys, run.pays, run.count);
+                sb.Clear(sub);
+              }
+            }
+            // The input bucket is fully consumed (its tuples are staged
+            // or recorded): recycle it.
+            in.FreeBucket(item.bucket);
+            block.ChargeDeviceAtomic(1);
           }
-          if (!batch_parents.empty()) {
-            parent_done.back() = 1;
-            drain();
-          }
+          close_parent();
         } else {
           // Partition-at-a-time: the block is the sole producer of its
           // parents' children, so metadata stays in fast shared memory;
           // the price is load imbalance under skew (max_block_cycles).
-          // Parent chains are long, so batching within one parent is
-          // enough — the batch drains at every chain end.
           BlockLocalChains local;
           if (!local.Alloc(&block, subfanout, config.stage_elems)) return;
-          scratch.Init(subfanout, kGroupBatch + capacity);
-          auto drain = [&] {
-            if (batch_fill == 0) return;
-            scratch.Group(batch_keys.data(), batch_pays.data(), batch_fill,
-                          shift, bits);
-            for (const uint32_t sub : scratch.touched()) {
-              const GroupScratch::RunView run = scratch.Run(sub);
-              local.AppendRun(&block, &chains, sub, run.keys, run.pays,
-                              run.count);
-            }
-            scratch.ResetCounts();
-            batch_fill = 0;
-          };
           for (const WorkItem& item : items) {
             local.ResetMeta(&block);
             int32_t b = in.heads()[item.parent];
             while (b != BucketChains::kNull) {
               const int32_t next_b = in.next()[b];  // before recycling b
-              load_bucket(b);
-              if (batch_fill >= kGroupBatch) drain();
+              const size_t base = static_cast<size_t>(b) * capacity;
+              const uint32_t count = in.fill()[b];
+              charge_bucket_scan(count);
+              const uint32_t* bkeys = in.keys() + base;
+              const uint32_t* bpays = in.payloads() + base;
+              for (uint32_t t = 0; t < count; ++t) {
+                const uint32_t sub = util::RadixOf(bkeys[t], shift, bits);
+                if (sb.Push(sub, bkeys[t], bpays[t])) {
+                  const util::ScatterBuffers::RunView run = sb.Run(sub);
+                  local.AppendRun(&block, &chains, sub, run.keys, run.pays,
+                                  run.count);
+                  sb.Clear(sub);
+                }
+              }
+              // Staged copies make later pool reuse safe; free only
+              // after the bucket's tuples are read.
+              in.FreeBucket(b);
+              block.ChargeDeviceAtomic(1);
               b = next_b;
             }
-            drain();
+            sb.DrainAll([&](uint32_t sub, util::ScatterBuffers::RunView run) {
+              local.AppendRun(&block, &chains, sub, run.keys, run.pays,
+                              run.count);
+            });
             local.Finish(&block, &chains, item.parent << bits,
                          &pending[static_cast<size_t>(block.block_id())]);
           }
         }
+        scatter_counters[static_cast<size_t>(block.block_id())] =
+            sb.TakeCounters();
+        util::StreamFence();
       },
       [&](sim::Block& block) {
         if (bucket_mode) {
@@ -726,6 +837,7 @@ util::Result<PartitionedRelation> RadixPartitionNextPass(
           }
         }
       }));
+  PublishScatterCounters(config, scatter_counters);
 
   PartitionedRelation out;
   out.chains = std::move(chains);
@@ -740,17 +852,19 @@ util::Result<PartitionedRelation> RadixPartitionNextPass(
 
 namespace {
 
-/// Shared driver: `host_input` + `segments` selects the segmented path;
-/// otherwise `device_input` is used (freed after pass 1 when `consume`).
+/// Shared driver: `host_input` + `segments` selects the segmented path,
+/// `chunked` the chunk-consuming path; otherwise `device_input` is used
+/// (freed after pass 1 when `consume`).
 util::Result<PartitionedRelation> RadixPartitionImpl(
     sim::Device* device, const DeviceRelation* device_input,
     DeviceRelation* consume, const data::Relation* host_input, int segments,
-    const RadixPartitionConfig& config) {
+    ChunkedDeviceInput* chunked, const RadixPartitionConfig& config) {
   if (config.pass_bits.empty()) {
     return util::Status::Invalid("RadixPartition: no passes configured");
   }
-  const uint64_t n =
-      host_input != nullptr ? host_input->size() : device_input->size;
+  const uint64_t n = host_input != nullptr ? host_input->size()
+                     : chunked != nullptr ? chunked->size()
+                                          : device_input->size;
   RadixPartitionConfig cfg = config;
   const int num_blocks =
       cfg.num_blocks != 0
@@ -816,6 +930,13 @@ util::Result<PartitionedRelation> RadixPartitionImpl(
                                        cfg.pass_bits[0], cfg, &rel));
       // seg_dev freed at scope exit: only one segment is ever resident.
     }
+  } else if (chunked != nullptr) {
+    // Same single launch as the contiguous path, walking the chunks in
+    // place; each chunk is freed once its last reader block finishes.
+    GJOIN_ASSIGN_OR_RETURN(
+        rel, FirstPassOverSource(device, ChunkedPassSource{chunked},
+                                 static_cast<size_t>(n), cfg.base_shift,
+                                 cfg.pass_bits[0], cfg, &rel));
   } else {
     GJOIN_ASSIGN_OR_RETURN(
         rel, RadixPartitionFirstPass(device, *device_input, cfg.base_shift,
@@ -841,20 +962,29 @@ util::Result<PartitionedRelation> RadixPartitionImpl(
 util::Result<PartitionedRelation> RadixPartition(
     sim::Device* device, const DeviceRelation& input,
     const RadixPartitionConfig& config) {
-  return RadixPartitionImpl(device, &input, nullptr, nullptr, 0, config);
+  return RadixPartitionImpl(device, &input, nullptr, nullptr, 0, nullptr,
+                            config);
 }
 
 util::Result<PartitionedRelation> RadixPartitionConsuming(
     sim::Device* device, DeviceRelation input,
     const RadixPartitionConfig& config) {
-  return RadixPartitionImpl(device, &input, &input, nullptr, 0, config);
+  return RadixPartitionImpl(device, &input, &input, nullptr, 0, nullptr,
+                            config);
+}
+
+util::Result<PartitionedRelation> RadixPartitionChunkedConsuming(
+    sim::Device* device, ChunkedDeviceInput input,
+    const RadixPartitionConfig& config) {
+  return RadixPartitionImpl(device, nullptr, nullptr, nullptr, 0, &input,
+                            config);
 }
 
 util::Result<PartitionedRelation> RadixPartitionSegmented(
     sim::Device* device, const data::Relation& input,
     const RadixPartitionConfig& config, int segments) {
   return RadixPartitionImpl(device, nullptr, nullptr, &input, segments,
-                            config);
+                            nullptr, config);
 }
 
 }  // namespace gjoin::gpujoin

@@ -19,13 +19,19 @@
 #ifndef GJOIN_GPUJOIN_RADIX_PARTITION_H_
 #define GJOIN_GPUJOIN_RADIX_PARTITION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/gpujoin/bucket_chains.h"
 #include "src/gpujoin/types.h"
 #include "src/sim/device.h"
 #include "src/util/status.h"
+
+namespace gjoin::obs {
+class MetricsRegistry;
+}  // namespace gjoin::obs
 
 namespace gjoin::gpujoin {
 
@@ -62,6 +68,20 @@ struct RadixPartitionConfig {
   /// Shared-memory staging slots per partition ("shuffle space").
   uint32_t stage_elems = 16;
 
+  /// Host-side software-managed scatter-buffer size in tuples per
+  /// destination (Section IV-B's buffered scatter, applied to the
+  /// simulator's own host execution). 0 = the process default
+  /// (util::DefaultScatterBufferTuples), 1 = the scalar tuple-at-a-time
+  /// reference loop. Purely a host-speed knob: results and charged
+  /// KernelStats are bit-identical at every size
+  /// (gpujoin_stat_invariance_test pins this).
+  int scatter_buffer_tuples = 0;
+
+  /// Optional sink for host-scatter throughput counters
+  /// (gjoin_partition_scatter_bytes_total / _flushes_total). Observes
+  /// only — attaching a registry never changes results or charges.
+  obs::MetricsRegistry* metrics = nullptr;
+
   /// Total radix bits across all passes.
   int total_bits() const {
     int total = 0;
@@ -82,6 +102,86 @@ struct PartitionedRelation {
   std::vector<double> pass_seconds;  ///< Modeled time per pass.
 };
 
+/// \brief First-pass input assembled from host-staged chunks (e.g. the
+/// co-partitions of an out-of-GPU working set), each chunk's columns
+/// moved in and released the moment the last thread block reading it
+/// has finished.
+///
+/// This is the streamed working-set buffer of the co-processing
+/// strategy: instead of concatenating host partitions and uploading one
+/// contiguous copy, the pass walks the chunks in place through a cursor
+/// and peak residency is the partitioned output plus the not-yet-
+/// consumed tail — never input plus output. The kernel, its launch
+/// geometry and every charge are those of the contiguous path, so the
+/// partitioned form and the modeled seconds are bit-identical to
+/// RadixPartition over the concatenation (pinned by
+/// gpujoin_stat_invariance_test). As with DeviceRelation::Upload,
+/// transfer timing is the caller's concern.
+class ChunkedDeviceInput {
+ public:
+  ChunkedDeviceInput() = default;
+  ChunkedDeviceInput(ChunkedDeviceInput&&) = default;
+  ChunkedDeviceInput& operator=(ChunkedDeviceInput&&) = default;
+
+  /// Appends one chunk, taking ownership of its columns (which must
+  /// have equal length; empty chunks are dropped).
+  void Add(std::vector<uint32_t> keys, std::vector<uint32_t> payloads);
+
+  /// Total tuples across all chunks.
+  size_t size() const { return total_; }
+
+  /// Largest key across all chunks (0 when empty); call before the
+  /// input is consumed.
+  uint32_t MaxKey() const;
+
+  /// \name Consumption interface used by the first partitioning pass.
+  /// BeginConsume fixes the per-block range size; each block walks its
+  /// tuple range through a Cursor; BlockDone releases every chunk whose
+  /// last reader finished.
+  /// @{
+  struct Cursor {
+    uint32_t key() const { return *k_; }
+    uint32_t pay() const { return *p_; }
+    /// Advances one tuple. Must not be called past the last tuple of
+    /// the owning block's range: the next chunk may belong entirely to
+    /// other blocks and already be freed.
+    void Next() {
+      ++k_;
+      ++p_;
+      if (k_ == k_end_) Advance();
+    }
+
+   private:
+    friend class ChunkedDeviceInput;
+    void Advance();
+    const ChunkedDeviceInput* in_ = nullptr;
+    size_t chunk_ = 0;
+    const uint32_t* k_ = nullptr;
+    const uint32_t* p_ = nullptr;
+    const uint32_t* k_end_ = nullptr;
+  };
+  /// Positions a cursor at global tuple index `i` (< size()).
+  Cursor At(size_t i) const;
+  void BeginConsume(size_t block_tuples);
+  void BlockDone(size_t begin, size_t end);
+  /// @}
+
+ private:
+  struct Chunk {
+    std::vector<uint32_t> keys;
+    std::vector<uint32_t> payloads;
+    size_t begin = 0;  ///< Global index of the chunk's first tuple.
+  };
+  size_t ChunkEnd(size_t c) const {
+    return c + 1 < chunks_.size() ? chunks_[c + 1].begin : total_;
+  }
+  std::vector<Chunk> chunks_;
+  /// Remaining reader blocks per chunk (set by BeginConsume).
+  std::unique_ptr<std::atomic<int>[]> readers_;
+  size_t block_tuples_ = 0;
+  size_t total_ = 0;
+};
+
 /// Runs all configured passes over `input` and returns the final
 /// partitioned form. Partitioning is on `total_bits()` of the key above
 /// base_shift, pass i consuming its bits above the bits of passes < i.
@@ -97,6 +197,15 @@ util::Result<PartitionedRelation> RadixPartition(
 [[nodiscard]]
 util::Result<PartitionedRelation> RadixPartitionConsuming(
     sim::Device* device, DeviceRelation input,
+    const RadixPartitionConfig& config);
+
+/// Like RadixPartitionConsuming over the concatenation of the input's
+/// chunks, with chunks released as the first pass consumes them (see
+/// ChunkedDeviceInput). Output and charged stats are bit-identical to
+/// the contiguous run.
+[[nodiscard]]
+util::Result<PartitionedRelation> RadixPartitionChunkedConsuming(
+    sim::Device* device, ChunkedDeviceInput input,
     const RadixPartitionConfig& config);
 
 /// Partitions a host-resident relation by uploading and consuming it in

@@ -154,6 +154,97 @@ util::Result<CoProcessPlan> PlanCoProcessJoinShared(
   return plan;
 }
 
+util::Result<CoProcessPlan> PlanCoProcessJoinConsuming(
+    sim::Device* device, cpu::HostPartitions build_parts,
+    cpu::HostPartitions probe_parts, const CoProcessConfig& config) {
+  const hw::HardwareSpec& spec = device->spec();
+  if (build_parts.radix_bits != config.cpu.radix_bits ||
+      probe_parts.radix_bits != config.cpu.radix_bits) {
+    return util::Status::Invalid(
+        "PlanCoProcessJoinConsuming: partitions disagree with "
+        "config.cpu.radix_bits");
+  }
+
+  // ---- 2. Working sets from the build side's partition sizes ----
+  // (Phase 1, host partitioning, happened at the caller — typically fed
+  // chunk-at-a-time by a streaming generator.)
+  WorkingSetConfig packing = config.packing;
+  if (packing.budget_bytes == 0) {
+    packing.budget_bytes = static_cast<uint64_t>(
+        static_cast<double>(spec.gpu.device_memory_bytes) * 0.45);
+  }
+  std::vector<uint64_t> part_bytes(build_parts.parts.size());
+  for (size_t p = 0; p < build_parts.parts.size(); ++p) {
+    part_bytes[p] = build_parts.parts[p].bytes();
+  }
+  GJOIN_ASSIGN_OR_RETURN(std::vector<WorkingSet> sets,
+                         PackWorkingSets(part_bytes, packing));
+
+  // ---- 3. Per-working-set functional join ----
+  hw::HardwareSpec scratch_spec = spec;
+  scratch_spec.gpu.device_memory_bytes = SIZE_MAX / 4;
+  sim::Device scratch(scratch_spec);
+
+  gjoin::gpujoin::PartitionedJoinConfig join_cfg = config.join;
+  join_cfg.partition.base_shift = config.cpu.radix_bits;
+  join_cfg.join.output = config.materialize_to_host
+                             ? OutputMode::kMaterialize
+                             : OutputMode::kAggregate;
+  if (join_cfg.join.key_bits == 0) {
+    // Partitioning permutes the keys, so the max over the partitions is
+    // the max over the original relation.
+    uint32_t max_key = 1;
+    for (const data::Relation& part : build_parts.parts) {
+      for (uint32_t k : part.keys) max_key = std::max(max_key, k);
+    }
+    join_cfg.join.key_bits = util::Log2Floor(max_key) + 1;
+  }
+
+  CoProcessPlan plan;
+  plan.total_input_bytes = (build_parts.tuples + probe_parts.tuples) *
+                           data::Relation::kTupleBytes;
+  for (size_t set_index = 0; set_index < sets.size(); ++set_index) {
+    const WorkingSet& ws = sets[set_index];
+    uint64_t r_bytes = 0, s_bytes = 0;
+    for (uint32_t p : ws.partitions) {
+      r_bytes += build_parts.parts[p].bytes();
+      s_bytes += probe_parts.parts[p].bytes();
+    }
+
+    // Stage the set's partition columns in ConcatParts order; the join's
+    // first pass walks and frees them chunk by chunk. The moved-from
+    // partitions stay behind as empty shells, releasing this set's share
+    // of the host footprint even when the set is skipped as empty.
+    gjoin::gpujoin::ChunkedDeviceInput r_in, s_in;
+    for (uint32_t p : ws.partitions) {
+      r_in.Add(std::move(build_parts.parts[p].keys),
+               std::move(build_parts.parts[p].payloads));
+      s_in.Add(std::move(probe_parts.parts[p].keys),
+               std::move(probe_parts.parts[p].payloads));
+    }
+    if (r_bytes == 0 || s_bytes == 0) continue;
+
+    GJOIN_ASSIGN_OR_RETURN(
+        JoinStats ws_join,
+        gjoin::gpujoin::PartitionedJoinChunkedConsuming(
+            &scratch, std::move(r_in), std::move(s_in), join_cfg));
+
+    const uint64_t restreams =
+        std::max<uint64_t>(1, util::CeilDiv(ws.bytes, packing.budget_bytes));
+
+    CoProcessPlan::WorkingSetRun run;
+    run.matches = ws_join.matches;
+    run.payload_sum = ws_join.payload_sum;
+    run.gpu_seconds = ws_join.seconds;
+    run.join_s = ws_join.join_s;
+    run.partition_s = ws_join.partition_s;
+    run.transfer_bytes = r_bytes + s_bytes * restreams;
+    run.set_index = set_index;
+    plan.runs.push_back(run);
+  }
+  return plan;
+}
+
 util::Result<CoProcessRun> CoProcessExecutePlanned(
     sim::Device* device, const CoProcessPlan& plan,
     const CoProcessConfig& config) {

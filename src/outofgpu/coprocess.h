@@ -123,6 +123,20 @@ util::Result<CoProcessPlan> PlanCoProcessJoinShared(
     const cpu::HostPartitions* probe_parts,
     cpu::HostPartitions* out_build_parts, cpu::HostPartitions* out_probe_parts);
 
+/// Plans from already host-partitioned inputs, consuming them: each
+/// working set's partition columns are staged chunk-wise into the GPU
+/// join (gpujoin::ChunkedDeviceInput) and released as the join's first
+/// pass reads them, so peak residency is the partitioned input — never
+/// input plus a concatenated working-set copy. `build_parts` /
+/// `probe_parts` must be what CpuRadixPartition(build/probe, config.cpu)
+/// returns (StreamingCpuPartitioner produces exactly that without ever
+/// materializing the relations). The returned plan is bit-identical to
+/// PlanCoProcessJoin over the original relations.
+[[nodiscard]]
+util::Result<CoProcessPlan> PlanCoProcessJoinConsuming(
+    sim::Device* device, cpu::HostPartitions build_parts,
+    cpu::HostPartitions probe_parts, const CoProcessConfig& config);
+
 /// \brief A timed co-processing pipeline: finalized stats plus the op
 /// DAG they were timed on (consumed by the multi-query session
 /// scheduler, which re-emits the ops into a shared device timeline).

@@ -102,6 +102,25 @@ class DeviceMemory {
     return DeviceBuffer<T>(std::move(data), count, this);
   }
 
+  /// Like Allocate, but the contents start indeterminate (exactly like
+  /// cudaMalloc). Only for buffers every kernel provably writes before
+  /// reading — element storage the producer fully overwrites (bucket
+  /// keys/payloads guarded by fill counts, upload targets copied over
+  /// immediately). Metadata arrays (hash tables, fill counts, links)
+  /// must keep the zeroing Allocate: kernels read their initial state.
+  /// Skipping the zeroing pass matters at scale — it touches every page
+  /// of multi-GB pools that the scatter is about to overwrite anyway.
+  template <typename T>
+  [[nodiscard]]
+  util::Result<DeviceBuffer<T>> AllocateUninitialized(
+      size_t count, const char* site = "unlabeled") {
+    const size_t bytes = count * sizeof(T);
+    GJOIN_RETURN_NOT_OK(Reserve(bytes, site));
+    // default-initialization leaves trivial T indeterminate (no memset).
+    auto data = std::unique_ptr<T[]>(new T[count]);
+    return DeviceBuffer<T>(std::move(data), count, this);
+  }
+
   /// Bytes currently allocated.
   size_t used() const { return used_.load(std::memory_order_relaxed); }
   /// High-water mark of `used()` over the device's lifetime: the peak

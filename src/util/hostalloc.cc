@@ -1,0 +1,22 @@
+#include "src/util/hostalloc.h"
+
+// <cstddef> drags in the libc feature macros; __GLIBC__ is undefined
+// until some libc header has been seen.
+#include <cstddef>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace gjoin::util {
+
+void TuneHostAllocatorForThroughput() {
+#if defined(__GLIBC__)
+  // 1 GB: effectively "never mmap, never trim" for this workload's
+  // allocation sizes, so freed relation/device blocks stay reusable.
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+#endif
+}
+
+}  // namespace gjoin::util

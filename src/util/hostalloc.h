@@ -1,0 +1,28 @@
+// Host allocator tuning for throughput runs.
+//
+// The benches allocate and free multi-hundred-MB relation and device
+// buffers once per figure point. glibc serves blocks above its mmap
+// threshold with a fresh mmap and returns them with munmap, so every
+// point re-faults gigabytes of pages the previous point just released —
+// on the full-scale figures that is millions of minor faults and
+// several seconds of pure kernel time. Raising the mmap and trim
+// thresholds keeps those blocks on the heap free list, so the next
+// point reuses already-resident pages.
+//
+// Purely a host-side wall-clock knob: charged stats and emitted figure
+// rows are identical with or without it. Call once at process start
+// (the bench harness does); a no-op on non-glibc platforms.
+
+#ifndef GJOIN_UTIL_HOSTALLOC_H_
+#define GJOIN_UTIL_HOSTALLOC_H_
+
+namespace gjoin::util {
+
+/// Retains large freed blocks for reuse instead of returning them to
+/// the kernel. Trades peak RSS (freed blocks stay resident) for
+/// throughput; processes that measure RSS should skip it.
+void TuneHostAllocatorForThroughput();
+
+}  // namespace gjoin::util
+
+#endif  // GJOIN_UTIL_HOSTALLOC_H_

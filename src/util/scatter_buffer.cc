@@ -1,0 +1,31 @@
+#include "src/util/scatter_buffer.h"
+
+#include <atomic>
+
+namespace gjoin::util {
+
+namespace {
+
+std::atomic<int> g_default_tuples{256};
+
+int Clamp(int tuples) {
+  if (tuples < 1) return 1;
+  if (tuples > kMaxScatterBufferTuples) return kMaxScatterBufferTuples;
+  return tuples;
+}
+
+}  // namespace
+
+int DefaultScatterBufferTuples() {
+  return g_default_tuples.load(std::memory_order_relaxed);
+}
+
+void SetDefaultScatterBufferTuples(int tuples) {
+  g_default_tuples.store(Clamp(tuples), std::memory_order_relaxed);
+}
+
+int ResolveScatterBufferTuples(int requested) {
+  return requested == 0 ? DefaultScatterBufferTuples() : Clamp(requested);
+}
+
+}  // namespace gjoin::util

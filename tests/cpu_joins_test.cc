@@ -185,5 +185,36 @@ TEST_F(CpuPartitionTest, EmptyRelation) {
   for (const auto& p : parts->parts) EXPECT_TRUE(p.empty());
 }
 
+TEST_F(CpuPartitionTest, StreamedAppendsEqualSingleShot) {
+  const auto rel = data::MakeUniformProbe(60000, 4000, 16);
+  CpuPartitionConfig cfg;
+  cfg.chunk_tuples = 1024;
+  auto whole = CpuRadixPartition(rel, cfg, model_);
+  ASSERT_TRUE(whole.ok());
+
+  // Feed the same tuples as uneven streamed chunks; the stable counting
+  // sort must produce identical partitions (order included) regardless
+  // of how the input is split into Append calls.
+  for (const size_t stream_chunk : {1000u, 7777u, 60000u}) {
+    auto part = StreamingCpuPartitioner::Create(cfg, model_,
+                                                /*expected_tuples=*/rel.size());
+    ASSERT_TRUE(part.ok());
+    StreamingCpuPartitioner streamer = std::move(part).ValueOrDie();
+    for (size_t begin = 0; begin < rel.size(); begin += stream_chunk) {
+      const size_t end = std::min(rel.size(), begin + stream_chunk);
+      streamer.Append(data::RelationView::Slice(rel, begin, end));
+    }
+    const HostPartitions streamed = std::move(streamer).Finish();
+    EXPECT_EQ(streamed.tuples, whole->tuples);
+    EXPECT_DOUBLE_EQ(streamed.seconds, whole->seconds);
+    ASSERT_EQ(streamed.parts.size(), whole->parts.size());
+    for (size_t p = 0; p < streamed.parts.size(); ++p) {
+      EXPECT_EQ(streamed.parts[p].keys, whole->parts[p].keys) << "p=" << p;
+      EXPECT_EQ(streamed.parts[p].payloads, whole->parts[p].payloads)
+          << "p=" << p;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gjoin::cpu

@@ -117,6 +117,59 @@ TEST(ReplicatedTest, ReplicasOfOneIsNearlyUnique) {
   EXPECT_GT(distinct.size(), 5500u);
 }
 
+Relation CollectStream(size_t n, size_t chunk_tuples,
+                       void (*stream)(size_t, uint64_t, size_t,
+                                      const ChunkSink&),
+                       uint64_t seed) {
+  Relation out;
+  size_t calls = 0;
+  stream(n, seed, chunk_tuples, [&](const RelationView& view) {
+    ++calls;
+    EXPECT_LE(view.size, chunk_tuples);
+    for (size_t i = 0; i < view.size; ++i) {
+      out.Append(view.keys[i], view.payloads[i]);
+    }
+  });
+  EXPECT_EQ(calls, n == 0 ? 0u : (n + chunk_tuples - 1) / chunk_tuples);
+  return out;
+}
+
+TEST(StreamingGeneratorTest, UniqueUniformMatchesMaterialized) {
+  const Relation whole = MakeUniqueUniform(10000, 41);
+  for (const size_t chunk : {512u, 3000u, 10000u, 20000u}) {
+    const Relation streamed = CollectStream(
+        10000, chunk,
+        [](size_t n, uint64_t seed, size_t c, const ChunkSink& sink) {
+          StreamUniqueUniform(n, seed, c, sink);
+        },
+        41);
+    EXPECT_EQ(streamed.keys, whole.keys) << "chunk=" << chunk;
+    EXPECT_EQ(streamed.payloads, whole.payloads) << "chunk=" << chunk;
+  }
+}
+
+TEST(StreamingGeneratorTest, UniformProbeMatchesMaterialized) {
+  const Relation whole = MakeUniformProbe(10000, 700, 42);
+  // Includes a chunk size that does not divide n and one larger than n.
+  for (const size_t chunk : {999u, 4096u, 50000u}) {
+    const Relation streamed = CollectStream(
+        10000, chunk,
+        [](size_t n, uint64_t seed, size_t c, const ChunkSink& sink) {
+          StreamUniformProbe(n, n > 0 ? 700 : 1, seed, c, sink);
+        },
+        42);
+    EXPECT_EQ(streamed.keys, whole.keys) << "chunk=" << chunk;
+    EXPECT_EQ(streamed.payloads, whole.payloads) << "chunk=" << chunk;
+  }
+}
+
+TEST(StreamingGeneratorTest, EmptyStreamEmitsNothing) {
+  size_t calls = 0;
+  StreamUniqueUniform(0, 7, 128, [&](const RelationView&) { ++calls; });
+  StreamUniformProbe(0, 1, 7, 128, [&](const RelationView&) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
 class RatioTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(RatioTest, ProbeKeepsBuildDistinctValues) {

@@ -74,6 +74,58 @@ TEST(OracleTest, DisjointDomainsYieldZero) {
   EXPECT_EQ(JoinOracle(build, probe).matches, 0u);
 }
 
+std::vector<Relation> RadixSplit(const Relation& rel, int bits) {
+  std::vector<Relation> parts(size_t{1} << bits);
+  for (size_t i = 0; i < rel.size(); ++i) {
+    parts[rel.keys[i] & ((1u << bits) - 1)].Append(rel.keys[i],
+                                                   rel.payloads[i]);
+  }
+  return parts;
+}
+
+TEST(OraclePartitionedTest, EqualsWholeRelationOracle) {
+  const Relation build = MakeUniqueUniform(20000, 71);
+  const Relation probe = MakeUniformProbe(60000, 20000, 72);
+  const OracleResult whole = JoinOracle(build, probe);
+  const int bits = 4;
+  const auto b_parts = RadixSplit(build, bits);
+  const auto p_parts = RadixSplit(probe, bits);
+  const OracleResult parted = JoinOraclePartitioned(b_parts, p_parts, bits);
+  EXPECT_EQ(parted.matches, whole.matches);
+  EXPECT_EQ(parted.payload_sum, whole.payload_sum);
+}
+
+TEST(OraclePartitionedTest, ExplicitSubSplitMatchesDirect) {
+  const Relation build = MakeReplicated(30000, 3.0, 73);
+  const Relation probe = MakeReplicated(30000, 3.0, 74);
+  const OracleResult whole = JoinOracle(build, probe);
+  const int bits = 2;
+  const auto b_parts = RadixSplit(build, bits);
+  const auto p_parts = RadixSplit(probe, bits);
+  for (const int sub_bits : {1, 3, 5}) {
+    const OracleResult parted =
+        JoinOraclePartitioned(b_parts, p_parts, bits, sub_bits);
+    EXPECT_EQ(parted.matches, whole.matches) << "sub_bits=" << sub_bits;
+    EXPECT_EQ(parted.payload_sum, whole.payload_sum)
+        << "sub_bits=" << sub_bits;
+  }
+}
+
+TEST(OraclePartitionedTest, EmptyPartitionPairsAreSkipped) {
+  // Keys all odd: the even partitions stay empty on both sides.
+  Relation build, probe;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    build.Append(2 * i + 1, i);
+    probe.Append(2 * i + 1, i + 7);
+  }
+  const OracleResult whole = JoinOracle(build, probe);
+  const auto b_parts = RadixSplit(build, 3);
+  const auto p_parts = RadixSplit(probe, 3);
+  const OracleResult parted = JoinOraclePartitioned(b_parts, p_parts, 3);
+  EXPECT_EQ(parted.matches, whole.matches);
+  EXPECT_EQ(parted.payload_sum, whole.payload_sum);
+}
+
 TEST(OracleTest, SkewedJoinExplodesMatches) {
   // Identically skewed inputs (shared popular values) produce superlinear
   // match counts — the "output explosion" of Figs. 17/18/20.

@@ -135,6 +135,56 @@ TEST_F(RadixPartitionTest, PartitionAtATimeProducesSameContent) {
   }
 }
 
+TEST_F(RadixPartitionTest, ChunkedConsumingMatchesMonolithic) {
+  const data::Relation rel = data::MakeUniformProbe(40000, 9000, 19);
+  RadixPartitionConfig cfg;
+  cfg.pass_bits = {5, 4};
+  auto whole = RadixPartition(&device_, Upload(rel), cfg);
+  ASSERT_TRUE(whole.ok()) << whole.status();
+
+  // Chunk boundaries deliberately unaligned with the launch's per-block
+  // ranges; results must be bucket-for-bucket identical regardless.
+  for (const size_t chunk : {1000u, 12345u, 40000u}) {
+    ChunkedDeviceInput input;
+    for (size_t begin = 0; begin < rel.size(); begin += chunk) {
+      const size_t end = std::min(rel.size(), begin + chunk);
+      input.Add({rel.keys.begin() + begin, rel.keys.begin() + end},
+                {rel.payloads.begin() + begin, rel.payloads.begin() + end});
+    }
+    EXPECT_EQ(input.size(), rel.size());
+    EXPECT_EQ(input.MaxKey(), 9000u);
+    auto parted = RadixPartitionChunkedConsuming(&device_, std::move(input),
+                                                 cfg);
+    ASSERT_TRUE(parted.ok()) << parted.status();
+    EXPECT_EQ(parted->tuples, whole->tuples);
+    EXPECT_EQ(parted->radix_bits, whole->radix_bits);
+    // Bitwise-identical charging: same launch, same per-block work.
+    EXPECT_EQ(parted->seconds, whole->seconds) << "chunk=" << chunk;
+    ASSERT_EQ(parted->pass_seconds.size(), whole->pass_seconds.size());
+    for (size_t i = 0; i < whole->pass_seconds.size(); ++i) {
+      EXPECT_EQ(parted->pass_seconds[i], whole->pass_seconds[i]);
+    }
+    // Identical chain content in identical order.
+    for (uint32_t p = 0; p < whole->chains.num_partitions(); ++p) {
+      EXPECT_EQ(parted->chains.GatherPartition(p),
+                whole->chains.GatherPartition(p))
+          << "chunk=" << chunk << " partition " << p;
+    }
+  }
+}
+
+TEST_F(RadixPartitionTest, ChunkedConsumingEmptyInput) {
+  RadixPartitionConfig cfg;
+  cfg.pass_bits = {4};
+  ChunkedDeviceInput input;
+  input.Add({}, {});  // empty chunks are dropped
+  EXPECT_EQ(input.size(), 0u);
+  auto parted = RadixPartitionChunkedConsuming(&device_, std::move(input),
+                                               cfg);
+  ASSERT_TRUE(parted.ok()) << parted.status();
+  EXPECT_EQ(parted->chains.TotalElements(), 0u);
+}
+
 TEST_F(RadixPartitionTest, SkewedInputIsStillCorrect) {
   const data::Relation rel = data::MakeZipf(30000, 30000, 1.0, 7);
   RadixPartitionConfig cfg;

@@ -17,13 +17,16 @@
 #include <vector>
 
 #include "src/cpu/cpu_joins.h"
+#include "src/cpu/cpu_partition.h"
 #include "src/data/generator.h"
 #include "src/data/oracle.h"
 #include "src/gpujoin/nonpartitioned.h"
 #include "src/gpujoin/partitioned_join.h"
 #include "src/gpujoin/radix_partition.h"
+#include "src/outofgpu/coprocess.h"
 #include "src/outofgpu/streaming_probe.h"
 #include "src/util/probe_pipeline.h"
+#include "src/util/thread_pool.h"
 
 namespace gjoin {
 namespace {
@@ -359,6 +362,110 @@ TEST_F(StatInvarianceTest, DepthInvariantCpuJoinAndOracle) {
     }
   }
   util::SetDefaultProbePipelineDepth(saved);
+}
+
+// ---- Scatter-buffer and chunked-input invariance ----
+// The host-side software-managed scatter buffers and the chunk-consuming
+// first-pass input are raw-speed / residency knobs: at every buffer size,
+// host thread count and chunking they must charge the same golden stats
+// the scalar single-threaded contiguous path charges.
+
+TEST_F(StatInvarianceTest, ScatterBufferSizeAndThreadInvariant) {
+  DepthRunCapture ref;
+  bool have_ref = false;
+  for (const size_t threads : {1u, 8u}) {
+    util::ThreadPool pool(threads);
+    for (const int tuples : {1, 4, 64}) {
+      SCOPED_TRACE("threads " + std::to_string(threads) +
+                   " scatter_buffer_tuples " + std::to_string(tuples));
+      sim::Device device{hw::HardwareSpec::Icde2019Testbed(), &pool};
+      gpujoin::PartitionedJoinConfig cfg;
+      cfg.partition.pass_bits = {6, 5};
+      cfg.partition.scatter_buffer_tuples = tuples;
+      auto st = gpujoin::PartitionedJoinFromHost(&device, r_, s_, cfg);
+      ASSERT_TRUE(st.ok()) << st.status();
+      // Pinned to the SharedHashJoinAggregate golden above.
+      EXPECT_EQ(st->matches, 200000u);
+      EXPECT_EQ(st->payload_sum, 30006356267ull);
+      EXPECT_DOUBLE_EQ(st->seconds, 0.00012578700876018098);
+      DepthRunCapture run{st->matches, st->payload_sum, device.profile(), {}};
+      if (!have_ref) {
+        ref = std::move(run);
+        have_ref = true;
+      } else {
+        ExpectSameRun(ref, run, tuples);
+      }
+    }
+  }
+}
+
+TEST_F(StatInvarianceTest, ChunkedConsumingJoinMatchesContiguous) {
+  // Contiguous reference run.
+  sim::Device ref_device{hw::HardwareSpec::Icde2019Testbed()};
+  gpujoin::PartitionedJoinConfig cfg;
+  cfg.partition.pass_bits = {6, 5};
+  auto rd = gpujoin::DeviceRelation::Upload(&ref_device, r_);
+  auto sd = gpujoin::DeviceRelation::Upload(&ref_device, s_);
+  ASSERT_TRUE(rd.ok() && sd.ok());
+  auto ref_st = gpujoin::PartitionedJoin(&ref_device, *rd, *sd, cfg);
+  ASSERT_TRUE(ref_st.ok()) << ref_st.status();
+  const DepthRunCapture ref{ref_st->matches, ref_st->payload_sum,
+                            ref_device.profile(), {}};
+
+  auto chunked = [](const data::Relation& rel, size_t chunk) {
+    gpujoin::ChunkedDeviceInput input;
+    for (size_t begin = 0; begin < rel.size(); begin += chunk) {
+      const size_t end = std::min(rel.size(), begin + chunk);
+      input.Add({rel.keys.begin() + begin, rel.keys.begin() + end},
+                {rel.payloads.begin() + begin, rel.payloads.begin() + end});
+    }
+    return input;
+  };
+  for (const size_t chunk : {7000u, 100000u, 1000000u}) {
+    SCOPED_TRACE("chunk " + std::to_string(chunk));
+    sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+    auto st = gpujoin::PartitionedJoinChunkedConsuming(
+        &device, chunked(r_, chunk), chunked(s_, chunk), cfg);
+    ASSERT_TRUE(st.ok()) << st.status();
+    EXPECT_DOUBLE_EQ(st->seconds, ref_st->seconds);
+    EXPECT_DOUBLE_EQ(st->partition_s, ref_st->partition_s);
+    EXPECT_DOUBLE_EQ(st->join_s, ref_st->join_s);
+    const DepthRunCapture run{st->matches, st->payload_sum, device.profile(),
+                              {}};
+    ExpectSameRun(ref, run, static_cast<int>(chunk));
+  }
+}
+
+TEST_F(StatInvarianceTest, ConsumingPlanEqualsSharedPlan) {
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  outofgpu::CoProcessConfig cfg;
+  cfg.join.partition.pass_bits = {6, 5};
+  auto shared = outofgpu::PlanCoProcessJoin(&device, r_, s_, cfg);
+  ASSERT_TRUE(shared.ok()) << shared.status();
+
+  const hw::CpuCostModel cpu_model(device.spec().cpu);
+  auto r_parts = cpu::CpuRadixPartition(r_, cfg.cpu, cpu_model);
+  auto s_parts = cpu::CpuRadixPartition(s_, cfg.cpu, cpu_model);
+  ASSERT_TRUE(r_parts.ok() && s_parts.ok());
+  auto consuming = outofgpu::PlanCoProcessJoinConsuming(
+      &device, std::move(r_parts).ValueOrDie(),
+      std::move(s_parts).ValueOrDie(), cfg);
+  ASSERT_TRUE(consuming.ok()) << consuming.status();
+
+  EXPECT_EQ(consuming->total_input_bytes, shared->total_input_bytes);
+  ASSERT_EQ(consuming->runs.size(), shared->runs.size());
+  for (size_t i = 0; i < shared->runs.size(); ++i) {
+    SCOPED_TRACE("working set run " + std::to_string(i));
+    const auto& a = shared->runs[i];
+    const auto& b = consuming->runs[i];
+    EXPECT_EQ(b.matches, a.matches);
+    EXPECT_EQ(b.payload_sum, a.payload_sum);
+    EXPECT_DOUBLE_EQ(b.gpu_seconds, a.gpu_seconds);
+    EXPECT_DOUBLE_EQ(b.join_s, a.join_s);
+    EXPECT_DOUBLE_EQ(b.partition_s, a.partition_s);
+    EXPECT_EQ(b.transfer_bytes, a.transfer_bytes);
+    EXPECT_EQ(b.set_index, a.set_index);
+  }
 }
 
 TEST_F(StatInvarianceTest, StreamingProbeMaterialize) {
