@@ -1,0 +1,318 @@
+// Figure 26 (extension beyond the paper): query-lifecycle hardening
+// under overload. The paper's experiments run one well-sized batch on a
+// healthy device; this figure measures what the session's admission
+// control, modeled deadlines and device-health circuit breaker do when
+// the offered load, deadline tightness and fault rate are swept past
+// that regime.
+//
+// Cells:
+//   offered load sweep — N submitted queries against (a) an unbounded
+//       queue and (b) a bounded queue with kDeadlineAware admission:
+//       the unbounded queue's admitted-query p95 modeled latency grows
+//       with N (queueing collapse) while the bounded queue sheds the
+//       excess, holds p95 near the unloaded baseline, and degrades
+//       goodput gracefully;
+//   deadline tightness sweep — per-query deadlines from generous to
+//       impossible: deadline misses grow monotonically, each a typed
+//       kDeadlineExceeded with the wasted work charged;
+//   quarantine cell — a two-device topology with one fault-prone
+//       device: the sliding-window breaker quarantines it and queued
+//       work fails over to the healthy survivor.
+//
+// Everything is deterministic: repeated runs and host pool widths
+// {1, 8} give bit-identical modeled stats, and the lifecycle counters
+// surface in the shared Prometheus registry and the session traces.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "bench/runner.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/exec/session.h"
+#include "src/obs/metrics.h"
+#include "src/sim/fault.h"
+#include "src/sim/topology.h"
+#include "src/util/thread_pool.h"
+
+namespace gjoin {
+namespace {
+
+constexpr int kMaxLoad = 16;     ///< Largest offered-load cell.
+constexpr size_t kQueueCap = 4;  ///< Bounded-queue admission limit.
+
+struct CellResult {
+  int offered = 0;
+  int completed = 0;
+  size_t shed = 0;
+  size_t deadline_misses = 0;
+  double p95 = 0;       ///< p95 finish_s over the completed queries.
+  double makespan = 0;
+  double penalty = 0;
+};
+
+int Run(int argc, char** argv) {
+  auto ctx = bench::BenchContext::Create(
+      argc, argv, "fig26",
+      "overload: shedding holds p95 while goodput degrades gracefully",
+      /*default_divisor=*/32);
+
+  const size_t build_n = ctx.Scale(2 * bench::kM);
+  const size_t probe_n = ctx.Scale(4 * bench::kM);
+
+  api::JoinConfig base_cfg;
+  base_cfg.strategy = api::Strategy::kInGpu;
+  base_cfg.pass_bits = ctx.ScalePassBits({8, 7});
+
+  // Distinct relations per query so admission cost estimates and queue
+  // byte limits see every query's own input (shared artifacts would
+  // hide the queue behind cache hits).
+  std::vector<data::Relation> builds, probes;
+  std::vector<data::OracleResult> oracles;
+  for (int i = 0; i < kMaxLoad; ++i) {
+    builds.push_back(data::MakeUniqueUniform(build_n, 2600 + i));
+    probes.push_back(data::MakeUniformProbe(probe_n, build_n, 2700 + i));
+    oracles.push_back(data::JoinOracle(builds.back(), probes.back()));
+  }
+
+  obs::MetricsRegistry registry;
+
+  // Runs the first `offered` queries under `session_cfg` / `cfg`,
+  // verifying every completed query against its oracle. `trace_name`
+  // (when set) dumps the session trace under --trace_dir.
+  auto run_cell = [&](int offered, const exec::SessionConfig& session_cfg,
+                      const api::JoinConfig& cfg, util::ThreadPool* pool,
+                      const char* what,
+                      const char* trace_name = nullptr) -> CellResult {
+    sim::Device device(ctx.spec(), pool);
+    exec::SessionConfig with_metrics = session_cfg;
+    with_metrics.metrics = &registry;
+    exec::Session session(&device, with_metrics);
+    for (int q = 0; q < offered; ++q) {
+      session.Submit(builds[static_cast<size_t>(q)],
+                     probes[static_cast<size_t>(q)], cfg);
+    }
+    util::ExitOnError(session.Run(), what);
+    CellResult cell;
+    cell.offered = offered;
+    std::vector<double> finishes;
+    for (int q = 0; q < offered; ++q) {
+      const exec::QueryResult& result = session.result(q);
+      if (!result.status.ok()) continue;
+      ++cell.completed;
+      finishes.push_back(result.finish_s);
+      bench::VerifyJoin(result.outcome.stats.matches,
+                        result.outcome.stats.payload_sum,
+                        oracles[static_cast<size_t>(q)], what);
+    }
+    std::sort(finishes.begin(), finishes.end());
+    if (!finishes.empty()) {
+      const size_t idx =
+          (finishes.size() * 95 + 99) / 100;  // ceil(0.95 n), 1-based
+      cell.p95 = finishes[std::min(idx, finishes.size()) - 1];
+    }
+    const exec::SessionStats& stats = session.stats();
+    cell.shed = stats.shed_queries;
+    cell.deadline_misses = stats.deadline_misses;
+    cell.makespan = stats.makespan_s;
+    cell.penalty = stats.fault_penalty_s;
+    if (trace_name != nullptr) {
+      bench::MaybeDumpSessionTrace(ctx, session, trace_name);
+    }
+    return cell;
+  };
+
+  // ---- Unloaded baseline: the queue capacity alone, no limits ----
+  const CellResult baseline = run_cell(
+      static_cast<int>(kQueueCap), exec::SessionConfig(), base_cfg,
+      /*pool=*/nullptr, "fig26 baseline");
+  ctx.Emit("Baseline p95", static_cast<double>(kQueueCap), baseline.p95);
+
+  // ---- Offered load sweep: unbounded queue vs deadline-aware shedding ----
+  exec::SessionConfig shed_cfg;
+  shed_cfg.max_queued_queries = kQueueCap;
+  shed_cfg.admission = api::AdmissionPolicy::kDeadlineAware;
+  api::JoinConfig deadline_cfg = base_cfg;
+  // Generous for the admitted prefix, unmeetable for a deep queue: the
+  // deadline-aware policy sheds what could never finish in time.
+  deadline_cfg.deadline_s = 2 * baseline.makespan;
+
+  bool shed_holds_p95 = true;
+  bool shed_grows = true;
+  bool goodput_graceful = true;
+  size_t prev_shed = 0;
+  double unbounded_p95_at_max = 0;
+  double shed_p95_at_max = 0;
+  for (const int offered : {4, 8, 16}) {
+    const CellResult unbounded =
+        run_cell(offered, exec::SessionConfig(), base_cfg, nullptr,
+                 "fig26 unbounded");
+    const CellResult shed =
+        run_cell(offered, shed_cfg, deadline_cfg, nullptr, "fig26 shed",
+                 offered == kMaxLoad ? "overload_shed" : nullptr);
+    ctx.Emit("Unbounded p95", offered, unbounded.p95);
+    ctx.Emit("DeadlineAware p95", offered, shed.p95);
+    ctx.Emit("DeadlineAware shed", offered, static_cast<double>(shed.shed));
+    ctx.Emit("Unbounded goodput", offered,
+             static_cast<double>(unbounded.completed) / offered);
+    ctx.Emit("DeadlineAware goodput", offered,
+             static_cast<double>(shed.completed) / offered);
+
+    // Admitted-query p95 holds near the unloaded baseline under load.
+    shed_holds_p95 = shed_holds_p95 && shed.p95 <= 1.5 * baseline.p95;
+    if (offered > static_cast<int>(kQueueCap)) {
+      shed_grows = shed_grows && shed.shed > prev_shed;
+      // Graceful degradation: at least the queue capacity completes,
+      // and every non-completed query was shed or missed, not wedged.
+      goodput_graceful =
+          goodput_graceful && shed.completed >= static_cast<int>(kQueueCap) &&
+          static_cast<size_t>(offered) ==
+              static_cast<size_t>(shed.completed) + shed.shed +
+                  shed.deadline_misses;
+    }
+    prev_shed = shed.shed;
+    if (offered == kMaxLoad) {
+      unbounded_p95_at_max = unbounded.p95;
+      shed_p95_at_max = shed.p95;
+    }
+  }
+  ctx.Check("deadline-aware shedding holds admitted p95 within 1.5x baseline",
+            shed_holds_p95);
+  ctx.Check("shed count grows with offered load", shed_grows);
+  ctx.Check("goodput degrades gracefully (capacity still completes)",
+            goodput_graceful);
+  ctx.Check("the unbounded queue's p95 collapses past the shed queue's",
+            unbounded_p95_at_max > 2 * shed_p95_at_max);
+
+  // ---- Deadline tightness sweep (misses, not shedding) ----
+  {
+    const double kTightness[] = {2.0, 1.0, 0.25, 0.01};
+    size_t prev_misses = 0;
+    bool misses_monotone = true;
+    CellResult tightest;
+    for (const double factor : kTightness) {
+      api::JoinConfig cfg = base_cfg;
+      cfg.deadline_s = factor * baseline.makespan;
+      const CellResult cell =
+          run_cell(static_cast<int>(kQueueCap), exec::SessionConfig(), cfg,
+                   nullptr, "fig26 tightness");
+      ctx.Emit("DeadlineMisses", factor,
+               static_cast<double>(cell.deadline_misses));
+      misses_monotone = misses_monotone && cell.deadline_misses >= prev_misses;
+      prev_misses = cell.deadline_misses;
+      tightest = cell;
+    }
+    ctx.Check("deadline misses grow as deadlines tighten",
+              misses_monotone && tightest.deadline_misses > 0);
+    ctx.Check("a missed deadline charges its wasted issued work",
+              tightest.penalty > 0);
+
+    // Determinism: the deadline-missed run is bit-identical across
+    // repeated runs and host pool widths {1, 8}.
+    api::JoinConfig cfg = base_cfg;
+    cfg.deadline_s = 0.25 * baseline.makespan;
+    util::ThreadPool narrow_pool(1), wide_pool(8);
+    const CellResult again = run_cell(static_cast<int>(kQueueCap),
+                                      exec::SessionConfig(), cfg, nullptr,
+                                      "fig26 det");
+    const CellResult narrow = run_cell(static_cast<int>(kQueueCap),
+                                       exec::SessionConfig(), cfg,
+                                       &narrow_pool, "fig26 det");
+    const CellResult wide = run_cell(static_cast<int>(kQueueCap),
+                                     exec::SessionConfig(), cfg, &wide_pool,
+                                     "fig26 det");
+    const CellResult reference = run_cell(static_cast<int>(kQueueCap),
+                                          exec::SessionConfig(), cfg, nullptr,
+                                          "fig26 det");
+    auto same = [](const CellResult& a, const CellResult& b) {
+      return a.makespan == b.makespan && a.p95 == b.p95 &&
+             a.deadline_misses == b.deadline_misses &&
+             a.penalty == b.penalty && a.completed == b.completed;
+    };
+    ctx.Check("deadline-missed runs are bit-identical across runs and "
+              "pool widths {1,8}",
+              same(reference, again) && same(reference, narrow) &&
+                  same(reference, wide));
+  }
+
+  // ---- Quarantine cell: one sick device on a two-device topology ----
+  {
+    auto run_quarantine = [&](size_t width) {
+      util::ThreadPool pool(width);
+      sim::Topology topo(ctx.spec(), 2, &pool);
+      sim::FaultPlan plan;
+      plan.transfer_fault_p = 0.7;
+      plan.max_transfer_attempts = 50;  // transient: queries complete
+      plan.seed = 26;
+      topo.device(1).ArmFaults(plan);
+      exec::SessionConfig session_cfg;
+      session_cfg.metrics = &registry;
+      session_cfg.device_failure_window = 4;
+      session_cfg.device_failure_rate = 0.5;
+      session_cfg.quarantine_probation_s = 1e9;  // stays out once tripped
+      exec::Session session(&topo, session_cfg);
+      for (int q = 0; q < 8; ++q) {
+        session.Submit(builds[static_cast<size_t>(q)],
+                       probes[static_cast<size_t>(q)], base_cfg);
+      }
+      util::ExitOnError(session.Run(), "fig26 quarantine");
+      int completed = 0;
+      for (int q = 0; q < 8; ++q) {
+        const exec::QueryResult& result = session.result(q);
+        if (!result.status.ok()) continue;
+        ++completed;
+        bench::VerifyJoin(result.outcome.stats.matches,
+                          result.outcome.stats.payload_sum,
+                          oracles[static_cast<size_t>(q)],
+                          "fig26 quarantine");
+      }
+      struct Snapshot {
+        int completed;
+        size_t quarantines;
+        size_t failovers;
+        double makespan;
+        double penalty;
+      };
+      if (width == 1) {
+        bench::MaybeDumpSessionTrace(ctx, session, "quarantine");
+      }
+      return Snapshot{completed, session.stats().device_quarantines,
+                      session.stats().device_failovers,
+                      session.stats().makespan_s,
+                      session.stats().fault_penalty_s};
+    };
+    const auto narrow = run_quarantine(1);
+    const auto wide = run_quarantine(8);
+    ctx.Emit("Quarantines", 0, static_cast<double>(narrow.quarantines));
+    ctx.Emit("Failovers", 0, static_cast<double>(narrow.failovers));
+    ctx.Check("the breaker quarantines the sick device and fails work over",
+              narrow.quarantines >= 1 && narrow.failovers >= 1 &&
+                  narrow.completed == 8);
+    ctx.Check("quarantine runs are bit-identical at pool widths {1,8}",
+              narrow.quarantines == wide.quarantines &&
+                  narrow.failovers == wide.failovers &&
+                  narrow.makespan == wide.makespan &&
+                  narrow.penalty == wide.penalty);
+  }
+
+  // ---- Lifecycle metrics surface in the shared registry ----
+  {
+    const std::string text = registry.PrometheusText();
+    const bool all_present =
+        text.find("gjoin_queries_shed_total") != std::string::npos &&
+        text.find("gjoin_deadline_miss_total") != std::string::npos &&
+        text.find("gjoin_device_quarantines_total") != std::string::npos &&
+        text.find("gjoin_device_health_ratio") != std::string::npos;
+    ctx.Check("lifecycle metrics appear in the Prometheus exposition",
+              all_present);
+  }
+  return ctx.Finish();
+}
+
+}  // namespace
+}  // namespace gjoin
+
+int main(int argc, char** argv) { return gjoin::Run(argc, argv); }

@@ -12,9 +12,13 @@ caught in review instead of as a golden diff three PRs later:
                     fault/recovery paths) must not read wall clocks, OS
                     randomness, or iterate hash-ordered containers:
                     std::rand/srand, time(), ::now(),
+                    std::chrono::{steady,system,high_resolution}_clock,
                     std::random_device, and std::unordered_{map,set} are
                     banned there. Fault randomness must come from a
-                    seeded sim::FaultInjector stream.
+                    seeded sim::FaultInjector stream, and query deadlines
+                    / quarantine probation run on the modeled clock —
+                    naming a wall-clock type in a charged layer is a bug
+                    even before anyone calls ::now() on it.
   timeline-mutation computed Schedule lane fields (busy_s, lane_busy_s,
                     start_s, finish_s) may only be written inside
                     src/sim/; everyone else builds DAGs through
@@ -81,6 +85,10 @@ NONDET_PATTERNS = [
      "wall-clock time() read"),
     (re.compile(r"::now\s*\(\s*\)"),
      "clock ::now() read (wall time must not feed charged stats)"),
+    (re.compile(
+        r"\bstd::chrono::(steady_clock|system_clock|high_resolution_clock)\b"),
+     "wall-clock type in a charged layer (deadlines and probation timers "
+     "run on the modeled clock, never std::chrono)"),
     (re.compile(r"\bstd::unordered_(map|set)\b"),
      "unordered container iteration order is address/hash-dependent"),
 ]
@@ -362,6 +370,25 @@ FIXTURES = {
         "  s->lane_busy_s[2] += 1.5;\n"
         "}\n",
         {"timeline-mutation"},
+    ),
+    "src/exec/bad_wall_deadline.cc": (
+        # A deadline held as a wall-clock time point is nondeterministic
+        # even before anyone reads the clock: charged abort decisions
+        # would depend on host speed. (No ::now() call here — this pins
+        # the type-name rule, not the read rule.)
+        "#include <chrono>\n"
+        "struct QueryState {\n"
+        "  std::chrono::steady_clock::time_point deadline;\n"
+        "  std::chrono::system_clock::duration probation;\n"
+        "};\n",
+        {"nondeterminism"},
+    ),
+    "src/util/clean_wall_profiler.cc": (
+        # Wall clocks are fine outside the charged layers (src/util,
+        # src/obs host profiling never feeds charged stats).
+        "#include <chrono>\n"
+        "using WallClock = std::chrono::steady_clock;\n",
+        set(),
     ),
     "src/exec/bad_fault_entropy.cc": (
         # Fault paths must draw from the plan's seeded PRNG stream, not

@@ -40,6 +40,18 @@ const char* StrategyName(Strategy strategy) {
   return "?";
 }
 
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kSubmitOrder:
+      return "submit-order";
+    case AdmissionPolicy::kShortestJobFirst:
+      return "shortest-job-first";
+    case AdmissionPolicy::kDeadlineAware:
+      return "deadline-aware";
+  }
+  return "?";
+}
+
 Strategy ChooseStrategy(const sim::Device& device, uint64_t build_bytes,
                         uint64_t probe_bytes) {
   const double capacity =

@@ -74,7 +74,15 @@ enum class AdmissionPolicy {
   kShortestJobFirst,   ///< Ascending estimated bytes moved (build +
                        ///< probe); ties keep submit order. Changes
                        ///< completion order, never per-query stats.
+  kDeadlineAware,      ///< Submit order, but when the session's queue
+                       ///< limits overflow, queued queries whose
+                       ///< deadlines are already unmeetable by
+                       ///< estimated cost are shed (kOverloaded)
+                       ///< before refusing the new arrival.
 };
+
+/// Human-readable admission-policy name.
+const char* AdmissionPolicyName(AdmissionPolicy policy);
 
 /// Default CPU thread count for the co-processing partitioning phase:
 /// the paper testbed's 16, clamped to this host's
@@ -135,6 +143,15 @@ struct JoinConfig {
   /// How multi-device work is placed. Joins of a single query default to
   /// kPartition (replication buys a lone query nothing).
   PlacementPolicy placement = PlacementPolicy::kPartition;
+
+  /// Deadline for this query in *modeled* seconds from the start of the
+  /// batch timeline (never host wall-clock). <= 0 means none. A session
+  /// run aborts the query's remaining ops once the modeled clock would
+  /// cross this value: already-charged work stays charged, staged
+  /// artifacts are released, and the query completes with a typed
+  /// kDeadlineExceeded carrying its fault_penalty_s. Siblings in the
+  /// batch are untouched. Charge-free when unset.
+  double deadline_s = 0;
 };
 
 /// \brief Join outcome: verified result stats plus the chosen strategy.

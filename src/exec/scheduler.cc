@@ -7,13 +7,44 @@ namespace gjoin::exec {
 
 util::Result<ScheduledBatch> ScheduleBatch(
     const QueryGraph& graph, int num_queries,
-    const std::vector<std::string>* extra_lane_names) {
+    const std::vector<std::string>* extra_lane_names,
+    const std::vector<double>* deadlines) {
   const std::vector<QueryNode>& nodes = graph.nodes();
   const size_t n = nodes.size();
   ScheduledBatch batch;
   batch.node_to_op.assign(n, -1);
   batch.query_finish_s.assign(static_cast<size_t>(std::max(num_queries, 0)),
                               0.0);
+  batch.deadline_missed.assign(batch.query_finish_s.size(), 0);
+  batch.wasted_s.assign(batch.query_finish_s.size(), 0.0);
+  const auto deadline_of = [&](int q) -> double {
+    if (deadlines == nullptr || q < 0 ||
+        static_cast<size_t>(q) >= deadlines->size()) {
+      return 0.0;  // <= 0: no deadline.
+    }
+    return (*deadlines)[static_cast<size_t>(q)];
+  };
+  bool any_deadline = false;
+  if (deadlines != nullptr) {
+    for (double d : *deadlines) any_deadline |= d > 0;
+  }
+
+  // Nodes some *other* query transitively depends on (shared build
+  // artifacts and their producers). These must issue even when their
+  // owning query aborts on a deadline — otherwise the abort would leak
+  // into siblings' schedules. Deps point backwards, so one descending
+  // sweep closes the set.
+  std::vector<uint8_t> needed_by_other(n, 0);
+  if (any_deadline) {
+    for (size_t i = n; i-- > 0;) {
+      for (NodeId dep : nodes[i].deps) {
+        const size_t d = static_cast<size_t>(dep);
+        if (nodes[i].query != nodes[d].query || needed_by_other[i] != 0) {
+          needed_by_other[d] = 1;
+        }
+      }
+    }
+  }
 
   // Validate and index the DAG. Nodes are appended in dependency order
   // (QueryGraph::Append only links backwards), so deps must precede.
@@ -77,6 +108,24 @@ util::Result<ScheduledBatch> ScheduleBatch(
     ready.erase(ready.begin() + static_cast<ptrdiff_t>(best_pos));
     const QueryNode& node = nodes[static_cast<size_t>(id)];
 
+    // Deadline check at the op boundary, on the modeled clock: an op
+    // whose query already aborted, or whose start would land at/past
+    // the deadline, is dropped — unless a sibling needs its artifact.
+    const double deadline = deadline_of(node.query);
+    if (deadline > 0 && needed_by_other[static_cast<size_t>(id)] == 0 &&
+        (batch.deadline_missed[static_cast<size_t>(node.query)] != 0 ||
+         best_start >= deadline)) {
+      batch.deadline_missed[static_cast<size_t>(node.query)] = 1;
+      finish[static_cast<size_t>(id)] = best_start;  // Never read by
+      ++scheduled;                                   // issued nodes.
+      for (NodeId dependent : dependents[static_cast<size_t>(id)]) {
+        if (--pending[static_cast<size_t>(dependent)] == 0) {
+          ready.push_back(dependent);
+        }
+      }
+      continue;
+    }
+
     std::vector<sim::OpId> dep_ops;
     dep_ops.reserve(node.deps.size());
     for (NodeId dep : node.deps) {
@@ -101,11 +150,31 @@ util::Result<ScheduledBatch> ScheduleBatch(
   GJOIN_ASSIGN_OR_RETURN(batch.schedule, batch.timeline.Run());
   for (size_t i = 0; i < n; ++i) {
     const int q = nodes[i].query;
-    if (q >= 0 && static_cast<size_t>(q) < batch.query_finish_s.size()) {
-      const sim::OpId op = batch.node_to_op[i];
+    const sim::OpId op = batch.node_to_op[i];
+    if (op >= 0 && q >= 0 &&
+        static_cast<size_t>(q) < batch.query_finish_s.size()) {
       batch.query_finish_s[static_cast<size_t>(q)] =
           std::max(batch.query_finish_s[static_cast<size_t>(q)],
                    batch.schedule.finish_s[static_cast<size_t>(op)]);
+    }
+  }
+  if (any_deadline) {
+    // Late completion is a miss too: every op issued, but the last one
+    // finished past the deadline on the modeled clock.
+    for (size_t q = 0; q < batch.query_finish_s.size(); ++q) {
+      const double deadline = deadline_of(static_cast<int>(q));
+      if (deadline > 0 && batch.query_finish_s[q] > deadline) {
+        batch.deadline_missed[q] = 1;
+      }
+    }
+    // Issued-but-wasted work of missed queries (their charges stand).
+    for (size_t i = 0; i < n; ++i) {
+      const int q = nodes[i].query;
+      if (q >= 0 && static_cast<size_t>(q) < batch.deadline_missed.size() &&
+          batch.deadline_missed[static_cast<size_t>(q)] != 0 &&
+          batch.node_to_op[i] >= 0) {
+        batch.wasted_s[static_cast<size_t>(q)] += nodes[i].duration_s;
+      }
     }
   }
   return batch;

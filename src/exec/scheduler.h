@@ -15,6 +15,7 @@
 #ifndef GJOIN_EXEC_SCHEDULER_H_
 #define GJOIN_EXEC_SCHEDULER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -28,10 +29,20 @@ namespace gjoin::exec {
 struct ScheduledBatch {
   sim::Timeline timeline;        ///< Merged ops, in issue order.
   sim::Schedule schedule;        ///< timeline.Run() result.
-  std::vector<sim::OpId> node_to_op;  ///< NodeId -> OpId in `timeline`.
+  /// NodeId -> OpId in `timeline`; -1 for nodes aborted by a deadline
+  /// (never issued, never charged).
+  std::vector<sim::OpId> node_to_op;
   /// Completion time of each query (max finish over its own + aliased
   /// ops), indexed by query id; size = num_queries.
   std::vector<double> query_finish_s;
+  /// 1 iff the query missed its deadline (aborted mid-flight, or its
+  /// last op finished past the deadline); size = num_queries, all zero
+  /// when no deadlines were passed.
+  std::vector<uint8_t> deadline_missed;
+  /// Modeled seconds of already-issued work belonging to each
+  /// deadline-missed query (charged work that produced no result);
+  /// size = num_queries.
+  std::vector<double> wasted_s;
 };
 
 /// Greedily schedules `graph` (see file comment). `num_queries` sizes
@@ -41,10 +52,22 @@ struct ScheduledBatch {
 /// "dev1:h2d" instead of "lane5"); all named lanes are created even if
 /// unused, fixing the lane layout independently of which devices got
 /// work. Returns Invalid on malformed graphs (dangling deps).
+///
+/// `deadlines`, when given, holds one modeled-clock deadline per query
+/// (<= 0 means none). The greedy issue loop checks each op's would-be
+/// start against its query's deadline: at or past it, the op and every
+/// remaining op private to that query are aborted (node_to_op stays -1)
+/// — already-issued ops stay on the timeline, so charged work stays
+/// charged. Ops another query transitively depends on (shared build
+/// artifacts) are never aborted, so siblings schedule bit-identically.
+/// A query whose ops all issued but whose finish lands past the
+/// deadline is also marked missed. With `deadlines` null or all <= 0
+/// the schedule is bit-identical to the deadline-free one.
 [[nodiscard]]
 util::Result<ScheduledBatch> ScheduleBatch(
     const QueryGraph& graph, int num_queries,
-    const std::vector<std::string>* extra_lane_names = nullptr);
+    const std::vector<std::string>* extra_lane_names = nullptr,
+    const std::vector<double>* deadlines = nullptr);
 
 }  // namespace gjoin::exec
 

@@ -98,33 +98,6 @@ class LeaseGuard {
   std::vector<std::string> keys_;
 };
 
-/// Draws the transient-fault count of one logical transfer from the
-/// armed plan's PRNG stream and charges its retries (one re-send of the
-/// transfer plus an exponentially growing backoff each) into `result`.
-/// Returns ExecutionError when every bounded attempt faulted.
-[[nodiscard]]
-util::Status ChargeTransferFaults(sim::FaultInjector* injector,
-                                  double transfer_s, const char* what,
-                                  QueryResult* result) {
-  if (injector == nullptr || injector->plan().transfer_fault_p <= 0) {
-    return util::Status::OK();
-  }
-  const sim::FaultPlan& plan = injector->plan();
-  const int failures = injector->DrawTransferFailures();
-  double backoff_s = plan.transfer_backoff_base_s;
-  for (int i = 0; i < failures; ++i) {
-    result->fault_penalty_s += transfer_s + backoff_s;
-    backoff_s *= 2;
-  }
-  result->transfer_retries += failures;
-  if (failures >= plan.max_transfer_attempts) {
-    return util::Status::ExecutionError(
-        std::string(what) + " transfer failed after " +
-        std::to_string(plan.max_transfer_attempts) + " attempts");
-  }
-  return util::Status::OK();
-}
-
 }  // namespace
 
 Session::Session(sim::Device* device, SessionConfig config)
@@ -152,13 +125,97 @@ QueryHandle Session::Submit(const data::Relation& build,
   query.build = &build;
   query.probe = &probe;
   query.config = config;
+  query.shed = !AdmitOne(build.bytes() + probe.bytes(), config.deadline_s).ok();
   queries_.push_back(query);
   return static_cast<QueryHandle>(queries_.size()) - 1;
 }
 
+util::Result<QueryHandle> Session::TrySubmit(const data::Relation& build,
+                                             const data::Relation& probe,
+                                             const api::JoinConfig& config) {
+  const util::Status admitted =
+      AdmitOne(build.bytes() + probe.bytes(), config.deadline_s);
+  if (!admitted.ok()) {
+    ++refused_submissions_;
+    return admitted;
+  }
+  Query query;
+  query.build = &build;
+  query.probe = &probe;
+  query.config = config;
+  queries_.push_back(query);
+  return static_cast<QueryHandle>(queries_.size()) - 1;
+}
+
+util::Status Session::Cancel(QueryHandle handle) {
+  if (handle < 0 || static_cast<size_t>(handle) >= queries_.size()) {
+    return util::Status::Invalid("Session::Cancel: unknown query handle " +
+                                 std::to_string(handle));
+  }
+  util::MutexLock lock(&cancel_mu_);
+  cancelled_.insert(handle);
+  return util::Status::OK();
+}
+
+double Session::EstimateCost(uint64_t bytes) const {
+  const hw::HardwareSpec& spec = devices_[0]->spec();
+  const hw::PcieModel pcie(spec.pcie);
+  const double gpu_gbps = spec.gpu.device_bw_gbps * spec.gpu.stream_efficiency;
+  return static_cast<double>(bytes) * 6.0 / (gpu_gbps * 1e9) +
+         pcie.DmaSeconds(bytes);
+}
+
+util::Status Session::AdmitOne(uint64_t bytes, double deadline_s) {
+  if (config_.max_queued_queries == 0 && config_.max_queued_bytes == 0) {
+    return util::Status::OK();
+  }
+  const auto has_room = [this, bytes]() {
+    size_t queued = 0;
+    uint64_t queued_bytes = 0;
+    for (const Query& q : queries_) {
+      if (q.shed) continue;
+      ++queued;
+      queued_bytes += q.build->bytes() + q.probe->bytes();
+    }
+    return (config_.max_queued_queries == 0 ||
+            queued + 1 <= config_.max_queued_queries) &&
+           (config_.max_queued_bytes == 0 ||
+            queued_bytes + bytes <= config_.max_queued_bytes);
+  };
+  if (has_room()) return util::Status::OK();
+
+  if (config_.admission == api::AdmissionPolicy::kDeadlineAware) {
+    // Shed queued queries whose deadlines are already unmeetable by the
+    // accumulated estimated cost ahead of them — their slots go to
+    // arrivals that can still make it.
+    const double n = static_cast<double>(std::max(device_count(), 1));
+    double est_s = 0;
+    for (Query& q : queries_) {
+      if (q.shed) continue;
+      est_s += EstimateCost(q.build->bytes() + q.probe->bytes()) / n;
+      if (q.config.deadline_s > 0 && est_s > q.config.deadline_s) {
+        q.shed = true;
+      }
+    }
+    if (deadline_s > 0 && est_s + EstimateCost(bytes) / n > deadline_s) {
+      return util::Status::Overloaded(
+          "query shed: its deadline of " + std::to_string(deadline_s) +
+          "s is already unmeetable by estimated queue cost");
+    }
+    if (has_room()) return util::Status::OK();
+  }
+  return util::Status::Overloaded(
+      "session queue limits exceeded (max_queued_queries=" +
+      std::to_string(config_.max_queued_queries) +
+      ", max_queued_bytes=" + std::to_string(config_.max_queued_bytes) + ")");
+}
+
 std::vector<int> Session::AdmissionOrder() const {
-  std::vector<int> order(queries_.size());
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<int> order;
+  order.reserve(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (!queries_[i].shed) order.push_back(static_cast<int>(i));
+  }
   if (config_.admission == api::AdmissionPolicy::kShortestJobFirst) {
     std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
       const Query& qa = queries_[static_cast<size_t>(a)];
@@ -185,7 +242,8 @@ void Session::PlanPlacement(const std::vector<int>& order) {
     return static_cast<double>(bytes) * 6.0 / (gpu_gbps * 1e9);
   };
 
-  std::vector<double> est_busy(static_cast<size_t>(n_dev), 0.0);
+  est_busy_.assign(static_cast<size_t>(n_dev), 0.0);
+  std::vector<double>& est_busy = est_busy_;
   // Estimate-time build residency: key -> devices assumed to hold it.
   std::map<std::string, std::vector<bool>> build_on;
 
@@ -336,6 +394,153 @@ void Session::PlanPlacement(const std::vector<int>& order) {
   }
 }
 
+util::Status Session::ChargeTransferFaults(int device_index,
+                                           sim::FaultInjector* injector,
+                                           double transfer_s, const char* what,
+                                           QueryResult* result) {
+  if (injector == nullptr || injector->plan().transfer_fault_p <= 0) {
+    return util::Status::OK();
+  }
+  const sim::FaultPlan& plan = injector->plan();
+  // The draw is unconditional and identical to the budget-free path, so
+  // arming budgets or the circuit breaker never shifts the seeded fault
+  // stream — runs stay comparable fault for fault.
+  const int failures = injector->DrawTransferFailures();
+  const bool permanent = failures >= plan.max_transfer_attempts;
+  DeviceHealth& health = health_[static_cast<size_t>(device_index)];
+
+  if (config_.device_failure_rate > 0) {
+    // Sliding window of attempt outcomes; a full window at or above the
+    // failure-rate threshold trips the breaker.
+    const size_t window =
+        static_cast<size_t>(std::max(config_.device_failure_window, 1));
+    for (int i = 0; i < failures; ++i) health.window.push_back(1);
+    if (!permanent) health.window.push_back(0);
+    if (health.window.size() > window) {
+      health.window.erase(
+          health.window.begin(),
+          health.window.end() - static_cast<ptrdiff_t>(window));
+    }
+    if (health.state == DeviceState::kHealthy &&
+        health.window.size() >= window) {
+      int faulted = 0;
+      for (uint8_t outcome : health.window) faulted += outcome;
+      if (static_cast<double>(faulted) >=
+          config_.device_failure_rate * static_cast<double>(window)) {
+        health.state = DeviceState::kQuarantined;
+        health.probation_until_s =
+            est_clock_s_ + config_.quarantine_probation_s;
+        ++stats_.device_quarantines;
+      }
+    }
+  }
+
+  // Retry budgets: only the retries the query/device may still afford
+  // are attempted (and charged); the rest of the drawn faults abandon
+  // the transfer.
+  int allowed = failures;
+  const char* exhausted_by = nullptr;
+  if (config_.query_retry_budget > 0) {
+    const int left = config_.query_retry_budget - result->transfer_retries;
+    if (left < allowed) {
+      allowed = std::max(left, 0);
+      exhausted_by = "query";
+    }
+  }
+  if (config_.device_retry_budget > 0) {
+    const int left = config_.device_retry_budget - health.retries_used;
+    if (left < allowed) {
+      allowed = std::max(left, 0);
+      exhausted_by = "device";
+    }
+  }
+
+  double backoff_s =
+      std::min(plan.transfer_backoff_base_s, plan.transfer_max_backoff_s);
+  for (int i = 0; i < allowed; ++i) {
+    result->fault_penalty_s += transfer_s + backoff_s;
+    backoff_s = std::min(backoff_s * 2, plan.transfer_max_backoff_s);
+  }
+  result->transfer_retries += allowed;
+  health.retries_used += allowed;
+  if (exhausted_by != nullptr && allowed < failures) {
+    ++stats_.retry_budget_exhausted;
+    return util::Status::ExecutionError(
+        std::string(what) + " transfer abandoned: " + exhausted_by +
+        " retry budget exhausted after " + std::to_string(allowed) +
+        " charged retries");
+  }
+  if (permanent) {
+    return util::Status::ExecutionError(
+        std::string(what) + " transfer failed after " +
+        std::to_string(plan.max_transfer_attempts) + " attempts");
+  }
+  return util::Status::OK();
+}
+
+bool Session::ResolveQuarantinedPlacement(int index) {
+  if (config_.device_failure_rate <= 0) return true;
+  // Probation runs on the deterministic est-clock: a quarantined device
+  // whose timer elapsed turns half-open (one trial query re-admits it).
+  for (DeviceHealth& health : health_) {
+    if (health.state == DeviceState::kQuarantined &&
+        est_clock_s_ >= health.probation_until_s) {
+      health.state = DeviceState::kHalfOpen;
+    }
+  }
+  Query& query = queries_[static_cast<size_t>(index)];
+  if (query.split) return true;  // Sliced across the group; slices stay.
+  if (health_[static_cast<size_t>(query.device)].state !=
+      DeviceState::kQuarantined) {
+    return true;
+  }
+  // Home device is quarantined: re-place onto the earliest-estimated-
+  // finish survivor (PR 7's death-failover shape, driven by health).
+  int best = -1;
+  for (int d = 0; d < device_count(); ++d) {
+    if (health_[static_cast<size_t>(d)].state == DeviceState::kQuarantined) {
+      continue;
+    }
+    if (best < 0 ||
+        est_busy_[static_cast<size_t>(d)] < est_busy_[static_cast<size_t>(best)]) {
+      best = d;
+    }
+  }
+  ++stats_.device_failovers;
+  if (best < 0) {
+    if (recovery_enabled_) {
+      // Every device quarantined: fall to the host rung.
+      query.strategy = api::Strategy::kCpuOnly;
+      query.device = 0;
+      return true;
+    }
+    return false;
+  }
+  query.device = best;
+  est_busy_[static_cast<size_t>(best)] +=
+      EstimateCost(query.build->bytes() + query.probe->bytes());
+  return true;
+}
+
+void Session::UpdateDeviceHealthAfterQuery(int index, uint64_t faults_before) {
+  if (config_.device_failure_rate <= 0) return;
+  const Query& query = queries_[static_cast<size_t>(index)];
+  DeviceHealth& health = health_[static_cast<size_t>(query.device)];
+  if (health.state != DeviceState::kHalfOpen) return;
+  const sim::FaultInjector* injector = device(query.device)->faults();
+  const uint64_t faults_after =
+      injector != nullptr ? injector->transfer_faults() : 0;
+  if (faults_after > faults_before) {
+    // The trial faulted: back to quarantine, probation restarts.
+    health.state = DeviceState::kQuarantined;
+    health.probation_until_s = est_clock_s_ + config_.quarantine_probation_s;
+    ++stats_.device_quarantines;
+  } else {
+    health.state = DeviceState::kHealthy;
+    health.window.clear();
+  }
+}
+
 util::Status Session::Run() {
   if (ran_) {
     return util::Status::Internal("Session::Run called twice");
@@ -350,7 +555,10 @@ util::Status Session::Run() {
     for (const sim::Device* d : devices_) {
       if (d->faults() != nullptr) recovery_enabled_ = true;
     }
+    health_.assign(devices_.size(), DeviceHealth());
+    est_clock_s_ = 0;
     for (Query& query : queries_) {
+      if (query.shed) continue;  // Never planned, never charged.
       query.strategy = query.config.strategy;
       if (query.strategy == api::Strategy::kAuto) {
         query.strategy = api::ChooseStrategy(
@@ -376,13 +584,51 @@ util::Status Session::Run() {
       span_name += std::to_string(q);
       obs::ProfileSpan query_span(config_.profiler, std::move(span_name));
       QueryResult& result = results_[static_cast<size_t>(q)];
+      // Cooperative cancellation: checked once at the query boundary —
+      // a cancelled query charges nothing and its siblings proceed.
+      bool cancelled = false;
+      {
+        util::MutexLock lock(&cancel_mu_);
+        cancelled = cancelled_.count(q) > 0;
+      }
+      if (cancelled) {
+        result.status =
+            util::Status::Cancelled("query " + std::to_string(q) +
+                                    " cancelled before execution");
+        ++stats_.cancelled_queries;
+        ++stats_.failed_queries;
+        continue;
+      }
+      if (!ResolveQuarantinedPlacement(q)) {
+        result.status = util::Status::ExecutionError(
+            "every session device is quarantined (enable "
+            "SessionConfig::recovery for a host-CPU fallback)");
+        ++stats_.failed_queries;
+        continue;
+      }
+      const sim::FaultInjector* home_injector =
+          device(queries_[static_cast<size_t>(q)].device)->faults();
+      const uint64_t faults_before =
+          home_injector != nullptr ? home_injector->transfer_faults() : 0;
       result.status = ExecuteQuery(q, &graph_, &result);
+      est_clock_s_ += result.solo_seconds;
+      UpdateDeviceHealthAfterQuery(q, faults_before);
       if (!result.status.ok()) {
         ++stats_.failed_queries;
         result.outcome.stats = JoinStats();
         result.solo_seconds = 0;
       }
     }
+    // Shed submissions surface their typed refusal as the per-query
+    // status (TrySubmit refusals were never enqueued; they only count).
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      if (!queries_[i].shed) continue;
+      results_[i].status = util::Status::Overloaded(
+          "query shed by session admission limits");
+      ++stats_.shed_queries;
+      ++stats_.failed_queries;
+    }
+    stats_.shed_queries += refused_submissions_;
   }
 
   // ---- Schedule the merged DAG on the shared device timelines ----
@@ -390,16 +636,45 @@ util::Status Session::Run() {
     obs::ProfileSpan schedule_span(config_.profiler, "session:schedule");
     const std::vector<std::string> extra_lanes =
         sim::Topology::ExtraLaneNames(device_count());
+    // Per-query modeled-clock deadlines for the scheduler's op-boundary
+    // checks; queries that already failed (shed, cancelled, errored)
+    // have no ops to abort.
+    std::vector<double> deadlines(queries_.size(), 0.0);
+    bool any_deadline = false;
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      if (!results_[q].status.ok()) continue;
+      deadlines[q] = queries_[q].config.deadline_s;
+      any_deadline = any_deadline || deadlines[q] > 0;
+    }
     GJOIN_ASSIGN_OR_RETURN(
         ScheduledBatch batch,
         ScheduleBatch(graph_, static_cast<int>(queries_.size()),
-                      extra_lanes.empty() ? nullptr : &extra_lanes));
+                      extra_lanes.empty() ? nullptr : &extra_lanes,
+                      any_deadline ? &deadlines : nullptr));
     batch_ = std::move(batch);
   }
   stats_.makespan_s = batch_.schedule.makespan_s;
   stats_.independent_s = 0;
   for (size_t q = 0; q < queries_.size(); ++q) {
     results_[q].finish_s = batch_.query_finish_s[q];
+    if (q < batch_.deadline_missed.size() && batch_.deadline_missed[q] != 0 &&
+        results_[q].status.ok()) {
+      // Deadline miss: remaining ops were aborted (or the last op
+      // finished late). Charged work stays charged — the wasted issued
+      // seconds fold into the fault penalty — but the query reports no
+      // result.
+      QueryResult& result = results_[q];
+      result.status = util::Status::DeadlineExceeded(
+          "query " + std::to_string(q) +
+          " missed its modeled deadline of " +
+          std::to_string(queries_[q].config.deadline_s) + "s");
+      result.fault_penalty_s += batch_.wasted_s[q];
+      stats_.fault_penalty_s += batch_.wasted_s[q];
+      result.outcome.stats = JoinStats();
+      result.solo_seconds = 0;
+      ++stats_.deadline_misses;
+      ++stats_.failed_queries;
+    }
     stats_.independent_s += results_[q].solo_seconds;
   }
   stats_.speedup = stats_.makespan_s > 0
@@ -499,6 +774,56 @@ void Session::PublishMetrics() {
       ->GetGauge("gjoin_batch_makespan_modeled_seconds",
                  "Modeled makespan of the most recent session batch.")
       ->Set(stats_.makespan_s);
+
+  // Lifecycle metrics register only when their feature is configured
+  // (or fired), keeping the exposition of an unconfigured session
+  // byte-identical to pre-lifecycle builds.
+  if (config_.max_queued_queries > 0 || config_.max_queued_bytes > 0 ||
+      stats_.shed_queries > 0) {
+    registry
+        ->GetCounter("gjoin_queries_shed_total",
+                     "Submissions shed by session admission limits.")
+        ->Increment(stats_.shed_queries);
+  }
+  bool any_deadline = false;
+  for (const Query& query : queries_) {
+    any_deadline = any_deadline || query.config.deadline_s > 0;
+  }
+  if (any_deadline || stats_.deadline_misses > 0) {
+    registry
+        ->GetCounter("gjoin_deadline_miss_total",
+                     "Queries that missed their modeled deadline.")
+        ->Increment(stats_.deadline_misses);
+  }
+  if (stats_.cancelled_queries > 0) {
+    registry
+        ->GetCounter("gjoin_queries_cancelled_total",
+                     "Queries cancelled before execution.")
+        ->Increment(stats_.cancelled_queries);
+  }
+  if (config_.device_failure_rate > 0) {
+    registry
+        ->GetCounter("gjoin_device_quarantines_total",
+                     "Times a session device entered quarantine.")
+        ->Increment(stats_.device_quarantines);
+    for (size_t d = 0; d < health_.size(); ++d) {
+      double ratio = 1.0;
+      if (!health_[d].window.empty()) {
+        int faulted = 0;
+        for (uint8_t outcome : health_[d].window) faulted += outcome;
+        ratio = 1.0 - static_cast<double>(faulted) /
+                          static_cast<double>(health_[d].window.size());
+      }
+      std::string name = "gjoin_device_health_ratio{device=\"";
+      name += std::to_string(d);
+      name += "\"}";
+      registry
+          ->GetGauge(name,
+                     "1 - recent transfer-fault fraction of the device's "
+                     "health window (1.0 = no recent faults).")
+          ->Set(ratio);
+    }
+  }
 }
 
 util::Result<std::string> Session::TraceJson() const {
@@ -515,6 +840,7 @@ util::Result<std::string> Session::TraceJson() const {
     const int q = nodes[n].query;
     if (q < 0 || static_cast<size_t>(q) >= results_.size()) continue;
     const sim::OpId op = batch_.node_to_op[n];
+    if (op < 0) continue;  // Aborted by a deadline: never issued.
     const Query& query = queries_[static_cast<size_t>(q)];
     const QueryResult& result = results_[static_cast<size_t>(q)];
     exporter.Annotate(op, "query", static_cast<int64_t>(q));
@@ -528,6 +854,9 @@ util::Result<std::string> Session::TraceJson() const {
                       static_cast<int64_t>(result.transfer_retries));
     exporter.Annotate(op, "degradations",
                       static_cast<int64_t>(result.degradations));
+    if (result.status.code() == util::StatusCode::kDeadlineExceeded) {
+      exporter.Annotate(op, "deadline_missed", static_cast<int64_t>(1));
+    }
   }
   if (config_.profiler != nullptr) {
     for (const obs::HostProfiler::Span& span : config_.profiler->spans()) {
@@ -811,7 +1140,8 @@ util::Status Session::ExecuteAttempt(int index, api::Strategy strategy,
           prepared = *cached != nullptr ? *cached : &local_build;
         }
         GJOIN_RETURN_NOT_OK(ChargeTransferFaults(
-            injector, pcie.DmaSeconds(build.bytes()), "build", result));
+            query.device, injector, pcie.DmaSeconds(build.bytes()), "build",
+            result));
       }
       if (cfg.join.key_bits == 0) cfg.join.key_bits = prepared->key_bits;
 
@@ -837,7 +1167,8 @@ util::Status Session::ExecuteAttempt(int index, api::Strategy strategy,
           s_dev = *cached != nullptr ? *cached : &local_probe;
         }
         GJOIN_RETURN_NOT_OK(ChargeTransferFaults(
-            injector, pcie.DmaSeconds(probe.bytes()), "probe", result));
+            query.device, injector, pcie.DmaSeconds(probe.bytes()), "probe",
+            result));
       }
 
       GJOIN_ASSIGN_OR_RETURN(
@@ -940,7 +1271,8 @@ util::Status Session::ExecuteAttempt(int index, api::Strategy strategy,
             prepared = *cached != nullptr ? *cached : &local_build;
           }
           GJOIN_RETURN_NOT_OK(ChargeTransferFaults(
-              injector, pcie.DmaSeconds(build.bytes()), "build", result));
+              query.device, injector, pcie.DmaSeconds(build.bytes()), "build",
+              result));
         }
       }
 

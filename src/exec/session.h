@@ -68,6 +68,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -78,7 +79,9 @@
 #include "src/exec/upload_cache.h"
 #include "src/sim/device.h"
 #include "src/sim/topology.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace gjoin::obs {
 class HostProfiler;
@@ -122,6 +125,34 @@ struct SessionConfig {
   /// query's error (and a degradation-ladder trigger under `recovery`)
   /// instead of silently running with a private, uncached copy.
   bool strict_cache_budget = false;
+
+  // ---- Lifecycle hardening (all charge-free at their defaults) ----------
+  /// Admission limit on queued (non-shed) queries; a submission past it
+  /// is shed with a typed kOverloaded. 0 = unbounded.
+  size_t max_queued_queries = 0;
+  /// Admission limit on the summed input bytes (build + probe) of the
+  /// queued queries. 0 = unbounded.
+  uint64_t max_queued_bytes = 0;
+  /// Per-query budget of transient transfer retries, summed over the
+  /// query's transfers (the recovery ladder included). Exhausting it
+  /// fails the query with a typed kExecutionError even when individual
+  /// transfers stay within the plan's per-transfer attempts. 0 = only
+  /// the armed FaultPlan's per-transfer bound applies.
+  int query_retry_budget = 0;
+  /// Per-device budget of transient transfer retries across all queries
+  /// of the session run. 0 = unlimited.
+  int device_retry_budget = 0;
+  /// Device-health circuit breaker: sliding window length, in transfer
+  /// attempts per device, over the armed FaultInjector's outcomes.
+  int device_failure_window = 16;
+  /// Failure-rate threshold in (0, 1] over a full window that sends the
+  /// device into quarantine (placement excludes it; queued work
+  /// re-places onto survivors). 0 disables the breaker (charge-free).
+  double device_failure_rate = 0;
+  /// Modeled probation seconds before a quarantined device turns
+  /// half-open: the next query placed there is its trial — a fault-free
+  /// trial re-admits the device, any fault re-quarantines it.
+  double quarantine_probation_s = 0.05;
 
   // ---- Observability hooks (not owned; both charge-free) ----------------
   /// When set, Run() publishes session counters, the modeled per-query
@@ -195,6 +226,14 @@ struct SessionStats {
   size_t failed_queries = 0;      ///< Queries with a non-OK per-query status.
   size_t device_failovers = 0;    ///< Queries re-placed off a dying device.
   double fault_penalty_s = 0;     ///< Modeled seconds charged to recovery.
+  // ---- Lifecycle counters (all zero when nothing is configured) ----
+  size_t shed_queries = 0;        ///< Submissions shed by admission limits.
+  size_t deadline_misses = 0;     ///< Queries that missed their modeled
+                                  ///< deadline (aborted or finished late).
+  size_t cancelled_queries = 0;   ///< Queries cancelled before executing.
+  size_t device_quarantines = 0;  ///< Times a device entered quarantine.
+  size_t retry_budget_exhausted = 0;  ///< Queries failed on an exhausted
+                                      ///< per-query/per-device retry budget.
   sim::Schedule schedule;         ///< Merged schedule (utilization etc.).
   UploadCacheStats cache;         ///< Artifact-cache counters, summed
                                   ///< over the per-device caches.
@@ -223,6 +262,27 @@ class Session {
   /// Relation object itself). Returns the query's handle.
   QueryHandle Submit(const data::Relation& build, const data::Relation& probe,
                      const api::JoinConfig& config = {});
+
+  /// Admission-checked Submit: refuses the query with a typed
+  /// kOverloaded — without enqueuing it — when the session's queue
+  /// limits (max_queued_queries / max_queued_bytes) are exceeded and
+  /// admission-policy shedding cannot make room. Submit() accepts the
+  /// same overload by enqueuing the query pre-shed instead: its result
+  /// reports kOverloaded after Run(). With no limits configured both
+  /// behave identically.
+  [[nodiscard]]
+  util::Result<QueryHandle> TrySubmit(const data::Relation& build,
+                                      const data::Relation& probe,
+                                      const api::JoinConfig& config = {});
+
+  /// Cooperatively cancels query `handle`: if it has not started
+  /// executing when Run() reaches it, it completes with a typed
+  /// kCancelled (outcome zeroed, no ops charged) and its siblings are
+  /// untouched. Safe to call from another thread while Run() executes;
+  /// a query that already ran keeps its result. Returns kInvalid for an
+  /// unknown handle.
+  [[nodiscard]]
+  util::Status Cancel(QueryHandle handle);
 
   /// Plans and executes every submitted query. Call once.
   [[nodiscard]]
@@ -261,12 +321,66 @@ class Session {
     bool split = false;  ///< Sliced across all devices (kPartition).
     bool doomed = false; ///< No surviving device can take it (death plan,
                          ///< recovery off): fails cleanly at execution.
+    bool shed = false;   ///< Refused by admission limits: reports a typed
+                         ///< kOverloaded at Run() without executing.
+  };
+
+  /// Circuit-breaker state of one device (engaged only when
+  /// config_.device_failure_rate > 0).
+  enum class DeviceState { kHealthy, kQuarantined, kHalfOpen };
+  struct DeviceHealth {
+    /// Sliding window of recent transfer-attempt outcomes (1 = faulted),
+    /// most recent last; capped at config_.device_failure_window.
+    std::vector<uint8_t> window;
+    DeviceState state = DeviceState::kHealthy;
+    /// Modeled est-clock time at which quarantine turns half-open.
+    double probation_until_s = 0;
+    /// Transient retries charged to this device (device_retry_budget).
+    int retries_used = 0;
   };
 
   sim::Device* device(int d) { return devices_[static_cast<size_t>(d)]; }
   UploadCache& cache(int d) { return *caches_[static_cast<size_t>(d)]; }
 
-  /// Admission order of query indices under config_.admission.
+  /// Admission check of one arriving query of `bytes` input against the
+  /// configured queue limits; under kDeadlineAware admission, first
+  /// sheds queued queries whose deadlines are already unmeetable by
+  /// estimated cost. Returns kOverloaded when the arrival cannot be
+  /// admitted.
+  [[nodiscard]]
+  util::Status AdmitOne(uint64_t bytes, double deadline_s);
+
+  /// Coarse deterministic cost proxy of one query of `bytes` total
+  /// input (the placement estimate: ~6 streaming sweeps + the PCIe
+  /// transfer). Used by deadline-aware admission shedding and
+  /// quarantine re-placement — never by charged stats.
+  double EstimateCost(uint64_t bytes) const;
+
+  /// Draws the transient-fault count of one logical transfer of query
+  /// `index` from `injector`'s PRNG stream, charges its retries (one
+  /// re-send plus capped exponential backoff each) into `result`,
+  /// updates the home device's health window, and enforces the
+  /// per-query / per-device retry budgets. Returns ExecutionError when
+  /// every bounded attempt faulted or a budget ran out.
+  [[nodiscard]]
+  util::Status ChargeTransferFaults(int device_index,
+                                    sim::FaultInjector* injector,
+                                    double transfer_s, const char* what,
+                                    QueryResult* result);
+
+  /// Advances quarantine probation on the est-clock and, when query
+  /// `index`'s home device is quarantined, re-places it onto the
+  /// earliest-estimated-finish healthy device (or the CPU rung under
+  /// recovery). Returns false when no device can take the query.
+  bool ResolveQuarantinedPlacement(int index);
+
+  /// Closes the half-open trial protocol after query `index` executed:
+  /// a fault-free trial re-admits its device, a faulted one
+  /// re-quarantines it.
+  void UpdateDeviceHealthAfterQuery(int index, uint64_t faults_before);
+
+  /// Admission order of query indices under config_.admission (shed
+  /// queries excluded).
   std::vector<int> AdmissionOrder() const;
 
   /// Assigns every query a home device (greedy earliest estimated
@@ -316,6 +430,24 @@ class Session {
   bool ran_ = false;
   /// config_.recovery, or any session device with an armed FaultPlan.
   bool recovery_enabled_ = false;
+
+  /// Per-device circuit-breaker state (sized in Run).
+  std::vector<DeviceHealth> health_;
+  /// Estimated busy seconds per device (PlanPlacement's greedy state,
+  /// kept for quarantine re-placement).
+  std::vector<double> est_busy_;
+  /// Deterministic modeled clock proxy driving quarantine probation:
+  /// advances by each executed query's solo seconds.
+  double est_clock_s_ = 0;
+  /// TrySubmit refusals (queries never enqueued), counted into
+  /// SessionStats::shed_queries.
+  size_t refused_submissions_ = 0;
+
+  /// Handles cancelled via Cancel(); read at execution boundaries.
+  /// (The one Session member a second thread may touch while Run()
+  /// executes — everything else stays session-thread-only.)
+  mutable util::Mutex cancel_mu_;
+  std::set<QueryHandle> cancelled_ GJOIN_GUARDED_BY(cancel_mu_);
 
   /// key (+ "@<device>" / "#split" suffix) -> node ids of the resident
   /// artifact's producer ops in the merged graph.

@@ -83,6 +83,14 @@ util::Result<FaultPlan> FaultPlan::FromString(const std::string& spec) {
       double us = 0;
       GJOIN_RETURN_NOT_OK(ParseDouble(value, &us));
       plan.transfer_backoff_base_s = us * 1e-6;
+    } else if (key == "max_backoff_us") {
+      double us = 0;
+      GJOIN_RETURN_NOT_OK(ParseDouble(value, &us));
+      if (us <= 0) {
+        return util::Status::Invalid(
+            "fault plan max_backoff_us must be > 0; got " + value);
+      }
+      plan.transfer_max_backoff_s = us * 1e-6;
     } else if (key == "death") {
       // "<seconds>@<device>"
       const size_t at = value.find('@');
@@ -120,7 +128,8 @@ std::string FaultPlan::ToString() const {
   }
   if (transfer_fault_p > 0) {
     os << "p=" << transfer_fault_p << ";attempts=" << max_transfer_attempts
-       << ";backoff_us=" << transfer_backoff_base_s * 1e6 << ';';
+       << ";backoff_us=" << transfer_backoff_base_s * 1e6
+       << ";max_backoff_us=" << transfer_max_backoff_s * 1e6 << ';';
   }
   if (device_death_s >= 0) {
     os << "death=" << device_death_s << '@' << dead_device << ';';

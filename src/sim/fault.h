@@ -59,6 +59,12 @@ struct FaultPlan {
   /// Backoff before the first retry; doubles per subsequent retry.
   double transfer_backoff_base_s = 100e-6;
 
+  /// Ceiling on any single charged backoff interval. The doubling is
+  /// clamped here so high attempt counts stay finite (unbounded doubling
+  /// overflows to astronomically large modeled charges around attempt
+  /// 60). The default never binds for the default 4-attempt plan.
+  double transfer_max_backoff_s = 1.0;
+
   /// Modeled time at which `dead_device` fails permanently; negative
   /// means no planned death.
   double device_death_s = -1;
@@ -81,6 +87,7 @@ struct FaultPlan {
   ///   p=0.05              transfer-fault probability
   ///   attempts=5          max transfer attempts
   ///   backoff_us=100      first-retry backoff in microseconds
+  ///   max_backoff_us=5000 ceiling on one backoff interval (microseconds)
   ///   death=0.0005@1      device 1 dies at modeled t=0.0005s
   ///   seed=42             PRNG seed
   ///
@@ -92,6 +99,16 @@ struct FaultPlan {
 
   /// Round-trips through FromString.
   std::string ToString() const;
+
+  friend bool operator==(const FaultPlan& a, const FaultPlan& b) {
+    return a.fail_allocations == b.fail_allocations &&
+           a.transfer_fault_p == b.transfer_fault_p &&
+           a.max_transfer_attempts == b.max_transfer_attempts &&
+           a.transfer_backoff_base_s == b.transfer_backoff_base_s &&
+           a.transfer_max_backoff_s == b.transfer_max_backoff_s &&
+           a.device_death_s == b.device_death_s &&
+           a.dead_device == b.dead_device && a.seed == b.seed;
+  }
 };
 
 /// \brief Per-device fault decision engine (thread-safe, deterministic).

@@ -18,6 +18,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kExecutionError:
       return "ExecutionError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -23,8 +23,11 @@ enum class StatusCode : int {
   kInvalid = 1,        ///< Invalid argument or configuration.
   kOutOfMemory = 2,    ///< Host or simulated device memory exhausted.
   kUnsupported = 3,    ///< Operation valid but not supported by this engine.
-  kInternal = 4,       ///< Invariant violation inside the library.
-  kExecutionError = 5  ///< A (simulated) engine failed at run time.
+  kInternal = 4,        ///< Invariant violation inside the library.
+  kExecutionError = 5,  ///< A (simulated) engine failed at run time.
+  kDeadlineExceeded = 6,  ///< Query missed its modeled-clock deadline.
+  kCancelled = 7,         ///< Query cancelled by the caller before running.
+  kOverloaded = 8         ///< Admission refused: session queue limits hit.
 };
 
 /// \brief Human-readable name of a StatusCode ("OK", "Invalid", ...).
@@ -78,6 +81,21 @@ class Status {
   [[nodiscard]]
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  /// Returns an error with code kDeadlineExceeded.
+  [[nodiscard]]
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Returns an error with code kCancelled.
+  [[nodiscard]]
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// Returns an error with code kOverloaded.
+  [[nodiscard]]
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   /// True iff this status represents success.

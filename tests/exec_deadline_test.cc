@@ -1,0 +1,667 @@
+// Query-lifecycle hardening tests: modeled deadlines, cooperative
+// cancellation, admission limits and shedding, retry budgets, the
+// device-health circuit breaker, and the backoff ceiling.
+//
+// The contract under test (see src/exec/session.h, src/exec/scheduler.h):
+//
+//   - a query whose modeled clock crosses JoinConfig::deadline_s aborts
+//     its remaining ops and completes with a typed kDeadlineExceeded
+//     carrying fault_penalty_s; already-charged work stays charged and
+//     siblings are untouched (their per-query results are bit-identical
+//     to a run without the doomed query);
+//   - Session::Cancel skips a not-yet-executed query with a typed
+//     kCancelled, charging nothing; it is safe from another thread;
+//   - SessionConfig queue limits shed over-limit submissions with a
+//     typed kOverloaded (Submit enqueues pre-shed, TrySubmit refuses);
+//     kDeadlineAware admission sheds queued queries whose deadlines are
+//     already unmeetable by estimated cost;
+//   - per-query / per-device retry budgets bound transient-fault
+//     retries below the FaultPlan's per-transfer attempts;
+//   - a device whose windowed transfer-failure rate crosses the
+//     configured threshold is quarantined: placement excludes it and
+//     its queued work fails over to survivors;
+//   - every knob is charge-free at its default: an unconfigured session
+//     is bit-identical to one that predates this layer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/gjoin.h"
+#include "src/data/generator.h"
+#include "src/data/oracle.h"
+#include "src/exec/session.h"
+#include "src/hw/spec.h"
+#include "src/obs/metrics.h"
+#include "src/sim/fault.h"
+#include "src/sim/topology.h"
+#include "src/util/thread_pool.h"
+
+namespace gjoin {
+namespace {
+
+using exec::Session;
+using exec::SessionConfig;
+
+class ExecDeadlineTest : public ::testing::Test {
+ protected:
+  static constexpr int kBatch = 3;
+
+  ExecDeadlineTest() {
+    for (int i = 0; i < kBatch; ++i) {
+      builds_.push_back(data::MakeUniqueUniform(40000, 31 + i));
+      probes_.push_back(data::MakeUniformProbe(80000, 40000, 41 + i));
+      oracles_.push_back(data::JoinOracle(builds_.back(), probes_.back()));
+    }
+  }
+
+  void ExpectMatchesOracle(const exec::QueryResult& result, int i) {
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.outcome.stats.matches,
+              oracles_[static_cast<size_t>(i)].matches);
+    EXPECT_EQ(result.outcome.stats.payload_sum,
+              oracles_[static_cast<size_t>(i)].payload_sum);
+  }
+
+  std::vector<data::Relation> builds_;
+  std::vector<data::Relation> probes_;
+  std::vector<data::OracleResult> oracles_;
+};
+
+// ---------------------------------------------------------------------------
+// Deadlines.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecDeadlineTest, DeadlineMissIsTypedAndSparesSiblings) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  Session session(&device);
+  api::JoinConfig doomed_cfg;
+  doomed_cfg.strategy = api::Strategy::kInGpu;
+  doomed_cfg.deadline_s = 1e-9;  // crossed before the query can finish
+  api::JoinConfig cfg;
+  cfg.strategy = api::Strategy::kInGpu;
+  session.Submit(builds_[0], probes_[0], doomed_cfg);
+  session.Submit(builds_[1], probes_[1], cfg);
+  session.Submit(builds_[2], probes_[2], cfg);
+  ASSERT_TRUE(session.Run().ok());  // the batch itself never aborts
+
+  const exec::QueryResult& missed = session.result(0);
+  ASSERT_FALSE(missed.status.ok());
+  EXPECT_EQ(missed.status.code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_NE(missed.status.ToString().find("deadline"), std::string::npos);
+  // The outcome is zeroed; the work issued before the abort stays on the
+  // clock as fault penalty.
+  EXPECT_EQ(missed.outcome.stats.matches, 0u);
+  EXPECT_EQ(missed.solo_seconds, 0);
+  EXPECT_GT(missed.fault_penalty_s, 0);
+
+  for (int i = 1; i < kBatch; ++i) ExpectMatchesOracle(session.result(i), i);
+  EXPECT_EQ(session.stats().deadline_misses, 1u);
+  EXPECT_EQ(session.stats().failed_queries, 1u);
+
+  // Sibling per-query results are bit-identical to a run without the
+  // doomed query (the documented batch-composition independence).
+  sim::Device reference_device(hw::HardwareSpec::Icde2019Testbed());
+  Session reference(&reference_device);
+  reference.Submit(builds_[1], probes_[1], cfg);
+  reference.Submit(builds_[2], probes_[2], cfg);
+  ASSERT_TRUE(reference.Run().ok());
+  for (int i = 1; i < kBatch; ++i) {
+    const exec::QueryResult& with = session.result(i);
+    const exec::QueryResult& without = reference.result(i - 1);
+    EXPECT_EQ(with.outcome.stats.matches, without.outcome.stats.matches);
+    EXPECT_EQ(with.outcome.stats.payload_sum,
+              without.outcome.stats.payload_sum);
+    EXPECT_EQ(with.outcome.stats.seconds, without.outcome.stats.seconds);
+    EXPECT_EQ(with.solo_seconds, without.solo_seconds);
+  }
+}
+
+TEST_F(ExecDeadlineTest, LadderDegradeThenDeadlineMissReleasesCleanly) {
+  // The ISSUE-10 interaction case: a query degrades down the PR 7 ladder
+  // (strict 1-byte cache budget forces in-GPU -> co-processing) and
+  // *then* misses its deadline. The abort must release every staged
+  // artifact and cache ref (the ASan lane verifies the release), keep
+  // the degradation charges in fault_penalty_s, and leave siblings
+  // bit-identical to a run without the doomed query.
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  SessionConfig config;
+  config.cache_budget_bytes = 1;
+  config.strict_cache_budget = true;
+  config.recovery = true;
+
+  Session session(&device, config);
+  api::JoinConfig doomed_cfg;
+  doomed_cfg.strategy = api::Strategy::kInGpu;
+  doomed_cfg.deadline_s = 1e-9;
+  api::JoinConfig cfg;
+  cfg.strategy = api::Strategy::kInGpu;
+  session.Submit(builds_[0], probes_[0], doomed_cfg);
+  session.Submit(builds_[1], probes_[1], cfg);
+  session.Submit(builds_[2], probes_[2], cfg);
+  ASSERT_TRUE(session.Run().ok());
+
+  const exec::QueryResult& missed = session.result(0);
+  EXPECT_EQ(missed.status.code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(missed.degradations, 2);  // in-GPU -> streaming -> co-proc
+  EXPECT_GT(missed.fault_penalty_s, 0);
+  EXPECT_EQ(missed.outcome.stats.matches, 0u);
+
+  sim::Device reference_device(hw::HardwareSpec::Icde2019Testbed());
+  Session reference(&reference_device, config);
+  reference.Submit(builds_[1], probes_[1], cfg);
+  reference.Submit(builds_[2], probes_[2], cfg);
+  ASSERT_TRUE(reference.Run().ok());
+  for (int i = 1; i < kBatch; ++i) {
+    ExpectMatchesOracle(session.result(i), i);
+    const exec::QueryResult& with = session.result(i);
+    const exec::QueryResult& without = reference.result(i - 1);
+    EXPECT_EQ(with.outcome.strategy, without.outcome.strategy);
+    EXPECT_EQ(with.outcome.stats.matches, without.outcome.stats.matches);
+    EXPECT_EQ(with.outcome.stats.seconds, without.outcome.stats.seconds);
+    EXPECT_EQ(with.solo_seconds, without.solo_seconds);
+    EXPECT_EQ(with.degradations, without.degradations);
+  }
+}
+
+TEST_F(ExecDeadlineTest, GenerousDeadlinesAreChargeFree) {
+  // A deadline nothing crosses must not perturb the schedule: the run is
+  // bit-identical to one with no deadline at all.
+  auto run_once = [&](double deadline_s) {
+    sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+    Session session(&device);
+    api::JoinConfig cfg;
+    cfg.strategy = api::Strategy::kInGpu;
+    cfg.deadline_s = deadline_s;
+    for (int i = 0; i < kBatch; ++i) {
+      session.Submit(builds_[static_cast<size_t>(i)],
+                     probes_[static_cast<size_t>(i)], cfg);
+    }
+    EXPECT_TRUE(session.Run().ok());
+    std::vector<double> finishes;
+    for (int i = 0; i < kBatch; ++i) {
+      finishes.push_back(session.result(i).finish_s);
+    }
+    finishes.push_back(session.stats().makespan_s);
+    finishes.push_back(session.stats().independent_s);
+    return finishes;
+  };
+  EXPECT_EQ(run_once(0), run_once(1e9));
+}
+
+TEST_F(ExecDeadlineTest, DeadlineRunsAreBitIdenticalAcrossPoolWidths) {
+  auto run_with_pool = [&](size_t width) {
+    util::ThreadPool pool(width);
+    sim::Device device(hw::HardwareSpec::Icde2019Testbed(), &pool);
+    Session session(&device);
+    api::JoinConfig doomed_cfg;
+    doomed_cfg.strategy = api::Strategy::kInGpu;
+    doomed_cfg.deadline_s = 1e-9;
+    api::JoinConfig cfg;
+    cfg.strategy = api::Strategy::kInGpu;
+    session.Submit(builds_[0], probes_[0], doomed_cfg);
+    session.Submit(builds_[1], probes_[1], cfg);
+    session.Submit(builds_[2], probes_[2], cfg);
+    EXPECT_TRUE(session.Run().ok());
+    struct Snapshot {
+      exec::SessionStats stats;
+      std::vector<exec::QueryResult> results;
+    } snap;
+    snap.stats = session.stats();
+    for (int i = 0; i < kBatch; ++i) snap.results.push_back(session.result(i));
+    return snap;
+  };
+  const auto narrow = run_with_pool(1);
+  const auto wide = run_with_pool(8);
+  EXPECT_EQ(narrow.stats.makespan_s, wide.stats.makespan_s);
+  EXPECT_EQ(narrow.stats.deadline_misses, wide.stats.deadline_misses);
+  EXPECT_EQ(narrow.stats.fault_penalty_s, wide.stats.fault_penalty_s);
+  for (int i = 0; i < kBatch; ++i) {
+    const exec::QueryResult& a = narrow.results[static_cast<size_t>(i)];
+    const exec::QueryResult& b = wide.results[static_cast<size_t>(i)];
+    EXPECT_EQ(a.status.code(), b.status.code());
+    EXPECT_EQ(a.finish_s, b.finish_s);
+    EXPECT_EQ(a.fault_penalty_s, b.fault_penalty_s);
+    EXPECT_EQ(a.outcome.stats.matches, b.outcome.stats.matches);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecDeadlineTest, CancelBeforeRunSkipsTheQueryCleanly) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  Session session(&device);
+  api::JoinConfig cfg;
+  cfg.strategy = api::Strategy::kInGpu;
+  session.Submit(builds_[0], probes_[0], cfg);
+  const exec::QueryHandle victim = session.Submit(builds_[1], probes_[1], cfg);
+  session.Submit(builds_[2], probes_[2], cfg);
+  ASSERT_TRUE(session.Cancel(victim).ok());
+  ASSERT_TRUE(session.Run().ok());
+
+  const exec::QueryResult& cancelled = session.result(victim);
+  ASSERT_FALSE(cancelled.status.ok());
+  EXPECT_EQ(cancelled.status.code(), util::StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.outcome.stats.matches, 0u);
+  EXPECT_EQ(cancelled.solo_seconds, 0);
+  EXPECT_EQ(cancelled.fault_penalty_s, 0);  // charges nothing at all
+  ExpectMatchesOracle(session.result(0), 0);
+  ExpectMatchesOracle(session.result(2), 2);
+  EXPECT_EQ(session.stats().cancelled_queries, 1u);
+  EXPECT_EQ(session.stats().failed_queries, 1u);
+
+  // A cancelled query splices no ops, so siblings schedule exactly as a
+  // session that never saw it — finish times included.
+  sim::Device reference_device(hw::HardwareSpec::Icde2019Testbed());
+  Session reference(&reference_device);
+  reference.Submit(builds_[0], probes_[0], cfg);
+  reference.Submit(builds_[2], probes_[2], cfg);
+  ASSERT_TRUE(reference.Run().ok());
+  EXPECT_EQ(session.result(0).finish_s, reference.result(0).finish_s);
+  EXPECT_EQ(session.result(2).finish_s, reference.result(1).finish_s);
+  EXPECT_EQ(session.stats().makespan_s, reference.stats().makespan_s);
+}
+
+TEST_F(ExecDeadlineTest, CancelFromAnotherThreadDuringRunIsSafe) {
+  // The cancel may or may not land before the victim executes — both
+  // outcomes are valid; the TSan lane checks the synchronization.
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  Session session(&device);
+  api::JoinConfig cfg;
+  cfg.strategy = api::Strategy::kInGpu;
+  for (int i = 0; i < kBatch; ++i) {
+    session.Submit(builds_[static_cast<size_t>(i)],
+                   probes_[static_cast<size_t>(i)], cfg);
+  }
+  const exec::QueryHandle victim = kBatch - 1;
+  std::thread canceller([&session, victim]() {
+    EXPECT_TRUE(session.Cancel(victim).ok());
+  });
+  ASSERT_TRUE(session.Run().ok());
+  canceller.join();
+
+  const exec::QueryResult& result = session.result(victim);
+  if (result.status.ok()) {
+    ExpectMatchesOracle(result, victim);
+  } else {
+    EXPECT_EQ(result.status.code(), util::StatusCode::kCancelled);
+    EXPECT_EQ(result.outcome.stats.matches, 0u);
+  }
+  ExpectMatchesOracle(session.result(0), 0);
+  ExpectMatchesOracle(session.result(1), 1);
+}
+
+TEST_F(ExecDeadlineTest, CancelRejectsUnknownHandles) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  Session session(&device);
+  session.Submit(builds_[0], probes_[0], api::JoinConfig());
+  EXPECT_EQ(session.Cancel(7).code(), util::StatusCode::kInvalid);
+  EXPECT_EQ(session.Cancel(-1).code(), util::StatusCode::kInvalid);
+}
+
+// ---------------------------------------------------------------------------
+// Admission limits and shedding.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecDeadlineTest, SubmitPastQueueLimitShedsWithTypedOverload) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  SessionConfig config;
+  config.max_queued_queries = 2;
+  Session session(&device, config);
+  api::JoinConfig cfg;
+  cfg.strategy = api::Strategy::kInGpu;
+  for (int i = 0; i < kBatch; ++i) {
+    session.Submit(builds_[static_cast<size_t>(i)],
+                   probes_[static_cast<size_t>(i)], cfg);
+  }
+  ASSERT_TRUE(session.Run().ok());
+
+  ExpectMatchesOracle(session.result(0), 0);
+  ExpectMatchesOracle(session.result(1), 1);
+  const exec::QueryResult& shed = session.result(2);
+  ASSERT_FALSE(shed.status.ok());
+  EXPECT_EQ(shed.status.code(), util::StatusCode::kOverloaded);
+  EXPECT_NE(shed.status.ToString().find("shed"), std::string::npos);
+  EXPECT_EQ(shed.outcome.stats.matches, 0u);
+  EXPECT_EQ(shed.solo_seconds, 0);
+  EXPECT_EQ(session.stats().shed_queries, 1u);
+  EXPECT_EQ(session.stats().failed_queries, 1u);
+}
+
+TEST_F(ExecDeadlineTest, TrySubmitRefusesWithoutEnqueuing) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  SessionConfig config;
+  config.max_queued_queries = 1;
+  Session session(&device, config);
+  const auto first = session.TrySubmit(builds_[0], probes_[0]);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const auto second = session.TrySubmit(builds_[1], probes_[1]);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), util::StatusCode::kOverloaded);
+  EXPECT_EQ(session.size(), 1u);  // the refusal never enqueued
+
+  ASSERT_TRUE(session.Run().ok());
+  ExpectMatchesOracle(session.result(*first), 0);
+  EXPECT_EQ(session.stats().shed_queries, 1u);  // refusals are counted
+  EXPECT_EQ(session.stats().failed_queries, 0u);
+}
+
+TEST_F(ExecDeadlineTest, ByteLimitShedsOversizedArrivals) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  SessionConfig config;
+  // Room for one query's build + probe input, not two.
+  config.max_queued_bytes =
+      builds_[0].bytes() + probes_[0].bytes() + builds_[1].bytes() / 2;
+  Session session(&device, config);
+  api::JoinConfig cfg;
+  cfg.strategy = api::Strategy::kInGpu;
+  session.Submit(builds_[0], probes_[0], cfg);
+  session.Submit(builds_[1], probes_[1], cfg);
+  ASSERT_TRUE(session.Run().ok());
+  ExpectMatchesOracle(session.result(0), 0);
+  EXPECT_EQ(session.result(1).status.code(), util::StatusCode::kOverloaded);
+  EXPECT_EQ(session.stats().shed_queries, 1u);
+}
+
+TEST_F(ExecDeadlineTest, DeadlineAwareAdmissionShedsUnmeetableQueued) {
+  // Queue full; under kDeadlineAware the queued query whose deadline is
+  // already unmeetable by estimated cost is shed to admit the arrival.
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  SessionConfig config;
+  config.max_queued_queries = 2;
+  config.admission = api::AdmissionPolicy::kDeadlineAware;
+  Session session(&device, config);
+  api::JoinConfig unmeetable;
+  unmeetable.strategy = api::Strategy::kInGpu;
+  unmeetable.deadline_s = 1e-12;  // below any estimated cost
+  api::JoinConfig cfg;
+  cfg.strategy = api::Strategy::kInGpu;
+  session.Submit(builds_[0], probes_[0], unmeetable);
+  session.Submit(builds_[1], probes_[1], cfg);
+  session.Submit(builds_[2], probes_[2], cfg);  // admitted via the shed
+  ASSERT_TRUE(session.Run().ok());
+
+  EXPECT_EQ(session.result(0).status.code(), util::StatusCode::kOverloaded);
+  ExpectMatchesOracle(session.result(1), 1);
+  ExpectMatchesOracle(session.result(2), 2);
+  EXPECT_EQ(session.stats().shed_queries, 1u);
+  EXPECT_EQ(session.stats().deadline_misses, 0u);  // shed, never scheduled
+}
+
+TEST_F(ExecDeadlineTest, UnboundLimitsAreChargeFree) {
+  // Limits and budgets that never bind must leave the run bit-identical
+  // to a fully unconfigured session.
+  auto run_once = [&](const SessionConfig& config) {
+    sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+    Session session(&device, config);
+    api::JoinConfig cfg;
+    cfg.strategy = api::Strategy::kInGpu;
+    for (int i = 0; i < kBatch; ++i) {
+      session.Submit(builds_[static_cast<size_t>(i)],
+                     probes_[static_cast<size_t>(i)], cfg);
+    }
+    EXPECT_TRUE(session.Run().ok());
+    std::vector<double> snapshot{session.stats().makespan_s,
+                                 session.stats().independent_s};
+    for (int i = 0; i < kBatch; ++i) {
+      snapshot.push_back(session.result(i).finish_s);
+      snapshot.push_back(session.result(i).solo_seconds);
+    }
+    return snapshot;
+  };
+  SessionConfig slack;
+  slack.max_queued_queries = 100;
+  slack.max_queued_bytes = 1ull << 40;
+  slack.query_retry_budget = 1 << 20;
+  slack.device_retry_budget = 1 << 20;
+  EXPECT_EQ(run_once(SessionConfig()), run_once(slack));
+}
+
+// ---------------------------------------------------------------------------
+// Retry budgets and the backoff ceiling.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecDeadlineTest, QueryRetryBudgetBoundsTransientRetries) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  sim::FaultPlan plan;
+  plan.transfer_fault_p = 0.9;  // long fault bursts, still transient
+  plan.max_transfer_attempts = 1000;
+  plan.seed = 5;
+  device.ArmFaults(plan);
+
+  SessionConfig config;
+  config.query_retry_budget = 1;
+  Session session(&device, config);
+  api::JoinConfig cfg;
+  cfg.strategy = api::Strategy::kInGpu;
+  for (int i = 0; i < kBatch; ++i) {
+    session.Submit(builds_[static_cast<size_t>(i)],
+                   probes_[static_cast<size_t>(i)], cfg);
+  }
+  ASSERT_TRUE(session.Run().ok());
+
+  EXPECT_GE(session.stats().retry_budget_exhausted, 1u);
+  bool saw_budget_error = false;
+  for (int i = 0; i < kBatch; ++i) {
+    const exec::QueryResult& result = session.result(i);
+    // No query may exceed its budget even across the recovery ladder.
+    EXPECT_LE(result.transfer_retries, config.query_retry_budget);
+    if (!result.status.ok() &&
+        result.status.ToString().find("query retry budget exhausted") !=
+            std::string::npos) {
+      saw_budget_error = true;
+      EXPECT_EQ(result.status.code(), util::StatusCode::kExecutionError);
+    }
+  }
+  EXPECT_TRUE(saw_budget_error);
+}
+
+TEST_F(ExecDeadlineTest, DeviceRetryBudgetSpansTheWholeRun) {
+  sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+  sim::FaultPlan plan;
+  plan.transfer_fault_p = 0.9;
+  plan.max_transfer_attempts = 1000;
+  plan.seed = 5;
+  device.ArmFaults(plan);
+
+  SessionConfig config;
+  config.device_retry_budget = 2;
+  Session session(&device, config);
+  api::JoinConfig cfg;
+  cfg.strategy = api::Strategy::kInGpu;
+  for (int i = 0; i < kBatch; ++i) {
+    session.Submit(builds_[static_cast<size_t>(i)],
+                   probes_[static_cast<size_t>(i)], cfg);
+  }
+  ASSERT_TRUE(session.Run().ok());
+
+  EXPECT_GE(session.stats().retry_budget_exhausted, 1u);
+  // The budget is per device, shared by all queries of the run.
+  EXPECT_LE(session.stats().transfer_retries,
+            static_cast<size_t>(config.device_retry_budget));
+  bool saw_budget_error = false;
+  for (int i = 0; i < kBatch; ++i) {
+    const util::Status& status = session.result(i).status;
+    if (!status.ok() && status.ToString().find(
+                            "device retry budget exhausted") !=
+                            std::string::npos) {
+      saw_budget_error = true;
+    }
+  }
+  EXPECT_TRUE(saw_budget_error);
+}
+
+TEST_F(ExecDeadlineTest, BackoffCeilingBindsAtHighAttemptCounts) {
+  // Satellite regression: before the ceiling, a plan with hundreds of
+  // attempts charged 2^attempts backoff seconds. The capped series must
+  // stay linear in the retry count.
+  auto run_once = [&](double max_backoff_s) {
+    sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+    sim::FaultPlan plan;
+    plan.transfer_fault_p = 0.9;
+    plan.max_transfer_attempts = 500;
+    plan.transfer_backoff_base_s = 100e-6;
+    plan.transfer_max_backoff_s = max_backoff_s;
+    plan.seed = 7;
+    device.ArmFaults(plan);
+    Session session(&device);
+    api::JoinConfig cfg;
+    cfg.strategy = api::Strategy::kInGpu;
+    for (int i = 0; i < kBatch; ++i) {
+      session.Submit(builds_[static_cast<size_t>(i)],
+                     probes_[static_cast<size_t>(i)], cfg);
+    }
+    EXPECT_TRUE(session.Run().ok());
+    EXPECT_EQ(session.stats().failed_queries, 0u);  // transient throughout
+    return session.stats();
+  };
+
+  const exec::SessionStats tight = run_once(/*max_backoff_s=*/5e-3);
+  const exec::SessionStats loose = run_once(/*max_backoff_s=*/60.0);
+  // Same seed, same draws — only the ceiling differs.
+  EXPECT_EQ(tight.transfer_retries, loose.transfer_retries);
+  EXPECT_GT(tight.transfer_retries, 0u);
+  EXPECT_LT(tight.fault_penalty_s, loose.fault_penalty_s);
+  // Linear bound: every retry charges at most one re-send + one capped
+  // backoff; the re-send itself is far below a modeled second here.
+  EXPECT_LT(tight.fault_penalty_s,
+            static_cast<double>(tight.transfer_retries) * (5e-3 + 1.0));
+}
+
+// ---------------------------------------------------------------------------
+// Device quarantine.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecDeadlineTest, QuarantineExcludesSickDeviceAndFailsOver) {
+  sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
+  sim::FaultPlan plan;
+  plan.transfer_fault_p = 0.7;
+  plan.max_transfer_attempts = 50;  // transient: queries still complete
+  plan.seed = 21;
+  topo.device(1).ArmFaults(plan);  // only device 1 is sick
+
+  SessionConfig config;
+  config.device_failure_window = 4;
+  config.device_failure_rate = 0.5;
+  config.quarantine_probation_s = 1e9;  // stays quarantined once tripped
+  Session session(&topo, config);
+  api::JoinConfig cfg;
+  cfg.strategy = api::Strategy::kInGpu;
+  // Two rounds so queries queue behind the quarantine decision.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < kBatch; ++i) {
+      session.Submit(builds_[static_cast<size_t>(i)],
+                     probes_[static_cast<size_t>(i)], cfg);
+    }
+  }
+  ASSERT_TRUE(session.Run().ok());
+
+  EXPECT_GE(session.stats().device_quarantines, 1u);
+  EXPECT_GE(session.stats().device_failovers, 1u);
+  EXPECT_EQ(session.stats().failed_queries, 0u);
+  int on_healthy = 0;
+  for (int q = 0; q < 2 * kBatch; ++q) {
+    ExpectMatchesOracle(session.result(q), q % kBatch);
+    on_healthy += session.result(q).device == 0 ? 1 : 0;
+  }
+  // Once device 1 tripped, its queued work landed on device 0.
+  EXPECT_GT(on_healthy, kBatch);
+}
+
+TEST_F(ExecDeadlineTest, QuarantineRunsAreDeterministic) {
+  auto run_with_pool = [&](size_t width) {
+    util::ThreadPool pool(width);
+    sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2, &pool);
+    sim::FaultPlan plan;
+    plan.transfer_fault_p = 0.5;
+    plan.max_transfer_attempts = 50;
+    plan.seed = 33;
+    topo.ArmFaults(plan);
+    SessionConfig config;
+    config.device_failure_window = 2;
+    config.device_failure_rate = 0.5;
+    config.quarantine_probation_s = 0;  // immediate half-open trials
+    Session session(&topo, config);
+    api::JoinConfig cfg;
+    cfg.strategy = api::Strategy::kInGpu;
+    for (int round = 0; round < 2; ++round) {
+      for (int i = 0; i < kBatch; ++i) {
+        session.Submit(builds_[static_cast<size_t>(i)],
+                       probes_[static_cast<size_t>(i)], cfg);
+      }
+    }
+    EXPECT_TRUE(session.Run().ok());
+    for (int q = 0; q < 2 * kBatch; ++q) {
+      ExpectMatchesOracle(session.result(q), q % kBatch);
+    }
+    return session.stats();
+  };
+  const exec::SessionStats narrow = run_with_pool(1);
+  const exec::SessionStats wide = run_with_pool(8);
+  EXPECT_GE(narrow.device_quarantines, 1u);
+  EXPECT_EQ(narrow.device_quarantines, wide.device_quarantines);
+  EXPECT_EQ(narrow.device_failovers, wide.device_failovers);
+  EXPECT_EQ(narrow.transfer_retries, wide.transfer_retries);
+  EXPECT_EQ(narrow.makespan_s, wide.makespan_s);
+  EXPECT_EQ(narrow.fault_penalty_s, wide.fault_penalty_s);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics exposition.
+// ---------------------------------------------------------------------------
+
+TEST_F(ExecDeadlineTest, LifecycleMetricsAreGatedOnConfiguration) {
+  // Unconfigured sessions must not add lifecycle series (the existing
+  // exposition goldens stay byte-identical); configured ones must.
+  obs::MetricsRegistry quiet_registry;
+  {
+    sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+    SessionConfig config;
+    config.metrics = &quiet_registry;
+    Session session(&device, config);
+    session.Submit(builds_[0], probes_[0], api::JoinConfig());
+    ASSERT_TRUE(session.Run().ok());
+  }
+  const std::string quiet = quiet_registry.PrometheusText();
+  EXPECT_EQ(quiet.find("gjoin_queries_shed_total"), std::string::npos);
+  EXPECT_EQ(quiet.find("gjoin_deadline_miss_total"), std::string::npos);
+  EXPECT_EQ(quiet.find("gjoin_queries_cancelled_total"), std::string::npos);
+  EXPECT_EQ(quiet.find("gjoin_device_quarantines_total"), std::string::npos);
+  EXPECT_EQ(quiet.find("gjoin_device_health_ratio"), std::string::npos);
+
+  obs::MetricsRegistry loud_registry;
+  {
+    sim::Device device(hw::HardwareSpec::Icde2019Testbed());
+    sim::FaultPlan plan;
+    plan.transfer_fault_p = 0.7;
+    plan.max_transfer_attempts = 50;
+    device.ArmFaults(plan);
+    SessionConfig config;
+    config.metrics = &loud_registry;
+    config.max_queued_queries = 2;
+    config.device_failure_window = 2;
+    config.device_failure_rate = 0.5;
+    Session session(&device, config);
+    api::JoinConfig cfg;
+    cfg.strategy = api::Strategy::kInGpu;
+    cfg.deadline_s = 1e-9;
+    session.Submit(builds_[0], probes_[0], cfg);
+    const exec::QueryHandle second = session.Submit(builds_[1], probes_[1], cfg);
+    ASSERT_TRUE(session.Cancel(second).ok());  // admitted, then cancelled
+    session.Submit(builds_[2], probes_[2], cfg);  // shed by the limit
+    ASSERT_TRUE(session.Run().ok());
+  }
+  const std::string loud = loud_registry.PrometheusText();
+  EXPECT_NE(loud.find("gjoin_queries_shed_total"), std::string::npos);
+  EXPECT_NE(loud.find("gjoin_deadline_miss_total"), std::string::npos);
+  EXPECT_NE(loud.find("gjoin_queries_cancelled_total"), std::string::npos);
+  EXPECT_NE(loud.find("gjoin_device_health_ratio{device=\"0\"}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gjoin

@@ -324,12 +324,25 @@ TEST_F(ExecFaultTest, EnvPlanBatchSurvives) {
   const std::string spec = env != nullptr ? env : "alloc=1;p=0.3;seed=7";
   const auto plan = sim::FaultPlan::FromString(spec);
   ASSERT_TRUE(plan.ok()) << "GJOIN_FAULT_PLAN: " << plan.status().ToString();
+  // GJOIN_DEADLINE_S layers a modeled per-query deadline over the fault
+  // plan (the CI fault-matrix "flake-deadline" entry): misses must be
+  // clean typed failures, exactly like the fault-induced ones.
+  double deadline_s = 0;
+  if (const char* deadline_env = std::getenv("GJOIN_DEADLINE_S")) {
+    deadline_s = std::strtod(deadline_env, nullptr);
+  }
 
   auto run_once = [&]() {
     sim::Topology topo(hw::HardwareSpec::Icde2019Testbed(), 2);
     topo.ArmFaults(*plan);
     Session session(&topo);
-    SubmitBatch(&session, api::Strategy::kInGpu);
+    api::JoinConfig cfg;
+    cfg.strategy = api::Strategy::kInGpu;
+    cfg.deadline_s = deadline_s;
+    for (int i = 0; i < kBatch; ++i) {
+      session.Submit(builds_[static_cast<size_t>(i)],
+                     probes_[static_cast<size_t>(i)], cfg);
+    }
     EXPECT_TRUE(session.Run().ok());  // batch-level Run never aborts
     int completed = 0;
     for (int i = 0; i < kBatch; ++i) {
@@ -339,9 +352,10 @@ TEST_F(ExecFaultTest, EnvPlanBatchSurvives) {
         ++completed;
       } else {
         // Clean, typed per-query failure with zeroed outcome.
-        EXPECT_TRUE(result.status.code() ==
-                        util::StatusCode::kExecutionError ||
-                    result.status.code() == util::StatusCode::kOutOfMemory)
+        EXPECT_TRUE(
+            result.status.code() == util::StatusCode::kExecutionError ||
+            result.status.code() == util::StatusCode::kOutOfMemory ||
+            result.status.code() == util::StatusCode::kDeadlineExceeded)
             << result.status.ToString();
         EXPECT_EQ(result.outcome.stats.matches, 0u);
       }
@@ -358,6 +372,7 @@ TEST_F(ExecFaultTest, EnvPlanBatchSurvives) {
   EXPECT_EQ(first.transfer_retries, second.transfer_retries);
   EXPECT_EQ(first.degradations, second.degradations);
   EXPECT_EQ(first.failed_queries, second.failed_queries);
+  EXPECT_EQ(first.deadline_misses, second.deadline_misses);
 }
 
 }  // namespace

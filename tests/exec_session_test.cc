@@ -336,6 +336,31 @@ TEST_F(ExecSessionTest, TinyCacheBudgetForcesReuploadsButKeepsResults) {
   EXPECT_GT(tiny.makespan_s, big.makespan_s);
 }
 
+TEST_F(ExecSessionTest, UnconfiguredLifecycleStateIsInert) {
+  // The query-lifecycle machinery (deadlines, retry budgets, admission
+  // limits, the circuit breaker) must be invisible when unconfigured:
+  // a default-config session reports every lifecycle counter as zero
+  // and all queries on the happy path.
+  sim::Device device{hw::HardwareSpec::Icde2019Testbed()};
+  Session session(&device, SessionConfig{});
+  api::JoinConfig cfg;
+  cfg.pass_bits = {6, 5};
+  session.Submit(r_, s_, cfg);
+  session.Submit(r_, s_, cfg);
+  ASSERT_TRUE(session.Run().ok());
+
+  const exec::SessionStats& stats = session.stats();
+  EXPECT_EQ(stats.shed_queries, 0u);
+  EXPECT_EQ(stats.deadline_misses, 0u);
+  EXPECT_EQ(stats.cancelled_queries, 0u);
+  EXPECT_EQ(stats.device_quarantines, 0u);
+  EXPECT_EQ(stats.retry_budget_exhausted, 0u);
+  for (int q = 0; q < 2; ++q) {
+    EXPECT_TRUE(session.result(q).status.ok());
+    EXPECT_DOUBLE_EQ(session.result(q).fault_penalty_s, 0.0);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // UploadCache unit tests: refcounting, budget eviction.
 // ---------------------------------------------------------------------------

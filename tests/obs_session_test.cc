@@ -147,6 +147,18 @@ TEST_F(ObsSessionTest, PublishedMetricsMatchSessionStats) {
       text.find("gjoin_queries_completed_total{strategy=\"in-gpu\"} 2"),
       std::string::npos)
       << text;
+
+  // The query-lifecycle metrics are gated on configuration: with no
+  // deadline/budget/limit/breaker armed, none of them may register —
+  // the unconfigured exposition must not grow lifecycle rows.
+  for (const char* gated : {"gjoin_queries_shed_total",
+                            "gjoin_deadline_miss_total",
+                            "gjoin_queries_cancelled_total",
+                            "gjoin_device_quarantines_total",
+                            "gjoin_retry_budget_exhausted_total",
+                            "gjoin_device_health_ratio"}) {
+    EXPECT_EQ(text.find(gated), std::string::npos) << gated;
+  }
 }
 
 TEST_F(ObsSessionTest, DeviceMemoryPeakIsTrackedAndPublished) {

@@ -10,6 +10,7 @@
 #include "src/sim/device.h"
 #include "src/sim/fault.h"
 #include "src/sim/topology.h"
+#include "src/util/rng.h"
 
 namespace gjoin::sim {
 namespace {
@@ -40,14 +41,83 @@ TEST(FaultPlanTest, ToStringRoundTrips) {
   EXPECT_EQ(again->seed, plan->seed);
 }
 
+TEST(FaultPlanTest, ToStringRoundTripsRandomPlans) {
+  // Property test: any plan whose fields survive 6-significant-digit
+  // printing must satisfy FromString(ToString(p)) == p. Field values are
+  // drawn so the decimal rendering is exact at that precision (integral
+  // microseconds, milli-second death times, percent-grid probabilities).
+  util::Rng rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    FaultPlan plan;
+    if (rng.Uniform(2) == 1) {
+      const size_t n = 1 + rng.Uniform(3);
+      for (size_t i = 0; i < n; ++i) {
+        plan.fail_allocations.push_back(1 + rng.Uniform(100));
+      }
+    }
+    if (rng.Uniform(2) == 1) {
+      // Backoff knobs only travel through ToString when p > 0, so the
+      // generator ties them together (defaults round-trip regardless).
+      plan.transfer_fault_p =
+          static_cast<double>(1 + rng.Uniform(99)) / 100.0;
+      plan.max_transfer_attempts = static_cast<int>(1 + rng.Uniform(16));
+      plan.transfer_backoff_base_s =
+          static_cast<double>(1 + rng.Uniform(5000)) * 1e-6;
+      plan.transfer_max_backoff_s =
+          static_cast<double>(1000 + rng.Uniform(100000)) * 1e-6;
+    }
+    if (rng.Uniform(2) == 1) {
+      plan.device_death_s = static_cast<double>(rng.Uniform(1000)) / 1000.0;
+      plan.dead_device = static_cast<int>(rng.Uniform(4));
+    }
+    plan.seed = rng.Uniform(1u << 20);
+    const std::string spec = plan.ToString();
+    const auto again = FaultPlan::FromString(spec);
+    ASSERT_TRUE(again.ok()) << spec << ": " << again.status().ToString();
+    EXPECT_TRUE(*again == plan) << "trial " << trial << ": " << spec;
+  }
+}
+
 TEST(FaultPlanTest, RejectsMalformedSpecs) {
   for (const char* bad :
        {"p=nope", "p=1.5", "alloc=", "alloc=0", "attempts=0", "death=1",
-        "death=0.1@x", "bogus=1"}) {
+        "death=0.1@x", "bogus=1", "max_backoff_us=0", "max_backoff_us=-5",
+        "max_backoff_us=soon"}) {
     const auto plan = FaultPlan::FromString(bad);
     EXPECT_FALSE(plan.ok()) << "accepted: " << bad;
     EXPECT_EQ(plan.status().code(), util::StatusCode::kInvalid) << bad;
   }
+}
+
+TEST(FaultPlanTest, RejectionNamesTheOffendingToken) {
+  // The error message must carry the bad token so a CI failure on a
+  // GJOIN_FAULT_PLAN env spec is diagnosable from the log alone.
+  const struct {
+    const char* spec;
+    const char* token;
+  } kCases[] = {
+      {"p=nope", "nope"},
+      {"p=0.1;max_backoff_us=0", "max_backoff_us"},
+      {"max_backoff_us=-5", "-5"},
+      {"death=0.1@x", "x"},
+      {"bogus=1", "bogus"},
+      {"justakey", "justakey"},
+  };
+  for (const auto& c : kCases) {
+    const auto plan = FaultPlan::FromString(c.spec);
+    ASSERT_FALSE(plan.ok()) << c.spec;
+    EXPECT_NE(plan.status().ToString().find(c.token), std::string::npos)
+        << "'" << c.spec << "' error does not name '" << c.token
+        << "': " << plan.status().ToString();
+  }
+}
+
+TEST(FaultPlanTest, ParsesMaxBackoffCeiling) {
+  const auto plan =
+      FaultPlan::FromString("p=0.2;backoff_us=100;max_backoff_us=5000");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_DOUBLE_EQ(plan->transfer_backoff_base_s, 100e-6);
+  EXPECT_DOUBLE_EQ(plan->transfer_max_backoff_s, 5000e-6);
 }
 
 TEST(FaultPlanTest, EmptySpecIsDisabled) {

@@ -23,6 +23,10 @@ TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
   EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::ExecutionError("x").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
 
   Status st = Status::Invalid("bad fanout");
   EXPECT_FALSE(st.ok());
@@ -40,6 +44,10 @@ TEST(StatusTest, CopyPreservesState) {
 TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfMemory), "OutOfMemory");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOverloaded), "Overloaded");
 }
 
 TEST(StatusTest, OkCodeWithMessageIsStillOk) {
